@@ -1,0 +1,86 @@
+// Ablation: update tolerance — the paper's Section 3 argument for
+// computing validity regions on the fly instead of precomputing a
+// Voronoi diagram [ZL01]. Under a workload that interleaves object
+// updates with queries, the R-tree absorbs each update in a handful of
+// page writes, while the Voronoi index must be rebuilt to stay correct.
+// We charge the diagram a full rebuild per batch of updates and report
+// wall-clock time for both.
+
+#include <chrono>
+#include <cstdio>
+
+#include "baselines/voronoi.h"
+#include "bench/bench_util.h"
+#include "core/nn_validity.h"
+
+namespace {
+
+using namespace lbsq;
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = bench::Scaled(20000);
+  const size_t batches = 10;
+  const size_t updates_per_batch = 100;
+  const size_t queries_per_batch = bench::NumQueries() / 10 + 1;
+
+  workload::Dataset dataset = workload::MakeUnitUniform(n, 61);
+  Rng rng(62);
+
+  bench::PrintTitle(
+      "Ablation: interleaved updates, on-the-fly regions vs Voronoi "
+      "rebuilds");
+  std::printf("dataset: %zu points, %zu batches x (%zu updates + %zu "
+              "1-NN validity queries)\n\n",
+              n, batches, updates_per_batch, queries_per_batch);
+
+  // --- On-the-fly (this paper): R-tree handles updates in place. -----------
+  {
+    bench::Workbench wb = bench::MakeBench(dataset, 0.1);
+    core::NnValidityEngine engine(wb.tree.get(), wb.dataset.universe);
+    auto data = dataset.entries;
+    rtree::ObjectId next_id = static_cast<rtree::ObjectId>(data.size());
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t b = 0; b < batches; ++b) {
+      for (size_t u = 0; u < updates_per_batch; ++u) {
+        // Move a random object: delete + insert.
+        const size_t victim = rng.NextBounded(data.size());
+        wb.tree->Delete(data[victim].point, data[victim].id);
+        data[victim] = {{rng.NextDouble(), rng.NextDouble()}, next_id++};
+        wb.tree->Insert(data[victim].point, data[victim].id);
+      }
+      for (size_t qi = 0; qi < queries_per_batch; ++qi) {
+        engine.Query({rng.NextDouble(), rng.NextDouble()}, 1);
+      }
+    }
+    std::printf("%-28s %8.3f s\n", "on-the-fly (R-tree)", Seconds(start));
+  }
+
+  // --- Precomputed Voronoi [ZL01]: rebuild per batch. -----------------------
+  {
+    auto data = dataset.entries;
+    rtree::ObjectId next_id = static_cast<rtree::ObjectId>(data.size());
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t b = 0; b < batches; ++b) {
+      for (size_t u = 0; u < updates_per_batch; ++u) {
+        const size_t victim = rng.NextBounded(data.size());
+        data[victim] = {{rng.NextDouble(), rng.NextDouble()}, next_id++};
+      }
+      // Rebuild the diagram so queries stay correct, then serve queries.
+      baselines::VoronoiIndex index(data, dataset.universe);
+      for (size_t qi = 0; qi < queries_per_batch; ++qi) {
+        index.Query({rng.NextDouble(), rng.NextDouble()});
+      }
+    }
+    std::printf("%-28s %8.3f s\n", "precomputed Voronoi [ZL01]",
+                Seconds(start));
+  }
+  return 0;
+}

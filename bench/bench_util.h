@@ -1,0 +1,106 @@
+#ifndef LBSQ_BENCH_BENCH_UTIL_H_
+#define LBSQ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "rtree/rtree.h"
+#include "storage/page_manager.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+// Shared plumbing for the figure-reproduction benchmarks (bench/fig*.cc).
+// Each benchmark binary regenerates one figure of the paper's Section 6
+// and prints the same series as an aligned table.
+//
+// Environment knobs:
+//   LBSQ_QUERIES  - queries per workload       (default 500, the paper's)
+//   LBSQ_SCALE    - multiplies dataset sizes   (default 1.0; use e.g. 0.1
+//                   for a quick smoke pass)
+
+namespace lbsq::bench {
+
+inline size_t NumQueries() {
+  if (const char* env = std::getenv("LBSQ_QUERIES")) {
+    const size_t v = std::strtoul(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return 500;
+}
+
+inline double Scale() {
+  if (const char* env = std::getenv("LBSQ_SCALE")) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+inline size_t Scaled(size_t n) {
+  const auto scaled = static_cast<size_t>(static_cast<double>(n) * Scale());
+  return scaled < 16 ? 16 : scaled;
+}
+
+// A dataset bulk-loaded into an R*-tree on a fresh simulated disk, with
+// the LRU buffer sized as a fraction of the tree (0 = unbuffered) and all
+// access counters reset.
+struct Workbench {
+  workload::Dataset dataset;
+  std::unique_ptr<storage::PageManager> disk;
+  std::unique_ptr<rtree::RTree> tree;
+};
+
+inline Workbench MakeBench(workload::Dataset dataset,
+                           double buffer_fraction) {
+  Workbench bench;
+  bench.dataset = std::move(dataset);
+  bench.disk = std::make_unique<storage::PageManager>();
+  bench.tree = std::make_unique<rtree::RTree>(bench.disk.get(), 0);
+  bench.tree->BulkLoad(bench.dataset.entries);
+  if (buffer_fraction > 0.0) {
+    bench.tree->SetBufferFraction(buffer_fraction);
+  }
+  bench.tree->buffer().ResetCounters();
+  bench.disk->ResetCounters();
+  return bench;
+}
+
+inline Workbench MakeUniformBench(size_t n, double buffer_fraction,
+                                  uint64_t seed = 4242) {
+  return MakeBench(workload::MakeUnitUniform(n, seed), buffer_fraction);
+}
+
+// Query locations distributed like the data (Section 6's workloads). The
+// jitter is kept small relative to the universe so that queries land in
+// populated areas even on the line-clustered GR stand-in — the paper's
+// queries are drawn from the data distribution itself.
+inline std::vector<geo::Point> QueryWorkload(const Workbench& bench,
+                                             uint64_t seed = 9001) {
+  return workload::MakeDataDistributedQueries(bench.dataset, NumQueries(),
+                                              seed, /*jitter=*/0.001);
+}
+
+// Pretty-printers for the table output.
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline std::string FormatCount(size_t n) {
+  char buf[32];
+  if (n % 1000000 == 0 && n >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%zuM", n / 1000000);
+  } else if (n % 1000 == 0 && n >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%zuk", n / 1000);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu", n);
+  }
+  return buf;
+}
+
+}  // namespace lbsq::bench
+
+#endif  // LBSQ_BENCH_BENCH_UTIL_H_

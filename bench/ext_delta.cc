@@ -1,0 +1,70 @@
+// Extension experiment (Section 7 future work): incremental result
+// transmission. When a client exits the validity region and re-queries,
+// the server ships only the delta against the previous answer. Measures
+// bytes on the wire per strategy over a moving-window workload.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/delta.h"
+#include "core/window_validity.h"
+#include "core/wire_format.h"
+
+namespace {
+
+using namespace lbsq;
+
+}  // namespace
+
+int main() {
+  const size_t n = bench::Scaled(100000);
+  const size_t updates = 4 * bench::NumQueries();
+  bench::Workbench wb = bench::MakeUniformBench(n, 0.1);
+  core::WindowValidityEngine engine(wb.tree.get(), wb.dataset.universe);
+
+  bench::PrintTitle(
+      "Extension: delta transmission for moving window queries "
+      "(uniform, N=100k)");
+  std::printf("%8s | %10s %12s %12s %12s %8s\n", "window", "requeries",
+              "full bytes", "delta bytes", "overlap", "saving");
+  for (double h : {0.02, 0.05, 0.1}) {
+    const auto trajectory = workload::MakeRandomWaypointTrajectory(
+        wb.dataset, updates, /*step=*/h / 40.0, 97);
+    size_t requeries = 0;
+    size_t full_bytes = 0;
+    size_t delta_bytes = 0;
+    double overlap = 0.0;
+    std::vector<rtree::DataEntry> previous;
+    core::WindowValidityResult cached;
+    bool has = false;
+    for (const geo::Point& p : trajectory) {
+      if (has && cached.IsValidAt(p)) continue;
+      const auto fresh = engine.Query(p, h, h);
+      ++requeries;
+      if (has) {
+        const core::ResultDelta delta =
+            core::DiffResults(previous, fresh.result());
+        delta_bytes += core::DeltaBytes(delta);
+        full_bytes += core::wire::PlainWindowAnswerBytes(
+            fresh.result().size());
+        const size_t changed = delta.added.size() + delta.removed.size();
+        const size_t total =
+            fresh.result().size() + delta.removed.size();
+        overlap += total > 0 ? 1.0 - static_cast<double>(changed) /
+                                         static_cast<double>(total)
+                             : 1.0;
+      }
+      previous = fresh.result();
+      cached = fresh;
+      has = true;
+    }
+    std::printf("%8.2f | %10zu %12zu %12zu %11.1f%% %7.1f%%\n", 2 * h,
+                requeries, full_bytes, delta_bytes,
+                100.0 * overlap / static_cast<double>(requeries ? requeries : 1),
+                full_bytes > 0
+                    ? 100.0 * (1.0 - static_cast<double>(delta_bytes) /
+                                         static_cast<double>(full_bytes))
+                    : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 25: size of the influence set |S_inf| for k-NN queries on
+// uniform data — (a) vs N with k = 1, (b) vs k with N = 100k. The paper
+// measures ~6 for k = 1 (one influence object per Voronoi edge) dropping
+// toward ~4 for k >= 10 (one object can contribute several edges).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/nn_validity.h"
+
+namespace {
+
+using namespace lbsq;
+
+double AverageSinf(size_t n, size_t k) {
+  bench::Workbench wb = bench::MakeUniformBench(n, 0.1);
+  core::NnValidityEngine engine(wb.tree.get(), wb.dataset.universe);
+  double total = 0.0;
+  const auto queries = bench::QueryWorkload(wb);
+  for (const geo::Point& q : queries) {
+    total += static_cast<double>(engine.Query(q, k).InfluenceSetSize());
+  }
+  return total / static_cast<double>(queries.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintTitle("Figure 25a: |S_inf| vs N (uniform, k=1)");
+  std::printf("%8s %12s\n", "N", "|S_inf|");
+  for (size_t n : {10000u, 30000u, 100000u, 300000u, 1000000u}) {
+    const size_t scaled = bench::Scaled(n);
+    std::printf("%8s %12.2f\n", bench::FormatCount(scaled).c_str(),
+                AverageSinf(scaled, 1));
+  }
+
+  bench::PrintTitle("Figure 25b: |S_inf| vs k (uniform, N=100k)");
+  std::printf("%8s %12s\n", "k", "|S_inf|");
+  for (size_t k : {1u, 3u, 10u, 30u, 100u}) {
+    std::printf("%8zu %12.2f\n", k, AverageSinf(bench::Scaled(100000), k));
+  }
+  return 0;
+}

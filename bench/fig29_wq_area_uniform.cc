@@ -1,0 +1,50 @@
+// Figure 29: area of the validity region of window queries on uniform
+// data — (a) window size fixed at 0.1% of the space, N from 10k to 1000k;
+// (b) N = 100k, window size from 0.01% to 10% of the space. Measured vs
+// the Section-5 estimate (eqs. 5-3..5-5).
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/models.h"
+#include "bench/bench_util.h"
+#include "core/window_validity.h"
+
+namespace {
+
+using namespace lbsq;
+
+void RunSetting(size_t n, double qs_fraction) {
+  bench::Workbench wb = bench::MakeUniformBench(n, 0.1);
+  core::WindowValidityEngine engine(wb.tree.get(), wb.dataset.universe);
+  const double side = std::sqrt(qs_fraction);  // square window, unit space
+  double total = 0.0;
+  const auto queries = bench::QueryWorkload(wb);
+  for (const geo::Point& q : queries) {
+    total += engine.Query(q, side / 2, side / 2).region().Area();
+  }
+  const double actual = total / static_cast<double>(queries.size());
+  const double estimated = analysis::ExpectedWindowValidityArea(
+      side, side, static_cast<double>(n));
+  std::printf("%8s %8.2f%% %12.3e %12.3e\n", bench::FormatCount(n).c_str(),
+              100.0 * qs_fraction, actual, estimated);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintTitle(
+      "Figure 29a: area of V(q) for window queries vs N (qs=0.1%)");
+  std::printf("%8s %9s %12s %12s\n", "N", "qs", "actual", "estimated");
+  for (size_t n : {10000u, 30000u, 100000u, 300000u, 1000000u}) {
+    RunSetting(bench::Scaled(n), 0.001);
+  }
+
+  bench::PrintTitle(
+      "Figure 29b: area of V(q) for window queries vs qs (N=100k)");
+  std::printf("%8s %9s %12s %12s\n", "N", "qs", "actual", "estimated");
+  for (double qs : {0.0001, 0.001, 0.01, 0.1}) {
+    RunSetting(bench::Scaled(100000), qs);
+  }
+  return 0;
+}

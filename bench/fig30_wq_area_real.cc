@@ -1,0 +1,51 @@
+// Figure 30: area of the window-query validity region (m^2) vs window
+// size qs (km^2) on the GR-like and NA-like datasets, with the Minskew-
+// fed Section-5 estimate. The paper reports sizes from ~9.1e3 m^2 up to
+// ~2.1e6 m^2 across this sweep.
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/minskew.h"
+#include "analysis/models.h"
+#include "bench/bench_util.h"
+#include "core/window_validity.h"
+
+namespace {
+
+using namespace lbsq;
+
+void RunDataset(const char* name, workload::Dataset dataset) {
+  bench::Workbench wb = bench::MakeBench(std::move(dataset), 0.1);
+  const analysis::MinskewHistogram hist(wb.dataset.entries,
+                                        wb.dataset.universe, 500, 100);
+  core::WindowValidityEngine engine(wb.tree.get(), wb.dataset.universe);
+  analysis::WindowValidityAreaCache model;
+  const auto queries = bench::QueryWorkload(wb);
+
+  bench::PrintTitle(std::string("Figure 30 (") + name +
+                    "): area of V(q) (m^2) vs qs (km^2)");
+  std::printf("%10s %14s %14s\n", "qs (km^2)", "actual", "estimated");
+  for (double qs_km2 : {100.0, 300.0, 1000.0, 3000.0, 10000.0}) {
+    const double side = std::sqrt(qs_km2) * 1e3;  // meters
+    double actual = 0.0;
+    double estimated = 0.0;
+    for (const geo::Point& q : queries) {
+      actual += engine.Query(q, side / 2, side / 2).region().Area();
+      const double rho = hist.WindowBoundaryDensity(
+          geo::Rect::Centered(q, side / 2, side / 2));
+      if (rho > 0.0) estimated += model.Get(side, side, rho);
+    }
+    actual /= static_cast<double>(queries.size());
+    estimated /= static_cast<double>(queries.size());
+    std::printf("%10.0f %14.4e %14.4e\n", qs_km2, actual, estimated);
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunDataset("GR", workload::MakeGrLike(31, bench::Scaled(23268)));
+  RunDataset("NA", workload::MakeNaLike(37, bench::Scaled(569120)));
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 31: influence-set size |S_inf| of window queries on uniform
+// data, split into inner and outer influence objects — (a) vs N with
+// qs = 0.1% of the space, (b) vs qs with N = 100k. The paper measures
+// about two inner plus two outer objects throughout.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/window_validity.h"
+
+namespace {
+
+using namespace lbsq;
+
+void RunSetting(size_t n, double qs_fraction) {
+  bench::Workbench wb = bench::MakeUniformBench(n, 0.1);
+  core::WindowValidityEngine engine(wb.tree.get(), wb.dataset.universe);
+  const double side = std::sqrt(qs_fraction);
+  double inner = 0.0;
+  double outer = 0.0;
+  const auto queries = bench::QueryWorkload(wb);
+  for (const geo::Point& q : queries) {
+    const auto result = engine.Query(q, side / 2, side / 2);
+    inner += static_cast<double>(result.inner_influencers().size());
+    outer += static_cast<double>(result.outer_influencers().size());
+  }
+  const auto count = static_cast<double>(queries.size());
+  std::printf("%8s %8.2f%% %10.2f %10.2f %10.2f\n",
+              bench::FormatCount(n).c_str(), 100.0 * qs_fraction,
+              inner / count, outer / count, (inner + outer) / count);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintTitle("Figure 31a: window |S_inf| vs N (qs=0.1%)");
+  std::printf("%8s %9s %10s %10s %10s\n", "N", "qs", "inner", "outer",
+              "total");
+  for (size_t n : {10000u, 30000u, 100000u, 300000u, 1000000u}) {
+    RunSetting(bench::Scaled(n), 0.001);
+  }
+
+  bench::PrintTitle("Figure 31b: window |S_inf| vs qs (N=100k)");
+  std::printf("%8s %9s %10s %10s %10s\n", "N", "qs", "inner", "outer",
+              "total");
+  for (double qs : {0.0001, 0.001, 0.01, 0.1}) {
+    RunSetting(bench::Scaled(100000), qs);
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 32: window-query influence-set size (inner/outer split) vs
+// window size qs on the GR-like and NA-like datasets.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/window_validity.h"
+
+namespace {
+
+using namespace lbsq;
+
+void RunDataset(const char* name, workload::Dataset dataset) {
+  bench::Workbench wb = bench::MakeBench(std::move(dataset), 0.1);
+  core::WindowValidityEngine engine(wb.tree.get(), wb.dataset.universe);
+  const auto queries = bench::QueryWorkload(wb);
+
+  bench::PrintTitle(std::string("Figure 32 (") + name +
+                    "): window |S_inf| vs qs (km^2)");
+  std::printf("%10s %10s %10s %10s\n", "qs (km^2)", "inner", "outer",
+              "total");
+  for (double qs_km2 : {100.0, 300.0, 1000.0, 3000.0, 10000.0}) {
+    const double side = std::sqrt(qs_km2) * 1e3;
+    double inner = 0.0;
+    double outer = 0.0;
+    for (const geo::Point& q : queries) {
+      const auto result = engine.Query(q, side / 2, side / 2);
+      inner += static_cast<double>(result.inner_influencers().size());
+      outer += static_cast<double>(result.outer_influencers().size());
+    }
+    const auto count = static_cast<double>(queries.size());
+    std::printf("%10.0f %10.2f %10.2f %10.2f\n", qs_km2, inner / count,
+                outer / count, (inner + outer) / count);
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunDataset("GR", workload::MakeGrLike(31, bench::Scaled(23268)));
+  RunDataset("NA", workload::MakeNaLike(37, bench::Scaled(569120)));
+  return 0;
+}

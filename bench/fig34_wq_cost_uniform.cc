@@ -1,0 +1,57 @@
+// Figure 34: server-side cost of location-based window queries vs N on
+// uniform data (qs = 0.1% of the space): node accesses and page accesses
+// (10% LRU buffer), split between the result query and the outer-
+// influence-object query. The paper's key observation: the buffer absorbs
+// almost all of the second query, since it revisits the same region. The
+// model estimate for both queries (Section 5 + [TSS00]) is printed
+// alongside.
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/models.h"
+#include "bench/bench_util.h"
+#include "core/window_validity.h"
+
+namespace {
+
+using namespace lbsq;
+
+}  // namespace
+
+int main() {
+  const double qs = 0.001;
+  const double side = std::sqrt(qs);
+  bench::PrintTitle(
+      "Figure 34: cost of location-based window queries vs N "
+      "(uniform, qs=0.1%, 10% LRU)");
+  std::printf("%8s | %10s %10s | %10s %10s | %10s %10s\n", "N", "NA(res)",
+              "NA(inf)", "PA(res)", "PA(inf)", "est NA1", "est NA2");
+  for (size_t n : {10000u, 30000u, 100000u, 300000u, 1000000u}) {
+    const size_t scaled = bench::Scaled(n);
+    bench::Workbench wb = bench::MakeUniformBench(scaled, 0.1);
+    const analysis::RTreeCostModel model =
+        analysis::RTreeCostModel::FromTree(*wb.tree, wb.dataset.universe);
+    wb.tree->buffer().ResetCounters();
+    wb.disk->ResetCounters();
+    core::WindowValidityEngine engine(wb.tree.get(), wb.dataset.universe);
+    const auto queries = bench::QueryWorkload(wb);
+    double na1 = 0.0, na2 = 0.0, pa1 = 0.0, pa2 = 0.0;
+    for (const geo::Point& q : queries) {
+      engine.Query(q, side / 2, side / 2);
+      const auto& stats = engine.stats();
+      na1 += static_cast<double>(stats.result_node_accesses);
+      na2 += static_cast<double>(stats.influence_node_accesses);
+      pa1 += static_cast<double>(stats.result_page_accesses);
+      pa2 += static_cast<double>(stats.influence_page_accesses);
+    }
+    const auto count = static_cast<double>(queries.size());
+    std::printf("%8s | %10.2f %10.2f | %10.3f %10.3f | %10.2f %10.2f\n",
+                bench::FormatCount(scaled).c_str(), na1 / count, na2 / count,
+                pa1 / count, pa2 / count,
+                model.EstimateWindowNodeAccesses(side, side),
+                model.EstimateInfluenceQueryNodeAccesses(
+                    side, side, static_cast<double>(scaled)));
+  }
+  return 0;
+}

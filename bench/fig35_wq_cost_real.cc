@@ -1,0 +1,50 @@
+// Figure 35: page accesses of location-based window queries vs window
+// size qs on the GR-like and NA-like datasets (10% LRU buffer), split
+// between the result query and the influence-object query. The influence
+// query's page faults should stay near zero except for the largest
+// windows on the smaller (GR) dataset, where the buffer no longer covers
+// the query neighborhood.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/window_validity.h"
+
+namespace {
+
+using namespace lbsq;
+
+void RunDataset(const char* name, workload::Dataset dataset) {
+  bench::Workbench wb = bench::MakeBench(std::move(dataset), 0.1);
+  core::WindowValidityEngine engine(wb.tree.get(), wb.dataset.universe);
+  const auto queries = bench::QueryWorkload(wb);
+
+  bench::PrintTitle(std::string("Figure 35 (") + name +
+                    "): window-query page accesses vs qs (10% LRU)");
+  std::printf("%10s %12s %12s %12s %12s\n", "qs (km^2)", "PA(result)",
+              "PA(inf)", "NA(result)", "NA(inf)");
+  for (double qs_km2 : {100.0, 300.0, 1000.0, 3000.0, 10000.0}) {
+    const double side = std::sqrt(qs_km2) * 1e3;
+    double na1 = 0.0, na2 = 0.0, pa1 = 0.0, pa2 = 0.0;
+    for (const geo::Point& q : queries) {
+      engine.Query(q, side / 2, side / 2);
+      const auto& stats = engine.stats();
+      na1 += static_cast<double>(stats.result_node_accesses);
+      na2 += static_cast<double>(stats.influence_node_accesses);
+      pa1 += static_cast<double>(stats.result_page_accesses);
+      pa2 += static_cast<double>(stats.influence_page_accesses);
+    }
+    const auto count = static_cast<double>(queries.size());
+    std::printf("%10.0f %12.3f %12.3f %12.2f %12.2f\n", qs_km2, pa1 / count,
+                pa2 / count, na1 / count, na2 / count);
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunDataset("GR", workload::MakeGrLike(31, bench::Scaled(23268)));
+  RunDataset("NA", workload::MakeNaLike(37, bench::Scaled(569120)));
+  return 0;
+}

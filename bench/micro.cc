@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark): wall-clock latency of the core
+// operations — plain k-NN search, TPNN, full location-based NN and window
+// queries, the [SR01] client step and the Voronoi-index query. These are
+// not paper figures (the paper reports I/O counts); they document the CPU
+// cost of the implementation.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/sr01.h"
+#include "baselines/voronoi.h"
+#include "bench/bench_util.h"
+#include "core/nn_validity.h"
+#include "core/window_validity.h"
+#include "rtree/knn.h"
+#include "tp/tpnn.h"
+
+namespace {
+
+using namespace lbsq;
+
+constexpr size_t kPoints = 100000;
+
+bench::Workbench& SharedBench() {
+  static bench::Workbench* wb =
+      new bench::Workbench(bench::MakeUniformBench(kPoints, 0.1));
+  return *wb;
+}
+
+std::vector<geo::Point>& SharedQueries() {
+  static auto* queries = new std::vector<geo::Point>(
+      workload::MakeDataDistributedQueries(SharedBench().dataset, 1024, 5));
+  return *queries;
+}
+
+void BM_KnnBestFirst(benchmark::State& state) {
+  auto& wb = SharedBench();
+  const auto& queries = SharedQueries();
+  const auto k = static_cast<size_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rtree::KnnBestFirst(*wb.tree, queries[i++ % queries.size()], k));
+  }
+}
+BENCHMARK(BM_KnnBestFirst)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_KnnDepthFirst(benchmark::State& state) {
+  auto& wb = SharedBench();
+  const auto& queries = SharedQueries();
+  const auto k = static_cast<size_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rtree::KnnDepthFirst(*wb.tree, queries[i++ % queries.size()], k));
+  }
+}
+BENCHMARK(BM_KnnDepthFirst)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_WindowQuery(benchmark::State& state) {
+  auto& wb = SharedBench();
+  const auto& queries = SharedQueries();
+  const double half = 1e-3 * static_cast<double>(state.range(0));
+  size_t i = 0;
+  std::vector<rtree::DataEntry> out;
+  for (auto _ : state) {
+    wb.tree->WindowQuery(
+        geo::Rect::Centered(queries[i++ % queries.size()], half, half), &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_WindowQuery)->Arg(10)->Arg(50)->Arg(150);
+
+void BM_Tpnn(benchmark::State& state) {
+  auto& wb = SharedBench();
+  const auto& queries = SharedQueries();
+  size_t i = 0;
+  for (auto _ : state) {
+    const geo::Point& q = queries[i++ % queries.size()];
+    const auto nn = rtree::KnnBestFirst(*wb.tree, q, 1);
+    benchmark::DoNotOptimize(tp::Tpnn(*wb.tree, q, {1.0, 0.0},
+                                      nn[0].entry.point, nn[0].entry.id));
+  }
+}
+BENCHMARK(BM_Tpnn);
+
+void BM_NnValidityQuery(benchmark::State& state) {
+  auto& wb = SharedBench();
+  const auto& queries = SharedQueries();
+  core::NnValidityEngine engine(wb.tree.get(), wb.dataset.universe);
+  const auto k = static_cast<size_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Query(queries[i++ % queries.size()], k));
+  }
+}
+BENCHMARK(BM_NnValidityQuery)->Arg(1)->Arg(10);
+
+void BM_WindowValidityQuery(benchmark::State& state) {
+  auto& wb = SharedBench();
+  const auto& queries = SharedQueries();
+  core::WindowValidityEngine engine(wb.tree.get(), wb.dataset.universe);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.Query(queries[i++ % queries.size()], 0.015, 0.015));
+  }
+}
+BENCHMARK(BM_WindowValidityQuery);
+
+void BM_Sr01MoveTo(benchmark::State& state) {
+  auto& wb = SharedBench();
+  const auto& queries = SharedQueries();
+  baselines::Sr01Client client(wb.tree.get(), 1, 8);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.MoveTo(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_Sr01MoveTo);
+
+void BM_VoronoiIndexQuery(benchmark::State& state) {
+  // Smaller dataset: the index build is O(n log n) but the point here is
+  // query latency.
+  static auto* dataset =
+      new workload::Dataset(workload::MakeUnitUniform(20000, 3));
+  static auto* index =
+      new baselines::VoronoiIndex(dataset->entries, dataset->universe);
+  const auto& queries = SharedQueries();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Query(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_VoronoiIndexQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

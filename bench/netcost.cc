@@ -1,0 +1,95 @@
+// Network-cost comparison: bytes transmitted from server to client over
+// the same continuous-NN workload, per strategy. The paper's argument is
+// that the validity region adds only the influence set (~6 objects) to
+// each answer while eliminating most round trips; [SR01] ships m objects
+// per query; the naive strategy ships a tiny answer at every update.
+
+#include <cstdio>
+
+#include "baselines/sr01.h"
+#include "bench/bench_util.h"
+#include "core/mobile_client.h"
+#include "core/server.h"
+#include "core/wire_format.h"
+
+namespace {
+
+using namespace lbsq;
+
+}  // namespace
+
+int main() {
+  const size_t n = bench::Scaled(100000);
+  const size_t updates = 4 * bench::NumQueries();
+  const workload::Dataset dataset = workload::MakeUnitUniform(n, 55);
+  const auto trajectory = workload::MakeRandomWaypointTrajectory(
+      dataset, updates, /*step=*/0.0008, 56);
+
+  bench::PrintTitle(
+      "Network cost: bytes shipped per strategy (continuous 1-NN)");
+  std::printf("dataset: %zu points, %zu updates\n\n", n, updates);
+  std::printf("%-18s %10s %14s %14s\n", "strategy", "queries", "total bytes",
+              "bytes/update");
+
+  // Naive: a plain 1-NN answer at every update.
+  {
+    bench::Workbench wb = bench::MakeBench(dataset, 0.1);
+    core::Server server(wb.tree.get(), dataset.universe);
+    core::MobileNnClient client(&server, 1,
+                                core::MobileNnClient::Mode::kAlwaysQuery);
+    for (const geo::Point& p : trajectory) client.MoveTo(p);
+    const size_t bytes =
+        client.server_queries() * core::wire::PlainNnAnswerBytes(1);
+    std::printf("%-18s %10zu %14zu %14.1f\n", "naive", client.server_queries(),
+                bytes, static_cast<double>(bytes) / updates);
+  }
+
+  // SR01 with a sweep of m.
+  for (size_t m : {4u, 8u, 16u}) {
+    bench::Workbench wb = bench::MakeBench(dataset, 0.1);
+    baselines::Sr01Client client(wb.tree.get(), 1, m);
+    for (const geo::Point& p : trajectory) client.MoveTo(p);
+    const size_t bytes =
+        client.server_queries() * core::wire::Sr01AnswerBytes(m);
+    char label[32];
+    std::snprintf(label, sizeof(label), "sr01 (m=%zu)", m);
+    std::printf("%-18s %10zu %14zu %14.1f\n", label, client.server_queries(),
+                bytes, static_cast<double>(bytes) / updates);
+  }
+
+  // Validity regions: the encoded answer including the influence set.
+  auto run_validity = [&](size_t k, const char* label) {
+    bench::Workbench wb = bench::MakeBench(dataset, 0.1);
+    core::Server server(wb.tree.get(), dataset.universe);
+    core::MobileNnClient client(&server, k);
+    size_t bytes = 0;
+    for (const geo::Point& p : trajectory) {
+      client.MoveTo(p);
+      if (!client.last_answer_was_cached()) {
+        bytes += core::wire::EncodeNnResult(client.last_result()).size();
+      }
+    }
+    std::printf("%-18s %10zu %14zu %14.1f\n", label,
+                client.server_queries(), bytes,
+                static_cast<double>(bytes) / updates);
+  };
+  run_validity(1, "validity region");
+
+  // For larger k the amortization shifts: plain answers grow while the
+  // influence set stays ~6 objects.
+  std::printf("\nk = 4 nearest neighbors:\n");
+  {
+    bench::Workbench wb = bench::MakeBench(dataset, 0.1);
+    core::Server server(wb.tree.get(), dataset.universe);
+    core::MobileNnClient client(&server, 4,
+                                core::MobileNnClient::Mode::kAlwaysQuery);
+    for (const geo::Point& p : trajectory) client.MoveTo(p);
+    const size_t bytes =
+        client.server_queries() * core::wire::PlainNnAnswerBytes(4);
+    std::printf("%-18s %10zu %14zu %14.1f\n", "naive",
+                client.server_queries(), bytes,
+                static_cast<double>(bytes) / updates);
+  }
+  run_validity(4, "validity region");
+  return 0;
+}

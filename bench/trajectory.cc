@@ -1,0 +1,117 @@
+// End-to-end strategy comparison over a moving-client workload — the
+// paper's headline claim quantified: validity regions cut server queries
+// dramatically at modest extra per-query cost, across client speeds and
+// against the [SR01] and [ZL01]-style baselines.
+//
+// For each client step length (speed), prints server queries, node
+// accesses and page accesses per strategy over the same random-waypoint
+// trajectory.
+
+#include <cstdio>
+
+#include "baselines/sr01.h"
+#include "baselines/voronoi.h"
+#include "bench/bench_util.h"
+#include "core/mobile_client.h"
+#include "core/server.h"
+
+namespace {
+
+using namespace lbsq;
+
+struct Row {
+  const char* name;
+  size_t queries = 0;
+  uint64_t na = 0;
+  uint64_t pa = 0;
+};
+
+void Print(const Row& row, size_t updates) {
+  std::printf("  %-22s %8zu %10.1f%% %12llu %10llu\n", row.name, row.queries,
+              100.0 * static_cast<double>(row.queries) /
+                  static_cast<double>(updates),
+              static_cast<unsigned long long>(row.na),
+              static_cast<unsigned long long>(row.pa));
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = bench::Scaled(100000);
+  const size_t updates = 4 * bench::NumQueries();
+  const workload::Dataset dataset = workload::MakeUnitUniform(n, 77);
+
+  bench::PrintTitle(
+      "Trajectory comparison: continuous 1-NN, strategies vs client speed");
+  std::printf("dataset: %zu uniform points; %zu position updates\n",
+              n, updates);
+
+  // A Voronoi index over the full dataset ([ZL01]-style server); built
+  // once, used for every speed.
+  baselines::VoronoiIndex voronoi(dataset.entries, dataset.universe);
+
+  for (double step : {0.0002, 0.001, 0.005}) {
+    const auto trajectory =
+        workload::MakeRandomWaypointTrajectory(dataset, updates, step, 13);
+    std::printf("\nstep length %.4f (per update):\n", step);
+    std::printf("  %-22s %8s %11s %12s %10s\n", "strategy", "queries",
+                "of updates", "node acc", "page acc");
+
+    auto with_tree = [&](auto&& body) {
+      Row row = body();
+      Print(row, updates);
+    };
+
+    with_tree([&] {
+      bench::Workbench wb = bench::MakeBench(dataset, 0.1);
+      core::Server server(wb.tree.get(), dataset.universe);
+      core::MobileNnClient client(&server, 1,
+                                  core::MobileNnClient::Mode::kAlwaysQuery);
+      for (const geo::Point& p : trajectory) client.MoveTo(p);
+      return Row{"naive re-query", client.server_queries(),
+                 wb.tree->buffer().logical_accesses(),
+                 wb.disk->read_count()};
+    });
+
+    for (size_t m : {4u, 16u}) {
+      with_tree([&] {
+        bench::Workbench wb = bench::MakeBench(dataset, 0.1);
+        baselines::Sr01Client client(wb.tree.get(), 1, m);
+        for (const geo::Point& p : trajectory) client.MoveTo(p);
+        static char label[32];
+        std::snprintf(label, sizeof(label), "sr01 (m=%zu)", m);
+        return Row{label, client.server_queries(),
+                   wb.tree->buffer().logical_accesses(),
+                   wb.disk->read_count()};
+      });
+    }
+
+    with_tree([&] {
+      // [ZL01]-style: the precomputed diagram answers with the same
+      // validity region; index I/O is not page-based here, so only the
+      // query count is comparable.
+      size_t queries = 0;
+      bool has = false;
+      baselines::VoronoiIndex::Result cached;
+      for (const geo::Point& p : trajectory) {
+        if (!has || !cached.cell.Contains(p)) {
+          cached = voronoi.Query(p);
+          has = true;
+          ++queries;
+        }
+      }
+      return Row{"voronoi index [ZL01]", queries, 0, 0};
+    });
+
+    with_tree([&] {
+      bench::Workbench wb = bench::MakeBench(dataset, 0.1);
+      core::Server server(wb.tree.get(), dataset.universe);
+      core::MobileNnClient client(&server, 1);
+      for (const geo::Point& p : trajectory) client.MoveTo(p);
+      return Row{"validity region", client.server_queries(),
+                 wb.tree->buffer().logical_accesses(),
+                 wb.disk->read_count()};
+    });
+  }
+  return 0;
+}

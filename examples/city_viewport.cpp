@@ -1,0 +1,72 @@
+// Domain scenario for window queries: a map application shows all
+// points of interest inside the viewport around the user as they walk
+// through a skewed "city" dataset (the NA-like generator, scaled down).
+// The server ships each answer with its validity region; the app only
+// refreshes when the user walks out of it. We also show the conservative
+// rectangle a thin client could use instead of the exact region.
+//
+//   ./build/examples/city_viewport [num_updates]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/mobile_client.h"
+#include "core/server.h"
+#include "rtree/rtree.h"
+#include "storage/page_manager.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+int main(int argc, char** argv) {
+  using namespace lbsq;
+  const size_t updates = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3000;
+
+  // 80k points of interest over a 7000 km square continent.
+  const workload::Dataset city = workload::MakeNaLike(21, 80000);
+  storage::PageManager disk;
+  rtree::RTree tree(&disk, 0);
+  tree.BulkLoad(city.entries);
+  tree.SetBufferFraction(0.1);
+  core::Server server(&tree, city.universe);
+
+  // Viewport of 20 km x 12 km; walking steps of 150 m between updates.
+  const double hx = 10e3, hy = 6e3;
+  const auto trajectory =
+      workload::MakeRandomWaypointTrajectory(city, updates, 150.0, 23);
+
+  core::MobileWindowClient exact(&server, hx, hy);
+  core::MobileWindowClient conservative(
+      &server, hx, hy, core::MobileWindowClient::Mode::kConservativeRegion);
+  core::MobileWindowClient naive(&server, hx, hy,
+                                 core::MobileWindowClient::Mode::kAlwaysQuery);
+
+  size_t max_in_view = 0;
+  for (const geo::Point& p : trajectory) {
+    max_in_view = std::max(max_in_view, exact.MoveTo(p).size());
+    conservative.MoveTo(p);
+    naive.MoveTo(p);
+  }
+
+  std::printf("continental dataset: %zu points, viewport %.0fx%.0f km, "
+              "%zu updates\n",
+              city.entries.size(), 2 * hx / 1e3, 2 * hy / 1e3, updates);
+  std::printf("peak objects in view: %zu\n\n", max_in_view);
+  std::printf("%-22s %10s %12s\n", "strategy", "queries", "savings");
+  auto row = [&](const char* name, size_t queries) {
+    std::printf("%-22s %10zu %11.1f%%\n", name, queries,
+                100.0 * (1.0 - static_cast<double>(queries) /
+                                   static_cast<double>(updates)));
+  };
+  row("naive re-query", naive.server_queries());
+  row("conservative region", conservative.server_queries());
+  row("exact validity region", exact.server_queries());
+
+  // Peek at the last validity region the exact client received.
+  const auto& last = exact.last_result();
+  std::printf("\nlast validity region: inner rect area %.3g km^2, %zu outer "
+              "obstacles, conservative rect area %.3g km^2\n",
+              last.region().base().Area() / 1e6,
+              last.region().holes().size(),
+              last.conservative_region().Area() / 1e6);
+  return 0;
+}

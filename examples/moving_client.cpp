@@ -1,0 +1,102 @@
+// The paper's motivating scenario, end to end: a mobile user drives
+// through a city asking "which restaurant is closest to me right now?"
+// at every position update. We compare three client strategies:
+//
+//   naive      - re-query the server at every update (the conventional
+//                approach the introduction argues against);
+//   sr01       - the Song-Roussopoulos m-NN cache [SR01] (Section 2);
+//   validity   - this paper: re-query only after leaving the validity
+//                region returned with the previous answer.
+//
+// Output: server queries, node/page accesses per strategy over the same
+// random-waypoint trajectory.
+//
+//   ./build/examples/moving_client [num_updates]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/sr01.h"
+#include "core/mobile_client.h"
+#include "core/server.h"
+#include "rtree/rtree.h"
+#include "storage/page_manager.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace {
+
+struct Tally {
+  size_t server_queries = 0;
+  uint64_t node_accesses = 0;
+  uint64_t page_accesses = 0;
+};
+
+void PrintRow(const char* name, const Tally& tally, size_t updates) {
+  std::printf("%-10s %10zu %14.1f%% %14llu %14llu\n", name,
+              tally.server_queries,
+              100.0 * static_cast<double>(tally.server_queries) /
+                  static_cast<double>(updates),
+              static_cast<unsigned long long>(tally.node_accesses),
+              static_cast<unsigned long long>(tally.page_accesses));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lbsq;
+  const size_t updates = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000;
+
+  const workload::Dataset dataset = workload::MakeUnitUniform(50000, 7);
+  const auto trajectory = workload::MakeRandomWaypointTrajectory(
+      dataset, updates, /*step=*/0.0008, 11);
+  std::printf("50k restaurants, %zu position updates of length %.4f\n\n",
+              updates, 0.0008);
+
+  auto run = [&](auto&& step_fn) {
+    storage::PageManager disk;
+    rtree::RTree tree(&disk, 0);
+    tree.BulkLoad(dataset.entries);
+    tree.SetBufferFraction(0.1);
+    tree.buffer().ResetCounters();
+    tree.disk().ResetCounters();
+    Tally tally;
+    step_fn(tree, &tally);
+    tally.node_accesses = tree.buffer().logical_accesses();
+    tally.page_accesses = tree.disk().read_count();
+    return tally;
+  };
+
+  const Tally naive = run([&](rtree::RTree& tree, Tally* tally) {
+    core::Server server(&tree, dataset.universe);
+    core::MobileNnClient client(&server, 1,
+                                core::MobileNnClient::Mode::kAlwaysQuery);
+    for (const geo::Point& p : trajectory) client.MoveTo(p);
+    tally->server_queries = client.server_queries();
+  });
+
+  const Tally sr01 = run([&](rtree::RTree& tree, Tally* tally) {
+    baselines::Sr01Client client(&tree, /*k=*/1, /*m=*/8);
+    for (const geo::Point& p : trajectory) client.MoveTo(p);
+    tally->server_queries = client.server_queries();
+  });
+
+  const Tally validity = run([&](rtree::RTree& tree, Tally* tally) {
+    core::Server server(&tree, dataset.universe);
+    core::MobileNnClient client(&server, 1);
+    for (const geo::Point& p : trajectory) client.MoveTo(p);
+    tally->server_queries = client.server_queries();
+  });
+
+  std::printf("%-10s %10s %15s %14s %14s\n", "strategy", "queries",
+              "of updates", "node accesses", "page accesses");
+  PrintRow("naive", naive, updates);
+  PrintRow("sr01(m=8)", sr01, updates);
+  PrintRow("validity", validity, updates);
+
+  std::printf("\nvalidity regions answered %.1f%% of updates without any "
+              "server contact.\n",
+              100.0 * (1.0 - static_cast<double>(validity.server_queries) /
+                                 static_cast<double>(updates)));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Capacity planning with the Section-5 analytical models: before
+// deploying location-based queries, an operator wants to know how large
+// validity regions will be (how often clients re-query) without running
+// the workload. This example builds the Minskew histogram for a skewed
+// dataset, predicts validity-region sizes from local densities, and
+// compares against measurements.
+//
+//   ./build/examples/region_estimation
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/minskew.h"
+#include "analysis/models.h"
+#include "core/nn_validity.h"
+#include "core/window_validity.h"
+#include "rtree/rtree.h"
+#include "storage/page_manager.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+int main() {
+  using namespace lbsq;
+
+  const workload::Dataset gr = workload::MakeGrLike(5, 23268);
+  storage::PageManager disk;
+  rtree::RTree tree(&disk, 0);
+  tree.BulkLoad(gr.entries);
+  tree.SetBufferFraction(0.1);
+
+  std::printf("GR-like dataset: %zu road points in %0.fx%.0f km\n",
+              gr.entries.size(), gr.universe.width() / 1e3,
+              gr.universe.height() / 1e3);
+
+  const analysis::MinskewHistogram hist(gr.entries, gr.universe, 500, 100);
+  std::printf("Minskew histogram: %zu buckets from a 100x100 grid\n\n",
+              hist.buckets().size());
+
+  core::NnValidityEngine nn_engine(&tree, gr.universe);
+  analysis::NnValidityAreaCache nn_model;
+  analysis::WindowValidityAreaCache window_model;
+  // Small jitter keeps query locations on the road network, like the
+  // paper's data-distributed workloads.
+  const auto queries =
+      workload::MakeDataDistributedQueries(gr, 200, 9, /*jitter=*/0.001);
+
+  std::printf("k-NN validity region area (m^2), measured vs estimated:\n");
+  std::printf("%4s %14s %14s %8s\n", "k", "measured", "estimated", "ratio");
+  for (size_t k : {1u, 3u, 10u, 30u}) {
+    double measured = 0.0;
+    double estimated = 0.0;
+    for (const geo::Point& q : queries) {
+      measured += nn_engine.Query(q, k).region().Area();
+      const double rho =
+          hist.NnLocalDensity(q, std::max<double>(64.0, 4.0 * k));
+      estimated += nn_model.Get(k, rho);
+    }
+    measured /= static_cast<double>(queries.size());
+    estimated /= static_cast<double>(queries.size());
+    std::printf("%4zu %14.4g %14.4g %8.2f\n", k, measured, estimated,
+                estimated / measured);
+  }
+
+  core::WindowValidityEngine window_engine(&tree, gr.universe);
+  std::printf("\nwindow validity region area (m^2), measured vs estimated:\n");
+  std::printf("%10s %14s %14s %8s\n", "qs (km^2)", "measured", "estimated",
+              "ratio");
+  for (double qs_km2 : {100.0, 1000.0, 10000.0}) {
+    const double side = std::sqrt(qs_km2) * 1e3;  // square window, meters
+    double measured = 0.0;
+    double estimated = 0.0;
+    for (const geo::Point& q : queries) {
+      measured += window_engine.Query(q, side / 2, side / 2).region().Area();
+      const double rho = hist.WindowBoundaryDensity(
+          geo::Rect::Centered(q, side / 2, side / 2));
+      if (rho > 0.0) estimated += window_model.Get(side, side, rho);
+    }
+    measured /= static_cast<double>(queries.size());
+    estimated /= static_cast<double>(queries.size());
+    std::printf("%10.0f %14.4g %14.4g %8.2f\n", qs_km2, measured, estimated,
+                estimated / measured);
+  }
+  return 0;
+}

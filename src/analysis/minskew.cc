@@ -1,0 +1,254 @@
+#include "analysis/minskew.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+
+namespace lbsq::analysis {
+
+namespace {
+
+// Dense 2-D prefix sums over the cell grid, for O(1) rectangle aggregates
+// of counts and squared counts.
+class GridSums {
+ public:
+  GridSums(const std::vector<double>& cells, size_t g) : g_(g) {
+    sum_.assign((g + 1) * (g + 1), 0.0);
+    sum_sq_.assign((g + 1) * (g + 1), 0.0);
+    for (size_t j = 0; j < g; ++j) {
+      for (size_t i = 0; i < g; ++i) {
+        const double v = cells[j * g + i];
+        At(&sum_, i + 1, j + 1) = v + At(&sum_, i, j + 1) +
+                                  At(&sum_, i + 1, j) - At(&sum_, i, j);
+        At(&sum_sq_, i + 1, j + 1) = v * v + At(&sum_sq_, i, j + 1) +
+                                     At(&sum_sq_, i + 1, j) -
+                                     At(&sum_sq_, i, j);
+      }
+    }
+  }
+
+  // Aggregates over cells [i0, i1) x [j0, j1).
+  double Count(size_t i0, size_t j0, size_t i1, size_t j1) const {
+    return Range(sum_, i0, j0, i1, j1);
+  }
+  double CountSq(size_t i0, size_t j0, size_t i1, size_t j1) const {
+    return Range(sum_sq_, i0, j0, i1, j1);
+  }
+
+  // Spatial skew of the rectangle: sum over cells of (n_c - avg)^2.
+  double Skew(size_t i0, size_t j0, size_t i1, size_t j1) const {
+    const double cells = static_cast<double>((i1 - i0) * (j1 - j0));
+    if (cells == 0.0) return 0.0;
+    const double s = Count(i0, j0, i1, j1);
+    return CountSq(i0, j0, i1, j1) - s * s / cells;
+  }
+
+ private:
+  double& At(std::vector<double>* v, size_t i, size_t j) {
+    return (*v)[j * (g_ + 1) + i];
+  }
+  double At(const std::vector<double>& v, size_t i, size_t j) const {
+    return v[j * (g_ + 1) + i];
+  }
+  double Range(const std::vector<double>& v, size_t i0, size_t j0, size_t i1,
+               size_t j1) const {
+    return At(v, i1, j1) - At(v, i0, j1) - At(v, i1, j0) + At(v, i0, j0);
+  }
+
+  size_t g_;
+  std::vector<double> sum_;
+  std::vector<double> sum_sq_;
+};
+
+struct GridBucket {
+  size_t i0, j0, i1, j1;  // cell range [i0,i1) x [j0,j1)
+  double best_reduction = 0.0;
+  bool split_vertical = true;
+  size_t split_at = 0;
+};
+
+// Finds the split maximizing skew reduction; returns false if the bucket
+// cannot be split (single cell or nothing to gain).
+bool FindBestSplit(const GridSums& sums, GridBucket* b) {
+  const double base = sums.Skew(b->i0, b->j0, b->i1, b->j1);
+  b->best_reduction = 0.0;
+  bool found = false;
+  for (size_t i = b->i0 + 1; i < b->i1; ++i) {
+    const double reduction = base - sums.Skew(b->i0, b->j0, i, b->j1) -
+                             sums.Skew(i, b->j0, b->i1, b->j1);
+    if (!found || reduction > b->best_reduction) {
+      b->best_reduction = reduction;
+      b->split_vertical = true;
+      b->split_at = i;
+      found = true;
+    }
+  }
+  for (size_t j = b->j0 + 1; j < b->j1; ++j) {
+    const double reduction = base - sums.Skew(b->i0, b->j0, b->i1, j) -
+                             sums.Skew(b->i0, j, b->i1, b->j1);
+    if (!found || reduction > b->best_reduction) {
+      b->best_reduction = reduction;
+      b->split_vertical = false;
+      b->split_at = j;
+      found = true;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+MinskewHistogram::MinskewHistogram(const std::vector<rtree::DataEntry>& data,
+                                   const geo::Rect& universe,
+                                   size_t num_buckets, size_t grid)
+    : universe_(universe) {
+  LBSQ_CHECK(!universe.IsEmpty());
+  LBSQ_CHECK(num_buckets >= 1);
+  LBSQ_CHECK(grid >= 1);
+
+  // Histogram the data into grid cells.
+  std::vector<double> cells(grid * grid, 0.0);
+  const double gx = static_cast<double>(grid) / universe.width();
+  const double gy = static_cast<double>(grid) / universe.height();
+  for (const rtree::DataEntry& e : data) {
+    if (!universe.Contains(e.point)) continue;
+    auto i = static_cast<size_t>((e.point.x - universe.min_x) * gx);
+    auto j = static_cast<size_t>((e.point.y - universe.min_y) * gy);
+    i = std::min(i, grid - 1);
+    j = std::min(j, grid - 1);
+    cells[j * grid + i] += 1.0;
+    total_count_ += 1.0;
+  }
+  const GridSums sums(cells, grid);
+
+  // Greedy splitting, always splitting the bucket with the largest
+  // achievable skew reduction.
+  auto cmp = [](const GridBucket& a, const GridBucket& b) {
+    return a.best_reduction < b.best_reduction;
+  };
+  std::priority_queue<GridBucket, std::vector<GridBucket>, decltype(cmp)>
+      queue(cmp);
+  std::vector<GridBucket> final_buckets;
+
+  GridBucket root{0, 0, grid, grid, 0.0, true, 0};
+  if (FindBestSplit(sums, &root)) {
+    queue.push(root);
+  } else {
+    final_buckets.push_back(root);
+  }
+
+  size_t live = 1;
+  while (!queue.empty() && live < num_buckets) {
+    GridBucket b = queue.top();
+    queue.pop();
+    if (b.best_reduction <= 0.0) {
+      // Already uniform: no further split helps.
+      final_buckets.push_back(b);
+      continue;
+    }
+    GridBucket left = b;
+    GridBucket right = b;
+    if (b.split_vertical) {
+      left.i1 = b.split_at;
+      right.i0 = b.split_at;
+    } else {
+      left.j1 = b.split_at;
+      right.j0 = b.split_at;
+    }
+    ++live;
+    for (GridBucket* child : {&left, &right}) {
+      if (FindBestSplit(sums, child)) {
+        queue.push(*child);
+      } else {
+        final_buckets.push_back(*child);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    final_buckets.push_back(queue.top());
+    queue.pop();
+  }
+
+  // Materialize buckets in data-space coordinates.
+  const double cw = universe.width() / static_cast<double>(grid);
+  const double ch = universe.height() / static_cast<double>(grid);
+  buckets_.reserve(final_buckets.size());
+  for (const GridBucket& b : final_buckets) {
+    Bucket out;
+    out.extent = geo::Rect(universe.min_x + cw * static_cast<double>(b.i0),
+                           universe.min_y + ch * static_cast<double>(b.j0),
+                           universe.min_x + cw * static_cast<double>(b.i1),
+                           universe.min_y + ch * static_cast<double>(b.j1));
+    out.count = sums.Count(b.i0, b.j0, b.i1, b.j1);
+    buckets_.push_back(out);
+  }
+}
+
+const MinskewHistogram::Bucket& MinskewHistogram::BucketAt(
+    const geo::Point& p) const {
+  for (const Bucket& b : buckets_) {
+    if (b.extent.Contains(p)) return b;
+  }
+  // p outside the universe: fall back to the nearest bucket.
+  size_t best = 0;
+  double best_dist = geo::MinDist(p, buckets_[0].extent);
+  for (size_t i = 1; i < buckets_.size(); ++i) {
+    const double d = geo::MinDist(p, buckets_[i].extent);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return buckets_[best];
+}
+
+double MinskewHistogram::EstimateCount(const geo::Rect& r) const {
+  double total = 0.0;
+  for (const Bucket& b : buckets_) {
+    const geo::Rect overlap = b.extent.Intersection(r);
+    if (!overlap.IsEmpty() && b.Area() > 0.0) {
+      total += b.count * overlap.Area() / b.Area();
+    }
+  }
+  return total;
+}
+
+double MinskewHistogram::WindowBoundaryDensity(
+    const geo::Rect& window) const {
+  double count = 0.0;
+  double area = 0.0;
+  for (const Bucket& b : buckets_) {
+    if (!b.extent.Intersects(window)) continue;
+    if (window.Contains(b.extent)) continue;  // strictly interior bucket
+    count += b.count;
+    area += b.Area();
+  }
+  if (area == 0.0) {
+    // Window swallowed by one bucket: use that bucket's density.
+    return BucketAt(window.Center()).Density();
+  }
+  return count / area;
+}
+
+double MinskewHistogram::NnLocalDensity(const geo::Point& q,
+                                        double min_points) const {
+  // Expand over buckets nearest to q until enough mass is covered.
+  std::vector<size_t> order(buckets_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return geo::MinDist(q, buckets_[a].extent) <
+           geo::MinDist(q, buckets_[b].extent);
+  });
+  double count = 0.0;
+  double area = 0.0;
+  for (size_t idx : order) {
+    count += buckets_[idx].count;
+    area += buckets_[idx].Area();
+    if (count >= min_points) break;
+  }
+  return area > 0.0 ? count / area : 0.0;
+}
+
+}  // namespace lbsq::analysis

@@ -1,0 +1,73 @@
+#ifndef LBSQ_ANALYSIS_MINSKEW_H_
+#define LBSQ_ANALYSIS_MINSKEW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rtree/node.h"
+
+// The Minskew spatial histogram [APR99], used by the paper (Section 5) to
+// apply the uniform-data analytical models to skewed datasets: the space
+// is partitioned into buckets of near-uniform density, and the model is
+// evaluated with the local density N' of the buckets a query touches
+// (eq. 5-6).
+//
+// Construction follows the original greedy algorithm: the universe is
+// overlaid with a fine grid of cell counts; buckets (grid-aligned
+// rectangles) are split along the grid line that maximally reduces the
+// total spatial skew  sum_b sum_{cells c in b} (n_c - avg_b)^2  until the
+// bucket budget is reached.
+
+namespace lbsq::analysis {
+
+class MinskewHistogram {
+ public:
+  struct Bucket {
+    geo::Rect extent;
+    double count = 0.0;  // number of data points inside
+    double Area() const { return extent.Area(); }
+    double Density() const {
+      const double a = Area();
+      return a > 0.0 ? count / a : 0.0;
+    }
+  };
+
+  // Builds a histogram with at most `num_buckets` buckets from an initial
+  // `grid` x `grid` cell matrix (the paper uses 500 buckets from 100x100
+  // cells).
+  MinskewHistogram(const std::vector<rtree::DataEntry>& data,
+                   const geo::Rect& universe, size_t num_buckets = 500,
+                   size_t grid = 100);
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  const geo::Rect& universe() const { return universe_; }
+  double total_count() const { return total_count_; }
+
+  // The bucket containing `p` (buckets tile the universe).
+  const Bucket& BucketAt(const geo::Point& p) const;
+
+  // Estimated number of points inside `r` (sums bucket densities over the
+  // overlap).
+  double EstimateCount(const geo::Rect& r) const;
+
+  // Local density for a window query (eq. 5-6): the aggregate density of
+  // the buckets intersecting the *boundary* of the window — those are the
+  // buckets whose points (dis)appear as the window moves.
+  double WindowBoundaryDensity(const geo::Rect& window) const;
+
+  // Local density for a k-NN query: grows a region around `q` (the
+  // containing bucket plus neighboring buckets, nearest first) until it
+  // holds at least `min_points` points, then returns aggregate density.
+  double NnLocalDensity(const geo::Point& q, double min_points) const;
+
+ private:
+  geo::Rect universe_;
+  std::vector<Bucket> buckets_;
+  double total_count_ = 0.0;
+};
+
+}  // namespace lbsq::analysis
+
+#endif  // LBSQ_ANALYSIS_MINSKEW_H_

@@ -1,0 +1,316 @@
+#include "analysis/models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "geometry/point.h"
+#include "rtree/node.h"
+
+namespace lbsq::analysis {
+
+namespace {
+
+// Area of the intersection (lens) of two disks with radii r1, r2 whose
+// centers are `d` apart.
+double LensArea(double r1, double r2, double d) {
+  if (d >= r1 + r2) return 0.0;
+  const double rmin = std::min(r1, r2);
+  if (d <= std::abs(r1 - r2)) return M_PI * rmin * rmin;
+  const double d1 = (d * d + r1 * r1 - r2 * r2) / (2.0 * d);
+  const double d2 = d - d1;
+  auto segment = [](double r, double h) {
+    // Circular segment cut at distance h from the center (|h| <= r).
+    return r * r * std::acos(std::clamp(h / r, -1.0, 1.0)) -
+           h * std::sqrt(std::max(0.0, r * r - h * h));
+  };
+  return segment(r1, d1) + segment(r2, d2);
+}
+
+// E[dist^2] along one travel direction for a k-NN query with a fixed
+// configuration of answer members (positions relative to the query): the
+// vicinity disk at travel xi must cover the farthest member, so its
+// radius is R(xi) = max_i |members_i - (xi, 0)|. The result set survives
+// while no other point lies in the swept region; because the indicator
+// |p - q(xi')|^2 - R(xi')^2 is a concave piecewise-linear function of
+// xi', the union of all intermediate disks reduces to D(0, rk) U
+// D(xi, R(xi)), giving a closed-form swept area.
+struct SurvivalMoments {
+  double m1 = 0.0;  // E[dist]   = Int  P{dist > xi} dxi
+  double m2 = 0.0;  // E[dist^2] = Int 2 xi P{dist > xi} dxi
+};
+
+SurvivalMoments NnSurvivalMoments(const std::vector<geo::Point>& members,
+                                  double rk, double rho) {
+  const double step =
+      std::min(rk, std::max(1.0 / (rho * rk * 2.0), rk * 1e-3)) / 8.0;
+  SurvivalMoments out;
+  double xi = 0.0;
+  for (int i = 0; i < 2000000; ++i) {
+    const double mid = xi + 0.5 * step;
+    double r2_sq = 0.0;
+    for (const geo::Point& m : members) {
+      const double dx = m.x - mid;
+      r2_sq = std::max(r2_sq, dx * dx + m.y * m.y);
+    }
+    const double r2 = std::sqrt(r2_sq);
+    const double swept = M_PI * r2 * r2 - LensArea(rk, r2, mid);
+    const double survival = std::exp(-rho * std::max(0.0, swept));
+    out.m1 += survival * step;
+    out.m2 += 2.0 * mid * survival * step;
+    xi += step;
+    if (survival < 1e-9 && i > 16) break;
+  }
+  return out;
+}
+
+// Averages the survival moments over random answer-set configurations;
+// shared by the area (second moment) and requery-distance (first moment)
+// models.
+SurvivalMoments NnAverageMoments(size_t k, double rho) {
+  const double rk = ExpectedKnnDistance(k, rho);
+  const int kConfigSamples = 64;
+  Rng rng(0x5eed);
+  SurvivalMoments avg;
+  std::vector<geo::Point> members(k);
+  for (int c = 0; c < kConfigSamples; ++c) {
+    const double boundary_angle = rng.Uniform(0.0, 2.0 * M_PI);
+    members[0] = {rk * std::cos(boundary_angle),
+                  rk * std::sin(boundary_angle)};
+    for (size_t i = 1; i < k; ++i) {
+      const double r = rk * std::sqrt(rng.NextDouble());
+      const double a = rng.Uniform(0.0, 2.0 * M_PI);
+      members[i] = {r * std::cos(a), r * std::sin(a)};
+    }
+    const SurvivalMoments m = NnSurvivalMoments(members, rk, rho);
+    avg.m1 += m.m1;
+    avg.m2 += m.m2;
+  }
+  avg.m1 /= static_cast<double>(kConfigSamples);
+  avg.m2 /= static_cast<double>(kConfigSamples);
+  return avg;
+}
+
+}  // namespace
+
+double ExpectedKnnDistance(size_t k, double rho) {
+  LBSQ_CHECK(k > 0);
+  LBSQ_CHECK(rho > 0.0);
+  const double kk = static_cast<double>(k);
+  return std::exp(std::lgamma(kk + 0.5) - std::lgamma(kk)) /
+         std::sqrt(M_PI * rho);
+}
+
+double ExpectedNnValidityArea(size_t k, double rho) {
+  LBSQ_CHECK(k > 0);
+  LBSQ_CHECK(rho > 0.0);
+  // The answer-set configurations (k-th neighbor on the vicinity-disk
+  // boundary, the rest uniform inside, fixed seed) average over the
+  // travel direction as well, so eq. (5-3) reduces to
+  // E[A] = 1/2 Int_0^{2pi} E[dist^2] dtheta = pi * E[dist^2].
+  return M_PI * NnAverageMoments(k, rho).m2;
+}
+
+double ExpectedNnRequeryDistance(size_t k, double rho) {
+  LBSQ_CHECK(k > 0);
+  LBSQ_CHECK(rho > 0.0);
+  return NnAverageMoments(k, rho).m1;
+}
+
+namespace {
+
+struct WindowMoments {
+  double m1_avg = 0.0;       // E[dist] averaged over directions
+  double m2_integral = 0.0;  // Int_0^{pi/2} E[dist^2] dtheta
+};
+
+WindowMoments ComputeWindowMoments(double qx, double qy, double rho) {
+  const int kAngleSamples = 64;
+  WindowMoments out;
+  double integral_theta = 0.0;
+  double m1_integral = 0.0;
+  const double dtheta = 0.5 * M_PI / static_cast<double>(kAngleSamples);
+  // Travel cap matching the engine's validity-region extent cap (16
+  // window half-extents = 8 extents); eq. (5-4) is only meaningful while
+  // the swept area grows, and in near-empty space the region is bounded
+  // by the cap rather than by data.
+  const double xi_max = 8.0 * std::max(qx, qy);
+  for (int i = 0; i < kAngleSamples; ++i) {
+    const double theta = (static_cast<double>(i) + 0.5) * dtheta;
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    // Survival decays on scale 1/(rho * perimeter-term).
+    const double rate = 2.0 * (qy * c + qx * s);
+    const double step = std::min(1.0 / (rho * rate), xi_max) / 64.0;
+    // eq. (5-4) is increasing up to xi* = (qy c + qx s)/(c s); the swept
+    // area can never shrink, so clamp there.
+    const double cs = c * s;
+    const double xi_star =
+        cs > 0.0 ? (qy * c + qx * s) / cs
+                 : std::numeric_limits<double>::infinity();
+    double sum = 0.0;
+    double sum_m1 = 0.0;
+    double xi = 0.0;
+    while (xi < xi_max) {
+      const double mid = xi + 0.5 * step;
+      const double m = std::min(mid, xi_star);
+      const double swept =
+          std::max(0.0, 2.0 * m * (qy * c + qx * s) - m * m * cs);
+      const double survival = std::exp(-rho * swept);
+      sum += 2.0 * mid * survival * step;
+      sum_m1 += survival * step;
+      xi += step;
+      if (survival < 1e-9) break;
+    }
+    integral_theta += sum * dtheta;
+    m1_integral += sum_m1 * dtheta;
+  }
+  out.m2_integral = integral_theta;
+  out.m1_avg = m1_integral / (0.5 * M_PI);
+  return out;
+}
+
+}  // namespace
+
+double ExpectedWindowValidityArea(double qx, double qy, double rho) {
+  LBSQ_CHECK(qx > 0.0 && qy > 0.0);
+  LBSQ_CHECK(rho > 0.0);
+  // E[A] = 1/2 Int_0^{2pi} E[dist(theta)^2] dtheta; by symmetry,
+  // 2 * Int_0^{pi/2}. SR(xi, theta) per eq. (5-4).
+  return 2.0 * ComputeWindowMoments(qx, qy, rho).m2_integral;
+}
+
+double ExpectedWindowRequeryDistance(double qx, double qy, double rho) {
+  LBSQ_CHECK(qx > 0.0 && qy > 0.0);
+  LBSQ_CHECK(rho > 0.0);
+  return ComputeWindowMoments(qx, qy, rho).m1_avg;
+}
+
+WindowTravel ExpectedWindowTravel(double qx, double qy, double rho) {
+  LBSQ_CHECK(qx > 0.0 && qy > 0.0);
+  LBSQ_CHECK(rho > 0.0);
+  // eq. (5-7): the edge of length qy sweeps area qy * dist; one expected
+  // point means dist = 1 / (rho * qy).
+  return WindowTravel{1.0 / (rho * qy), 1.0 / (rho * qx)};
+}
+
+namespace {
+
+// Index of `v` on a log grid with ~5% resolution, packed into 16 bits.
+uint16_t LogQuantize(double v) {
+  const double idx = std::log(std::max(v, 1e-300)) / std::log(1.05);
+  const double clamped = std::clamp(idx, -32000.0, 32000.0);
+  return static_cast<uint16_t>(static_cast<int32_t>(clamped) + 32000);
+}
+
+double Dequantize(uint16_t q) {
+  return std::pow(1.05, static_cast<double>(static_cast<int32_t>(q) - 32000));
+}
+
+}  // namespace
+
+double NnValidityAreaCache::Get(size_t k, double rho) {
+  LBSQ_CHECK(rho > 0.0);
+  const uint16_t rho_q = LogQuantize(rho);
+  const uint64_t key = (static_cast<uint64_t>(k) << 16) | rho_q;
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  const double value = ExpectedNnValidityArea(k, Dequantize(rho_q));
+  cache_.emplace(key, value);
+  return value;
+}
+
+double WindowValidityAreaCache::Get(double qx, double qy, double rho) {
+  LBSQ_CHECK(rho > 0.0);
+  const uint16_t qx_q = LogQuantize(qx);
+  const uint16_t qy_q = LogQuantize(qy);
+  const uint16_t rho_q = LogQuantize(rho);
+  const uint64_t key = (static_cast<uint64_t>(qx_q) << 32) |
+                       (static_cast<uint64_t>(qy_q) << 16) | rho_q;
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  const double value = ExpectedWindowValidityArea(Dequantize(qx_q),
+                                                  Dequantize(qy_q),
+                                                  Dequantize(rho_q));
+  cache_.emplace(key, value);
+  return value;
+}
+
+RTreeCostModel RTreeCostModel::FromTree(rtree::RTree& tree,
+                                        const geo::Rect& universe) {
+  RTreeCostModel model;
+  model.universe_area_ = universe.Area();
+  model.levels_.assign(static_cast<size_t>(tree.height()), LevelStats());
+
+  // Breadth traversal accumulating extent sums per level.
+  std::vector<storage::PageId> stack = {tree.root()};
+  std::vector<geo::Rect> mbrs = {tree.root_mbr()};
+  while (!stack.empty()) {
+    const storage::PageId id = stack.back();
+    stack.pop_back();
+    const geo::Rect mbr = mbrs.back();
+    mbrs.pop_back();
+    const rtree::Node node = tree.FetchNode(id);
+    LevelStats& stats = model.levels_[node.level];
+    ++stats.node_count;
+    stats.avg_width += mbr.width();
+    stats.avg_height += mbr.height();
+    if (!node.is_leaf()) {
+      for (const rtree::ChildEntry& e : node.children) {
+        stack.push_back(e.child);
+        mbrs.push_back(e.mbr);
+      }
+    }
+  }
+  for (LevelStats& stats : model.levels_) {
+    if (stats.node_count > 0) {
+      stats.avg_width /= static_cast<double>(stats.node_count);
+      stats.avg_height /= static_cast<double>(stats.node_count);
+    }
+  }
+  return model;
+}
+
+double RTreeCostModel::EstimateWindowNodeAccesses(double qx,
+                                                  double qy) const {
+  // The root is always read; lower levels are read when the parent entry
+  // intersects the window.
+  double total = 0.0;
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    const LevelStats& stats = levels_[level];
+    if (level + 1 == levels_.size()) {
+      total += 1.0;  // root
+    } else {
+      const double p = std::min(
+          1.0, (stats.avg_width + qx) * (stats.avg_height + qy) /
+                   universe_area_);
+      total += static_cast<double>(stats.node_count) * p;
+    }
+  }
+  return total;
+}
+
+double RTreeCostModel::EstimateContainedNodes(double qx, double qy) const {
+  double total = 0.0;
+  for (const LevelStats& stats : levels_) {
+    const double w = qx - stats.avg_width;
+    const double h = qy - stats.avg_height;
+    if (w <= 0.0 || h <= 0.0) continue;
+    total += static_cast<double>(stats.node_count) *
+             std::min(1.0, w * h / universe_area_);
+  }
+  return total;
+}
+
+double RTreeCostModel::EstimateInfluenceQueryNodeAccesses(double qx,
+                                                          double qy,
+                                                          double rho) const {
+  const WindowTravel travel = ExpectedWindowTravel(qx, qy, rho);
+  const double ext_x = qx + 2.0 * travel.dx;
+  const double ext_y = qy + 2.0 * travel.dy;
+  return std::max(0.0, EstimateWindowNodeAccesses(ext_x, ext_y) -
+                           EstimateContainedNodes(qx, qy));
+}
+
+}  // namespace lbsq::analysis

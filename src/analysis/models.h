@@ -1,0 +1,121 @@
+#ifndef LBSQ_ANALYSIS_MODELS_H_
+#define LBSQ_ANALYSIS_MODELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "rtree/rtree.h"
+
+// Analytical models of Section 5: expected validity-region areas for
+// nearest-neighbor and window queries, and the expected node-access cost
+// of the window-query algorithm. Densities are in points per unit area,
+// so the same formulae serve the unit square (density = N) and the
+// histogram-estimated local densities of skewed data (eq. 5-6).
+//
+// Probabilities use the Poisson approximation P{empty} = exp(-rho * area),
+// the large-N limit of the paper's (1 - area)^N.
+
+namespace lbsq::analysis {
+
+// Expected area of the validity region of a k-NN query in a region of
+// density `rho` (Figures 22, 23).
+//
+// Model: the answer set changes when a new point enters the moving
+// "vicinity disk" through the k-th neighbor; because every such disk
+// passes through the (fixed) k-th neighbor, the union of disks swept
+// while traveling xi equals first-disk U last-disk, giving a closed-form
+// swept area. E[dist(theta)^2] follows by integrating the survival
+// probability, and the region area by the polar formula
+// E[A] = 1/2 Int E[dist^2] dtheta  (eq. 5-3).
+double ExpectedNnValidityArea(size_t k, double rho);
+
+// Expected area of the validity region of a window query with extents
+// (qx, qy) at density `rho` (Figures 29, 30), evaluating the paper's
+// sweeping-region formula (eq. 5-4) under the polar area integral.
+double ExpectedWindowValidityArea(double qx, double qy, double rho);
+
+// Expected travel distance before the answer of a k-NN query first
+// becomes invalid (averaged over directions): the first moment of the
+// same survival process whose second moment gives the region area. A
+// client moving at speed v re-queries about v / E[dist] times per unit
+// time — the capacity-planning number a deployment needs.
+double ExpectedNnRequeryDistance(size_t k, double rho);
+
+// Same for a window query with extents (qx, qy).
+double ExpectedWindowRequeryDistance(double qx, double qy, double rho);
+
+// Expected travel distances before a window query's result first changes
+// along each axis direction (eq. 5-7).
+struct WindowTravel {
+  double dx = 0.0;  // each of the +x / -x directions
+  double dy = 0.0;  // each of the +y / -y directions
+};
+WindowTravel ExpectedWindowTravel(double qx, double qy, double rho);
+
+// Expected distance to the k-th nearest neighbor at density `rho`
+// (Poisson field): Gamma(k + 1/2) / (Gamma(k) * sqrt(pi * rho)).
+double ExpectedKnnDistance(size_t k, double rho);
+
+// Memoizing front-ends for the two area models. Evaluating the models is
+// a numeric integration (milliseconds); histogram-driven workloads call
+// them once per query with nearby densities, so both caches quantize
+// `rho` (and the window extents) onto a 5%-resolution log grid — well
+// inside the models' own accuracy — and reuse entries.
+class NnValidityAreaCache {
+ public:
+  double Get(size_t k, double rho);
+
+ private:
+  std::unordered_map<uint64_t, double> cache_;
+};
+
+class WindowValidityAreaCache {
+ public:
+  double Get(double qx, double qy, double rho);
+
+ private:
+  std::unordered_map<uint64_t, double> cache_;
+};
+
+// R-tree node-access model [TSS00]: per-level node counts and average
+// extents, extracted from a real tree, predict window-query costs.
+class RTreeCostModel {
+ public:
+  struct LevelStats {
+    size_t node_count = 0;
+    double avg_width = 0.0;
+    double avg_height = 0.0;
+  };
+
+  // Walks the tree once to collect per-level statistics. Do this before
+  // resetting access counters — the walk itself performs node accesses.
+  static RTreeCostModel FromTree(rtree::RTree& tree,
+                                 const geo::Rect& universe);
+
+  // Expected node accesses of a window query with extents (qx, qy):
+  // sum over levels of n_j * (w_j + qx) * (h_j + qy) / area(universe).
+  double EstimateWindowNodeAccesses(double qx, double qy) const;
+
+  // Expected number of nodes fully contained in the window.
+  double EstimateContainedNodes(double qx, double qy) const;
+
+  // Expected node accesses of the *second* step of the location-based
+  // window algorithm (the outer-candidate query): the marginal rectangle
+  // is the window extended by the expected travel distances (eq. 5-7),
+  // minus the nodes already fully covered by the first query.
+  double EstimateInfluenceQueryNodeAccesses(double qx, double qy,
+                                            double rho) const;
+
+  const std::vector<LevelStats>& levels() const { return levels_; }
+
+ private:
+  std::vector<LevelStats> levels_;  // index 0 = leaf level
+  double universe_area_ = 1.0;
+};
+
+}  // namespace lbsq::analysis
+
+#endif  // LBSQ_ANALYSIS_MODELS_H_

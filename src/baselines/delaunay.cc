@@ -1,0 +1,265 @@
+#include "baselines/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lbsq::baselines {
+
+double DelaunayTriangulation::Orient(const geo::Point& a, const geo::Point& b,
+                                     const geo::Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool DelaunayTriangulation::InCircumcircle(const Triangle& t,
+                                           const geo::Point& p) const {
+  const geo::Point& a = VertexPoint(t.v[0]);
+  const geo::Point& b = VertexPoint(t.v[1]);
+  const geo::Point& c = VertexPoint(t.v[2]);
+  const double ax = a.x - p.x, ay = a.y - p.y;
+  const double bx = b.x - p.x, by = b.y - p.y;
+  const double cx = c.x - p.x, cy = c.y - p.y;
+  const double det = (ax * ax + ay * ay) * (bx * cy - cx * by) -
+                     (bx * bx + by * by) * (ax * cy - cx * ay) +
+                     (cx * cx + cy * cy) * (ax * by - bx * ay);
+  // Triangles are kept counterclockwise, so det > 0 means strictly inside.
+  return det > 0.0;
+}
+
+DelaunayTriangulation::DelaunayTriangulation(std::vector<geo::Point> points)
+    : points_(std::move(points)) {
+  LBSQ_CHECK(!points_.empty());
+
+  // Super-triangle comfortably containing the data's bounding box.
+  double min_x = points_[0].x, max_x = points_[0].x;
+  double min_y = points_[0].y, max_y = points_[0].y;
+  for (const geo::Point& p : points_) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double cx = 0.5 * (min_x + max_x);
+  const double cy = 0.5 * (min_y + max_y);
+  const double span = std::max({max_x - min_x, max_y - min_y, 1e-9});
+  const double r = 20.0 * span;
+  super_[0] = {cx - 2.0 * r, cy - r};
+  super_[1] = {cx + 2.0 * r, cy - r};
+  super_[2] = {cx, cy + 2.0 * r};
+
+  const size_t s0 = points_.size();
+  Triangle root;
+  root.v[0] = s0;
+  root.v[1] = s0 + 1;
+  root.v[2] = s0 + 2;
+  root.n[0] = root.n[1] = root.n[2] = kNone;
+  LBSQ_CHECK(Orient(super_[0], super_[1], super_[2]) > 0.0);
+  triangles_.push_back(root);
+
+  size_t hint = 0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    Insert(i, &hint);
+  }
+  BuildNeighborLists();
+}
+
+size_t DelaunayTriangulation::LocateTriangle(const geo::Point& p,
+                                             size_t hint) const {
+  size_t current = hint;
+  if (current >= triangles_.size() || !triangles_[current].alive) {
+    current = kNone;
+    for (size_t i = triangles_.size(); i-- > 0;) {
+      if (triangles_[i].alive) {
+        current = i;
+        break;
+      }
+    }
+    LBSQ_CHECK(current != kNone);
+  }
+  // Straight walk: hop across the edge the point lies beyond.
+  const size_t max_steps = 4 * triangles_.size() + 16;
+  for (size_t step = 0; step < max_steps; ++step) {
+    const Triangle& t = triangles_[current];
+    bool moved = false;
+    for (int i = 0; i < 3; ++i) {
+      const geo::Point& a = VertexPoint(t.v[(i + 1) % 3]);
+      const geo::Point& b = VertexPoint(t.v[(i + 2) % 3]);
+      if (Orient(a, b, p) < 0.0) {
+        if (t.n[i] == kNone) break;  // outside hull; stay (shouldn't happen)
+        current = t.n[i];
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) return current;
+  }
+  // Pathological walk (near-degenerate geometry): fall back to scanning.
+  for (size_t i = 0; i < triangles_.size(); ++i) {
+    const Triangle& t = triangles_[i];
+    if (!t.alive) continue;
+    bool inside = true;
+    for (int e = 0; e < 3 && inside; ++e) {
+      inside = Orient(VertexPoint(t.v[(e + 1) % 3]),
+                      VertexPoint(t.v[(e + 2) % 3]), p) >= 0.0;
+    }
+    if (inside) return i;
+  }
+  LBSQ_CHECK(false);  // p must be inside the super-triangle
+  return kNone;
+}
+
+void DelaunayTriangulation::Insert(size_t point_index, size_t* hint) {
+  const geo::Point& p = points_[point_index];
+  const size_t seed = LocateTriangle(p, *hint);
+
+  // Grow the cavity of circumcircle-violating triangles.
+  std::vector<size_t> bad;
+  std::vector<size_t> stack = {seed};
+  std::vector<bool> visited(triangles_.size(), false);
+  visited[seed] = true;
+  while (!stack.empty()) {
+    const size_t ti = stack.back();
+    stack.pop_back();
+    if (!InCircumcircle(triangles_[ti], p)) continue;
+    bad.push_back(ti);
+    for (int i = 0; i < 3; ++i) {
+      const size_t nb = triangles_[ti].n[i];
+      if (nb != kNone && !visited[nb]) {
+        visited[nb] = true;
+        stack.push_back(nb);
+      }
+    }
+  }
+  // The seed triangle always violates (p is inside it, hence inside its
+  // circumcircle) except for exact-degenerate cases; fall back to the
+  // seed alone then.
+  std::vector<bool> is_bad(triangles_.size(), false);
+  if (bad.empty()) bad.push_back(seed);
+  for (size_t ti : bad) is_bad[ti] = true;
+
+  // Boundary edges of the cavity, oriented counterclockwise (as the
+  // containing bad triangle orders them).
+  struct BoundaryEdge {
+    size_t a, b;       // directed edge a -> b
+    size_t outside;    // triangle across the edge (kNone on the hull)
+  };
+  std::vector<BoundaryEdge> boundary;
+  for (size_t ti : bad) {
+    const Triangle& t = triangles_[ti];
+    for (int i = 0; i < 3; ++i) {
+      const size_t nb = t.n[i];
+      if (nb == kNone || !is_bad[nb]) {
+        boundary.push_back({t.v[(i + 1) % 3], t.v[(i + 2) % 3], nb});
+      }
+    }
+  }
+  LBSQ_CHECK(boundary.size() >= 3);
+
+  // Retriangulate: one new triangle (p, a, b) per boundary edge.
+  for (size_t ti : bad) triangles_[ti].alive = false;
+  std::vector<size_t> fresh(boundary.size());
+  for (size_t i = 0; i < boundary.size(); ++i) {
+    Triangle t;
+    t.v[0] = point_index;
+    t.v[1] = boundary[i].a;
+    t.v[2] = boundary[i].b;
+    t.n[0] = boundary[i].outside;  // across edge (a, b), opposite p
+    t.n[1] = kNone;                // set below
+    t.n[2] = kNone;
+    fresh[i] = triangles_.size();
+    triangles_.push_back(t);
+    // Fix the outside triangle's back-pointer across exactly this edge.
+    if (boundary[i].outside != kNone) {
+      Triangle& out = triangles_[boundary[i].outside];
+      for (int e = 0; e < 3; ++e) {
+        const size_t ea = out.v[(e + 1) % 3];
+        const size_t eb = out.v[(e + 2) % 3];
+        if ((ea == boundary[i].a && eb == boundary[i].b) ||
+            (ea == boundary[i].b && eb == boundary[i].a)) {
+          out.n[e] = fresh[i];
+        }
+      }
+    }
+  }
+  // Link the fan: triangle with edge ending at vertex x neighbors the
+  // triangle whose edge starts at x.
+  for (size_t i = 0; i < boundary.size(); ++i) {
+    for (size_t j = 0; j < boundary.size(); ++j) {
+      if (boundary[j].a == boundary[i].b) {
+        triangles_[fresh[i]].n[1] = fresh[j];  // opposite v[1]=a: edge (p, b)
+      }
+      if (boundary[j].b == boundary[i].a) {
+        triangles_[fresh[i]].n[2] = fresh[j];  // opposite v[2]=b: edge (p, a)
+      }
+    }
+  }
+  *hint = fresh[0];
+}
+
+void DelaunayTriangulation::BuildNeighborLists() {
+  neighbors_.assign(points_.size(), {});
+  for (const Triangle& t : triangles_) {
+    if (!t.alive) continue;
+    for (int i = 0; i < 3; ++i) {
+      const size_t a = t.v[i];
+      const size_t b = t.v[(i + 1) % 3];
+      if (a < points_.size() && b < points_.size()) {
+        neighbors_[a].push_back(b);
+        neighbors_[b].push_back(a);
+      }
+    }
+  }
+  for (std::vector<size_t>& list : neighbors_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+}
+
+size_t DelaunayTriangulation::NearestSite(const geo::Point& q) const {
+  size_t current = 0;
+  double best = geo::SquaredDistance(q, points_[current]);
+  // Greedy descent over Delaunay neighbors; on a Delaunay triangulation
+  // this terminates at the true nearest site.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (size_t nb : neighbors_[current]) {
+      const double d = geo::SquaredDistance(q, points_[nb]);
+      if (d < best) {
+        best = d;
+        current = nb;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+size_t DelaunayTriangulation::num_triangles() const {
+  size_t count = 0;
+  for (const Triangle& t : triangles_) {
+    if (t.alive && t.v[0] < points_.size() && t.v[1] < points_.size() &&
+        t.v[2] < points_.size()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool DelaunayTriangulation::CheckDelaunayProperty() const {
+  for (const Triangle& t : triangles_) {
+    if (!t.alive) continue;
+    if (t.v[0] >= points_.size() || t.v[1] >= points_.size() ||
+        t.v[2] >= points_.size()) {
+      continue;
+    }
+    for (size_t i = 0; i < points_.size(); ++i) {
+      if (i == t.v[0] || i == t.v[1] || i == t.v[2]) continue;
+      if (InCircumcircle(t, points_[i])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lbsq::baselines

@@ -1,0 +1,75 @@
+#ifndef LBSQ_BASELINES_DELAUNAY_H_
+#define LBSQ_BASELINES_DELAUNAY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/point.h"
+
+// Incremental (Bowyer-Watson) Delaunay triangulation with walk-based point
+// location. This is the substrate for the [ZL01]-style baseline that
+// precomputes the Voronoi diagram of the dataset (voronoi.h), and it
+// independently cross-validates the paper's on-the-fly Voronoi-cell
+// computation in the test suite.
+
+namespace lbsq::baselines {
+
+class DelaunayTriangulation {
+ public:
+  // Triangulates `points` (at least 1). Duplicate points are not
+  // supported (they have no well-defined Voronoi cell).
+  explicit DelaunayTriangulation(std::vector<geo::Point> points);
+
+  size_t num_sites() const { return points_.size(); }
+  const geo::Point& site(size_t i) const { return points_[i]; }
+
+  // Index of the site nearest to `q` (ties broken arbitrarily), found by
+  // hill-climbing over Delaunay neighbors — the walk [ZL01] performs on
+  // the stored diagram.
+  size_t NearestSite(const geo::Point& q) const;
+
+  // Delaunay neighbors of a site, i.e. a superset of its Voronoi
+  // neighbors (equal for sites in general position).
+  const std::vector<size_t>& Neighbors(size_t site) const {
+    return neighbors_[site];
+  }
+
+  // Number of finite triangles (excludes those touching the
+  // super-triangle).
+  size_t num_triangles() const;
+
+  // Exhaustively verifies the empty-circumcircle property. O(T * n),
+  // test-only.
+  bool CheckDelaunayProperty() const;
+
+ private:
+  struct Triangle {
+    // Vertex indices; values >= points_.size() refer to super-triangle
+    // vertices stored in super_.
+    size_t v[3];
+    // Adjacent triangle index opposite each vertex (kNone on the hull).
+    size_t n[3];
+    bool alive = true;
+  };
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  const geo::Point& VertexPoint(size_t v) const {
+    return v < points_.size() ? points_[v] : super_[v - points_.size()];
+  }
+  bool InCircumcircle(const Triangle& t, const geo::Point& p) const;
+  // Signed doubled area of (a, b, c); > 0 for counterclockwise.
+  static double Orient(const geo::Point& a, const geo::Point& b,
+                       const geo::Point& c);
+  size_t LocateTriangle(const geo::Point& p, size_t hint) const;
+  void Insert(size_t point_index, size_t* hint);
+  void BuildNeighborLists();
+
+  std::vector<geo::Point> points_;
+  geo::Point super_[3];
+  std::vector<Triangle> triangles_;
+  std::vector<std::vector<size_t>> neighbors_;
+};
+
+}  // namespace lbsq::baselines
+
+#endif  // LBSQ_BASELINES_DELAUNAY_H_

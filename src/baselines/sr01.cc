@@ -1,0 +1,49 @@
+#include "baselines/sr01.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lbsq::baselines {
+
+Sr01Client::Sr01Client(rtree::RTree* tree, size_t k, size_t m)
+    : tree_(tree), k_(k), m_(m) {
+  LBSQ_CHECK(tree != nullptr);
+  LBSQ_CHECK(k >= 1);
+  LBSQ_CHECK(m >= k);
+}
+
+bool Sr01Client::CacheCovers(const geo::Point& p) const {
+  if (!has_cache_ || cache_.size() < m_) return false;
+  // The [SR01] guarantee: the new k-NNs are among the cached m while
+  // 2 * dist(q, q') <= dist(m) - dist(k).
+  const double dist_k = cache_[k_ - 1].distance;
+  const double dist_m = cache_.back().distance;
+  return 2.0 * geo::Distance(origin_, p) <= dist_m - dist_k;
+}
+
+std::vector<rtree::Neighbor> Sr01Client::MoveTo(const geo::Point& p) {
+  if (!CacheCovers(p)) {
+    cache_ = rtree::KnnBestFirst(*tree_, p, m_);
+    origin_ = p;
+    has_cache_ = true;
+    ++server_queries_;
+  } else {
+    ++cached_answers_;
+  }
+  // Re-rank the cached objects by distance to the current position
+  // (client-side computation on at most m objects).
+  std::vector<rtree::Neighbor> ranked = cache_;
+  for (rtree::Neighbor& n : ranked) {
+    n.distance = geo::Distance(p, n.entry.point);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const rtree::Neighbor& a, const rtree::Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.entry.id < b.entry.id;
+            });
+  if (ranked.size() > k_) ranked.resize(k_);
+  return ranked;
+}
+
+}  // namespace lbsq::baselines

@@ -1,0 +1,50 @@
+#ifndef LBSQ_BASELINES_SR01_H_
+#define LBSQ_BASELINES_SR01_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/point.h"
+#include "rtree/knn.h"
+#include "rtree/rtree.h"
+
+// The Song-Roussopoulos [SR01] baseline for moving k-NN queries
+// (Section 2, Figure 5): the server returns m > k neighbors; while
+// 2 * dist(q, q') <= dist_m - dist_k the k nearest neighbors at q' are
+// guaranteed to be among the cached m, so the client re-ranks locally
+// instead of contacting the server. The choice of m is the approach's
+// Achilles heel the paper points out — exposed here as a constructor
+// parameter so the benchmarks can sweep it.
+
+namespace lbsq::baselines {
+
+class Sr01Client {
+ public:
+  // `m` must be >= k. The client does not own the tree (which plays the
+  // role of the server here).
+  Sr01Client(rtree::RTree* tree, size_t k, size_t m);
+
+  // Position update: returns the exact k nearest neighbors of `p`,
+  // re-ranked from the cache when the [SR01] bound allows, otherwise
+  // fetched with a fresh server query for m neighbors.
+  std::vector<rtree::Neighbor> MoveTo(const geo::Point& p);
+
+  size_t server_queries() const { return server_queries_; }
+  size_t cached_answers() const { return cached_answers_; }
+
+ private:
+  bool CacheCovers(const geo::Point& p) const;
+
+  rtree::RTree* tree_;
+  size_t k_;
+  size_t m_;
+  geo::Point origin_;                    // location of the cached query
+  std::vector<rtree::Neighbor> cache_;   // m neighbors at origin_
+  bool has_cache_ = false;
+  size_t server_queries_ = 0;
+  size_t cached_answers_ = 0;
+};
+
+}  // namespace lbsq::baselines
+
+#endif  // LBSQ_BASELINES_SR01_H_

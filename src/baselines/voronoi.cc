@@ -1,0 +1,37 @@
+#include "baselines/voronoi.h"
+
+#include "common/check.h"
+#include "geometry/halfplane.h"
+
+namespace lbsq::baselines {
+
+VoronoiIndex::VoronoiIndex(const std::vector<rtree::DataEntry>& data,
+                           const geo::Rect& universe)
+    : data_(data), universe_(universe) {
+  LBSQ_CHECK(!data.empty());
+  std::vector<geo::Point> points;
+  points.reserve(data.size());
+  for (const rtree::DataEntry& e : data) points.push_back(e.point);
+  delaunay_ = std::make_unique<DelaunayTriangulation>(std::move(points));
+}
+
+geo::ConvexPolygon VoronoiIndex::CellOf(size_t site_index) const {
+  // The Voronoi cell is the intersection of the bisector half-planes
+  // toward the Delaunay neighbors (sufficient: Voronoi neighbors are
+  // Delaunay neighbors), clipped to the universe.
+  geo::ConvexPolygon cell = geo::ConvexPolygon::FromRect(universe_);
+  const geo::Point& site = delaunay_->site(site_index);
+  for (size_t nb : delaunay_->Neighbors(site_index)) {
+    cell = cell.ClipHalfPlane(
+        geo::BisectorTowards(site, delaunay_->site(nb)));
+    if (cell.IsEmpty()) break;
+  }
+  return cell;
+}
+
+VoronoiIndex::Result VoronoiIndex::Query(const geo::Point& q) const {
+  const size_t site = delaunay_->NearestSite(q);
+  return Result{data_[site], CellOf(site)};
+}
+
+}  // namespace lbsq::baselines

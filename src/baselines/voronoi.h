@@ -1,0 +1,51 @@
+#ifndef LBSQ_BASELINES_VORONOI_H_
+#define LBSQ_BASELINES_VORONOI_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "baselines/delaunay.h"
+#include "geometry/convex_polygon.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rtree/node.h"
+
+// The [ZL01]-style baseline: precompute the Voronoi diagram of the whole
+// dataset so that a single-NN query returns both the nearest neighbor and
+// its cell in O(walk) time. The paper's Section 3 argues against this
+// approach (update cost, k fixed to 1, storage); we implement it both as
+// the comparison baseline and as an independent oracle for the on-the-fly
+// cell computation.
+
+namespace lbsq::baselines {
+
+class VoronoiIndex {
+ public:
+  struct Result {
+    rtree::DataEntry nearest;
+    geo::ConvexPolygon cell;  // Voronoi cell clipped to the universe
+  };
+
+  // Precomputes the diagram (Delaunay dual) of `data` within `universe`.
+  VoronoiIndex(const std::vector<rtree::DataEntry>& data,
+               const geo::Rect& universe);
+
+  // Nearest neighbor of `q` plus its cell — the exact validity region of
+  // the 1-NN query.
+  Result Query(const geo::Point& q) const;
+
+  // The cell of a specific site (by position in the input data).
+  geo::ConvexPolygon CellOf(size_t site_index) const;
+
+  const DelaunayTriangulation& delaunay() const { return *delaunay_; }
+
+ private:
+  std::vector<rtree::DataEntry> data_;
+  geo::Rect universe_;
+  std::unique_ptr<DelaunayTriangulation> delaunay_;
+};
+
+}  // namespace lbsq::baselines
+
+#endif  // LBSQ_BASELINES_VORONOI_H_

@@ -1,0 +1,63 @@
+#ifndef LBSQ_COMMON_BYTES_H_
+#define LBSQ_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+// Minimal byte-buffer serialization used by the wire format of query
+// answers (core/wire_format.h). Fixed-width little-endian-as-memcpy
+// encoding; both ends are this library, so no cross-architecture
+// byte-swapping is attempted.
+
+namespace lbsq {
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void Append(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + sizeof(T));
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+  }
+
+  void AppendVarCount(uint32_t count) { Append<uint32_t>(count); }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T Read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    LBSQ_CHECK(offset_ + sizeof(T) <= bytes_.size());
+    T value;
+    std::memcpy(&value, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  uint32_t ReadVarCount() { return Read<uint32_t>(); }
+
+  bool AtEnd() const { return offset_ == bytes_.size(); }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t offset_ = 0;
+};
+
+}  // namespace lbsq
+
+#endif  // LBSQ_COMMON_BYTES_H_

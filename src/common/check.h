@@ -1,0 +1,45 @@
+#ifndef LBSQ_COMMON_CHECK_H_
+#define LBSQ_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking for a library built without exceptions. LBSQ_CHECK is
+// always on (spatial-query correctness bugs are silent otherwise and the
+// cost is negligible next to page I/O); LBSQ_DCHECK compiles out in
+// release builds for hot-path assertions.
+
+namespace lbsq::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "LBSQ_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace lbsq::internal
+
+#define LBSQ_CHECK(expr)                                      \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::lbsq::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                         \
+  } while (0)
+
+#define LBSQ_CHECK_OP(a, op, b) LBSQ_CHECK((a)op(b))
+#define LBSQ_CHECK_EQ(a, b) LBSQ_CHECK_OP(a, ==, b)
+#define LBSQ_CHECK_NE(a, b) LBSQ_CHECK_OP(a, !=, b)
+#define LBSQ_CHECK_LT(a, b) LBSQ_CHECK_OP(a, <, b)
+#define LBSQ_CHECK_LE(a, b) LBSQ_CHECK_OP(a, <=, b)
+#define LBSQ_CHECK_GT(a, b) LBSQ_CHECK_OP(a, >, b)
+#define LBSQ_CHECK_GE(a, b) LBSQ_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define LBSQ_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define LBSQ_DCHECK(expr) LBSQ_CHECK(expr)
+#endif
+
+#endif  // LBSQ_COMMON_CHECK_H_

@@ -1,0 +1,90 @@
+#ifndef LBSQ_COMMON_RNG_H_
+#define LBSQ_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+// Deterministic pseudo-random number generator used by workload generators
+// and randomized tests. We deliberately avoid std::mt19937 so that the
+// generated datasets are bit-identical across standard-library versions:
+// the experiments in EXPERIMENTS.md must be reproducible from the seed
+// alone. The core is the SplitMix64 / xoshiro256** family.
+
+namespace lbsq {
+
+// Fixed-seed, copyable PRNG. Not thread-safe; give each thread its own.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform 64-bit value (xoshiro256**).
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBounded(uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling; the slight modulo
+    // bias of the simple approach is irrelevant here, so keep it simple.
+    return NextU64() % n;
+  }
+
+  // Standard normal variate (Marsaglia polar method).
+  double Gaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    has_spare_ = true;
+    return u * m;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace lbsq
+
+#endif  // LBSQ_COMMON_RNG_H_

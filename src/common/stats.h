@@ -1,0 +1,64 @@
+#ifndef LBSQ_COMMON_STATS_H_
+#define LBSQ_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+// Small running-statistics helpers used by the benchmark harnesses to
+// aggregate per-query measurements into the per-workload averages the
+// paper plots.
+
+namespace lbsq {
+
+// Accumulates mean / min / max / variance of a stream of doubles.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  // Population variance; 0 for fewer than two samples.
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exact percentile over a retained sample vector (used for tail metrics in
+// the micro-benchmarks). `p` in [0, 100].
+inline double Percentile(std::vector<double> values, double p) {
+  LBSQ_CHECK(!values.empty());
+  LBSQ_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace lbsq
+
+#endif  // LBSQ_COMMON_STATS_H_

@@ -1,0 +1,77 @@
+#ifndef LBSQ_CORE_DELTA_H_
+#define LBSQ_CORE_DELTA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "rtree/node.h"
+
+// Incremental result transmission — the second extension the paper's
+// conclusion proposes: when a client exits the validity region and
+// re-queries, the new result usually overlaps the old one heavily, so
+// the server ships only the delta (objects added and ids removed). The
+// bench bench/ext_delta.cc measures the transmission savings over a
+// client trajectory.
+
+namespace lbsq::core {
+
+struct ResultDelta {
+  std::vector<rtree::DataEntry> added;
+  std::vector<rtree::ObjectId> removed;
+};
+
+// Computes the delta from `before` to `after` (order-insensitive).
+inline ResultDelta DiffResults(const std::vector<rtree::DataEntry>& before,
+                               const std::vector<rtree::DataEntry>& after) {
+  auto by_id = [](const rtree::DataEntry& a, const rtree::DataEntry& b) {
+    return a.id < b.id;
+  };
+  std::vector<rtree::DataEntry> old_sorted = before;
+  std::vector<rtree::DataEntry> new_sorted = after;
+  std::sort(old_sorted.begin(), old_sorted.end(), by_id);
+  std::sort(new_sorted.begin(), new_sorted.end(), by_id);
+
+  ResultDelta delta;
+  size_t i = 0, j = 0;
+  while (i < old_sorted.size() || j < new_sorted.size()) {
+    if (j == new_sorted.size() ||
+        (i < old_sorted.size() && old_sorted[i].id < new_sorted[j].id)) {
+      delta.removed.push_back(old_sorted[i].id);
+      ++i;
+    } else if (i == old_sorted.size() ||
+               new_sorted[j].id < old_sorted[i].id) {
+      delta.added.push_back(new_sorted[j]);
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return delta;
+}
+
+// Applies a delta to a previous result (the client-side reconstruction).
+inline std::vector<rtree::DataEntry> ApplyDelta(
+    const std::vector<rtree::DataEntry>& before, const ResultDelta& delta) {
+  std::vector<rtree::DataEntry> out;
+  out.reserve(before.size() + delta.added.size());
+  for (const rtree::DataEntry& e : before) {
+    if (!std::binary_search(delta.removed.begin(), delta.removed.end(),
+                            e.id)) {
+      out.push_back(e);
+    }
+  }
+  out.insert(out.end(), delta.added.begin(), delta.added.end());
+  return out;
+}
+
+// Wire size of a delta: 20 bytes per added entry, 4 per removed id,
+// plus two counts.
+inline size_t DeltaBytes(const ResultDelta& delta) {
+  return 8 + delta.added.size() * 20 + delta.removed.size() * 4;
+}
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_DELTA_H_

@@ -1,0 +1,191 @@
+#include "core/nn_validity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "geometry/convex_polygon.h"
+#include "geometry/halfplane.h"
+#include "rtree/knn.h"
+#include "tp/tpnn.h"
+
+namespace lbsq::core {
+
+namespace {
+
+// Tracks which vertices of the evolving polygon are confirmed. Vertices
+// that survive a clip keep their exact coordinates, so matching by value
+// is reliable.
+class VertexFlags {
+ public:
+  explicit VertexFlags(const geo::ConvexPolygon& poly) {
+    flags_.assign(poly.num_vertices(), false);
+  }
+
+  // Rebuilds the flag list after `poly` was clipped: surviving vertices
+  // keep their confirmation, new vertices start unconfirmed.
+  void Rebuild(const geo::ConvexPolygon& old_poly,
+               const std::vector<bool>& old_flags,
+               const geo::ConvexPolygon& new_poly) {
+    flags_.assign(new_poly.num_vertices(), false);
+    for (size_t i = 0; i < new_poly.num_vertices(); ++i) {
+      const geo::Point& v = new_poly.vertices()[i];
+      for (size_t j = 0; j < old_poly.num_vertices(); ++j) {
+        if (old_poly.vertices()[j] == v) {
+          flags_[i] = old_flags[j];
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<bool>& flags() { return flags_; }
+
+  // Index of some unconfirmed vertex, or npos.
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+  size_t FirstUnconfirmed() const {
+    for (size_t i = 0; i < flags_.size(); ++i) {
+      if (!flags_[i]) return i;
+    }
+    return kNone;
+  }
+
+ private:
+  std::vector<bool> flags_;
+};
+
+}  // namespace
+
+NnValidityEngine::NnValidityEngine(rtree::RTree* tree,
+                                   const geo::Rect& universe)
+    : tree_(tree), universe_(universe) {
+  LBSQ_CHECK(tree != nullptr);
+  LBSQ_CHECK(!universe.IsEmpty());
+}
+
+NnValidityResult NnValidityEngine::Query(const geo::Point& q, size_t k) {
+  LBSQ_CHECK(k > 0);
+  LBSQ_CHECK(universe_.Contains(q));
+  stats_ = Stats();
+
+  // Step (i): the answer set.
+  const uint64_t na_before = tree_->buffer().logical_accesses();
+  const uint64_t pa_before = tree_->disk().read_count();
+  std::vector<rtree::Neighbor> answers = rtree::KnnBestFirst(*tree_, q, k);
+  stats_.nn_node_accesses = tree_->buffer().logical_accesses() - na_before;
+  stats_.nn_page_accesses = tree_->disk().read_count() - pa_before;
+
+  geo::ConvexPolygon poly = geo::ConvexPolygon::FromRect(universe_);
+  std::vector<InfluencePair> pairs;
+  // Pairs discovered so far (the algorithm's "o_inf in S_inf" test in
+  // Figures 10/12); re-discoveries confirm the vertex, which also makes
+  // termination independent of floating-point grazing cases.
+  std::set<std::pair<rtree::ObjectId, rtree::ObjectId>> seen;
+
+  if (answers.size() < k || tree_->size() <= k) {
+    // No outside objects exist: the result can never change inside the
+    // universe.
+    return NnValidityResult(q, universe_, std::move(answers), std::move(pairs),
+                            std::move(poly));
+  }
+
+  // Step (ii): shrink the polygon with TPNN/TPkNN queries until every
+  // vertex is confirmed.
+  VertexFlags flags(poly);
+  const uint64_t tp_na_before = tree_->buffer().logical_accesses();
+  const uint64_t tp_pa_before = tree_->disk().read_count();
+  while (true) {
+    const size_t vi = flags.FirstUnconfirmed();
+    if (vi == VertexFlags::kNone) break;
+    const geo::Point v = poly.vertices()[vi];
+
+    const geo::Vec2 to_vertex = v - q;
+    if (to_vertex.SquaredNorm() == 0.0) {
+      // Degenerate: the region collapsed onto the query point.
+      flags.flags()[vi] = true;
+      continue;
+    }
+    const geo::Vec2 dir = to_vertex.Normalized();
+
+    ++stats_.tpnn_queries;
+    bool found_cutting_plane = false;
+    geo::HalfPlane h;
+    InfluencePair pair;
+    bool found = false;
+    if (k == 1) {
+      const tp::TpnnResult res =
+          tp::Tpnn(*tree_, q, dir, answers[0].entry.point, answers[0].entry.id);
+      if (res.found) {
+        found = true;
+        pair = InfluencePair{res.object, answers[0].entry};
+      }
+    } else {
+      const tp::TpknnResult res = tp::Tpknn(*tree_, q, dir, answers);
+      if (res.found) {
+        found = true;
+        pair = InfluencePair{res.incoming, res.displaced};
+      }
+    }
+    if (found && seen.insert({pair.incoming.id, pair.displaced.id}).second) {
+      h = geo::BisectorTowards(pair.displaced.point, pair.incoming.point);
+      found_cutting_plane = poly.IsCutBy(h);
+    }
+
+    if (!found_cutting_plane) {
+      // No object influences before the vertex (or only an already-known
+      // bisector grazes it): v is confirmed.
+      ++stats_.confirming_queries;
+      flags.flags()[vi] = true;
+      continue;
+    }
+
+    ++stats_.discovering_queries;
+    pairs.push_back(pair);
+    const geo::ConvexPolygon clipped = poly.ClipHalfPlane(h);
+    // The query point is inside its own validity region, so clipping can
+    // never produce an empty polygon.
+    LBSQ_CHECK(!clipped.IsEmpty());
+    VertexFlags new_flags(clipped);
+    new_flags.Rebuild(poly, flags.flags(), clipped);
+    poly = clipped;
+    flags = new_flags;
+  }
+  stats_.tpnn_node_accesses =
+      tree_->buffer().logical_accesses() - tp_na_before;
+  stats_.tpnn_page_accesses = tree_->disk().read_count() - tp_pa_before;
+
+  // Canonicalize: clipping can leave near-duplicate or collinear
+  // vertices behind; the region (and its edge count) is the simplified
+  // polygon.
+  return NnValidityResult(q, universe_, std::move(answers), std::move(pairs),
+                          poly.Simplified());
+}
+
+NnValidityResult NnValidityEngine::QueryOrdered(const geo::Point& q,
+                                                size_t k) {
+  NnValidityResult set_result = Query(q, k);
+  if (set_result.answers().size() < 2) return set_result;
+
+  // Refine: the ranking of the answers is stable exactly where each
+  // answer stays at least as close as its successor (adjacent bisectors
+  // suffice by transitivity).
+  std::vector<InfluencePair> pairs = set_result.influence_pairs();
+  geo::ConvexPolygon poly = set_result.region();
+  const auto& answers = set_result.answers();
+  for (size_t i = 0; i + 1 < answers.size(); ++i) {
+    const geo::HalfPlane h = geo::BisectorTowards(
+        answers[i].entry.point, answers[i + 1].entry.point);
+    if (poly.IsCutBy(h)) {
+      poly = poly.ClipHalfPlane(h);
+      pairs.push_back(
+          InfluencePair{answers[i + 1].entry, answers[i].entry});
+    }
+  }
+  return NnValidityResult(q, universe_, answers, std::move(pairs),
+                          poly.Simplified());
+}
+
+}  // namespace lbsq::core

@@ -1,0 +1,63 @@
+#ifndef LBSQ_CORE_NN_VALIDITY_H_
+#define LBSQ_CORE_NN_VALIDITY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/validity_region.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rtree/rtree.h"
+
+// Server-side processing of location-based k-NN queries (Section 3):
+//  (i)   run a best-first k-NN query for the answer set;
+//  (ii)  iteratively issue TPNN/TPkNN queries toward the unconfirmed
+//        vertices of the shrinking validity polygon to discover the
+//        influence set (Algorithms Retrieve_Influence_Set_1NN / _kNN);
+//  (iii) return the answers, the influence pairs and the region.
+//
+// The computed region is exactly the (order-k) Voronoi cell of the answer
+// set clipped to the data universe, without any precomputed diagram.
+
+namespace lbsq::core {
+
+class NnValidityEngine {
+ public:
+  struct Stats {
+    // Counts for the *last* Query call.
+    size_t tpnn_queries = 0;        // total TPNN/TPkNN queries issued
+    size_t discovering_queries = 0; // those that found a new influence pair
+    size_t confirming_queries = 0;  // those that confirmed a vertex
+    uint64_t nn_node_accesses = 0;    // NA of step (i)
+    uint64_t tpnn_node_accesses = 0;  // NA of step (ii)
+    uint64_t nn_page_accesses = 0;    // buffer misses of step (i)
+    uint64_t tpnn_page_accesses = 0;  // buffer misses of step (ii)
+  };
+
+  // The engine does not own the tree. `universe` is the data space; every
+  // query point must lie inside it.
+  NnValidityEngine(rtree::RTree* tree, const geo::Rect& universe);
+
+  // Processes a location-based k-NN query at `q`. If the dataset holds
+  // fewer than k+1 points the validity region is the whole universe.
+  NnValidityResult Query(const geo::Point& q, size_t k);
+
+  // Like Query, but the region additionally preserves the *ranking* of
+  // the k answers, not just their identity: the order-k cell intersected
+  // with the bisector half-planes between consecutive answers. Useful
+  // when the client displays a ranked list. The extra constraints ship
+  // as ordinary influence pairs (incoming = the lower-ranked member).
+  NnValidityResult QueryOrdered(const geo::Point& q, size_t k);
+
+  const Stats& stats() const { return stats_; }
+  const geo::Rect& universe() const { return universe_; }
+
+ private:
+  rtree::RTree* tree_;
+  geo::Rect universe_;
+  Stats stats_;
+};
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_NN_VALIDITY_H_

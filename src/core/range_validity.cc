@@ -1,0 +1,96 @@
+#include "core/range_validity.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lbsq::core {
+
+RangeValidityEngine::RangeValidityEngine(rtree::RTree* tree,
+                                         const geo::Rect& universe)
+    : RangeValidityEngine(tree, universe, Options()) {}
+
+RangeValidityEngine::RangeValidityEngine(rtree::RTree* tree,
+                                         const geo::Rect& universe,
+                                         const Options& options)
+    : tree_(tree), universe_(universe), options_(options) {
+  LBSQ_CHECK(tree != nullptr);
+  LBSQ_CHECK(!universe.IsEmpty());
+  LBSQ_CHECK(options.max_extent_factor >= 1.0);
+  LBSQ_CHECK(options.arc_vertices >= 4);
+}
+
+RangeValidityResult RangeValidityEngine::Query(const geo::Point& focus,
+                                               double radius) {
+  LBSQ_CHECK(universe_.Contains(focus));
+  LBSQ_CHECK(radius > 0.0);
+  stats_ = Stats();
+
+  // Step 1: the range query — a window query over the bounding box of
+  // the disk, filtered by true distance.
+  const uint64_t na_before = tree_->buffer().logical_accesses();
+  const double r_sq = radius * radius;
+  std::vector<rtree::DataEntry> result;
+  tree_->WindowQuery(geo::Rect::Centered(focus, radius, radius),
+                     [&](const rtree::DataEntry& e) {
+                       if (geo::SquaredDistance(focus, e.point) <= r_sq) {
+                         result.push_back(e);
+                       }
+                     });
+  stats_.result_node_accesses =
+      tree_->buffer().logical_accesses() - na_before;
+
+  // Bounding rectangle of the region: inside every inner disk the focus
+  // can stray at most 2 * radius from its start (triangle inequality),
+  // and the engine caps empty-result regions like the window engine.
+  const double cap = options_.max_extent_factor * radius;
+  const double reach = result.empty() ? cap : 2.0 * radius;
+  const geo::Rect bounds = universe_.Intersection(
+      geo::Rect::Centered(focus, std::min(cap, reach), std::min(cap, reach)));
+
+  std::vector<geo::DiskRegion::Disk> inner;
+  inner.reserve(result.size());
+  for (const rtree::DataEntry& e : result) {
+    inner.push_back({e.point, radius});
+  }
+
+  // Step 2: candidate outer objects — anything whose disk can reach the
+  // bounded region, i.e. within `radius` of the bounds rectangle.
+  const uint64_t na_before2 = tree_->buffer().logical_accesses();
+  std::vector<rtree::DataEntry> outer_objects;
+  std::vector<geo::DiskRegion::Disk> outer;
+  tree_->WindowQuery(bounds.Dilated(radius, radius),
+                     [&](const rtree::DataEntry& e) {
+                       ++stats_.outer_candidates;
+                       if (geo::SquaredDistance(focus, e.point) <= r_sq) {
+                         return;  // inner
+                       }
+                       outer_objects.push_back(e);
+                       outer.push_back({e.point, radius});
+                     });
+  stats_.influence_node_accesses =
+      tree_->buffer().logical_accesses() - na_before2;
+
+  geo::DiskRegion region(bounds, std::move(inner), std::move(outer));
+  std::vector<size_t> cut_inner;
+  std::vector<size_t> cut_outer;
+  geo::ConvexPolygon conservative = region.ConservativePolygon(
+      focus, options_.arc_vertices, &cut_inner, &cut_outer);
+
+  std::vector<rtree::DataEntry> inner_influencers;
+  inner_influencers.reserve(cut_inner.size());
+  for (const size_t i : cut_inner) inner_influencers.push_back(result[i]);
+  std::vector<rtree::DataEntry> outer_influencers;
+  outer_influencers.reserve(cut_outer.size());
+  for (const size_t i : cut_outer) {
+    outer_influencers.push_back(outer_objects[i]);
+  }
+
+  return RangeValidityResult(focus, radius, std::move(result),
+                             std::move(inner_influencers),
+                             std::move(outer_influencers), std::move(region),
+                             std::move(conservative));
+}
+
+}  // namespace lbsq::core

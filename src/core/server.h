@@ -1,0 +1,85 @@
+#ifndef LBSQ_CORE_SERVER_H_
+#define LBSQ_CORE_SERVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/nn_validity.h"
+#include "core/range_validity.h"
+#include "core/window_validity.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rtree/rtree.h"
+
+// The server side of the mobile-computing scenario from the paper's
+// introduction: it owns the query engines over one spatial index and
+// serves location-based queries, counting how many it had to process.
+// Mobile clients (mobile_client.h) hit it only when they leave the
+// validity region of a previous answer.
+
+namespace lbsq::core {
+
+class Server {
+ public:
+  Server(rtree::RTree* tree, const geo::Rect& universe)
+      : tree_(tree),
+        nn_engine_(tree, universe),
+        window_engine_(tree, universe),
+        range_engine_(tree, universe) {}
+
+  // Location-based k-NN query.
+  NnValidityResult NnQuery(const geo::Point& q, size_t k) {
+    ++nn_queries_served_;
+    return nn_engine_.Query(q, k);
+  }
+
+  // Location-based window query (half-extents hx, hy around the focus).
+  WindowValidityResult WindowQuery(const geo::Point& focus, double hx,
+                                   double hy) {
+    ++window_queries_served_;
+    return window_engine_.Query(focus, hx, hy);
+  }
+
+  // Location-based range query ("everything within `radius` of me").
+  RangeValidityResult RangeQuery(const geo::Point& focus, double radius) {
+    ++range_queries_served_;
+    return range_engine_.Query(focus, radius);
+  }
+
+  // Conventional queries without validity-region computation — what a
+  // pre-validity-region server would run for the naive re-query client.
+  std::vector<rtree::Neighbor> PlainNnQuery(const geo::Point& q, size_t k) {
+    ++nn_queries_served_;
+    return rtree::KnnBestFirst(*tree_, q, k);
+  }
+
+  std::vector<rtree::DataEntry> PlainWindowQuery(const geo::Point& focus,
+                                                 double hx, double hy) {
+    ++window_queries_served_;
+    std::vector<rtree::DataEntry> out;
+    tree_->WindowQuery(geo::Rect::Centered(focus, hx, hy), &out);
+    return out;
+  }
+
+  size_t nn_queries_served() const { return nn_queries_served_; }
+  size_t window_queries_served() const { return window_queries_served_; }
+  size_t range_queries_served() const { return range_queries_served_; }
+
+  NnValidityEngine& nn_engine() { return nn_engine_; }
+  WindowValidityEngine& window_engine() { return window_engine_; }
+  RangeValidityEngine& range_engine() { return range_engine_; }
+  const geo::Rect& universe() const { return nn_engine_.universe(); }
+
+ private:
+  rtree::RTree* tree_;
+  NnValidityEngine nn_engine_;
+  WindowValidityEngine window_engine_;
+  RangeValidityEngine range_engine_;
+  size_t nn_queries_served_ = 0;
+  size_t window_queries_served_ = 0;
+  size_t range_queries_served_ = 0;
+};
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_SERVER_H_

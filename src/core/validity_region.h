@@ -1,0 +1,158 @@
+#ifndef LBSQ_CORE_VALIDITY_REGION_H_
+#define LBSQ_CORE_VALIDITY_REGION_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "geometry/convex_polygon.h"
+#include "geometry/halfplane.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "geometry/region.h"
+#include "rtree/knn.h"
+
+// Wire-level results of location-based queries: what the server ships to
+// the mobile client. The representation follows Section 3.1 of the paper:
+// the validity region is characterized by the influence set (the data
+// points contributing its edges), from which the client re-derives the
+// bounding half-planes with trivial arithmetic.
+
+namespace lbsq::core {
+
+// One influence pair <o_inf, o_i> (Figure 12): the outside object o_inf
+// contributes the edge where it would displace answer member o_i. For
+// single-NN queries o_i is always the nearest neighbor itself.
+struct InfluencePair {
+  rtree::DataEntry incoming;   // o_inf (member of S_inf)
+  rtree::DataEntry displaced;  // o_i (member of the answer set)
+};
+
+// Result of a location-based k-NN query.
+class NnValidityResult {
+ public:
+  NnValidityResult() = default;
+  NnValidityResult(geo::Point query, geo::Rect universe,
+                   std::vector<rtree::Neighbor> answers,
+                   std::vector<InfluencePair> pairs, geo::ConvexPolygon region)
+      : query_(query),
+        universe_(universe),
+        answers_(std::move(answers)),
+        pairs_(std::move(pairs)),
+        region_(std::move(region)) {}
+
+  const geo::Point& query() const { return query_; }
+  const geo::Rect& universe() const { return universe_; }
+
+  // The k nearest neighbors at the query location, nearest first.
+  const std::vector<rtree::Neighbor>& answers() const { return answers_; }
+
+  // Influence pairs; the distinct incoming objects form S_inf.
+  const std::vector<InfluencePair>& influence_pairs() const { return pairs_; }
+
+  // |S_inf|: number of distinct influence objects.
+  size_t InfluenceSetSize() const {
+    std::vector<rtree::ObjectId> ids;
+    ids.reserve(pairs_.size());
+    for (const InfluencePair& pair : pairs_) ids.push_back(pair.incoming.id);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids.size();
+  }
+
+  // The exact validity region V(q) (an order-k Voronoi cell clipped to
+  // the data universe). Kept server-side for measurements; the client
+  // only needs the influence pairs.
+  const geo::ConvexPolygon& region() const { return region_; }
+
+  // The client-side validity check (constant work per influence pair,
+  // exactly what a thin client runs — it never sees the polygon): `p` is
+  // inside V(q) iff every displaced answer is still at least as close as
+  // the incoming object that would replace it, and `p` stays inside the
+  // data universe.
+  bool IsValidAt(const geo::Point& p) const {
+    for (const InfluencePair& pair : pairs_) {
+      if (geo::SquaredDistance(p, pair.displaced.point) >
+          geo::SquaredDistance(p, pair.incoming.point)) {
+        return false;
+      }
+    }
+    return universe_.Contains(p);
+  }
+
+ private:
+  geo::Point query_;
+  geo::Rect universe_;
+  std::vector<rtree::Neighbor> answers_;
+  std::vector<InfluencePair> pairs_;
+  geo::ConvexPolygon region_;
+};
+
+// Result of a location-based window query (Section 4).
+class WindowValidityResult {
+ public:
+  WindowValidityResult() = default;
+  WindowValidityResult(geo::Point focus, double hx, double hy,
+                       std::vector<rtree::DataEntry> result,
+                       std::vector<rtree::DataEntry> inner_influencers,
+                       std::vector<rtree::DataEntry> outer_influencers,
+                       geo::RectMinusBoxes region, geo::Rect conservative)
+      : focus_(focus),
+        hx_(hx),
+        hy_(hy),
+        result_(std::move(result)),
+        inner_influencers_(std::move(inner_influencers)),
+        outer_influencers_(std::move(outer_influencers)),
+        region_(std::move(region)),
+        conservative_(conservative) {}
+
+  const geo::Point& focus() const { return focus_; }
+  // Window half-extents along x and y.
+  double hx() const { return hx_; }
+  double hy() const { return hy_; }
+
+  // Objects inside the query window.
+  const std::vector<rtree::DataEntry>& result() const { return result_; }
+
+  // Inner influence objects: result members whose Minkowski box forms an
+  // edge of the inner validity rectangle.
+  const std::vector<rtree::DataEntry>& inner_influencers() const {
+    return inner_influencers_;
+  }
+
+  // Outer influence objects: nearby non-result points whose Minkowski box
+  // cuts into the inner validity rectangle.
+  const std::vector<rtree::DataEntry>& outer_influencers() const {
+    return outer_influencers_;
+  }
+
+  size_t InfluenceSetSize() const {
+    return inner_influencers_.size() + outer_influencers_.size();
+  }
+
+  // Exact validity region: inner rectangle minus outer Minkowski boxes.
+  const geo::RectMinusBoxes& region() const { return region_; }
+
+  // Conservative rectangular validity region (Figure 19) for thin
+  // clients: containment implies exact-region containment.
+  const geo::Rect& conservative_region() const { return conservative_; }
+
+  bool IsValidAt(const geo::Point& p) const { return region_.Contains(p); }
+  bool IsValidAtConservative(const geo::Point& p) const {
+    return conservative_.Contains(p);
+  }
+
+ private:
+  geo::Point focus_;
+  double hx_ = 0.0;
+  double hy_ = 0.0;
+  std::vector<rtree::DataEntry> result_;
+  std::vector<rtree::DataEntry> inner_influencers_;
+  std::vector<rtree::DataEntry> outer_influencers_;
+  geo::RectMinusBoxes region_;
+  geo::Rect conservative_;
+};
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_VALIDITY_REGION_H_

@@ -1,0 +1,105 @@
+#include "core/window_validity.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "geometry/region.h"
+
+namespace lbsq::core {
+
+WindowValidityEngine::WindowValidityEngine(rtree::RTree* tree,
+                                           const geo::Rect& universe)
+    : WindowValidityEngine(tree, universe, Options()) {}
+
+WindowValidityEngine::WindowValidityEngine(rtree::RTree* tree,
+                                           const geo::Rect& universe,
+                                           const Options& options)
+    : tree_(tree), universe_(universe), options_(options) {
+  LBSQ_CHECK(tree != nullptr);
+  LBSQ_CHECK(!universe.IsEmpty());
+  LBSQ_CHECK(options.max_extent_factor >= 1.0);
+}
+
+WindowValidityResult WindowValidityEngine::Query(const geo::Point& focus,
+                                                 double hx, double hy) {
+  LBSQ_CHECK(universe_.Contains(focus));
+  LBSQ_CHECK(hx > 0.0 && hy > 0.0);
+  stats_ = Stats();
+
+  const geo::Rect window = geo::Rect::Centered(focus, hx, hy);
+
+  // Step 1: the result, and with it the inner validity rectangle.
+  const uint64_t na_before = tree_->buffer().logical_accesses();
+  const uint64_t pa_before = tree_->disk().read_count();
+  std::vector<rtree::DataEntry> result;
+  tree_->WindowQuery(window, &result);
+  stats_.result_node_accesses =
+      tree_->buffer().logical_accesses() - na_before;
+  stats_.result_page_accesses = tree_->disk().read_count() - pa_before;
+
+  const double f = options_.max_extent_factor;
+  geo::Rect inner =
+      universe_.Intersection(geo::Rect::Centered(focus, f * hx, f * hy));
+  for (const rtree::DataEntry& e : result) {
+    inner = inner.Intersection(geo::Rect::Centered(e.point, hx, hy));
+  }
+  // The focus satisfies every inner constraint (each result point is
+  // covered by the window), so the intersection is never empty.
+  LBSQ_CHECK(inner.Contains(focus));
+
+  // Step 2: candidate outer points in the marginal rectangle — anywhere
+  // an outer point's Minkowski box could reach the inner rectangle —
+  // excluding the original window (those points are inner).
+  const geo::Rect marginal = inner.Dilated(hx, hy);
+  const uint64_t na_before2 = tree_->buffer().logical_accesses();
+  const uint64_t pa_before2 = tree_->disk().read_count();
+  std::vector<rtree::DataEntry> outer_objects;
+  std::vector<geo::Rect> holes;
+  tree_->WindowQuery(marginal, [&](const rtree::DataEntry& e) {
+    ++stats_.outer_candidates;
+    if (window.Contains(e.point)) return;  // inner point
+    const geo::Rect box = geo::Rect::Centered(e.point, hx, hy);
+    const geo::Rect overlap = box.Intersection(inner);
+    // Boxes that merely graze the boundary exclude nothing (closed
+    // containment semantics) and do not constrain the region.
+    if (overlap.IsEmpty() || overlap.Area() == 0.0) return;
+    outer_objects.push_back(e);
+    holes.push_back(box);
+  });
+  stats_.influence_node_accesses =
+      tree_->buffer().logical_accesses() - na_before2;
+  stats_.influence_page_accesses = tree_->disk().read_count() - pa_before2;
+
+  geo::RectMinusBoxes region(inner, std::move(holes));
+  // Outer *influence* objects in the paper's Definition-1 sense: the
+  // outer points whose box contributes an edge of the (conservative
+  // rectangular) validity region. The remaining holes stay part of the
+  // exact region but typically lie behind a closer hole's cut
+  // (Figure 33: an outer box usually eliminates a whole edge).
+  std::vector<size_t> cutting;
+  const geo::Rect conservative = region.ConservativeRect(focus, &cutting);
+  std::vector<rtree::DataEntry> outer_influencers;
+  outer_influencers.reserve(cutting.size());
+  for (const size_t index : cutting) {
+    outer_influencers.push_back(outer_objects[index]);
+  }
+
+  // Inner influence objects: result points whose Minkowski box supplies
+  // an edge of the final rectangle (edges not cut away by outer objects;
+  // the universe or the extent cap may supply the rest).
+  std::vector<rtree::DataEntry> inner_influencers;
+  for (const rtree::DataEntry& e : result) {
+    const geo::Rect box = geo::Rect::Centered(e.point, hx, hy);
+    if (box.min_x == conservative.min_x || box.max_x == conservative.max_x ||
+        box.min_y == conservative.min_y || box.max_y == conservative.max_y) {
+      inner_influencers.push_back(e);
+    }
+  }
+  return WindowValidityResult(focus, hx, hy, std::move(result),
+                              std::move(inner_influencers),
+                              std::move(outer_influencers), std::move(region),
+                              conservative);
+}
+
+}  // namespace lbsq::core

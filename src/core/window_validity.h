@@ -1,0 +1,69 @@
+#ifndef LBSQ_CORE_WINDOW_VALIDITY_H_
+#define LBSQ_CORE_WINDOW_VALIDITY_H_
+
+#include <cstdint>
+
+#include "core/validity_region.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rtree/rtree.h"
+
+// Server-side processing of location-based window queries (Section 4).
+// The window has fixed extents and moves with the client (its focus).
+//
+// The result stays valid while (a) every current result point stays
+// covered and (b) no outer point becomes covered. Constraint (a) confines
+// the focus to the *inner validity rectangle* — the intersection of the
+// Minkowski boxes (window extents centered at each inner point); (b)
+// removes the Minkowski boxes of outer points. The engine runs two window
+// queries: one for the result, one over the marginal rectangle (the inner
+// rectangle dilated by the window half-extents) for candidate outer
+// influence objects — exactly the two-step algorithm of the paper, whose
+// second query is largely absorbed by the LRU buffer.
+
+namespace lbsq::core {
+
+class WindowValidityEngine {
+ public:
+  struct Options {
+    // Caps the validity region at `max_extent_factor` window half-extents
+    // around the focus. Without a cap, a window with an empty (or
+    // one-sided) result in a sparse area yields an inner rectangle
+    // covering most of the universe, and the marginal query degenerates
+    // into a full scan with every point an "outer influence object". The
+    // capped region is still a correct (just not maximal) validity
+    // region; 16 window radii is far beyond the region sizes the paper
+    // measures, so dense-area results are unaffected.
+    double max_extent_factor = 16.0;
+  };
+
+  struct Stats {
+    // Counts for the last Query call.
+    uint64_t result_node_accesses = 0;     // NA of the result query
+    uint64_t influence_node_accesses = 0;  // NA of the outer-candidate query
+    uint64_t result_page_accesses = 0;     // buffer misses of query 1
+    uint64_t influence_page_accesses = 0;  // buffer misses of query 2
+    size_t outer_candidates = 0;           // points fetched by query 2
+  };
+
+  WindowValidityEngine(rtree::RTree* tree, const geo::Rect& universe);
+  WindowValidityEngine(rtree::RTree* tree, const geo::Rect& universe,
+                       const Options& options);
+
+  // Location-based window query: window of half-extents (hx, hy) centered
+  // at `focus`. Requires focus inside the universe and positive extents.
+  WindowValidityResult Query(const geo::Point& focus, double hx, double hy);
+
+  const Stats& stats() const { return stats_; }
+  const geo::Rect& universe() const { return universe_; }
+
+ private:
+  rtree::RTree* tree_;
+  geo::Rect universe_;
+  Options options_;
+  Stats stats_;
+};
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_WINDOW_VALIDITY_H_

@@ -1,0 +1,244 @@
+#include "core/wire_format.h"
+
+#include <cstddef>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "geometry/convex_polygon.h"
+#include "geometry/halfplane.h"
+
+namespace lbsq::core::wire {
+
+namespace {
+
+constexpr size_t kEntryBytes = 2 * sizeof(double) + sizeof(rtree::ObjectId);
+
+void AppendEntry(ByteWriter* writer, const rtree::DataEntry& e) {
+  writer->Append(e.point.x);
+  writer->Append(e.point.y);
+  writer->Append(e.id);
+}
+
+rtree::DataEntry ReadEntry(ByteReader* reader) {
+  rtree::DataEntry e;
+  e.point.x = reader->Read<double>();
+  e.point.y = reader->Read<double>();
+  e.id = reader->Read<rtree::ObjectId>();
+  return e;
+}
+
+void AppendRect(ByteWriter* writer, const geo::Rect& r) {
+  writer->Append(r.min_x);
+  writer->Append(r.min_y);
+  writer->Append(r.max_x);
+  writer->Append(r.max_y);
+}
+
+geo::Rect ReadRect(ByteReader* reader) {
+  geo::Rect r;
+  r.min_x = reader->Read<double>();
+  r.min_y = reader->Read<double>();
+  r.max_x = reader->Read<double>();
+  r.max_y = reader->Read<double>();
+  return r;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeNnResult(const NnValidityResult& result) {
+  ByteWriter writer;
+  writer.Append(result.query().x);
+  writer.Append(result.query().y);
+  // The universe travels with the first answer so that the client can
+  // evaluate the boundary part of the validity check.
+  // (It is part of NnValidityResult's client check.)
+  // Encoded region: the universe rect reconstructed below.
+  // Note: the polygon itself is deliberately NOT shipped.
+  writer.AppendVarCount(static_cast<uint32_t>(result.answers().size()));
+  for (const rtree::Neighbor& n : result.answers()) {
+    AppendEntry(&writer, n.entry);
+  }
+  writer.AppendVarCount(
+      static_cast<uint32_t>(result.influence_pairs().size()));
+  for (const InfluencePair& pair : result.influence_pairs()) {
+    AppendEntry(&writer, pair.incoming);
+    // The displaced object is one of the answers; ship its index.
+    uint32_t index = 0;
+    for (size_t i = 0; i < result.answers().size(); ++i) {
+      if (result.answers()[i].entry.id == pair.displaced.id) {
+        index = static_cast<uint32_t>(i);
+        break;
+      }
+    }
+    writer.Append(index);
+  }
+  // Universe (the boundary part of IsValidAt): 32 bytes.
+  AppendRect(&writer, result.universe());
+  return writer.Take();
+}
+
+NnValidityResult DecodeNnResult(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  geo::Point query;
+  query.x = reader.Read<double>();
+  query.y = reader.Read<double>();
+
+  const uint32_t answer_count = reader.ReadVarCount();
+  std::vector<rtree::Neighbor> answers;
+  answers.reserve(answer_count);
+  for (uint32_t i = 0; i < answer_count; ++i) {
+    rtree::Neighbor n;
+    n.entry = ReadEntry(&reader);
+    n.distance = geo::Distance(query, n.entry.point);
+    answers.push_back(n);
+  }
+
+  const uint32_t pair_count = reader.ReadVarCount();
+  std::vector<InfluencePair> pairs;
+  pairs.reserve(pair_count);
+  for (uint32_t i = 0; i < pair_count; ++i) {
+    InfluencePair pair;
+    pair.incoming = ReadEntry(&reader);
+    const uint32_t index = reader.Read<uint32_t>();
+    LBSQ_CHECK(index < answers.size());
+    pair.displaced = answers[index].entry;
+    pairs.push_back(pair);
+  }
+  const geo::Rect universe = ReadRect(&reader);
+  LBSQ_CHECK(reader.AtEnd());
+
+  // Rebuild the region polygon from the half-planes — identical to the
+  // server's (same constraints, same clipping).
+  geo::ConvexPolygon region =
+      universe.IsEmpty() ? geo::ConvexPolygon()
+                         : geo::ConvexPolygon::FromRect(universe);
+  for (const InfluencePair& pair : pairs) {
+    region = region.ClipHalfPlane(
+        geo::BisectorTowards(pair.displaced.point, pair.incoming.point));
+  }
+  return NnValidityResult(query, universe, std::move(answers),
+                          std::move(pairs), std::move(region));
+}
+
+std::vector<uint8_t> EncodeWindowResult(const WindowValidityResult& result) {
+  ByteWriter writer;
+  writer.Append(result.focus().x);
+  writer.Append(result.focus().y);
+  writer.Append(result.hx());
+  writer.Append(result.hy());
+  writer.AppendVarCount(static_cast<uint32_t>(result.result().size()));
+  for (const rtree::DataEntry& e : result.result()) {
+    AppendEntry(&writer, e);
+  }
+  AppendRect(&writer, result.region().base());
+  AppendRect(&writer, result.conservative_region());
+  // Hole boxes are Minkowski boxes of outer points: ship the points.
+  writer.AppendVarCount(
+      static_cast<uint32_t>(result.region().holes().size()));
+  for (const geo::Rect& hole : result.region().holes()) {
+    const geo::Point center = hole.Center();
+    writer.Append(center.x);
+    writer.Append(center.y);
+  }
+  return writer.Take();
+}
+
+WindowValidityResult DecodeWindowResult(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  geo::Point focus;
+  focus.x = reader.Read<double>();
+  focus.y = reader.Read<double>();
+  const double hx = reader.Read<double>();
+  const double hy = reader.Read<double>();
+  const uint32_t result_count = reader.ReadVarCount();
+  std::vector<rtree::DataEntry> result;
+  result.reserve(result_count);
+  for (uint32_t i = 0; i < result_count; ++i) {
+    result.push_back(ReadEntry(&reader));
+  }
+  const geo::Rect base = ReadRect(&reader);
+  const geo::Rect conservative = ReadRect(&reader);
+  const uint32_t hole_count = reader.ReadVarCount();
+  std::vector<geo::Rect> holes;
+  holes.reserve(hole_count);
+  for (uint32_t i = 0; i < hole_count; ++i) {
+    geo::Point center;
+    center.x = reader.Read<double>();
+    center.y = reader.Read<double>();
+    holes.push_back(geo::Rect::Centered(center, hx, hy));
+  }
+  LBSQ_CHECK(reader.AtEnd());
+  // Influence-object lists are a server-side diagnostic; clients only
+  // need the region, so they decode as empty.
+  return WindowValidityResult(focus, hx, hy, std::move(result), {}, {},
+                              geo::RectMinusBoxes(base, std::move(holes)),
+                              conservative);
+}
+
+std::vector<uint8_t> EncodeRangeResult(const RangeValidityResult& result) {
+  ByteWriter writer;
+  writer.Append(result.focus().x);
+  writer.Append(result.focus().y);
+  writer.Append(result.radius());
+  writer.AppendVarCount(static_cast<uint32_t>(result.result().size()));
+  for (const rtree::DataEntry& e : result.result()) {
+    AppendEntry(&writer, e);
+  }
+  AppendRect(&writer, result.region().bounds());
+  writer.AppendVarCount(
+      static_cast<uint32_t>(result.region().outer().size()));
+  for (const geo::DiskRegion::Disk& d : result.region().outer()) {
+    writer.Append(d.center.x);
+    writer.Append(d.center.y);
+  }
+  return writer.Take();
+}
+
+RangeValidityResult DecodeRangeResult(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  geo::Point focus;
+  focus.x = reader.Read<double>();
+  focus.y = reader.Read<double>();
+  const double radius = reader.Read<double>();
+  const uint32_t result_count = reader.ReadVarCount();
+  std::vector<rtree::DataEntry> result;
+  result.reserve(result_count);
+  for (uint32_t i = 0; i < result_count; ++i) {
+    result.push_back(ReadEntry(&reader));
+  }
+  const geo::Rect bounds = ReadRect(&reader);
+  const uint32_t outer_count = reader.ReadVarCount();
+  std::vector<geo::DiskRegion::Disk> outer;
+  outer.reserve(outer_count);
+  for (uint32_t i = 0; i < outer_count; ++i) {
+    geo::DiskRegion::Disk d;
+    d.center.x = reader.Read<double>();
+    d.center.y = reader.Read<double>();
+    d.radius = radius;
+    outer.push_back(d);
+  }
+  LBSQ_CHECK(reader.AtEnd());
+
+  std::vector<geo::DiskRegion::Disk> inner;
+  inner.reserve(result.size());
+  for (const rtree::DataEntry& e : result) {
+    inner.push_back({e.point, radius});
+  }
+  geo::DiskRegion region(bounds, std::move(inner), std::move(outer));
+  geo::ConvexPolygon conservative = region.ConservativePolygon(focus);
+  return RangeValidityResult(focus, radius, std::move(result), {}, {},
+                             std::move(region), std::move(conservative));
+}
+
+size_t PlainNnAnswerBytes(size_t k) { return 8 + k * kEntryBytes; }
+
+size_t PlainWindowAnswerBytes(size_t result_size) {
+  return 8 + result_size * kEntryBytes;
+}
+
+size_t Sr01AnswerBytes(size_t m) {
+  // m neighbors plus the two distances of the validity test.
+  return 8 + m * kEntryBytes + 2 * sizeof(double);
+}
+
+}  // namespace lbsq::core::wire

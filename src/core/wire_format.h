@@ -1,0 +1,49 @@
+#ifndef LBSQ_CORE_WIRE_FORMAT_H_
+#define LBSQ_CORE_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/range_validity.h"
+#include "core/validity_region.h"
+
+// Wire encoding of query answers: what the server actually transmits to
+// the mobile client over the wireless link. The paper's design goal is a
+// *compact* validity-region representation — the influence set, not the
+// region geometry — and these encoders make the byte counts measurable
+// (bench/netcost.cc compares against [SR01] and naive re-querying).
+//
+// Encodings (all little-endian fixed-width):
+//   k-NN answer:   query point, universe, answers (point+id), influence
+//                  pairs (incoming point+id, displaced answer index)
+//   window answer: focus, half-extents, result (point+id), conservative
+//                  rectangle, holes of the exact region
+//   range answer:  focus, radius, result (point+id), influence objects
+//
+// Decoded answers reconstruct objects that behave identically for
+// client-side purposes (IsValidAt, answers/result); server-only
+// artifacts (the NN region polygon) are rebuilt from the pairs.
+
+namespace lbsq::core::wire {
+
+std::vector<uint8_t> EncodeNnResult(const NnValidityResult& result);
+NnValidityResult DecodeNnResult(const std::vector<uint8_t>& bytes);
+
+std::vector<uint8_t> EncodeWindowResult(const WindowValidityResult& result);
+WindowValidityResult DecodeWindowResult(const std::vector<uint8_t>& bytes);
+
+std::vector<uint8_t> EncodeRangeResult(const RangeValidityResult& result);
+RangeValidityResult DecodeRangeResult(const std::vector<uint8_t>& bytes);
+
+// Byte size of a conventional answer without any validity information
+// (what the naive strategy ships per query): just the result objects.
+size_t PlainNnAnswerBytes(size_t k);
+size_t PlainWindowAnswerBytes(size_t result_size);
+
+// Byte size of an [SR01] answer: m neighbors (the client needs all of
+// them to re-rank locally).
+size_t Sr01AnswerBytes(size_t m);
+
+}  // namespace lbsq::core::wire
+
+#endif  // LBSQ_CORE_WIRE_FORMAT_H_

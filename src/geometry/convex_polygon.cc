@@ -1,0 +1,128 @@
+#include "geometry/convex_polygon.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lbsq::geo {
+
+ConvexPolygon ConvexPolygon::FromRect(const Rect& r) {
+  LBSQ_CHECK(!r.IsEmpty());
+  return ConvexPolygon({{r.min_x, r.min_y},
+                        {r.max_x, r.min_y},
+                        {r.max_x, r.max_y},
+                        {r.min_x, r.max_y}});
+}
+
+double ConvexPolygon::Area() const {
+  if (IsEmpty()) return 0.0;
+  double twice_area = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    twice_area += a.x * b.y - b.x * a.y;
+  }
+  return 0.5 * twice_area;
+}
+
+bool ConvexPolygon::Contains(const Point& p) const {
+  if (IsEmpty()) return false;
+  // For CCW polygons, p is inside iff it is on the left of (or on) every
+  // directed edge. The tolerance scales with the edge length so that
+  // points exactly on long edges are not rejected by rounding noise.
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    const Vec2 edge = b - a;
+    const double cross = edge.Cross(p - a);
+    if (cross < -1e-12 * (1.0 + edge.Norm())) return false;
+  }
+  return true;
+}
+
+ConvexPolygon ConvexPolygon::ClipHalfPlane(const HalfPlane& h) const {
+  if (IsEmpty()) return ConvexPolygon();
+  std::vector<Point> out;
+  out.reserve(vertices_.size() + 1);
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& cur = vertices_[i];
+    const Point& nxt = vertices_[(i + 1) % n];
+    const double d_cur = h.Evaluate(cur);
+    const double d_nxt = h.Evaluate(nxt);
+    if (d_cur <= 0.0) out.push_back(cur);
+    // Edge crosses the boundary: emit the intersection point. Crossing is
+    // strict on both sides so that vertices exactly on the boundary are
+    // emitted once (by the d_cur <= 0 branch) and not duplicated.
+    if ((d_cur < 0.0 && d_nxt > 0.0) || (d_cur > 0.0 && d_nxt < 0.0)) {
+      const double t = d_cur / (d_cur - d_nxt);
+      out.push_back({cur.x + t * (nxt.x - cur.x), cur.y + t * (nxt.y - cur.y)});
+    }
+  }
+  if (out.size() < 3) return ConvexPolygon();
+  return ConvexPolygon(std::move(out));
+}
+
+bool ConvexPolygon::IsCutBy(const HalfPlane& h, double eps) const {
+  // The violation is compared at the scale of the evaluation's own
+  // rounding noise, |normal| * |vertex|, so the test behaves identically
+  // for unit-square data and kilometer-scale coordinates.
+  const double n = h.normal.Norm();
+  for (const Point& v : vertices_) {
+    const double scale = n * (1.0 + std::abs(v.x) + std::abs(v.y));
+    if (h.Evaluate(v) > eps * scale) return true;
+  }
+  return false;
+}
+
+ConvexPolygon ConvexPolygon::Simplified(double eps) const {
+  if (IsEmpty()) return ConvexPolygon();
+  // Scale-aware tolerance from the polygon's extent.
+  const Rect box = BoundingBox();
+  const double scale =
+      std::max({box.width(), box.height(), 1e-300});
+  const double tol = eps * scale;
+
+  // Drop vertices that coincide with their predecessor.
+  std::vector<Point> distinct;
+  distinct.reserve(vertices_.size());
+  for (const Point& v : vertices_) {
+    if (distinct.empty() ||
+        std::abs(v.x - distinct.back().x) > tol ||
+        std::abs(v.y - distinct.back().y) > tol) {
+      distinct.push_back(v);
+    }
+  }
+  while (distinct.size() > 1 &&
+         std::abs(distinct.front().x - distinct.back().x) <= tol &&
+         std::abs(distinct.front().y - distinct.back().y) <= tol) {
+    distinct.pop_back();
+  }
+  if (distinct.size() < 3) return ConvexPolygon();
+
+  // Drop vertices collinear with their neighbors.
+  std::vector<Point> out;
+  out.reserve(distinct.size());
+  const size_t n = distinct.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& prev = distinct[(i + n - 1) % n];
+    const Point& cur = distinct[i];
+    const Point& next = distinct[(i + 1) % n];
+    const Vec2 e1 = cur - prev;
+    const Vec2 e2 = next - cur;
+    // Relative area of the triangle formed by the three vertices.
+    if (std::abs(e1.Cross(e2)) > tol * (e1.Norm() + e2.Norm())) {
+      out.push_back(cur);
+    }
+  }
+  if (out.size() < 3) return ConvexPolygon();
+  return ConvexPolygon(std::move(out));
+}
+
+Rect ConvexPolygon::BoundingBox() const {
+  Rect box = Rect::Empty();
+  for (const Point& v : vertices_) box = box.ExpandedToInclude(v);
+  return box;
+}
+
+}  // namespace lbsq::geo

@@ -1,0 +1,68 @@
+#ifndef LBSQ_GEOMETRY_DISK_REGION_H_
+#define LBSQ_GEOMETRY_DISK_REGION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/convex_polygon.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+// The validity region of a *range* query ("all objects within radius r"),
+// the extension the paper's Section 7 sketches: it is bounded by circular
+// arcs — the intersection of the disks D(p, r) of the result objects,
+// minus the disks of nearby outer objects, within a bounding rectangle.
+// Exact containment tests are cheap; the area is evaluated numerically;
+// a conservative convex polygon (inscribed 16-gons for inner disks,
+// tangent half-planes for outer disks) serves thin clients.
+
+namespace lbsq::geo {
+
+class DiskRegion {
+ public:
+  struct Disk {
+    Point center;
+    double radius = 0.0;
+  };
+
+  DiskRegion() = default;
+  DiskRegion(Rect bounds, std::vector<Disk> inner, std::vector<Disk> outer)
+      : bounds_(bounds),
+        inner_(std::move(inner)),
+        outer_(std::move(outer)) {}
+
+  const Rect& bounds() const { return bounds_; }
+  const std::vector<Disk>& inner() const { return inner_; }
+  const std::vector<Disk>& outer() const { return outer_; }
+
+  // Inside the bounds, inside every inner disk (closed), outside every
+  // outer disk (open interior) — mirroring the closed range-membership
+  // semantics.
+  bool Contains(const Point& p) const;
+
+  // Numeric area on a `resolution` x `resolution` midpoint grid over the
+  // bounding box (relative error ~ perimeter / resolution).
+  double Area(size_t resolution = 256) const;
+
+  // Convex polygon inside the region containing `focus`: each inner disk
+  // contributes an inscribed regular `arc_vertices`-gon (rotated so the
+  // focus stays interior), each outer disk a tangent half-plane facing
+  // the focus. `cut_inner` / `cut_outer` (optional) receive the indices
+  // of the disks whose constraint actually trimmed the polygon — the
+  // influence objects of the conservative representation.
+  // Requires Contains(focus).
+  ConvexPolygon ConservativePolygon(const Point& focus,
+                                    size_t arc_vertices = 16,
+                                    std::vector<size_t>* cut_inner = nullptr,
+                                    std::vector<size_t>* cut_outer = nullptr)
+      const;
+
+ private:
+  Rect bounds_ = Rect::Empty();
+  std::vector<Disk> inner_;
+  std::vector<Disk> outer_;
+};
+
+}  // namespace lbsq::geo
+
+#endif  // LBSQ_GEOMETRY_DISK_REGION_H_

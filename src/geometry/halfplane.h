@@ -1,0 +1,44 @@
+#ifndef LBSQ_GEOMETRY_HALFPLANE_H_
+#define LBSQ_GEOMETRY_HALFPLANE_H_
+
+#include "geometry/point.h"
+
+// Closed half-planes of the form  n . x <= c.  The validity region of a
+// nearest-neighbor query is an intersection of perpendicular-bisector
+// half-planes (Section 3.1 of the paper), and the client-side validity
+// check evaluates exactly these inequalities.
+
+namespace lbsq::geo {
+
+struct HalfPlane {
+  // Inequality normal.dx * x + normal.dy * y <= offset.
+  Vec2 normal;
+  double offset = 0.0;
+
+  HalfPlane() = default;
+  HalfPlane(const Vec2& n, double c) : normal(n), offset(c) {}
+
+  // Signed violation: <= 0 inside, > 0 outside. The magnitude is in
+  // normal-scaled units; divide by normal.Norm() for a true distance.
+  double Evaluate(const Point& p) const {
+    return normal.dx * p.x + normal.dy * p.y - offset;
+  }
+
+  bool Contains(const Point& p) const { return Evaluate(p) <= 0.0; }
+};
+
+// The half-plane of locations (strictly plus boundary) at least as close
+// to `o` as to `p`: the side of the perpendicular bisector of segment op
+// that contains o. Requires o != p.
+//
+// Derivation: |x-o|^2 <= |x-p|^2  <=>  2 (p-o).x <= |p|^2 - |o|^2.
+inline HalfPlane BisectorTowards(const Point& o, const Point& p) {
+  const Vec2 n = p - o;
+  const double c =
+      0.5 * ((p.x * p.x + p.y * p.y) - (o.x * o.x + o.y * o.y));
+  return HalfPlane(n, c);
+}
+
+}  // namespace lbsq::geo
+
+#endif  // LBSQ_GEOMETRY_HALFPLANE_H_

@@ -1,0 +1,78 @@
+#ifndef LBSQ_GEOMETRY_POINT_H_
+#define LBSQ_GEOMETRY_POINT_H_
+
+#include <cmath>
+
+// 2-D points and displacement vectors. The paper (and hence this library)
+// works in the Euclidean plane; all coordinates are doubles in the units
+// of the data universe (unit square for synthetic data, metres for the
+// GR/NA-like datasets).
+
+namespace lbsq::geo {
+
+// A displacement / direction in the plane.
+struct Vec2 {
+  double dx = 0.0;
+  double dy = 0.0;
+
+  Vec2() = default;
+  Vec2(double dx_in, double dy_in) : dx(dx_in), dy(dy_in) {}
+
+  Vec2 operator+(const Vec2& o) const { return {dx + o.dx, dy + o.dy}; }
+  Vec2 operator-(const Vec2& o) const { return {dx - o.dx, dy - o.dy}; }
+  Vec2 operator*(double s) const { return {dx * s, dy * s}; }
+  Vec2 operator-() const { return {-dx, -dy}; }
+
+  double Dot(const Vec2& o) const { return dx * o.dx + dy * o.dy; }
+  // Z-component of the 3-D cross product; >0 when `o` is counterclockwise
+  // from *this.
+  double Cross(const Vec2& o) const { return dx * o.dy - dy * o.dx; }
+  double SquaredNorm() const { return dx * dx + dy * dy; }
+  double Norm() const { return std::sqrt(SquaredNorm()); }
+
+  // Unit vector in the same direction. Requires a nonzero vector.
+  Vec2 Normalized() const {
+    const double n = Norm();
+    return {dx / n, dy / n};
+  }
+  // This vector rotated 90 degrees counterclockwise.
+  Vec2 Perp() const { return {-dy, dx}; }
+};
+
+inline Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+// A location in the plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  Point operator+(const Vec2& v) const { return {x + v.dx, y + v.dy}; }
+  Point operator-(const Vec2& v) const { return {x - v.dx, y - v.dy}; }
+  Vec2 operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+// Midpoint of segment ab.
+inline Point Midpoint(const Point& a, const Point& b) {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5};
+}
+
+}  // namespace lbsq::geo
+
+#endif  // LBSQ_GEOMETRY_POINT_H_

@@ -1,0 +1,127 @@
+#ifndef LBSQ_GEOMETRY_RECT_H_
+#define LBSQ_GEOMETRY_RECT_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geometry/point.h"
+
+// Axis-aligned rectangles: minimum bounding rectangles of R-tree entries,
+// window-query extents, Minkowski boxes and validity rectangles.
+
+namespace lbsq::geo {
+
+// Closed axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
+// An empty rectangle is represented canonically by Rect::Empty()
+// (min > max in both dimensions).
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  Rect() = default;
+  Rect(double min_x_in, double min_y_in, double max_x_in, double max_y_in)
+      : min_x(min_x_in), min_y(min_y_in), max_x(max_x_in), max_y(max_y_in) {}
+
+  // A degenerate rectangle covering a single point.
+  static Rect FromPoint(const Point& p) { return {p.x, p.y, p.x, p.y}; }
+
+  // Rectangle centered at `c` with half-extents hx, hy. Requires hx,hy >= 0.
+  static Rect Centered(const Point& c, double hx, double hy) {
+    LBSQ_DCHECK(hx >= 0.0 && hy >= 0.0);
+    return {c.x - hx, c.y - hy, c.x + hx, c.y + hy};
+  }
+
+  // Canonical empty rectangle (identity for ExpandedToInclude).
+  static Rect Empty() { return {1.0, 1.0, -1.0, -1.0}; }
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+  double Area() const { return IsEmpty() ? 0.0 : width() * height(); }
+  double Margin() const { return IsEmpty() ? 0.0 : width() + height(); }
+  Point Center() const {
+    return {(min_x + max_x) * 0.5, (min_y + max_y) * 0.5};
+  }
+
+  // Closed containment (boundary counts as inside).
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  // Open containment (strictly inside).
+  bool ContainsInterior(const Point& p) const {
+    return p.x > min_x && p.x < max_x && p.y > min_y && p.y < max_y;
+  }
+
+  bool Contains(const Rect& r) const {
+    return r.min_x >= min_x && r.max_x <= max_x && r.min_y >= min_y &&
+           r.max_y <= max_y;
+  }
+
+  // Closed intersection test (shared boundary counts).
+  bool Intersects(const Rect& r) const {
+    if (IsEmpty() || r.IsEmpty()) return false;
+    return r.min_x <= max_x && r.max_x >= min_x && r.min_y <= max_y &&
+           r.max_y >= min_y;
+  }
+
+  Rect Intersection(const Rect& r) const {
+    const Rect out{std::max(min_x, r.min_x), std::max(min_y, r.min_y),
+                   std::min(max_x, r.max_x), std::min(max_y, r.max_y)};
+    return out.IsEmpty() ? Empty() : out;
+  }
+
+  Rect ExpandedToInclude(const Point& p) const {
+    if (IsEmpty()) return FromPoint(p);
+    return {std::min(min_x, p.x), std::min(min_y, p.y), std::max(max_x, p.x),
+            std::max(max_y, p.y)};
+  }
+
+  Rect ExpandedToInclude(const Rect& r) const {
+    if (IsEmpty()) return r;
+    if (r.IsEmpty()) return *this;
+    return {std::min(min_x, r.min_x), std::min(min_y, r.min_y),
+            std::max(max_x, r.max_x), std::max(max_y, r.max_y)};
+  }
+
+  // Minkowski sum with a box of half-extents (hx, hy): grows every side.
+  // Shrinking (negative margins) may produce an empty rectangle.
+  Rect Dilated(double hx, double hy) const {
+    const Rect out{min_x - hx, min_y - hy, max_x + hx, max_y + hy};
+    return out.IsEmpty() ? Empty() : out;
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+// Minimum L2 distance from point `p` to rectangle `r` (0 if inside).
+inline double MinDist(const Point& p, const Rect& r) {
+  const double dx = std::max({r.min_x - p.x, 0.0, p.x - r.max_x});
+  const double dy = std::max({r.min_y - p.y, 0.0, p.y - r.max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+inline double SquaredMinDist(const Point& p, const Rect& r) {
+  const double dx = std::max({r.min_x - p.x, 0.0, p.x - r.max_x});
+  const double dy = std::max({r.min_y - p.y, 0.0, p.y - r.max_y});
+  return dx * dx + dy * dy;
+}
+
+// Maximum L2 distance from `p` to any point of `r` (used by pruning
+// heuristics and tests).
+inline double MaxDist(const Point& p, const Rect& r) {
+  const double dx = std::max(std::abs(p.x - r.min_x), std::abs(p.x - r.max_x));
+  const double dy = std::max(std::abs(p.y - r.min_y), std::abs(p.y - r.max_y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace lbsq::geo
+
+#endif  // LBSQ_GEOMETRY_RECT_H_

@@ -1,0 +1,120 @@
+#include "geometry/region.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lbsq::geo {
+
+namespace {
+
+// Total covered length of the union of [lo, hi) intervals.
+double UnionLength(std::vector<std::pair<double, double>>& intervals) {
+  if (intervals.empty()) return 0.0;
+  std::sort(intervals.begin(), intervals.end());
+  double total = 0.0;
+  double cur_lo = intervals[0].first;
+  double cur_hi = intervals[0].second;
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    const auto& [lo, hi] = intervals[i];
+    if (lo > cur_hi) {
+      total += cur_hi - cur_lo;
+      cur_lo = lo;
+      cur_hi = hi;
+    } else {
+      cur_hi = std::max(cur_hi, hi);
+    }
+  }
+  total += cur_hi - cur_lo;
+  return total;
+}
+
+}  // namespace
+
+double RectMinusBoxes::Area() const {
+  if (base_.IsEmpty()) return 0.0;
+  // Sweep over the distinct y-breakpoints introduced by hole edges. Within
+  // a strip no hole edge starts or ends, so the covered x-length is
+  // constant and the hole-union area over the strip is length * height.
+  std::vector<double> ys = {base_.min_y, base_.max_y};
+  for (const Rect& h : holes_) {
+    if (!h.Intersects(base_)) continue;
+    ys.push_back(std::clamp(h.min_y, base_.min_y, base_.max_y));
+    ys.push_back(std::clamp(h.max_y, base_.min_y, base_.max_y));
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  double hole_area = 0.0;
+  std::vector<std::pair<double, double>> intervals;
+  for (size_t i = 0; i + 1 < ys.size(); ++i) {
+    const double y_lo = ys[i];
+    const double y_hi = ys[i + 1];
+    const double mid = 0.5 * (y_lo + y_hi);
+    intervals.clear();
+    for (const Rect& h : holes_) {
+      if (h.min_y <= mid && mid <= h.max_y) {
+        const double lo = std::max(h.min_x, base_.min_x);
+        const double hi = std::min(h.max_x, base_.max_x);
+        if (lo < hi) intervals.emplace_back(lo, hi);
+      }
+    }
+    hole_area += UnionLength(intervals) * (y_hi - y_lo);
+  }
+  return base_.Area() - hole_area;
+}
+
+Rect RectMinusBoxes::ConservativeRect(
+    const Point& focus, std::vector<size_t>* cutting_holes) const {
+  LBSQ_CHECK(Contains(focus));
+  if (cutting_holes != nullptr) cutting_holes->clear();
+  // Process holes nearest-first so that close obstacles (which force the
+  // tightest cuts) are resolved before generous far ones.
+  std::vector<size_t> pending;
+  for (size_t i = 0; i < holes_.size(); ++i) {
+    if (holes_[i].Intersects(base_)) pending.push_back(i);
+  }
+  std::sort(pending.begin(), pending.end(),
+            [this, &focus](size_t a, size_t b) {
+              return SquaredMinDist(focus, holes_[a]) <
+                     SquaredMinDist(focus, holes_[b]);
+            });
+
+  Rect out = base_;
+  for (const size_t hole_index : pending) {
+    const Rect& h = holes_[hole_index];
+    if (!h.Intersects(out)) continue;
+    // Skip holes that merely touch the current rectangle along an edge:
+    // the closed-hole semantics already exclude their interiors.
+    if (h.min_x >= out.max_x || h.max_x <= out.min_x || h.min_y >= out.max_y ||
+        h.max_y <= out.min_y) {
+      continue;
+    }
+    // Four candidate cuts; keep the one that retains the focus and leaves
+    // the largest area.
+    Rect best = Rect::Empty();
+    double best_area = -1.0;
+    const Rect candidates[4] = {
+        {h.max_x, out.min_y, out.max_x, out.max_y},  // cut away the left
+        {out.min_x, out.min_y, h.min_x, out.max_y},  // cut away the right
+        {out.min_x, h.max_y, out.max_x, out.max_y},  // cut away the bottom
+        {out.min_x, out.min_y, out.max_x, h.min_y},  // cut away the top
+    };
+    for (const Rect& c : candidates) {
+      if (c.IsEmpty() || !c.Contains(focus)) continue;
+      if (c.Area() > best_area) {
+        best_area = c.Area();
+        best = c;
+      }
+    }
+    // At least one cut always keeps the focus because the hole interior
+    // does not contain it.
+    LBSQ_CHECK(best_area >= 0.0);
+    out = best;
+    if (cutting_holes != nullptr) cutting_holes->push_back(hole_index);
+  }
+  return out;
+}
+
+}  // namespace lbsq::geo

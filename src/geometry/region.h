@@ -1,0 +1,62 @@
+#ifndef LBSQ_GEOMETRY_REGION_H_
+#define LBSQ_GEOMETRY_REGION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+// The exact validity region of a window query (Section 4 of the paper) is
+// a rectangle (the inner validity rectangle: intersection of the Minkowski
+// boxes of the points inside the window) minus the Minkowski boxes of the
+// outer influence objects. RectMinusBoxes represents exactly that and
+// supports the membership test a client runs, plus the conservative
+// rectangular approximation (Figure 19) the server may ship instead.
+
+namespace lbsq::geo {
+
+class RectMinusBoxes {
+ public:
+  RectMinusBoxes() = default;
+  RectMinusBoxes(const Rect& base, std::vector<Rect> holes)
+      : base_(base), holes_(std::move(holes)) {}
+
+  const Rect& base() const { return base_; }
+  const std::vector<Rect>& holes() const { return holes_; }
+
+  // Membership uses closed containment on both the base and the holes,
+  // mirroring the closed window-intersection semantics of the R-tree
+  // query: a point exactly on a hole boundary has the corresponding outer
+  // object exactly on the window edge, i.e. already in the result.
+  bool Contains(const Point& p) const {
+    if (!base_.Contains(p)) return false;
+    for (const Rect& h : holes_) {
+      if (h.ContainsInterior(p)) return false;
+    }
+    return true;
+  }
+
+  // Area of base minus the union of the holes, computed by y-sweep over
+  // hole edges (exact; holes may overlap each other).
+  double Area() const;
+
+  // Largest-area axis-aligned rectangle containing `focus`, inside the
+  // base and avoiding every hole, found by greedy per-hole clipping
+  // (nearest hole to the focus first). This is the compact region shipped
+  // to thin clients; it is conservative: Contains() is implied.
+  // Requires Contains(focus). If `cutting_holes` is non-null it receives
+  // the indices (into holes()) of the holes that clipped an edge — the
+  // outer objects contributing an edge to the rectangle, in the sense of
+  // the paper's Definition 1.
+  Rect ConservativeRect(const Point& focus,
+                        std::vector<size_t>* cutting_holes = nullptr) const;
+
+ private:
+  Rect base_ = Rect::Empty();
+  std::vector<Rect> holes_;
+};
+
+}  // namespace lbsq::geo
+
+#endif  // LBSQ_GEOMETRY_REGION_H_

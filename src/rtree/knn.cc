@@ -1,0 +1,143 @@
+#include "rtree/knn.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+#include "geometry/rect.h"
+
+namespace lbsq::rtree {
+
+namespace {
+
+// Orders candidate neighbors worst-first for the result max-heap: greater
+// distance first; equal distances break toward larger id so that the heap
+// evicts the larger id and results are deterministic.
+struct WorseNeighbor {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.entry.id < b.entry.id;
+  }
+};
+
+// Max-heap of the best k candidates found so far.
+class ResultHeap {
+ public:
+  explicit ResultHeap(size_t k) : k_(k) {}
+
+  double PruneDistance() const {
+    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
+                             : heap_.top().distance;
+  }
+
+  void Offer(const Neighbor& n) {
+    if (heap_.size() < k_) {
+      heap_.push(n);
+      return;
+    }
+    if (WorseNeighbor()(n, heap_.top())) {
+      heap_.pop();
+      heap_.push(n);
+    }
+  }
+
+  std::vector<Neighbor> TakeSorted() {
+    std::vector<Neighbor> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  size_t k_;
+  std::priority_queue<Neighbor, std::vector<Neighbor>, WorseNeighbor> heap_;
+};
+
+void DepthFirstVisit(RTree& tree, const geo::Point& q, storage::PageId id,
+                     ResultHeap* results) {
+  const Node node = tree.FetchNode(id);
+  if (node.is_leaf()) {
+    for (const DataEntry& e : node.data) {
+      const double d = geo::Distance(q, e.point);
+      results->Offer(Neighbor{e, d});
+    }
+    return;
+  }
+  // Visit children in mindist order (the RKV95 ordering); re-check the
+  // prune distance before each visit since earlier visits tighten it.
+  std::vector<std::pair<double, storage::PageId>> order;
+  order.reserve(node.children.size());
+  for (const ChildEntry& e : node.children) {
+    order.emplace_back(geo::MinDist(q, e.mbr), e.child);
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [mindist, child] : order) {
+    if (mindist > results->PruneDistance()) break;
+    DepthFirstVisit(tree, q, child, results);
+  }
+}
+
+}  // namespace
+
+std::vector<Neighbor> KnnDepthFirst(RTree& tree, const geo::Point& q,
+                                    size_t k) {
+  LBSQ_CHECK(k > 0);
+  ResultHeap results(k);
+  if (tree.size() > 0) DepthFirstVisit(tree, q, tree.root(), &results);
+  return results.TakeSorted();
+}
+
+std::vector<Neighbor> KnnBestFirst(RTree& tree, const geo::Point& q,
+                                   size_t k) {
+  LBSQ_CHECK(k > 0);
+  if (tree.size() == 0) return {};
+
+  struct QueueItem {
+    double distance;
+    bool is_node;
+    storage::PageId page = storage::kInvalidPageId;
+    DataEntry entry;
+  };
+  struct Later {
+    bool operator()(const QueueItem& a, const QueueItem& b) const {
+      if (a.distance != b.distance) return a.distance > b.distance;
+      // Expand nodes before points at equal distance so that a point is
+      // only emitted once no closer node remains; tie-break points by id.
+      if (a.is_node != b.is_node) return !a.is_node;
+      return a.entry.id > b.entry.id;
+    }
+  };
+
+  std::priority_queue<QueueItem, std::vector<QueueItem>, Later> queue;
+  queue.push(QueueItem{0.0, true, tree.root(), {}});
+
+  std::vector<Neighbor> out;
+  out.reserve(k);
+  while (!queue.empty() && out.size() < k) {
+    const QueueItem item = queue.top();
+    queue.pop();
+    if (!item.is_node) {
+      out.push_back(Neighbor{item.entry, item.distance});
+      continue;
+    }
+    const Node node = tree.FetchNode(item.page);
+    if (node.is_leaf()) {
+      for (const DataEntry& e : node.data) {
+        queue.push(QueueItem{geo::Distance(q, e.point), false,
+                             storage::kInvalidPageId, e});
+      }
+    } else {
+      for (const ChildEntry& e : node.children) {
+        queue.push(QueueItem{geo::MinDist(q, e.mbr), true, e.child, {}});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lbsq::rtree

@@ -1,0 +1,35 @@
+#ifndef LBSQ_RTREE_KNN_H_
+#define LBSQ_RTREE_KNN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/point.h"
+#include "rtree/rtree.h"
+
+// Nearest-neighbor search over the R*-tree: the two classic algorithms the
+// paper builds on (Section 2). Both return exactly min(k, size) neighbors
+// ordered by increasing distance, breaking distance ties by object id so
+// results are deterministic.
+
+namespace lbsq::rtree {
+
+struct Neighbor {
+  DataEntry entry;
+  double distance = 0.0;
+};
+
+// Branch-and-bound depth-first search [RKV95]: visits subtrees in mindist
+// order and prunes entries whose mindist exceeds the current k-th
+// neighbor distance.
+std::vector<Neighbor> KnnDepthFirst(RTree& tree, const geo::Point& q,
+                                    size_t k);
+
+// Best-first ("distance browsing") search [HS99]: a global priority queue
+// over nodes and points; optimal in node accesses.
+std::vector<Neighbor> KnnBestFirst(RTree& tree, const geo::Point& q,
+                                   size_t k);
+
+}  // namespace lbsq::rtree
+
+#endif  // LBSQ_RTREE_KNN_H_

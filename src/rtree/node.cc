@@ -1,0 +1,62 @@
+#include "rtree/node.h"
+
+#include "common/check.h"
+
+namespace lbsq::rtree {
+
+void Node::SerializeTo(storage::Page* page) const {
+  LBSQ_CHECK(size() <= capacity());
+  page->WriteAt<uint16_t>(0, level);
+  page->WriteAt<uint16_t>(2, static_cast<uint16_t>(size()));
+  uint32_t off = kNodeHeaderSize;
+  if (is_leaf()) {
+    for (const DataEntry& e : data) {
+      page->WriteAt<double>(off, e.point.x);
+      page->WriteAt<double>(off + 8, e.point.y);
+      page->WriteAt<uint32_t>(off + 16, e.id);
+      off += kDataEntrySize;
+    }
+  } else {
+    for (const ChildEntry& e : children) {
+      page->WriteAt<double>(off, e.mbr.min_x);
+      page->WriteAt<double>(off + 8, e.mbr.min_y);
+      page->WriteAt<double>(off + 16, e.mbr.max_x);
+      page->WriteAt<double>(off + 24, e.mbr.max_y);
+      page->WriteAt<uint32_t>(off + 32, e.child);
+      off += kChildEntrySize;
+    }
+  }
+}
+
+Node Node::DeserializeFrom(const storage::Page& page) {
+  Node node;
+  node.level = page.ReadAt<uint16_t>(0);
+  const uint16_t count = page.ReadAt<uint16_t>(2);
+  uint32_t off = kNodeHeaderSize;
+  if (node.level == 0) {
+    node.data.reserve(count);
+    for (uint16_t i = 0; i < count; ++i) {
+      DataEntry e;
+      e.point.x = page.ReadAt<double>(off);
+      e.point.y = page.ReadAt<double>(off + 8);
+      e.id = page.ReadAt<uint32_t>(off + 16);
+      node.data.push_back(e);
+      off += kDataEntrySize;
+    }
+  } else {
+    node.children.reserve(count);
+    for (uint16_t i = 0; i < count; ++i) {
+      ChildEntry e;
+      e.mbr.min_x = page.ReadAt<double>(off);
+      e.mbr.min_y = page.ReadAt<double>(off + 8);
+      e.mbr.max_x = page.ReadAt<double>(off + 16);
+      e.mbr.max_y = page.ReadAt<double>(off + 24);
+      e.child = page.ReadAt<uint32_t>(off + 32);
+      node.children.push_back(e);
+      off += kChildEntrySize;
+    }
+  }
+  return node;
+}
+
+}  // namespace lbsq::rtree

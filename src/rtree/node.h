@@ -1,0 +1,79 @@
+#ifndef LBSQ_RTREE_NODE_H_
+#define LBSQ_RTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "storage/page.h"
+
+// R-tree node layout. Every node occupies exactly one 4 KiB page:
+//
+//   offset 0: uint16 level      (0 = leaf)
+//   offset 2: uint16 count
+//   offset 4: entries
+//
+// Leaf entries hold a data point and its object id (20 bytes), matching
+// the paper's "page size of 4k bytes resulting in a node capacity of 204
+// entries". Internal entries hold a child MBR and child page id
+// (36 bytes, capacity 113).
+
+namespace lbsq::rtree {
+
+using ObjectId = uint32_t;
+
+// A data point stored at the leaf level.
+struct DataEntry {
+  geo::Point point;
+  ObjectId id = 0;
+};
+
+// A child pointer stored at internal levels.
+struct ChildEntry {
+  geo::Rect mbr;
+  storage::PageId child = storage::kInvalidPageId;
+};
+
+inline constexpr uint32_t kNodeHeaderSize = 4;
+inline constexpr uint32_t kDataEntrySize = 2 * sizeof(double) + sizeof(uint32_t);
+inline constexpr uint32_t kChildEntrySize = 4 * sizeof(double) + sizeof(uint32_t);
+inline constexpr uint32_t kLeafCapacity =
+    (storage::kPageSize - kNodeHeaderSize) / kDataEntrySize;  // 204
+inline constexpr uint32_t kInternalCapacity =
+    (storage::kPageSize - kNodeHeaderSize) / kChildEntrySize;  // 113
+
+static_assert(kLeafCapacity == 204,
+              "leaf capacity must match the paper's node capacity");
+
+// Deserialized node. Nodes are value types: the R-tree reads them out of
+// the buffer pool, mutates them, and writes them back explicitly.
+struct Node {
+  uint16_t level = 0;
+  std::vector<DataEntry> data;       // populated iff level == 0
+  std::vector<ChildEntry> children;  // populated iff level > 0
+
+  bool is_leaf() const { return level == 0; }
+  size_t size() const { return is_leaf() ? data.size() : children.size(); }
+  uint32_t capacity() const {
+    return is_leaf() ? kLeafCapacity : kInternalCapacity;
+  }
+
+  // Tight bounding rectangle over the node's entries.
+  geo::Rect ComputeMbr() const {
+    geo::Rect mbr = geo::Rect::Empty();
+    if (is_leaf()) {
+      for (const DataEntry& e : data) mbr = mbr.ExpandedToInclude(e.point);
+    } else {
+      for (const ChildEntry& e : children) mbr = mbr.ExpandedToInclude(e.mbr);
+    }
+    return mbr;
+  }
+
+  void SerializeTo(storage::Page* page) const;
+  static Node DeserializeFrom(const storage::Page& page);
+};
+
+}  // namespace lbsq::rtree
+
+#endif  // LBSQ_RTREE_NODE_H_

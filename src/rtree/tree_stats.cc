@@ -1,0 +1,78 @@
+#include "rtree/tree_stats.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace lbsq::rtree {
+
+TreeStats CollectTreeStats(RTree& tree) {
+  TreeStats stats;
+  stats.levels.assign(static_cast<size_t>(tree.height()), LevelSummary());
+  for (size_t i = 0; i < stats.levels.size(); ++i) {
+    stats.levels[i].level = static_cast<uint16_t>(i);
+  }
+
+  std::vector<storage::PageId> stack = {tree.root()};
+  while (!stack.empty()) {
+    const storage::PageId id = stack.back();
+    stack.pop_back();
+    const Node node = tree.FetchNode(id);
+    LevelSummary& level = stats.levels[node.level];
+    ++level.node_count;
+    level.entry_count += node.size();
+    if (node.is_leaf()) {
+      stats.total_points += node.data.size();
+      continue;
+    }
+    // Pairwise sibling overlap at this node.
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      const geo::Rect& a = node.children[i].mbr;
+      stats.levels[node.level - 1].total_area += a.Area();
+      for (size_t j = i + 1; j < node.children.size(); ++j) {
+        stats.levels[node.level - 1].overlap_area +=
+            a.Intersection(node.children[j].mbr).Area();
+      }
+      stack.push_back(node.children[i].child);
+    }
+  }
+
+  const auto& options = tree.options();
+  for (LevelSummary& level : stats.levels) {
+    stats.total_nodes += level.node_count;
+    if (level.node_count > 0) {
+      const double capacity = level.level == 0
+                                  ? options.leaf_capacity
+                                  : options.internal_capacity;
+      level.avg_occupancy =
+          static_cast<double>(level.entry_count) /
+          (static_cast<double>(level.node_count) * capacity);
+    }
+  }
+  // The root MBR area is not tracked by any parent; add it for level
+  // height-1 so total_area is meaningful at every level.
+  stats.levels.back().total_area += tree.root_mbr().Area();
+  LBSQ_CHECK_EQ(stats.total_points, tree.size());
+  return stats;
+}
+
+std::string TreeStats::ToString() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%5s %8s %10s %10s %12s %12s\n", "level",
+                "nodes", "entries", "occupancy", "area", "overlap");
+  out += line;
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    std::snprintf(line, sizeof(line), "%5d %8zu %10zu %9.1f%% %12.4g %12.4g\n",
+                  it->level, it->node_count, it->entry_count,
+                  100.0 * it->avg_occupancy, it->total_area,
+                  it->overlap_area);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "total: %zu nodes, %zu points\n",
+                total_nodes, total_points);
+  out += line;
+  return out;
+}
+
+}  // namespace lbsq::rtree

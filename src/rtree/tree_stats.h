@@ -1,0 +1,40 @@
+#ifndef LBSQ_RTREE_TREE_STATS_H_
+#define LBSQ_RTREE_TREE_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rtree/rtree.h"
+
+// Structural statistics of an R-tree: per-level node counts, occupancy,
+// area and overlap. Used by the cost models, operational tooling (the
+// CLI's `stats`), and quality assertions in tests — an R*-tree with
+// healthy splits shows low sibling overlap.
+
+namespace lbsq::rtree {
+
+struct LevelSummary {
+  uint16_t level = 0;       // 0 = leaf
+  size_t node_count = 0;
+  size_t entry_count = 0;
+  double avg_occupancy = 0.0;  // entries / logical capacity
+  double total_area = 0.0;     // sum of node MBR areas
+  double overlap_area = 0.0;   // sum of pairwise sibling-overlap areas
+};
+
+struct TreeStats {
+  std::vector<LevelSummary> levels;  // index 0 = leaf level
+  size_t total_nodes = 0;
+  size_t total_points = 0;
+
+  // Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+// Walks the whole tree once (counts node accesses like any traversal).
+TreeStats CollectTreeStats(RTree& tree);
+
+}  // namespace lbsq::rtree
+
+#endif  // LBSQ_RTREE_TREE_STATS_H_

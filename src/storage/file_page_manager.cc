@@ -1,0 +1,133 @@
+#include "storage/file_page_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lbsq::storage {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4c42535153544f52ULL;  // "LBSQSTOR"
+// Header layout: magic (8) | next_page (4) | free_count (4) | free ids.
+constexpr uint32_t kHeaderFixed = 16;
+constexpr uint32_t kMaxPersistedFree =
+    (kPageSize - kHeaderFixed) / sizeof(PageId);
+
+void PReadPage(int fd, uint64_t offset, Page* out) {
+  const ssize_t n = ::pread(fd, out->mutable_data(), kPageSize,
+                            static_cast<off_t>(offset));
+  LBSQ_CHECK(n == static_cast<ssize_t>(kPageSize));
+}
+
+void PWritePage(int fd, uint64_t offset, const Page& page) {
+  const ssize_t n =
+      ::pwrite(fd, page.data(), kPageSize, static_cast<off_t>(offset));
+  LBSQ_CHECK(n == static_cast<ssize_t>(kPageSize));
+}
+
+}  // namespace
+
+FilePageManager::FilePageManager(const std::string& path, Mode mode) {
+  const int flags =
+      mode == Mode::kCreate ? (O_RDWR | O_CREAT | O_TRUNC) : O_RDWR;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  LBSQ_CHECK(fd_ >= 0);
+  if (mode == Mode::kCreate) {
+    WriteHeader();
+  } else {
+    ReadHeader();
+  }
+}
+
+FilePageManager::~FilePageManager() {
+  Sync();
+  ::close(fd_);
+}
+
+void FilePageManager::ReadHeader() {
+  Page header;
+  PReadPage(fd_, 0, &header);
+  LBSQ_CHECK(header.ReadAt<uint64_t>(0) == kMagic);
+  next_page_ = header.ReadAt<PageId>(8);
+  const uint32_t free_count = header.ReadAt<uint32_t>(12);
+  LBSQ_CHECK(free_count <= kMaxPersistedFree);
+  free_list_.clear();
+  for (uint32_t i = 0; i < free_count; ++i) {
+    free_list_.push_back(
+        header.ReadAt<PageId>(kHeaderFixed + i * sizeof(PageId)));
+  }
+  live_.assign(next_page_, true);
+  for (const PageId id : free_list_) {
+    LBSQ_CHECK(id < next_page_);
+    live_[id] = false;
+  }
+}
+
+void FilePageManager::WriteHeader() {
+  Page header;
+  header.WriteAt<uint64_t>(0, kMagic);
+  header.WriteAt<PageId>(8, next_page_);
+  // A free list longer than one header page is truncated: the excess
+  // pages are simply not reused after reopening (safe; costs file space
+  // only). Keep the most recently freed ids, which are likeliest to be
+  // reused soon.
+  const auto persisted = static_cast<uint32_t>(
+      std::min<size_t>(free_list_.size(), kMaxPersistedFree));
+  header.WriteAt<uint32_t>(12, persisted);
+  for (uint32_t i = 0; i < persisted; ++i) {
+    header.WriteAt<PageId>(kHeaderFixed + i * sizeof(PageId),
+                           free_list_[free_list_.size() - persisted + i]);
+  }
+  PWritePage(fd_, 0, header);
+}
+
+void FilePageManager::Sync() {
+  WriteHeader();
+  LBSQ_CHECK(::fsync(fd_) == 0);
+}
+
+PageId FilePageManager::Allocate() {
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    live_[id] = true;
+    PWritePage(fd_, OffsetOf(id), Page());  // zero on reuse
+    return id;
+  }
+  const PageId id = next_page_++;
+  live_.push_back(true);
+  PWritePage(fd_, OffsetOf(id), Page());  // extend the file
+  return id;
+}
+
+void FilePageManager::Free(PageId id) {
+  LBSQ_CHECK(id < next_page_);
+  LBSQ_CHECK(live_[id]);
+  live_[id] = false;
+  free_list_.push_back(id);
+}
+
+void FilePageManager::Read(PageId id, Page* out) {
+  LBSQ_CHECK(id < next_page_);
+  LBSQ_CHECK(live_[id]);
+  ++read_count_;
+  PReadPage(fd_, OffsetOf(id), out);
+}
+
+void FilePageManager::Write(PageId id, const Page& page) {
+  LBSQ_CHECK(id < next_page_);
+  LBSQ_CHECK(live_[id]);
+  ++write_count_;
+  PWritePage(fd_, OffsetOf(id), page);
+}
+
+const Page& FilePageManager::ReadRef(PageId id) {
+  Read(id, &scratch_);
+  return scratch_;
+}
+
+}  // namespace lbsq::storage

@@ -1,0 +1,95 @@
+#include "storage/lru_buffer_pool.h"
+
+#include "common/check.h"
+
+namespace lbsq::storage {
+
+LruBufferPool::LruBufferPool(PageStore* manager, size_t capacity)
+    : manager_(manager), capacity_(capacity) {
+  LBSQ_CHECK(manager != nullptr);
+}
+
+LruBufferPool::~LruBufferPool() { FlushAll(); }
+
+const Page& LruBufferPool::Fetch(PageId id) {
+  ++logical_accesses_;
+  if (auto it = map_.find(id); it != map_.end()) {
+    ++hits_;
+    return Touch(it->second).page;
+  }
+  ++misses_;
+  if (capacity_ == 0) {
+    // Unbuffered mode: read straight through. The returned reference stays
+    // valid because PageManager storage is stable.
+    return manager_->ReadRef(id);
+  }
+  frames_.push_front(Frame{id, Page(), false});
+  manager_->Read(id, &frames_.front().page);
+  map_[id] = frames_.begin();
+  EvictIfNeeded();
+  return frames_.front().page;
+}
+
+void LruBufferPool::Write(PageId id, const Page& page) {
+  ++logical_accesses_;
+  if (capacity_ == 0) {
+    manager_->Write(id, page);
+    return;
+  }
+  if (auto it = map_.find(id); it != map_.end()) {
+    ++hits_;
+    Frame& frame = Touch(it->second);
+    frame.page = page;
+    frame.dirty = true;
+    return;
+  }
+  ++misses_;
+  frames_.push_front(Frame{id, page, true});
+  map_[id] = frames_.begin();
+  EvictIfNeeded();
+}
+
+void LruBufferPool::Discard(PageId id) {
+  if (auto it = map_.find(id); it != map_.end()) {
+    frames_.erase(it->second);
+    map_.erase(it);
+  }
+}
+
+void LruBufferPool::FlushAll() {
+  for (Frame& frame : frames_) WriteBack(frame);
+}
+
+void LruBufferPool::Clear() {
+  FlushAll();
+  frames_.clear();
+  map_.clear();
+}
+
+void LruBufferPool::Resize(size_t capacity) {
+  capacity_ = capacity;
+  EvictIfNeeded();
+}
+
+LruBufferPool::Frame& LruBufferPool::Touch(FrameList::iterator it) {
+  frames_.splice(frames_.begin(), frames_, it);
+  return frames_.front();
+}
+
+void LruBufferPool::EvictIfNeeded() {
+  while (map_.size() > capacity_) {
+    Frame& victim = frames_.back();
+    WriteBack(victim);
+    map_.erase(victim.id);
+    frames_.pop_back();
+  }
+}
+
+void LruBufferPool::WriteBack(Frame& frame) {
+  if (frame.dirty) {
+    manager_->Write(frame.id, frame.page);
+    frame.dirty = false;
+  }
+}
+
+}  // namespace lbsq::storage

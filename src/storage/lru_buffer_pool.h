@@ -1,0 +1,85 @@
+#ifndef LBSQ_STORAGE_LRU_BUFFER_POOL_H_
+#define LBSQ_STORAGE_LRU_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/page.h"
+#include "storage/page_store.h"
+
+// LRU page buffer. The paper's cost experiments (Figures 27, 28, 34, 35)
+// report both node accesses (every logical fetch) and page accesses
+// (fetches that miss an LRU buffer sized at 10% of the R-tree). This pool
+// produces both numbers: `Fetch` counts a node access, and misses fall
+// through to the PageManager whose read counter is the page-access count.
+
+namespace lbsq::storage {
+
+class LruBufferPool {
+ public:
+  // `capacity` = number of buffered pages; 0 disables caching (every fetch
+  // is a miss). The pool does not own the manager.
+  LruBufferPool(PageStore* manager, size_t capacity);
+
+  LruBufferPool(const LruBufferPool&) = delete;
+  LruBufferPool& operator=(const LruBufferPool&) = delete;
+
+  ~LruBufferPool();
+
+  // Returns a read-only view of the page, valid until the next non-const
+  // call on this pool. Counts one logical access; on miss, one physical
+  // read against the manager.
+  const Page& Fetch(PageId id);
+
+  // Writes through the pool: updates the cached copy (if any, marking it
+  // dirty for statistics symmetry) and schedules the physical write at
+  // eviction/flush. Counts one logical access.
+  void Write(PageId id, const Page& page);
+
+  // Drops the page from the pool (e.g. after Free) without writing back.
+  void Discard(PageId id);
+
+  // Writes back all dirty pages (physical writes) and keeps them cached.
+  void FlushAll();
+
+  // Empties the pool, writing back dirty pages. Counters are unchanged.
+  void Clear();
+
+  // Changes the capacity (evicting as needed). Used when the tree size is
+  // known only after bulk loading and the buffer must be 10% of it.
+  void Resize(size_t capacity);
+
+  uint64_t logical_accesses() const { return logical_accesses_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetCounters() { logical_accesses_ = hits_ = misses_ = 0; }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return map_.size(); }
+
+ private:
+  struct Frame {
+    PageId id;
+    Page page;
+    bool dirty = false;
+  };
+  using FrameList = std::list<Frame>;
+
+  // Moves the frame to the MRU position and returns it.
+  Frame& Touch(FrameList::iterator it);
+  void EvictIfNeeded();
+  void WriteBack(Frame& frame);
+
+  PageStore* manager_;
+  size_t capacity_;
+  FrameList frames_;  // front = most recently used
+  std::unordered_map<PageId, FrameList::iterator> map_;
+  uint64_t logical_accesses_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace lbsq::storage
+
+#endif  // LBSQ_STORAGE_LRU_BUFFER_POOL_H_

@@ -1,0 +1,52 @@
+#ifndef LBSQ_STORAGE_PAGE_H_
+#define LBSQ_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "common/check.h"
+
+// Fixed-size disk pages. The paper's experiments use 4 KiB pages (node
+// capacity 204 entries); every R-tree node is serialized into exactly one
+// page so that node accesses and page accesses are the same unit.
+
+namespace lbsq::storage {
+
+inline constexpr uint32_t kPageSize = 4096;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+// Raw page buffer with bounds-checked typed accessors. Readers/writers
+// address the payload by byte offset; the page itself is layout-agnostic.
+class Page {
+ public:
+  Page() { std::memset(bytes_, 0, kPageSize); }
+
+  const uint8_t* data() const { return bytes_; }
+  uint8_t* mutable_data() { return bytes_; }
+
+  template <typename T>
+  T ReadAt(uint32_t offset) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    LBSQ_DCHECK(offset + sizeof(T) <= kPageSize);
+    T value;
+    std::memcpy(&value, bytes_ + offset, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void WriteAt(uint32_t offset, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    LBSQ_DCHECK(offset + sizeof(T) <= kPageSize);
+    std::memcpy(bytes_ + offset, &value, sizeof(T));
+  }
+
+ private:
+  uint8_t bytes_[kPageSize];
+};
+
+}  // namespace lbsq::storage
+
+#endif  // LBSQ_STORAGE_PAGE_H_

@@ -1,0 +1,48 @@
+#include "storage/page_manager.h"
+
+namespace lbsq::storage {
+
+PageId PageManager::Allocate() {
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    *pages_[id] = Page();
+    live_[id] = true;
+    return id;
+  }
+  const PageId id = static_cast<PageId>(pages_.size());
+  pages_.push_back(std::make_unique<Page>());
+  live_.push_back(true);
+  return id;
+}
+
+void PageManager::Free(PageId id) {
+  CheckLive(id);
+  live_[id] = false;
+  free_list_.push_back(id);
+}
+
+void PageManager::Read(PageId id, Page* out) {
+  CheckLive(id);
+  ++read_count_;
+  *out = *pages_[id];
+}
+
+void PageManager::Write(PageId id, const Page& page) {
+  CheckLive(id);
+  ++write_count_;
+  *pages_[id] = page;
+}
+
+const Page& PageManager::ReadRef(PageId id) {
+  CheckLive(id);
+  ++read_count_;
+  return *pages_[id];
+}
+
+void PageManager::CheckLive(PageId id) const {
+  LBSQ_CHECK(id < pages_.size());
+  LBSQ_CHECK(live_[id]);
+}
+
+}  // namespace lbsq::storage

@@ -1,0 +1,47 @@
+#ifndef LBSQ_STORAGE_PAGE_STORE_H_
+#define LBSQ_STORAGE_PAGE_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "storage/page.h"
+
+// Abstract page store: the R-tree and buffer pool address pages through
+// this interface, so the same index runs on the in-memory simulated disk
+// (PageManager — what the experiments use, since the paper reports access
+// counts) or on a real file (FilePageManager).
+
+namespace lbsq::storage {
+
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  // Allocates a zeroed page and returns its id. May reuse freed ids.
+  virtual PageId Allocate() = 0;
+
+  // Returns a freed page to the allocator. The page must not be accessed
+  // again until re-allocated.
+  virtual void Free(PageId id) = 0;
+
+  // Copies the page content into `out`, counting one physical read.
+  virtual void Read(PageId id, Page* out) = 0;
+
+  // Overwrites the page, counting one physical write.
+  virtual void Write(PageId id, const Page& page) = 0;
+
+  // Read without copying into a caller buffer; the reference is valid
+  // only until the next call on this store. Counts one physical read.
+  virtual const Page& ReadRef(PageId id) = 0;
+
+  virtual uint64_t read_count() const = 0;
+  virtual uint64_t write_count() const = 0;
+  virtual void ResetCounters() = 0;
+
+  // Number of live (allocated, not freed) pages.
+  virtual size_t live_pages() const = 0;
+};
+
+}  // namespace lbsq::storage
+
+#endif  // LBSQ_STORAGE_PAGE_STORE_H_

@@ -1,0 +1,46 @@
+#include "tp/continuous_nn.h"
+
+#include "common/check.h"
+#include "rtree/knn.h"
+#include "tp/tpnn.h"
+
+namespace lbsq::tp {
+
+std::vector<CnnInterval> ContinuousNn(rtree::RTree& tree, const geo::Point& a,
+                                      const geo::Point& b) {
+  LBSQ_CHECK(tree.size() > 0);
+  const geo::Vec2 ab = b - a;
+  const double length = ab.Norm();
+  LBSQ_CHECK(length > 0.0);
+  const geo::Vec2 dir = ab * (1.0 / length);
+
+  std::vector<CnnInterval> out;
+  const auto start = rtree::KnnBestFirst(tree, a, 1);
+  rtree::DataEntry current = start[0].entry;
+  double t = 0.0;
+
+  // Each iteration discovers the next Voronoi edge crossed by the
+  // segment; there are at most O(n) of them.
+  const size_t max_hops = 4 * tree.size() + 16;
+  for (size_t hop = 0; hop < max_hops && t < length; ++hop) {
+    const geo::Point position = a + dir * t;
+    const TpnnResult next =
+        Tpnn(tree, position, dir, current.point, current.id);
+    if (!next.found || t + next.time >= length) {
+      out.push_back({t, length, current});
+      return out;
+    }
+    // Degenerate zero-length hops (query starting exactly on an edge)
+    // advance by a relative epsilon to guarantee progress.
+    const double advance =
+        next.time > 0.0 ? next.time : length * 1e-12 + 1e-300;
+    out.push_back({t, t + advance, current});
+    t += advance;
+    current = next.object;
+  }
+  // Pathological fall-through: close the last interval.
+  out.push_back({t, length, current});
+  return out;
+}
+
+}  // namespace lbsq::tp

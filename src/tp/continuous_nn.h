@@ -1,0 +1,32 @@
+#ifndef LBSQ_TP_CONTINUOUS_NN_H_
+#define LBSQ_TP_CONTINUOUS_NN_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+#include "rtree/rtree.h"
+
+// Continuous nearest-neighbor query along a segment [TPS02]: partitions
+// [a, b] into maximal intervals with a constant nearest neighbor. Built
+// by hopping TPNN queries along the segment — each hop lands exactly on
+// a Voronoi edge, so this doubles as an independent validation of the
+// influence-time machinery (the hop points must agree with the validity
+// regions of Section 3).
+
+namespace lbsq::tp {
+
+struct CnnInterval {
+  // Parameter range along the segment, as distances from `a` in [0, L].
+  double begin = 0.0;
+  double end = 0.0;
+  rtree::DataEntry nn;
+};
+
+// Requires a != b and a nonempty tree. Intervals are returned in order
+// and cover [0, |b - a|] exactly.
+std::vector<CnnInterval> ContinuousNn(rtree::RTree& tree, const geo::Point& a,
+                                      const geo::Point& b);
+
+}  // namespace lbsq::tp
+
+#endif  // LBSQ_TP_CONTINUOUS_NN_H_

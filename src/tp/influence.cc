@@ -1,0 +1,207 @@
+#include "tp/influence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lbsq::tp {
+
+namespace {
+
+// Relative tolerance for degenerate configurations (query exactly on a
+// bisector, direction parallel to a bisector, ...).
+constexpr double kEps = 1e-12;
+
+// Smallest t in [lo, hi] with a*t^2 + b*t + c <= 0, or kNever. Assumes the
+// value at lo is > 0 (callers handle the <=0-at-lo case directly).
+double SmallestRootInInterval(double a, double b, double c, double lo,
+                              double hi) {
+  if (std::abs(a) < kEps) {
+    // Linear: b*t + c <= 0.
+    if (b >= 0.0) return kNever;  // value only grows (and was > 0 at lo)
+    const double root = -c / b;
+    return root <= hi ? std::max(root, lo) : kNever;
+  }
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) {
+    // No real roots: sign is constant (positive, since positive at lo).
+    return kNever;
+  }
+  const double sq = std::sqrt(disc);
+  // Numerically stable root pair.
+  const double q = -0.5 * (b + (b >= 0.0 ? sq : -sq));
+  double r1 = q / a;
+  double r2 = (a != 0.0 && q != 0.0) ? c / q : r1;
+  if (r1 > r2) std::swap(r1, r2);
+  if (a > 0.0) {
+    // <= 0 between the roots; first crossing at r1.
+    if (r1 >= lo && r1 <= hi) return r1;
+    // (If r1 < lo the value at lo would already be <= 0.)
+    return kNever;
+  }
+  // a < 0: <= 0 outside [r1, r2]; positive at lo implies lo in (r1, r2),
+  // so the first crossing is r2.
+  if (r2 >= lo && r2 <= hi) return r2;
+  return kNever;
+}
+
+}  // namespace
+
+double PointInfluenceTime(const geo::Point& q, const geo::Vec2& l,
+                          const geo::Point& o, const geo::Point& p) {
+  const double num = geo::SquaredDistance(q, p) - geo::SquaredDistance(q, o);
+  const double den = 2.0 * l.Dot(p - o);
+  if (den <= kEps) return kNever;
+  const double t = num / den;
+  return t < 0.0 ? 0.0 : t;
+}
+
+double NodeInfluenceLowerBound(const geo::Point& q, const geo::Vec2& l,
+                               const geo::Point& o, const geo::Rect& e) {
+  // f(t) = mindist(q(t), e)^2 - dist(q(t), o)^2 is piecewise quadratic in
+  // t; its pieces are delimited by the times the moving point crosses the
+  // rectangle's x/y slab boundaries. Influence is possible from the first
+  // t >= 0 with f(t) <= 0.
+  const double qo2 = geo::SquaredDistance(q, o);
+  const geo::Vec2 q_minus_o = q - o;
+
+  // Breakpoints (slab crossings) at t > 0.
+  std::vector<double> cuts = {0.0};
+  auto add_cut = [&cuts](double bound, double origin, double speed) {
+    if (std::abs(speed) < kEps) return;
+    const double t = (bound - origin) / speed;
+    if (t > 0.0 && std::isfinite(t)) cuts.push_back(t);
+  };
+  add_cut(e.min_x, q.x, l.dx);
+  add_cut(e.max_x, q.x, l.dx);
+  add_cut(e.min_y, q.y, l.dy);
+  add_cut(e.max_y, q.y, l.dy);
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    const double lo = cuts[i];
+    const bool last = i + 1 == cuts.size();
+    const double hi = last ? kNever : cuts[i + 1];
+    // Classify the clamp pattern at a probe inside the interval.
+    const double probe = last ? lo + 1.0 : 0.5 * (lo + hi);
+    const double px = q.x + probe * l.dx;
+    const double py = q.y + probe * l.dy;
+
+    // Accumulate f(t) = a*t^2 + b*t + c over the three terms.
+    double a = -1.0;  // -t^2 from dist(q(t), o)^2
+    double b = -2.0 * l.Dot(q_minus_o);
+    double c = -qo2;
+    if (px < e.min_x) {
+      const double d0 = e.min_x - q.x;  // (d0 - l.dx * t)^2
+      a += l.dx * l.dx;
+      b += -2.0 * d0 * l.dx;
+      c += d0 * d0;
+    } else if (px > e.max_x) {
+      const double d0 = q.x - e.max_x;  // (d0 + l.dx * t)^2
+      a += l.dx * l.dx;
+      b += 2.0 * d0 * l.dx;
+      c += d0 * d0;
+    }
+    if (py < e.min_y) {
+      const double d0 = e.min_y - q.y;
+      a += l.dy * l.dy;
+      b += -2.0 * d0 * l.dy;
+      c += d0 * d0;
+    } else if (py > e.max_y) {
+      const double d0 = q.y - e.max_y;
+      a += l.dy * l.dy;
+      b += 2.0 * d0 * l.dy;
+      c += d0 * d0;
+    }
+
+    const double f_lo = (a * lo + b) * lo + c;
+    if (f_lo <= 0.0) return lo;
+    const double t = SmallestRootInInterval(a, b, c, lo, hi);
+    if (t != kNever) return t;
+  }
+  return kNever;
+}
+
+std::optional<ContainmentInterval> WindowContainmentInterval(
+    const geo::Point& q, const geo::Vec2& l, double hx, double hy,
+    const geo::Point& p) {
+  LBSQ_DCHECK(hx >= 0.0 && hy >= 0.0);
+  // Per axis: |p - q - t*l| <= h gives an interval of t (possibly empty or
+  // unbounded when the axis velocity is 0).
+  double t_in = 0.0;
+  double t_out = kNever;
+  const double delta[2] = {p.x - q.x, p.y - q.y};
+  const double speed[2] = {l.dx, l.dy};
+  const double half[2] = {hx, hy};
+  for (int axis = 0; axis < 2; ++axis) {
+    if (std::abs(speed[axis]) < kEps) {
+      if (std::abs(delta[axis]) > half[axis]) return std::nullopt;
+      continue;  // covered for all t on this axis
+    }
+    double lo = (delta[axis] - half[axis]) / speed[axis];
+    double hi = (delta[axis] + half[axis]) / speed[axis];
+    if (lo > hi) std::swap(lo, hi);
+    t_in = std::max(t_in, lo);
+    t_out = std::min(t_out, hi);
+  }
+  if (t_out < t_in || t_out < 0.0) return std::nullopt;
+  return ContainmentInterval{t_in, t_out};
+}
+
+double WindowPointInfluenceTime(const geo::Point& q, const geo::Vec2& l,
+                                double hx, double hy, const geo::Point& p) {
+  const auto interval = WindowContainmentInterval(q, l, hx, hy, p);
+  if (!interval.has_value()) return kNever;
+  if (interval->t_in <= 0.0) {
+    // Currently covered: influences when it leaves.
+    return interval->t_out;
+  }
+  return interval->t_in;
+}
+
+double WindowNodeInfluenceLowerBound(const geo::Point& q, const geo::Vec2& l,
+                                     double hx, double hy,
+                                     const geo::Rect& e) {
+  // Entry bound: the window first touches some location of `e` when the
+  // moving point q(t) enters e dilated by the half-extents. That is a
+  // containment-interval problem on the dilated rectangle's center with
+  // combined half extents — reuse the per-point kernel against the center
+  // of e with half-extents grown by e's own half sizes.
+  const geo::Point center = e.Center();
+  const double ex = 0.5 * e.width();
+  const double ey = 0.5 * e.height();
+  const auto touch =
+      WindowContainmentInterval(q, l, hx + ex, hy + ey, center);
+  double entry_bound = kNever;
+  double exit_bound = kNever;
+  if (touch.has_value()) {
+    entry_bound = std::max(0.0, touch->t_in);
+    // Exit bound: only points currently covered can influence by exiting.
+    const geo::Rect window(q.x - hx, q.y - hy, q.x + hx, q.y + hy);
+    const geo::Rect covered = window.Intersection(e);
+    if (!covered.IsEmpty()) {
+      // A covered point p exits first across the axis edges moving away
+      // from it; exit time is linear in p per axis, so the minimum over
+      // the covered rectangle is attained at a corner.
+      double min_exit = kNever;
+      const double xs[2] = {covered.min_x, covered.max_x};
+      const double ys[2] = {covered.min_y, covered.max_y};
+      for (double x : xs) {
+        for (double y : ys) {
+          const auto iv =
+              WindowContainmentInterval(q, l, hx, hy, geo::Point(x, y));
+          if (iv.has_value() && iv->t_in <= 0.0) {
+            min_exit = std::min(min_exit, iv->t_out);
+          }
+        }
+      }
+      exit_bound = min_exit;
+    }
+  }
+  return std::min(entry_bound, exit_bound);
+}
+
+}  // namespace lbsq::tp

@@ -1,0 +1,86 @@
+#include "tp/tp_window.h"
+
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lbsq::tp {
+
+TpWindowResult TpWindowQuery(rtree::RTree& tree, const geo::Rect& window,
+                             const geo::Vec2& l) {
+  TpWindowResult out;
+  if (tree.size() == 0) return out;
+
+  const geo::Point q = window.Center();
+  const double hx = 0.5 * window.width();
+  const double hy = 0.5 * window.height();
+  // Ties in influence time are genuine (several objects crossing an edge
+  // simultaneously); collect all of them within a small relative band.
+  const double tie_tol = 1e-9;
+
+  struct Candidate {
+    double bound;
+    storage::PageId page;
+  };
+  struct Later {
+    bool operator()(const Candidate& a, const Candidate& b) const {
+      return a.bound > b.bound;
+    }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, Later> queue;
+  queue.push({WindowNodeInfluenceLowerBound(q, l, hx, hy, tree.root_mbr()),
+              tree.root()});
+
+  struct Influencer {
+    rtree::DataEntry entry;
+    double time;
+    bool currently_inside;
+  };
+  std::vector<Influencer> influencers;
+  double best_time = kNever;
+
+  // A node must be expanded when it may hold result objects (window
+  // intersects its MBR) or when it may hold the earliest influencer.
+  while (!queue.empty()) {
+    const Candidate top = queue.top();
+    queue.pop();
+    const rtree::Node node = tree.FetchNode(top.page);
+    if (node.is_leaf()) {
+      for (const rtree::DataEntry& e : node.data) {
+        const bool inside = window.Contains(e.point);
+        if (inside) out.result.push_back(e);
+        const double t = WindowPointInfluenceTime(q, l, hx, hy, e.point);
+        if (t == kNever) continue;
+        if (t < best_time - tie_tol * (1.0 + t)) {
+          best_time = t;
+          influencers.clear();
+        }
+        if (t <= best_time + tie_tol * (1.0 + best_time)) {
+          influencers.push_back({e, t, inside});
+        }
+      }
+    } else {
+      for (const rtree::ChildEntry& e : node.children) {
+        const double bound = WindowNodeInfluenceLowerBound(q, l, hx, hy, e.mbr);
+        const bool may_influence =
+            bound <= best_time + tie_tol * (1.0 + best_time);
+        const bool may_contain = window.Intersects(e.mbr);
+        if (may_influence || may_contain) queue.push({bound, e.child});
+      }
+    }
+  }
+
+  out.expiry = best_time;
+  for (const Influencer& inf : influencers) {
+    if (inf.currently_inside) {
+      out.leaving.push_back(inf.entry);
+    } else {
+      out.entering.push_back(inf.entry);
+    }
+  }
+  return out;
+}
+
+}  // namespace lbsq::tp

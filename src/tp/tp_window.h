@@ -1,0 +1,33 @@
+#ifndef LBSQ_TP_TP_WINDOW_H_
+#define LBSQ_TP_TP_WINDOW_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rtree/rtree.h"
+#include "tp/influence.h"
+
+// Time-parameterized window query [TP02] (Figure 6a of the paper): for a
+// window of fixed extents whose focus moves along direction `l`, returns
+// the triple <R, T, C> — the current result, its expiry time, and the
+// objects that change the result at that time (entering or leaving).
+
+namespace lbsq::tp {
+
+struct TpWindowResult {
+  std::vector<rtree::DataEntry> result;   // R: objects currently in window
+  double expiry = kNever;                 // T: first influence time
+  // C: the change at T. Objects currently in the result leave it at T;
+  // the others enter it.
+  std::vector<rtree::DataEntry> leaving;
+  std::vector<rtree::DataEntry> entering;
+};
+
+// `window` must contain `q` as its focus center; `l` is a unit direction.
+TpWindowResult TpWindowQuery(rtree::RTree& tree, const geo::Rect& window,
+                             const geo::Vec2& l);
+
+}  // namespace lbsq::tp
+
+#endif  // LBSQ_TP_TP_WINDOW_H_

@@ -1,0 +1,138 @@
+#include "tp/tpnn.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+#include "storage/page.h"
+
+namespace lbsq::tp {
+
+namespace {
+
+struct NodeCandidate {
+  double bound;
+  storage::PageId page;
+};
+struct LaterNode {
+  bool operator()(const NodeCandidate& a, const NodeCandidate& b) const {
+    return a.bound > b.bound;
+  }
+};
+
+using NodeQueue =
+    std::priority_queue<NodeCandidate, std::vector<NodeCandidate>, LaterNode>;
+
+// Deterministic "better influence" comparison: smaller time wins; exact
+// ties prefer the smaller object id so repeated runs agree.
+bool Improves(double time, rtree::ObjectId id, double best_time,
+              const rtree::DataEntry& best, bool best_found) {
+  if (time < best_time) return true;
+  return best_found && time == best_time && id < best.id;
+}
+
+}  // namespace
+
+TpnnResult Tpnn(rtree::RTree& tree, const geo::Point& q, const geo::Vec2& l,
+                const geo::Point& o, rtree::ObjectId o_id) {
+  TpnnResult best;
+  if (tree.size() == 0) return best;
+
+  NodeQueue queue;
+  queue.push({NodeInfluenceLowerBound(q, l, o, tree.root_mbr()), tree.root()});
+
+  while (!queue.empty()) {
+    const NodeCandidate top = queue.top();
+    queue.pop();
+    if (top.bound >= best.time) break;  // no candidate can improve
+    const rtree::Node node = tree.FetchNode(top.page);
+    if (node.is_leaf()) {
+      for (const rtree::DataEntry& e : node.data) {
+        if (e.id == o_id) continue;
+        const double t = PointInfluenceTime(q, l, o, e.point);
+        if (Improves(t, e.id, best.time, best.object, best.found)) {
+          best.found = true;
+          best.object = e;
+          best.time = t;
+        }
+      }
+    } else {
+      for (const rtree::ChildEntry& e : node.children) {
+        const double bound = NodeInfluenceLowerBound(q, l, o, e.mbr);
+        if (bound < best.time) queue.push({bound, e.child});
+      }
+    }
+  }
+  if (best.time == kNever) best.found = false;
+  return best;
+}
+
+TpknnResult Tpknn(rtree::RTree& tree, const geo::Point& q, const geo::Vec2& l,
+                  const std::vector<rtree::Neighbor>& answers) {
+  TpknnResult best;
+  LBSQ_CHECK(!answers.empty());
+  if (tree.size() == 0) return best;
+
+  // The answer set changes the first time an outside object crosses the
+  // bisector with any member. For node pruning, an admissible bound is
+  // the minimum single-NN bound across members. Computing that is O(k)
+  // per node; a cheap admissible pre-bound cuts most of it: crossing at
+  // time t needs mindist(q(t), e) <= dist(q(t), member), and since
+  // mindist(q(t), e) >= mindist(q, e) - t and dist(q(t), member) <=
+  // t + dist_k, any influence satisfies t >= (mindist(q, e) - dist_k)/2.
+  const double dist_k = answers.back().distance;
+  auto cheap_bound = [&](const geo::Rect& mbr) {
+    return 0.5 * (geo::MinDist(q, mbr) - dist_k);
+  };
+  auto node_bound = [&](const geo::Rect& mbr) {
+    double bound = kNever;
+    for (const rtree::Neighbor& a : answers) {
+      bound = std::min(bound, NodeInfluenceLowerBound(q, l, a.entry.point, mbr));
+      if (bound <= 0.0) break;
+    }
+    return bound;
+  };
+  auto is_member = [&](rtree::ObjectId id) {
+    return std::any_of(
+        answers.begin(), answers.end(),
+        [id](const rtree::Neighbor& a) { return a.entry.id == id; });
+  };
+
+  NodeQueue queue;
+  queue.push({node_bound(tree.root_mbr()), tree.root()});
+
+  while (!queue.empty()) {
+    const NodeCandidate top = queue.top();
+    queue.pop();
+    if (top.bound >= best.time) break;
+    const rtree::Node node = tree.FetchNode(top.page);
+    if (node.is_leaf()) {
+      for (const rtree::DataEntry& e : node.data) {
+        // Same cheap pre-bound as for nodes, on the point itself.
+        if (0.5 * (geo::Distance(q, e.point) - dist_k) >= best.time) continue;
+        if (is_member(e.id)) continue;
+        // First crossing against any member; the displaced member is the
+        // one whose bisector is reached first.
+        for (const rtree::Neighbor& a : answers) {
+          const double t = PointInfluenceTime(q, l, a.entry.point, e.point);
+          if (Improves(t, e.id, best.time, best.incoming, best.found)) {
+            best.found = true;
+            best.incoming = e;
+            best.displaced = a.entry;
+            best.time = t;
+          }
+        }
+      }
+    } else {
+      for (const rtree::ChildEntry& e : node.children) {
+        if (cheap_bound(e.mbr) >= best.time) continue;
+        const double bound = node_bound(e.mbr);
+        if (bound < best.time) queue.push({bound, e.child});
+      }
+    }
+  }
+  if (best.time == kNever) best.found = false;
+  return best;
+}
+
+}  // namespace lbsq::tp

@@ -1,0 +1,52 @@
+#ifndef LBSQ_TP_TPNN_H_
+#define LBSQ_TP_TPNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "rtree/knn.h"
+#include "rtree/rtree.h"
+#include "tp/influence.h"
+
+// Time-parameterized nearest-neighbor queries [TP02]: given a query point
+// moving along direction `l` and its current answer, find the object with
+// the minimum influence time — the object that will change the result
+// first. These are the primitive the validity-region engines issue toward
+// each unconfirmed polygon vertex (Section 3 of the paper).
+
+namespace lbsq::tp {
+
+// Result of a TPNN query. When no object ever influences the answer in
+// direction `l`, `found` is false and `time` is kNever.
+struct TpnnResult {
+  bool found = false;
+  rtree::DataEntry object;   // the incoming object o_inf
+  double time = kNever;      // its influence time (= traveled distance)
+};
+
+// Result of a TPkNN query: the incoming object plus the answer-set member
+// it displaces (the pair <o_inf, o_i> of Figure 12).
+struct TpknnResult {
+  bool found = false;
+  rtree::DataEntry incoming;   // o_inf, outside the current answer set
+  rtree::DataEntry displaced;  // o_i, the member whose bisector is crossed
+  double time = kNever;
+};
+
+// Single-NN TPNN: the current nearest neighbor is `o` (object id
+// `o_id`). Returns the first object to become closer than `o` as the
+// query moves from `q` along unit direction `l`. Best-first search with
+// the admissible NodeInfluenceLowerBound; exact.
+TpnnResult Tpnn(rtree::RTree& tree, const geo::Point& q, const geo::Vec2& l,
+                const geo::Point& o, rtree::ObjectId o_id);
+
+// k-NN TPkNN: `answers` is the current k-NN answer set. Returns the
+// first (incoming, displaced) bisector crossing that changes the *set*
+// (swaps internal to the set never change it and are ignored).
+TpknnResult Tpknn(rtree::RTree& tree, const geo::Point& q, const geo::Vec2& l,
+                  const std::vector<rtree::Neighbor>& answers);
+
+}  // namespace lbsq::tp
+
+#endif  // LBSQ_TP_TPNN_H_

@@ -1,0 +1,160 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geometry/point.h"
+
+namespace lbsq::workload {
+
+namespace {
+
+geo::Point ClampInto(const geo::Rect& universe, geo::Point p) {
+  p.x = std::clamp(p.x, universe.min_x, universe.max_x);
+  p.y = std::clamp(p.y, universe.min_y, universe.max_y);
+  return p;
+}
+
+void AssignIds(Dataset* dataset) {
+  for (size_t i = 0; i < dataset->entries.size(); ++i) {
+    dataset->entries[i].id = static_cast<rtree::ObjectId>(i);
+  }
+}
+
+}  // namespace
+
+Dataset MakeUniform(size_t n, const geo::Rect& universe, uint64_t seed) {
+  LBSQ_CHECK(!universe.IsEmpty());
+  Rng rng(seed);
+  Dataset out;
+  out.universe = universe;
+  out.entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.entries.push_back(
+        {{rng.Uniform(universe.min_x, universe.max_x),
+          rng.Uniform(universe.min_y, universe.max_y)},
+         0});
+  }
+  AssignIds(&out);
+  return out;
+}
+
+Dataset MakeUnitUniform(size_t n, uint64_t seed) {
+  return MakeUniform(n, geo::Rect(0.0, 0.0, 1.0, 1.0), seed);
+}
+
+Dataset MakeClustered(size_t n, const geo::Rect& universe, size_t clusters,
+                      double alpha, double sigma_min, double sigma_max,
+                      double background, uint64_t seed) {
+  LBSQ_CHECK(!universe.IsEmpty());
+  LBSQ_CHECK(clusters > 0);
+  LBSQ_CHECK(background >= 0.0 && background < 1.0);
+  Rng rng(seed);
+  Dataset out;
+  out.universe = universe;
+  out.entries.reserve(n);
+
+  const double width = universe.width();
+  const auto n_background = static_cast<size_t>(background * n);
+  const size_t n_clustered = n - n_background;
+
+  // Power-law cluster weights: w_i ~ U^(-1/alpha) (Pareto tail).
+  std::vector<double> weights(clusters);
+  double total = 0.0;
+  for (size_t i = 0; i < clusters; ++i) {
+    const double u = std::max(rng.NextDouble(), 1e-12);
+    weights[i] = std::pow(u, -1.0 / alpha);
+    total += weights[i];
+  }
+
+  struct Cluster {
+    geo::Point center;
+    double sigma;
+    size_t count;
+  };
+  std::vector<Cluster> specs;
+  specs.reserve(clusters);
+  size_t assigned = 0;
+  for (size_t i = 0; i < clusters; ++i) {
+    Cluster c;
+    c.center = {rng.Uniform(universe.min_x, universe.max_x),
+                rng.Uniform(universe.min_y, universe.max_y)};
+    c.sigma = width * rng.Uniform(sigma_min, sigma_max);
+    c.count = static_cast<size_t>(weights[i] / total *
+                                  static_cast<double>(n_clustered));
+    assigned += c.count;
+    specs.push_back(c);
+  }
+  // Distribute rounding leftovers to the first clusters.
+  for (size_t i = 0; assigned < n_clustered; ++i, ++assigned) {
+    ++specs[i % specs.size()].count;
+  }
+
+  for (const Cluster& c : specs) {
+    for (size_t j = 0; j < c.count; ++j) {
+      const geo::Point p{c.center.x + rng.Gaussian() * c.sigma,
+                         c.center.y + rng.Gaussian() * c.sigma};
+      out.entries.push_back({ClampInto(universe, p), 0});
+    }
+  }
+  for (size_t i = 0; i < n_background; ++i) {
+    out.entries.push_back(
+        {{rng.Uniform(universe.min_x, universe.max_x),
+          rng.Uniform(universe.min_y, universe.max_y)},
+         0});
+  }
+  AssignIds(&out);
+  return out;
+}
+
+Dataset MakeGrLike(uint64_t seed, size_t n) {
+  // 800 km x 800 km in meters.
+  const geo::Rect universe(0.0, 0.0, 800e3, 800e3);
+  Rng rng(seed);
+  Dataset out;
+  out.universe = universe;
+  out.entries.reserve(n);
+
+  // Random "roads": polyline chains whose segments carry jittered points,
+  // mimicking street-segment centroids that follow the road network.
+  const size_t points_per_road = 40;
+  const size_t roads = std::max<size_t>(1, n / points_per_road);
+  size_t produced = 0;
+  while (produced < n) {
+    geo::Point cursor{rng.Uniform(universe.min_x, universe.max_x),
+                      rng.Uniform(universe.min_y, universe.max_y)};
+    double heading = rng.Uniform(0.0, 2.0 * M_PI);
+    const size_t segments = 2 + rng.NextBounded(5);
+    for (size_t s = 0; s < segments && produced < n; ++s) {
+      heading += rng.Uniform(-0.6, 0.6);  // gentle bends
+      const double length = universe.width() * rng.Uniform(0.01, 0.06);
+      const geo::Vec2 dir{std::cos(heading), std::sin(heading)};
+      const size_t samples =
+          std::min<size_t>(n - produced, points_per_road / segments + 1);
+      for (size_t i = 0; i < samples; ++i) {
+        const double along = rng.Uniform(0.0, length);
+        const double across = rng.Gaussian() * universe.width() * 5e-4;
+        geo::Point p = cursor + dir * along + dir.Perp() * across;
+        out.entries.push_back({ClampInto(universe, p), 0});
+        ++produced;
+      }
+      cursor = cursor + dir * length;
+      cursor = ClampInto(universe, cursor);
+    }
+  }
+  (void)roads;
+  AssignIds(&out);
+  return out;
+}
+
+Dataset MakeNaLike(uint64_t seed, size_t n) {
+  // ~7000 km x 7000 km in meters; heavy-tailed city clusters plus sparse
+  // rural background.
+  const geo::Rect universe(0.0, 0.0, 7000e3, 7000e3);
+  return MakeClustered(n, universe, /*clusters=*/2000, /*alpha=*/1.2,
+                       /*sigma_min=*/0.001, /*sigma_max=*/0.02,
+                       /*background=*/0.1, seed);
+}
+
+}  // namespace lbsq::workload

@@ -1,0 +1,54 @@
+#ifndef LBSQ_WORKLOAD_DATASETS_H_
+#define LBSQ_WORKLOAD_DATASETS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/rect.h"
+#include "rtree/node.h"
+
+// Dataset generators for the experiments of Section 6.
+//
+// The paper uses uniform synthetic data plus two real datasets that are
+// not redistributable here; we substitute synthetic stand-ins with the
+// same cardinality, extent and style of skew (see DESIGN.md):
+//   GR — 23,268 street-segment centroids of Greece, 800km x 800km
+//        -> points jittered along random road polylines;
+//   NA — 569,120 populated places of North America, ~7000km x 7000km
+//        -> power-law-sized Gaussian city clusters over background noise.
+
+namespace lbsq::workload {
+
+struct Dataset {
+  std::vector<rtree::DataEntry> entries;
+  geo::Rect universe;
+};
+
+// `n` points uniform in `universe`.
+Dataset MakeUniform(size_t n, const geo::Rect& universe, uint64_t seed);
+
+// Convenience: uniform points in the unit square (the paper's synthetic
+// setting).
+Dataset MakeUnitUniform(size_t n, uint64_t seed);
+
+// Generic cluster mixture: `clusters` Gaussian clusters with power-law
+// sizes (exponent `alpha`), standard deviations between sigma_min and
+// sigma_max (fractions of the universe width), plus `background` fraction
+// of uniform noise.
+Dataset MakeClustered(size_t n, const geo::Rect& universe, size_t clusters,
+                      double alpha, double sigma_min, double sigma_max,
+                      double background, uint64_t seed);
+
+// GR stand-in: road-polyline points, 800km x 800km (coordinates in
+// meters). Defaults to the paper's cardinality.
+Dataset MakeGrLike(uint64_t seed, size_t n = 23268);
+
+// NA stand-in: city clusters, 7000km x 7000km (meters). Defaults to the
+// paper's cardinality.
+Dataset MakeNaLike(uint64_t seed, size_t n = 569120);
+
+}  // namespace lbsq::workload
+
+#endif  // LBSQ_WORKLOAD_DATASETS_H_

@@ -1,0 +1,79 @@
+#include "workload/queries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lbsq::workload {
+
+namespace {
+
+geo::Point ClampInto(const geo::Rect& universe, geo::Point p) {
+  p.x = std::clamp(p.x, universe.min_x, universe.max_x);
+  p.y = std::clamp(p.y, universe.min_y, universe.max_y);
+  return p;
+}
+
+}  // namespace
+
+std::vector<geo::Point> MakeDataDistributedQueries(const Dataset& dataset,
+                                                   size_t count,
+                                                   uint64_t seed,
+                                                   double jitter) {
+  LBSQ_CHECK(!dataset.entries.empty());
+  Rng rng(seed);
+  std::vector<geo::Point> out;
+  out.reserve(count);
+  const double scale = dataset.universe.width() * jitter;
+  for (size_t i = 0; i < count; ++i) {
+    const geo::Point& base =
+        dataset.entries[rng.NextBounded(dataset.entries.size())].point;
+    const geo::Point p{base.x + rng.Gaussian() * scale,
+                       base.y + rng.Gaussian() * scale};
+    out.push_back(ClampInto(dataset.universe, p));
+  }
+  return out;
+}
+
+std::vector<geo::Point> MakeUniformQueries(const geo::Rect& universe,
+                                           size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geo::Point> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back({rng.Uniform(universe.min_x, universe.max_x),
+                   rng.Uniform(universe.min_y, universe.max_y)});
+  }
+  return out;
+}
+
+std::vector<geo::Point> MakeRandomWaypointTrajectory(const Dataset& dataset,
+                                                     size_t steps,
+                                                     double step,
+                                                     uint64_t seed) {
+  LBSQ_CHECK(!dataset.entries.empty());
+  LBSQ_CHECK(step > 0.0);
+  Rng rng(seed);
+  auto sample = [&]() {
+    return dataset.entries[rng.NextBounded(dataset.entries.size())].point;
+  };
+  std::vector<geo::Point> out;
+  out.reserve(steps);
+  geo::Point position = sample();
+  geo::Point waypoint = sample();
+  for (size_t i = 0; i < steps; ++i) {
+    const geo::Vec2 to_target = waypoint - position;
+    const double remaining = to_target.Norm();
+    if (remaining <= step) {
+      position = waypoint;
+      waypoint = sample();
+    } else {
+      position = position + to_target * (step / remaining);
+    }
+    out.push_back(position);
+  }
+  return out;
+}
+
+}  // namespace lbsq::workload

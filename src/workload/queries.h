@@ -1,0 +1,41 @@
+#ifndef LBSQ_WORKLOAD_QUERIES_H_
+#define LBSQ_WORKLOAD_QUERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/point.h"
+#include "workload/datasets.h"
+
+// Query-location and trajectory generators. Following Section 6, query
+// workloads are distributed like the data: each query location is a
+// jittered copy of a random data point.
+
+namespace lbsq::workload {
+
+// `count` query locations distributed like the dataset. `jitter` is the
+// relative displacement (fraction of universe width) applied to the
+// sampled data point; locations are clamped into the universe.
+std::vector<geo::Point> MakeDataDistributedQueries(const Dataset& dataset,
+                                                   size_t count,
+                                                   uint64_t seed,
+                                                   double jitter = 0.01);
+
+// `count` uniform query locations in the universe.
+std::vector<geo::Point> MakeUniformQueries(const geo::Rect& universe,
+                                           size_t count, uint64_t seed);
+
+// A client trajectory under the random-waypoint mobility model: the
+// client walks in fixed `step` increments toward a waypoint sampled from
+// the data distribution, picking a new waypoint on arrival, for `steps`
+// position updates.
+std::vector<geo::Point> MakeRandomWaypointTrajectory(const Dataset& dataset,
+                                                     size_t steps,
+                                                     double step,
+                                                     uint64_t seed);
+
+}  // namespace lbsq::workload
+
+#endif  // LBSQ_WORKLOAD_QUERIES_H_

@@ -1,0 +1,202 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/delaunay.h"
+#include "baselines/sr01.h"
+#include "baselines/voronoi.h"
+#include "common/rng.h"
+#include "core/nn_validity.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace lbsq::baselines {
+namespace {
+
+using test::BruteForceKnn;
+using test::SmallNodeOptions;
+using test::TreeFixture;
+using workload::MakeUnitUniform;
+
+const geo::Rect kUnit(0.0, 0.0, 1.0, 1.0);
+
+std::vector<geo::Point> PointsOf(const std::vector<rtree::DataEntry>& data) {
+  std::vector<geo::Point> out;
+  out.reserve(data.size());
+  for (const rtree::DataEntry& e : data) out.push_back(e.point);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Delaunay triangulation
+// ---------------------------------------------------------------------------
+
+TEST(DelaunayTest, TinyInputs) {
+  // Single point: no finite triangles, NN trivially that point.
+  DelaunayTriangulation one({{0.5, 0.5}});
+  EXPECT_EQ(one.num_triangles(), 0u);
+  EXPECT_EQ(one.NearestSite({0.9, 0.9}), 0u);
+
+  // Two points: still no finite triangle; the NN walk must work via
+  // neighbor lists (the two sites are Delaunay neighbors through the
+  // super-triangle fan).
+  DelaunayTriangulation two({{0.2, 0.2}, {0.8, 0.8}});
+  EXPECT_EQ(two.NearestSite({0.0, 0.0}), 0u);
+  EXPECT_EQ(two.NearestSite({1.0, 1.0}), 1u);
+
+  // Triangle.
+  DelaunayTriangulation three({{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}});
+  EXPECT_EQ(three.num_triangles(), 1u);
+  EXPECT_TRUE(three.CheckDelaunayProperty());
+}
+
+class DelaunayPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DelaunayPropertyTest, EmptyCircumcircleHolds) {
+  const size_t n = GetParam();
+  const auto dataset = MakeUnitUniform(n, 1000 + n);
+  DelaunayTriangulation dt(PointsOf(dataset.entries));
+  EXPECT_TRUE(dt.CheckDelaunayProperty());
+  // Euler: a Delaunay triangulation of n points with h hull points has
+  // 2n - 2 - h triangles; sanity-check the ballpark.
+  EXPECT_GT(dt.num_triangles(), n);
+  EXPECT_LT(dt.num_triangles(), 2 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DelaunayPropertyTest,
+                         ::testing::Values(10, 50, 200, 1000));
+
+TEST(DelaunayTest, NearestSiteMatchesBruteForce) {
+  const auto dataset = MakeUnitUniform(500, 1234);
+  DelaunayTriangulation dt(PointsOf(dataset.entries));
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const geo::Point q{rng.NextDouble(), rng.NextDouble()};
+    const auto expected = BruteForceKnn(dataset.entries, q, 1);
+    const size_t got = dt.NearestSite(q);
+    // Compare by distance (ties may pick either point).
+    EXPECT_NEAR(geo::Distance(q, dt.site(got)), expected[0].distance, 1e-12);
+  }
+}
+
+TEST(DelaunayTest, ClusteredDataRemainsCorrect) {
+  const auto dataset = workload::MakeClustered(
+      600, kUnit, 8, 1.2, 0.005, 0.02, 0.05, 4321);
+  DelaunayTriangulation dt(PointsOf(dataset.entries));
+  EXPECT_TRUE(dt.CheckDelaunayProperty());
+}
+
+// ---------------------------------------------------------------------------
+// Voronoi index and the cross-validation against the on-the-fly cells
+// ---------------------------------------------------------------------------
+
+TEST(VoronoiIndexTest, QueryReturnsNearestAndItsCell) {
+  const auto dataset = MakeUnitUniform(300, 2222);
+  VoronoiIndex index(dataset.entries, kUnit);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const geo::Point q{rng.NextDouble(), rng.NextDouble()};
+    const auto result = index.Query(q);
+    const auto expected = BruteForceKnn(dataset.entries, q, 1);
+    EXPECT_EQ(result.nearest.id, expected[0].entry.id);
+    EXPECT_TRUE(result.cell.Contains(q));
+  }
+}
+
+TEST(VoronoiIndexTest, CellsTileTheUniverse) {
+  const auto dataset = MakeUnitUniform(200, 3333);
+  VoronoiIndex index(dataset.entries, kUnit);
+  double total = 0.0;
+  for (size_t i = 0; i < dataset.entries.size(); ++i) {
+    total += index.CellOf(i).Area();
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);  // cells partition the unit square
+}
+
+// The headline cross-validation: the on-the-fly validity region computed
+// through TPNN queries (the paper's algorithm) equals the cell of the
+// precomputed Voronoi diagram.
+TEST(CrossValidationTest, OnTheFlyCellEqualsDiagramCell) {
+  for (uint64_t seed : {10u, 20u, 30u}) {
+    const auto dataset = MakeUnitUniform(400, seed);
+    TreeFixture fx(dataset.entries, 32, SmallNodeOptions());
+    core::NnValidityEngine engine(fx.tree.get(), kUnit);
+    VoronoiIndex index(dataset.entries, kUnit);
+
+    Rng rng(seed ^ 0xff);
+    for (int i = 0; i < 30; ++i) {
+      const geo::Point q{rng.NextDouble(), rng.NextDouble()};
+      const auto flying = engine.Query(q, 1);
+      const auto oracle = index.Query(q);
+      ASSERT_EQ(flying.answers()[0].entry.id, oracle.nearest.id);
+      EXPECT_NEAR(flying.region().Area(), oracle.cell.Area(), 1e-9);
+      for (const geo::Point& v : flying.region().vertices()) {
+        EXPECT_TRUE(oracle.cell.Contains(v));
+      }
+      for (const geo::Point& v : oracle.cell.vertices()) {
+        EXPECT_TRUE(flying.region().Contains(v));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SR01 client
+// ---------------------------------------------------------------------------
+
+TEST(Sr01Test, AlwaysReturnsExactKnn) {
+  const auto dataset = MakeUnitUniform(2000, 4444);
+  TreeFixture fx(dataset.entries, 64, SmallNodeOptions());
+  Sr01Client client(fx.tree.get(), /*k=*/3, /*m=*/10);
+
+  const auto trajectory = workload::MakeRandomWaypointTrajectory(
+      dataset, 300, /*step=*/0.002, 999);
+  for (const geo::Point& p : trajectory) {
+    const auto got = client.MoveTo(p);
+    const auto expected = BruteForceKnn(dataset.entries, p, 3);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].entry.id, expected[i].entry.id) << "rank " << i;
+    }
+  }
+  // The cache must actually absorb some updates (else m was useless).
+  EXPECT_GT(client.cached_answers(), 0u);
+  EXPECT_LT(client.server_queries(), trajectory.size());
+}
+
+TEST(Sr01Test, LargerMMeansFewerServerQueries) {
+  const auto dataset = MakeUnitUniform(5000, 5555);
+  TreeFixture fx(dataset.entries, 64);
+  const auto trajectory = workload::MakeRandomWaypointTrajectory(
+      dataset, 400, /*step=*/0.001, 321);
+
+  size_t queries_small_m = 0;
+  size_t queries_large_m = 0;
+  {
+    Sr01Client client(fx.tree.get(), 1, 2);
+    for (const geo::Point& p : trajectory) client.MoveTo(p);
+    queries_small_m = client.server_queries();
+  }
+  {
+    Sr01Client client(fx.tree.get(), 1, 16);
+    for (const geo::Point& p : trajectory) client.MoveTo(p);
+    queries_large_m = client.server_queries();
+  }
+  EXPECT_LT(queries_large_m, queries_small_m);
+}
+
+TEST(Sr01Test, MEqualsKDegeneratesToAlwaysQuery) {
+  const auto dataset = MakeUnitUniform(1000, 6666);
+  TreeFixture fx(dataset.entries, 64);
+  Sr01Client client(fx.tree.get(), 2, 2);  // dist(m) - dist(k) = 0
+  const auto trajectory = workload::MakeRandomWaypointTrajectory(
+      dataset, 50, /*step=*/0.001, 11);
+  for (const geo::Point& p : trajectory) client.MoveTo(p);
+  EXPECT_EQ(client.server_queries(), trajectory.size());
+}
+
+}  // namespace
+}  // namespace lbsq::baselines

@@ -1,0 +1,98 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace lbsq {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+  Rng c(124);
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.NextU64() != c.NextU64()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBoundsAndMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Uniform(2.0, 6.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 6.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.02);
+}
+
+TEST(RngTest, NextBoundedCoversRange) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, GaussianMomentsAreStandard) {
+  Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 1.25);  // population variance
+}
+
+TEST(RunningStatsTest, EmptyIsSafe) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenSamples) {
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0, 4.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0, 4.0}, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 50.0), 2.5);  // unsorted
+  EXPECT_DOUBLE_EQ(Percentile({5.0}, 99.0), 5.0);
+}
+
+}  // namespace
+}  // namespace lbsq

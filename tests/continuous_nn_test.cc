@@ -1,0 +1,97 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/nn_validity.h"
+#include "tests/test_util.h"
+#include "tp/continuous_nn.h"
+#include "workload/datasets.h"
+
+namespace lbsq::tp {
+namespace {
+
+using test::BruteForceKnn;
+using test::SmallNodeOptions;
+using test::TreeFixture;
+using workload::MakeUnitUniform;
+
+TEST(ContinuousNnTest, IntervalsCoverSegmentInOrder) {
+  const auto dataset = MakeUnitUniform(500, 701);
+  TreeFixture fx(dataset.entries, 32, SmallNodeOptions());
+  const geo::Point a{0.1, 0.1};
+  const geo::Point b{0.9, 0.85};
+  const auto intervals = ContinuousNn(*fx.tree, a, b);
+  ASSERT_FALSE(intervals.empty());
+  EXPECT_DOUBLE_EQ(intervals.front().begin, 0.0);
+  EXPECT_DOUBLE_EQ(intervals.back().end, geo::Distance(a, b));
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(intervals[i].begin, intervals[i - 1].end);
+    EXPECT_NE(intervals[i].nn.id, intervals[i - 1].nn.id)
+        << "consecutive intervals must have distinct neighbors";
+  }
+}
+
+TEST(ContinuousNnTest, MatchesBruteForceAtSamples) {
+  const auto dataset = MakeUnitUniform(2000, 703);
+  TreeFixture fx(dataset.entries, 64, SmallNodeOptions());
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geo::Point a{rng.NextDouble(), rng.NextDouble()};
+    const geo::Point b{rng.NextDouble(), rng.NextDouble()};
+    if (a == b) continue;
+    const auto intervals = ContinuousNn(*fx.tree, a, b);
+    const double length = geo::Distance(a, b);
+    const geo::Vec2 dir = (b - a) * (1.0 / length);
+    for (const CnnInterval& interval : intervals) {
+      // Probe the interval midpoint (strictly inside, away from edges).
+      const double mid = 0.5 * (interval.begin + interval.end);
+      const geo::Point p = a + dir * mid;
+      const auto expected = BruteForceKnn(dataset.entries, p, 1);
+      EXPECT_EQ(interval.nn.id, expected[0].entry.id)
+          << "wrong NN at parameter " << mid;
+    }
+  }
+}
+
+TEST(ContinuousNnTest, HopsLandOnValidityRegionBoundaries) {
+  // The hop points of the continuous NN are exactly where the validity
+  // regions of Section 3 end: each interval's end must lie on the
+  // boundary of the Voronoi cell of its neighbor.
+  const auto dataset = MakeUnitUniform(1000, 705);
+  TreeFixture fx(dataset.entries, 64, SmallNodeOptions());
+  core::NnValidityEngine engine(fx.tree.get(), geo::Rect(0, 0, 1, 1));
+  const geo::Point a{0.2, 0.3};
+  const geo::Point b{0.8, 0.7};
+  const double length = geo::Distance(a, b);
+  const geo::Vec2 dir = (b - a) * (1.0 / length);
+
+  const auto intervals = ContinuousNn(*fx.tree, a, b);
+  for (const CnnInterval& interval : intervals) {
+    const double mid = 0.5 * (interval.begin + interval.end);
+    const auto region = engine.Query(a + dir * mid, 1);
+    ASSERT_EQ(region.answers()[0].entry.id, interval.nn.id);
+    // Points inside the interval are inside the region...
+    EXPECT_TRUE(region.IsValidAt(a + dir * (mid)));
+    // ...and the crossing point is on (within rounding of) its boundary.
+    if (interval.end < length) {
+      const geo::Point crossing = a + dir * interval.end;
+      const geo::Point before = a + dir * (interval.end - 1e-9);
+      const geo::Point after = a + dir * (interval.end + 1e-9);
+      EXPECT_TRUE(region.IsValidAt(before) || region.IsValidAt(crossing));
+      EXPECT_FALSE(region.IsValidAt(after));
+    }
+  }
+}
+
+TEST(ContinuousNnTest, SinglePointDatasetGivesOneInterval) {
+  std::vector<rtree::DataEntry> data = {{{0.5, 0.5}, 9}};
+  TreeFixture fx(data, 8);
+  const auto intervals = ContinuousNn(*fx.tree, {0.0, 0.0}, {1.0, 1.0});
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].nn.id, 9u);
+}
+
+}  // namespace
+}  // namespace lbsq::tp

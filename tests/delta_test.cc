@@ -1,0 +1,97 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/delta.h"
+#include "core/window_validity.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace lbsq::core {
+namespace {
+
+using rtree::DataEntry;
+using test::Ids;
+using test::TreeFixture;
+using workload::MakeUnitUniform;
+
+TEST(DeltaTest, DiffAndApplyRoundTrip) {
+  const std::vector<DataEntry> before = {
+      {{0.1, 0.1}, 1}, {{0.2, 0.2}, 2}, {{0.3, 0.3}, 3}};
+  const std::vector<DataEntry> after = {
+      {{0.2, 0.2}, 2}, {{0.4, 0.4}, 4}, {{0.5, 0.5}, 5}};
+  const ResultDelta delta = DiffResults(before, after);
+  EXPECT_EQ(delta.added.size(), 2u);
+  EXPECT_EQ(delta.removed.size(), 2u);
+  const auto rebuilt = ApplyDelta(before, delta);
+  EXPECT_EQ(Ids(rebuilt), Ids(after));
+}
+
+TEST(DeltaTest, IdenticalResultsGiveEmptyDelta) {
+  const std::vector<DataEntry> r = {{{0.1, 0.1}, 1}, {{0.2, 0.2}, 2}};
+  const ResultDelta delta = DiffResults(r, r);
+  EXPECT_TRUE(delta.added.empty());
+  EXPECT_TRUE(delta.removed.empty());
+  EXPECT_EQ(DeltaBytes(delta), 8u);
+}
+
+TEST(DeltaTest, RandomizedRoundTrips) {
+  Rng rng(42);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<DataEntry> before;
+    std::vector<DataEntry> after;
+    for (uint32_t id = 0; id < 60; ++id) {
+      const DataEntry e{{rng.NextDouble(), rng.NextDouble()}, id};
+      const uint64_t dice = rng.NextBounded(4);
+      if (dice == 0) {
+        before.push_back(e);
+      } else if (dice == 1) {
+        after.push_back(e);
+      } else if (dice == 2) {
+        before.push_back(e);
+        after.push_back(e);
+      }
+    }
+    const ResultDelta delta = DiffResults(before, after);
+    EXPECT_EQ(Ids(ApplyDelta(before, delta)), Ids(after));
+  }
+}
+
+TEST(DeltaTest, ConsecutiveWindowResultsShipSmallDeltas) {
+  // The future-work claim: consecutive re-queries along a trajectory
+  // overlap heavily, so deltas are much smaller than full answers.
+  const auto dataset = MakeUnitUniform(50000, 801);
+  TreeFixture fx(dataset.entries, 64);
+  WindowValidityEngine engine(fx.tree.get(), geo::Rect(0, 0, 1, 1));
+  const auto trajectory = workload::MakeRandomWaypointTrajectory(
+      dataset, 2000, /*step=*/0.001, 802);
+
+  const double h = 0.05;
+  std::vector<DataEntry> previous;
+  size_t full_bytes = 0;
+  size_t delta_bytes = 0;
+  WindowValidityResult cached;
+  bool has = false;
+  for (const geo::Point& p : trajectory) {
+    if (has && cached.IsValidAt(p)) continue;
+    const WindowValidityResult fresh = engine.Query(p, h, h);
+    if (has) {
+      const ResultDelta delta = DiffResults(previous, fresh.result());
+      delta_bytes += DeltaBytes(delta);
+      full_bytes += 8 + fresh.result().size() * 20;
+      // Client reconstruction is exact.
+      EXPECT_EQ(Ids(ApplyDelta(previous, delta)), Ids(fresh.result()));
+    }
+    previous = fresh.result();
+    cached = fresh;
+    has = true;
+  }
+  ASSERT_GT(full_bytes, 0u);
+  // Deltas should transmit a small fraction of the full answers.
+  EXPECT_LT(delta_bytes * 3, full_bytes);
+}
+
+}  // namespace
+}  // namespace lbsq::core

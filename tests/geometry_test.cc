@@ -1,0 +1,302 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/convex_polygon.h"
+#include "geometry/halfplane.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "geometry/region.h"
+
+namespace lbsq::geo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vec2 / Point
+// ---------------------------------------------------------------------------
+
+TEST(Vec2Test, BasicArithmetic) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 25.0);
+  const Vec2 b = a.Normalized();
+  EXPECT_NEAR(b.Norm(), 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(a.Dot(Vec2{1.0, 0.0}), 3.0);
+  EXPECT_DOUBLE_EQ(a.Cross(Vec2{1.0, 0.0}), -4.0);
+}
+
+TEST(Vec2Test, PerpIsCounterclockwise) {
+  const Vec2 right{1.0, 0.0};
+  const Vec2 up = right.Perp();
+  EXPECT_DOUBLE_EQ(up.dx, 0.0);
+  EXPECT_DOUBLE_EQ(up.dy, 1.0);
+  EXPECT_DOUBLE_EQ(right.Dot(up), 0.0);
+}
+
+TEST(PointTest, DistanceAndMidpoint) {
+  const Point a{0.0, 0.0};
+  const Point b{6.0, 8.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 10.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 100.0);
+  const Point m = Midpoint(a, b);
+  EXPECT_DOUBLE_EQ(m.x, 3.0);
+  EXPECT_DOUBLE_EQ(m.y, 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Rect
+// ---------------------------------------------------------------------------
+
+TEST(RectTest, ContainsAndIntersects) {
+  const Rect r(0.0, 0.0, 2.0, 1.0);
+  EXPECT_TRUE(r.Contains(Point{0.0, 0.0}));    // closed boundary
+  EXPECT_TRUE(r.Contains(Point{2.0, 1.0}));
+  EXPECT_FALSE(r.Contains(Point{2.0001, 1.0}));
+  EXPECT_FALSE(r.ContainsInterior(Point{0.0, 0.5}));
+  EXPECT_TRUE(r.ContainsInterior(Point{1.0, 0.5}));
+
+  EXPECT_TRUE(r.Intersects(Rect(2.0, 1.0, 3.0, 2.0)));  // corner touch
+  EXPECT_FALSE(r.Intersects(Rect(2.1, 0.0, 3.0, 1.0)));
+  EXPECT_TRUE(r.Contains(Rect(0.5, 0.25, 1.0, 0.5)));
+  EXPECT_FALSE(r.Contains(Rect(0.5, 0.25, 2.5, 0.5)));
+}
+
+TEST(RectTest, EmptyBehavior) {
+  const Rect e = Rect::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_DOUBLE_EQ(e.Area(), 0.0);
+  EXPECT_FALSE(e.Intersects(Rect(0, 0, 1, 1)));
+  const Rect r = e.ExpandedToInclude(Point{2.0, 3.0});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_DOUBLE_EQ(r.min_x, 2.0);
+  EXPECT_DOUBLE_EQ(r.max_y, 3.0);
+}
+
+TEST(RectTest, IntersectionAndDilation) {
+  const Rect a(0, 0, 4, 4);
+  const Rect b(2, 1, 6, 3);
+  const Rect i = a.Intersection(b);
+  EXPECT_EQ(i, Rect(2, 1, 4, 3));
+  EXPECT_TRUE(a.Intersection(Rect(5, 5, 6, 6)).IsEmpty());
+
+  EXPECT_EQ(a.Dilated(1.0, 2.0), Rect(-1, -2, 5, 6));
+  EXPECT_TRUE(a.Dilated(-3.0, -1.0).IsEmpty());
+  EXPECT_EQ(a.Dilated(-1.0, -1.0), Rect(1, 1, 3, 3));
+}
+
+TEST(RectTest, MinDistAndMaxDist) {
+  const Rect r(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(MinDist(Point{1.0, 1.0}, r), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(MinDist(Point{3.0, 1.0}, r), 1.0);   // right of
+  EXPECT_DOUBLE_EQ(MinDist(Point{5.0, 6.0}, r), 5.0);   // corner 3-4-5
+  EXPECT_DOUBLE_EQ(MaxDist(Point{0.0, 0.0}, r), std::sqrt(8.0));
+}
+
+TEST(RectTest, CenteredRequiresNonNegativeExtents) {
+  const Rect r = Rect::Centered(Point{1.0, 2.0}, 0.5, 1.5);
+  EXPECT_EQ(r, Rect(0.5, 0.5, 1.5, 3.5));
+  EXPECT_EQ(r.Center().x, 1.0);
+  EXPECT_EQ(r.Center().y, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// HalfPlane / bisectors
+// ---------------------------------------------------------------------------
+
+TEST(HalfPlaneTest, BisectorSeparatesCorrectly) {
+  const Point o{0.0, 0.0};
+  const Point p{2.0, 0.0};
+  const HalfPlane h = BisectorTowards(o, p);
+  EXPECT_TRUE(h.Contains(o));
+  EXPECT_FALSE(h.Contains(p));
+  EXPECT_TRUE(h.Contains(Point{1.0, 5.0}));       // on the boundary
+  EXPECT_TRUE(h.Contains(Point{0.999, -3.0}));
+  EXPECT_FALSE(h.Contains(Point{1.001, -3.0}));
+}
+
+TEST(HalfPlaneTest, BisectorBoundaryIsEquidistant) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const Point o{rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    const Point p{rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    if (o == p) continue;
+    const HalfPlane h = BisectorTowards(o, p);
+    // Any point strictly closer to o is inside; strictly closer to p is
+    // outside.
+    for (int j = 0; j < 20; ++j) {
+      const Point x{rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+      const double to_o = SquaredDistance(x, o);
+      const double to_p = SquaredDistance(x, p);
+      if (to_o < to_p) {
+        EXPECT_TRUE(h.Contains(x));
+      } else if (to_p < to_o) {
+        EXPECT_FALSE(h.Contains(x));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ConvexPolygon
+// ---------------------------------------------------------------------------
+
+TEST(ConvexPolygonTest, FromRectHasCcwAreaAndContains) {
+  const ConvexPolygon poly = ConvexPolygon::FromRect(Rect(0, 0, 2, 3));
+  EXPECT_EQ(poly.num_vertices(), 4u);
+  EXPECT_DOUBLE_EQ(poly.Area(), 6.0);
+  EXPECT_TRUE(poly.Contains(Point{1.0, 1.0}));
+  EXPECT_TRUE(poly.Contains(Point{0.0, 0.0}));  // vertex
+  EXPECT_TRUE(poly.Contains(Point{1.0, 0.0}));  // edge
+  EXPECT_FALSE(poly.Contains(Point{2.1, 1.0}));
+}
+
+TEST(ConvexPolygonTest, ClipHalfPlaneSquareToTriangle) {
+  const ConvexPolygon square = ConvexPolygon::FromRect(Rect(0, 0, 1, 1));
+  // Keep x + y <= 1: clips the square into a triangle of area 1/2.
+  const HalfPlane h(Vec2{1.0, 1.0}, 1.0);
+  const ConvexPolygon tri = square.ClipHalfPlane(h);
+  EXPECT_EQ(tri.num_vertices(), 3u);
+  EXPECT_NEAR(tri.Area(), 0.5, 1e-12);
+  EXPECT_TRUE(tri.Contains(Point{0.2, 0.2}));
+  EXPECT_FALSE(tri.Contains(Point{0.8, 0.8}));
+}
+
+TEST(ConvexPolygonTest, ClipAwayEverythingYieldsEmpty) {
+  const ConvexPolygon square = ConvexPolygon::FromRect(Rect(0, 0, 1, 1));
+  const HalfPlane h(Vec2{1.0, 0.0}, -1.0);  // x <= -1
+  EXPECT_TRUE(square.ClipHalfPlane(h).IsEmpty());
+}
+
+TEST(ConvexPolygonTest, ClipThatMissesKeepsPolygon) {
+  const ConvexPolygon square = ConvexPolygon::FromRect(Rect(0, 0, 1, 1));
+  const HalfPlane h(Vec2{1.0, 0.0}, 2.0);  // x <= 2
+  const ConvexPolygon same = square.ClipHalfPlane(h);
+  EXPECT_EQ(same.num_vertices(), 4u);
+  EXPECT_DOUBLE_EQ(same.Area(), 1.0);
+  EXPECT_FALSE(square.IsCutBy(h));
+}
+
+TEST(ConvexPolygonTest, IsCutByDetectsCrossingPlanes) {
+  const ConvexPolygon square = ConvexPolygon::FromRect(Rect(0, 0, 1, 1));
+  EXPECT_TRUE(square.IsCutBy(HalfPlane(Vec2{1.0, 0.0}, 0.5)));
+  // Grazing through a vertex: cuts nothing.
+  EXPECT_FALSE(square.IsCutBy(HalfPlane(Vec2{1.0, 1.0}, 2.0)));
+}
+
+TEST(ConvexPolygonTest, RandomClipSequencePreservesInvariants) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    ConvexPolygon poly = ConvexPolygon::FromRect(Rect(0, 0, 1, 1));
+    const Point inside{rng.Uniform(0.2, 0.8), rng.Uniform(0.2, 0.8)};
+    double prev_area = poly.Area();
+    for (int i = 0; i < 30 && !poly.IsEmpty(); ++i) {
+      // A random half-plane that keeps `inside`.
+      const Point other{rng.Uniform(-0.5, 1.5), rng.Uniform(-0.5, 1.5)};
+      if (other == inside) continue;
+      const HalfPlane h = BisectorTowards(inside, other);
+      poly = poly.ClipHalfPlane(h);
+      ASSERT_FALSE(poly.IsEmpty());
+      const double area = poly.Area();
+      EXPECT_LE(area, prev_area + 1e-12);  // clipping shrinks
+      EXPECT_GE(area, 0.0);
+      EXPECT_TRUE(poly.Contains(inside));
+      prev_area = area;
+    }
+  }
+}
+
+TEST(ConvexPolygonTest, BoundingBoxCoversVertices) {
+  const ConvexPolygon poly(
+      {{0.0, 0.0}, {2.0, -1.0}, {3.0, 2.0}, {1.0, 3.0}});
+  const Rect box = poly.BoundingBox();
+  EXPECT_EQ(box, Rect(0.0, -1.0, 3.0, 3.0));
+}
+
+// ---------------------------------------------------------------------------
+// RectMinusBoxes
+// ---------------------------------------------------------------------------
+
+TEST(RectMinusBoxesTest, ContainsRespectsHoles) {
+  const RectMinusBoxes region(Rect(0, 0, 10, 10),
+                              {Rect(2, 2, 4, 4), Rect(6, 6, 12, 12)});
+  EXPECT_TRUE(region.Contains(Point{1.0, 1.0}));
+  EXPECT_FALSE(region.Contains(Point{3.0, 3.0}));   // inside hole 1
+  EXPECT_TRUE(region.Contains(Point{2.0, 3.0}));    // hole boundary is valid
+  EXPECT_FALSE(region.Contains(Point{8.0, 8.0}));   // inside hole 2
+  EXPECT_FALSE(region.Contains(Point{11.0, 1.0}));  // outside base
+}
+
+TEST(RectMinusBoxesTest, AreaSubtractsClippedHoleUnion) {
+  // Hole 1 fully inside (area 4), hole 2 half outside (4 inside), and they
+  // do not overlap.
+  const RectMinusBoxes region(Rect(0, 0, 10, 10),
+                              {Rect(2, 2, 4, 4), Rect(8, 4, 12, 6)});
+  EXPECT_NEAR(region.Area(), 100.0 - 4.0 - 4.0, 1e-12);
+}
+
+TEST(RectMinusBoxesTest, AreaHandlesOverlappingHoles) {
+  // Two 4x4 holes overlapping in a 2x4 strip: union is 4*4*2 - 8 = 24.
+  const RectMinusBoxes region(Rect(0, 0, 10, 10),
+                              {Rect(1, 1, 5, 5), Rect(3, 1, 7, 5)});
+  EXPECT_NEAR(region.Area(), 100.0 - 24.0, 1e-12);
+}
+
+TEST(RectMinusBoxesTest, AreaMonteCarloAgrees) {
+  Rng rng(99);
+  std::vector<Rect> holes;
+  for (int i = 0; i < 8; ++i) {
+    const double x = rng.Uniform(-1, 9);
+    const double y = rng.Uniform(-1, 9);
+    holes.emplace_back(x, y, x + rng.Uniform(0.5, 3.0),
+                       y + rng.Uniform(0.5, 3.0));
+  }
+  const RectMinusBoxes region(Rect(0, 0, 10, 10), holes);
+  const double exact = region.Area();
+  size_t in = 0;
+  const size_t samples = 200000;
+  for (size_t i = 0; i < samples; ++i) {
+    const Point p{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    if (region.Contains(p)) ++in;
+  }
+  const double monte = 100.0 * static_cast<double>(in) /
+                       static_cast<double>(samples);
+  EXPECT_NEAR(exact, monte, 1.0);  // ~3-sigma band for this sample size
+}
+
+TEST(RectMinusBoxesTest, ConservativeRectInsideRegionAndContainsFocus) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Rect> holes;
+    for (int i = 0; i < 6; ++i) {
+      const double x = rng.Uniform(0, 9);
+      const double y = rng.Uniform(0, 9);
+      holes.emplace_back(x, y, x + rng.Uniform(0.2, 2.0),
+                         y + rng.Uniform(0.2, 2.0));
+    }
+    const RectMinusBoxes region(Rect(0, 0, 10, 10), holes);
+    // Find a focus inside the region.
+    Point focus;
+    bool found = false;
+    for (int i = 0; i < 200; ++i) {
+      focus = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+      if (region.Contains(focus)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;
+    const Rect cons = region.ConservativeRect(focus);
+    EXPECT_TRUE(cons.Contains(focus));
+    // Conservative region must be a subset of the exact region: sample it.
+    for (int i = 0; i < 200; ++i) {
+      const Point p{rng.Uniform(cons.min_x, cons.max_x),
+                    rng.Uniform(cons.min_y, cons.max_y)};
+      EXPECT_TRUE(region.Contains(p))
+          << "violating point (" << p.x << ", " << p.y << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::geo

@@ -1,0 +1,129 @@
+// Model-based fuzz test: LruBufferPool against a straightforward
+// reference LRU. Random fetch/write/discard/resize sequences must
+// produce identical hit/miss decisions and identical page contents.
+
+#include <algorithm>
+#include <list>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/lru_buffer_pool.h"
+#include "storage/page_manager.h"
+
+namespace lbsq::storage {
+namespace {
+
+// Reference model: just an ordered list of cached ids (front = MRU).
+class ModelLru {
+ public:
+  explicit ModelLru(size_t capacity) : capacity_(capacity) {}
+
+  // Returns true on hit.
+  bool Touch(PageId id) {
+    auto it = std::find(ids_.begin(), ids_.end(), id);
+    if (it != ids_.end()) {
+      ids_.erase(it);
+      ids_.push_front(id);
+      return true;
+    }
+    if (capacity_ == 0) return false;
+    ids_.push_front(id);
+    if (ids_.size() > capacity_) ids_.pop_back();
+    return false;
+  }
+
+  void Discard(PageId id) {
+    auto it = std::find(ids_.begin(), ids_.end(), id);
+    if (it != ids_.end()) ids_.erase(it);
+  }
+
+  void Resize(size_t capacity) {
+    capacity_ = capacity;
+    while (ids_.size() > capacity_) ids_.pop_back();
+  }
+
+ private:
+  size_t capacity_;
+  std::list<PageId> ids_;
+};
+
+struct LruFuzzCase {
+  uint64_t seed;
+  size_t capacity;
+  size_t pages;
+  size_t operations;
+};
+
+class LruFuzzTest : public ::testing::TestWithParam<LruFuzzCase> {};
+
+TEST_P(LruFuzzTest, MatchesReferenceModel) {
+  const LruFuzzCase param = GetParam();
+  Rng rng(param.seed);
+
+  PageManager manager;
+  std::vector<PageId> ids;
+  std::vector<uint64_t> shadow_content(param.pages, 0);
+  for (size_t i = 0; i < param.pages; ++i) ids.push_back(manager.Allocate());
+
+  LruBufferPool pool(&manager, param.capacity);
+  ModelLru model(param.capacity);
+
+  uint64_t next_value = 1;
+  for (size_t op = 0; op < param.operations; ++op) {
+    const size_t which = rng.NextBounded(param.pages);
+    const PageId id = ids[which];
+    const uint64_t dice = rng.NextBounded(100);
+    if (dice < 60) {
+      // Fetch: hit/miss must match the model, content must match shadow.
+      const uint64_t misses_before = pool.misses();
+      const Page& page = pool.Fetch(id);
+      const bool hit = pool.misses() == misses_before;
+      EXPECT_EQ(hit, model.Touch(id)) << "op " << op;
+      EXPECT_EQ(page.ReadAt<uint64_t>(0), shadow_content[which]);
+    } else if (dice < 85) {
+      // Write through the pool.
+      Page page;
+      page.WriteAt<uint64_t>(0, next_value);
+      shadow_content[which] = next_value;
+      ++next_value;
+      pool.Write(id, page);
+      model.Touch(id);
+    } else if (dice < 95) {
+      pool.Discard(id);
+      model.Discard(id);
+      // A discarded dirty page loses its buffered content; re-sync the
+      // shadow with the disk copy.
+      Page on_disk;
+      manager.Read(id, &on_disk);
+      shadow_content[which] = on_disk.ReadAt<uint64_t>(0);
+    } else {
+      const size_t new_capacity = rng.NextBounded(param.capacity + 2);
+      pool.Resize(new_capacity);
+      model.Resize(new_capacity);
+      // Note: model resize evicts the same LRU tail; subsequent hits
+      // must keep matching, which is the real assertion here.
+      pool.Resize(param.capacity);
+      model.Resize(param.capacity);
+    }
+  }
+  // Final flush: the disk must converge to the shadow contents.
+  pool.FlushAll();
+  for (size_t i = 0; i < param.pages; ++i) {
+    Page page;
+    manager.Read(ids[i], &page);
+    EXPECT_EQ(page.ReadAt<uint64_t>(0), shadow_content[i]) << "page " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LruFuzzTest,
+    ::testing::Values(LruFuzzCase{1, 4, 16, 3000},
+                      LruFuzzCase{2, 1, 8, 2000},
+                      LruFuzzCase{3, 16, 16, 3000},   // everything fits
+                      LruFuzzCase{4, 7, 64, 5000},
+                      LruFuzzCase{5, 0, 8, 1000}));   // no buffering
+
+}  // namespace
+}  // namespace lbsq::storage

@@ -1,0 +1,77 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/nn_validity.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+
+namespace lbsq::core {
+namespace {
+
+using test::BruteForceKnn;
+using test::SmallNodeOptions;
+using test::TreeFixture;
+using workload::MakeUnitUniform;
+
+const geo::Rect kUnit(0.0, 0.0, 1.0, 1.0);
+
+TEST(OrderedValidityTest, RankingStableInsideRegion) {
+  const auto dataset = MakeUnitUniform(2000, 901);
+  TreeFixture fx(dataset.entries, 64, SmallNodeOptions());
+  NnValidityEngine engine(fx.tree.get(), kUnit);
+  Rng rng(902);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geo::Point q{rng.NextDouble(), rng.NextDouble()};
+    const size_t k = 2 + rng.NextBounded(6);
+    const NnValidityResult result = engine.QueryOrdered(q, k);
+
+    std::vector<rtree::ObjectId> ranking;
+    for (const auto& n : result.answers()) ranking.push_back(n.entry.id);
+
+    for (int i = 0; i < 300; ++i) {
+      const geo::Point p{rng.NextDouble(), rng.NextDouble()};
+      if (!result.IsValidAt(p)) continue;
+      const auto fresh = BruteForceKnn(dataset.entries, p, k);
+      std::vector<rtree::ObjectId> fresh_ranking;
+      for (const auto& n : fresh) fresh_ranking.push_back(n.entry.id);
+      EXPECT_EQ(fresh_ranking, ranking)
+          << "ranking changed inside the ordered validity region at ("
+          << p.x << ", " << p.y << ")";
+    }
+  }
+}
+
+TEST(OrderedValidityTest, OrderedRegionIsSubsetOfSetRegion) {
+  const auto dataset = MakeUnitUniform(2000, 903);
+  TreeFixture fx(dataset.entries, 64, SmallNodeOptions());
+  NnValidityEngine engine(fx.tree.get(), kUnit);
+  Rng rng(904);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geo::Point q{rng.NextDouble(), rng.NextDouble()};
+    const NnValidityResult set_region = engine.Query(q, 5);
+    const NnValidityResult ordered = engine.QueryOrdered(q, 5);
+    EXPECT_LE(ordered.region().Area(), set_region.region().Area() + 1e-15);
+    EXPECT_TRUE(ordered.region().Contains(q));
+    for (int i = 0; i < 200; ++i) {
+      const geo::Point p{rng.NextDouble(), rng.NextDouble()};
+      if (ordered.IsValidAt(p)) {
+        EXPECT_TRUE(set_region.IsValidAt(p));
+      }
+    }
+  }
+}
+
+TEST(OrderedValidityTest, SingleNeighborUnchanged) {
+  const auto dataset = MakeUnitUniform(500, 905);
+  TreeFixture fx(dataset.entries, 32, SmallNodeOptions());
+  NnValidityEngine engine(fx.tree.get(), kUnit);
+  const NnValidityResult a = engine.Query({0.5, 0.5}, 1);
+  const NnValidityResult b = engine.QueryOrdered({0.5, 0.5}, 1);
+  EXPECT_DOUBLE_EQ(a.region().Area(), b.region().Area());
+  EXPECT_EQ(a.influence_pairs().size(), b.influence_pairs().size());
+}
+
+}  // namespace
+}  // namespace lbsq::core

@@ -1,0 +1,102 @@
+// Randomized operation-sequence tests: interleaved inserts, deletes and
+// queries against a shadow set, with structural invariants re-checked
+// throughout. TEST_P sweeps seeds and node capacities.
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rtree/knn.h"
+#include "rtree/rtree.h"
+#include "storage/page_manager.h"
+#include "tests/test_util.h"
+
+namespace lbsq::rtree {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+  uint32_t leaf_capacity;
+  uint32_t internal_capacity;
+  size_t operations;
+};
+
+class RTreeFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(RTreeFuzzTest, RandomOpsAgainstShadowSet) {
+  const FuzzCase param = GetParam();
+  Rng rng(param.seed);
+
+  storage::PageManager disk;
+  RTree::Options options;
+  options.leaf_capacity = param.leaf_capacity;
+  options.internal_capacity = param.internal_capacity;
+  RTree tree(&disk, 16, options);
+
+  std::map<ObjectId, geo::Point> shadow;
+  ObjectId next_id = 0;
+
+  for (size_t op = 0; op < param.operations; ++op) {
+    const uint64_t dice = rng.NextBounded(100);
+    if (dice < 55 || shadow.empty()) {
+      // Insert.
+      const geo::Point p{rng.NextDouble(), rng.NextDouble()};
+      tree.Insert(p, next_id);
+      shadow[next_id] = p;
+      ++next_id;
+    } else if (dice < 80) {
+      // Delete a random existing object.
+      auto it = shadow.begin();
+      std::advance(it, rng.NextBounded(shadow.size()));
+      ASSERT_TRUE(tree.Delete(it->second, it->first));
+      shadow.erase(it);
+    } else if (dice < 90) {
+      // Window query vs shadow.
+      const double x = rng.NextDouble();
+      const double y = rng.NextDouble();
+      const geo::Rect w(x, y, x + rng.Uniform(0.05, 0.3),
+                        y + rng.Uniform(0.05, 0.3));
+      std::vector<DataEntry> out;
+      tree.WindowQuery(w, &out);
+      size_t expected = 0;
+      for (const auto& [id, p] : shadow) {
+        if (w.Contains(p)) ++expected;
+      }
+      ASSERT_EQ(out.size(), expected) << "op " << op;
+    } else {
+      // NN query vs shadow.
+      const geo::Point q{rng.NextDouble(), rng.NextDouble()};
+      const auto got = KnnBestFirst(tree, q, 1);
+      if (shadow.empty()) {
+        ASSERT_TRUE(got.empty());
+      } else {
+        double best = 2.0;
+        for (const auto& [id, p] : shadow) {
+          best = std::min(best, geo::Distance(q, p));
+        }
+        ASSERT_EQ(got.size(), 1u);
+        ASSERT_DOUBLE_EQ(got[0].distance, best) << "op " << op;
+      }
+    }
+    if (op % 100 == 99) {
+      tree.CheckInvariants();
+      ASSERT_EQ(tree.size(), shadow.size());
+    }
+  }
+  tree.CheckInvariants();
+  ASSERT_EQ(tree.size(), shadow.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RTreeFuzzTest,
+    ::testing::Values(FuzzCase{1, 4, 3, 1200},   // minimal fan-out
+                      FuzzCase{2, 8, 6, 1500},
+                      FuzzCase{3, 16, 12, 1500},
+                      FuzzCase{4, 4, 3, 1200},
+                      FuzzCase{5, 204, 113, 800},  // paper-sized nodes
+                      FuzzCase{6, 8, 6, 2000}));
+
+}  // namespace
+}  // namespace lbsq::rtree

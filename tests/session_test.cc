@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/mobile_client.h"
+#include "core/server.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace lbsq::core {
+namespace {
+
+using test::BruteForceKnn;
+using test::BruteForceWindow;
+using test::Ids;
+using test::TreeFixture;
+using workload::MakeUnitUniform;
+
+const geo::Rect kUnit(0.0, 0.0, 1.0, 1.0);
+
+TEST(MobileNnClientTest, AnswersStayExactAlongTrajectory) {
+  const auto dataset = MakeUnitUniform(5000, 71);
+  TreeFixture fx(dataset.entries, 64);
+  Server server(fx.tree.get(), kUnit);
+  MobileNnClient client(&server, /*k=*/2);
+
+  const auto trajectory = workload::MakeRandomWaypointTrajectory(
+      dataset, 500, /*step=*/0.0015, 73);
+  for (const geo::Point& p : trajectory) {
+    const auto& answers = client.MoveTo(p);
+    EXPECT_EQ(Ids(answers), Ids(BruteForceKnn(dataset.entries, p, 2)))
+        << "at (" << p.x << ", " << p.y << ")";
+  }
+  // The whole point: far fewer server queries than position updates.
+  EXPECT_LT(client.server_queries(), trajectory.size() / 2);
+  EXPECT_EQ(client.server_queries(), server.nn_queries_served());
+}
+
+TEST(MobileNnClientTest, NaiveModeQueriesEveryUpdate) {
+  const auto dataset = MakeUnitUniform(1000, 79);
+  TreeFixture fx(dataset.entries, 64);
+  Server server(fx.tree.get(), kUnit);
+  MobileNnClient client(&server, 1, MobileNnClient::Mode::kAlwaysQuery);
+  const auto trajectory = workload::MakeRandomWaypointTrajectory(
+      dataset, 100, 0.001, 83);
+  for (const geo::Point& p : trajectory) client.MoveTo(p);
+  EXPECT_EQ(client.server_queries(), trajectory.size());
+}
+
+TEST(MobileNnClientTest, ValidityModeSavesQueriesVsNaive) {
+  const auto dataset = MakeUnitUniform(3000, 89);
+  TreeFixture fx(dataset.entries, 64);
+  Server server(fx.tree.get(), kUnit);
+  MobileNnClient smart(&server, 1, MobileNnClient::Mode::kValidityRegion);
+  MobileNnClient naive(&server, 1, MobileNnClient::Mode::kAlwaysQuery);
+  const auto trajectory = workload::MakeRandomWaypointTrajectory(
+      dataset, 400, 0.001, 97);
+  for (const geo::Point& p : trajectory) {
+    smart.MoveTo(p);
+    naive.MoveTo(p);
+  }
+  EXPECT_LT(smart.server_queries() * 3, naive.server_queries());
+}
+
+TEST(MobileWindowClientTest, AnswersStayExactAlongTrajectory) {
+  const auto dataset = MakeUnitUniform(4000, 101);
+  TreeFixture fx(dataset.entries, 64);
+  Server server(fx.tree.get(), kUnit);
+  const double h = 0.04;
+  MobileWindowClient client(&server, h, h);
+
+  const auto trajectory = workload::MakeRandomWaypointTrajectory(
+      dataset, 400, /*step=*/0.002, 103);
+  for (const geo::Point& p : trajectory) {
+    const auto& result = client.MoveTo(p);
+    auto got = result;
+    EXPECT_EQ(Ids(got), Ids(BruteForceWindow(dataset.entries,
+                                             geo::Rect::Centered(p, h, h))));
+  }
+  EXPECT_LT(client.server_queries(), trajectory.size());
+}
+
+TEST(MobileWindowClientTest, ConservativeModeIsCorrectButRequeriesMore) {
+  const auto dataset = MakeUnitUniform(4000, 107);
+  TreeFixture fx(dataset.entries, 64);
+  Server server(fx.tree.get(), kUnit);
+  const double h = 0.03;
+  MobileWindowClient exact(&server, h, h,
+                           MobileWindowClient::Mode::kValidityRegion);
+  MobileWindowClient cons(&server, h, h,
+                          MobileWindowClient::Mode::kConservativeRegion);
+  const auto trajectory = workload::MakeRandomWaypointTrajectory(
+      dataset, 300, 0.0015, 109);
+  for (const geo::Point& p : trajectory) {
+    const auto& r = cons.MoveTo(p);
+    exact.MoveTo(p);
+    EXPECT_EQ(Ids(r), Ids(BruteForceWindow(dataset.entries,
+                                           geo::Rect::Centered(p, h, h))));
+  }
+  // The conservative rectangle is a subset, so it can only re-query
+  // at least as often.
+  EXPECT_GE(cons.server_queries(), exact.server_queries());
+}
+
+TEST(ServerTest, CountsQueriesPerType) {
+  const auto dataset = MakeUnitUniform(500, 113);
+  TreeFixture fx(dataset.entries, 32);
+  Server server(fx.tree.get(), kUnit);
+  server.NnQuery({0.5, 0.5}, 1);
+  server.NnQuery({0.6, 0.6}, 2);
+  server.WindowQuery({0.5, 0.5}, 0.05, 0.05);
+  EXPECT_EQ(server.nn_queries_served(), 2u);
+  EXPECT_EQ(server.window_queries_served(), 1u);
+}
+
+}  // namespace
+}  // namespace lbsq::core

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "storage/lru_buffer_pool.h"
+#include "storage/page.h"
+#include "storage/page_manager.h"
+
+namespace lbsq::storage {
+namespace {
+
+TEST(PageTest, TypedReadWriteRoundTrip) {
+  Page page;
+  page.WriteAt<double>(0, 3.25);
+  page.WriteAt<uint32_t>(8, 42u);
+  page.WriteAt<uint16_t>(kPageSize - 2, 7u);
+  EXPECT_DOUBLE_EQ(page.ReadAt<double>(0), 3.25);
+  EXPECT_EQ(page.ReadAt<uint32_t>(8), 42u);
+  EXPECT_EQ(page.ReadAt<uint16_t>(kPageSize - 2), 7u);
+}
+
+TEST(PageManagerTest, AllocateReadWrite) {
+  PageManager manager;
+  const PageId a = manager.Allocate();
+  const PageId b = manager.Allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(manager.live_pages(), 2u);
+
+  Page page;
+  page.WriteAt<uint64_t>(0, 0xdeadbeefULL);
+  manager.Write(a, page);
+
+  Page out;
+  manager.Read(a, &out);
+  EXPECT_EQ(out.ReadAt<uint64_t>(0), 0xdeadbeefULL);
+  EXPECT_EQ(manager.read_count(), 1u);
+  EXPECT_EQ(manager.write_count(), 1u);
+}
+
+TEST(PageManagerTest, FreedPagesAreReusedZeroed) {
+  PageManager manager;
+  const PageId a = manager.Allocate();
+  Page page;
+  page.WriteAt<uint64_t>(0, 123u);
+  manager.Write(a, page);
+  manager.Free(a);
+  EXPECT_EQ(manager.live_pages(), 0u);
+  const PageId b = manager.Allocate();
+  EXPECT_EQ(a, b);  // reused
+  Page out;
+  manager.Read(b, &out);
+  EXPECT_EQ(out.ReadAt<uint64_t>(0), 0u);  // zeroed on reuse
+}
+
+TEST(PageManagerTest, CountersResetIndependentlyOfContent) {
+  PageManager manager;
+  const PageId a = manager.Allocate();
+  Page page;
+  manager.Write(a, page);
+  manager.Read(a, &page);
+  manager.ResetCounters();
+  EXPECT_EQ(manager.read_count(), 0u);
+  EXPECT_EQ(manager.write_count(), 0u);
+  manager.Read(a, &page);
+  EXPECT_EQ(manager.read_count(), 1u);
+}
+
+TEST(LruBufferPoolTest, HitsAvoidPhysicalReads) {
+  PageManager manager;
+  const PageId a = manager.Allocate();
+  LruBufferPool pool(&manager, 4);
+  manager.ResetCounters();
+
+  pool.Fetch(a);
+  pool.Fetch(a);
+  pool.Fetch(a);
+  EXPECT_EQ(pool.logical_accesses(), 3u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), 2u);
+  EXPECT_EQ(manager.read_count(), 1u);  // only the first fetch went to disk
+}
+
+TEST(LruBufferPoolTest, EvictsLeastRecentlyUsed) {
+  PageManager manager;
+  PageId ids[3] = {manager.Allocate(), manager.Allocate(),
+                   manager.Allocate()};
+  LruBufferPool pool(&manager, 2);
+  manager.ResetCounters();
+
+  pool.Fetch(ids[0]);
+  pool.Fetch(ids[1]);
+  pool.Fetch(ids[0]);  // 0 is now MRU; LRU order: 1, 0
+  pool.Fetch(ids[2]);  // evicts 1
+  EXPECT_EQ(manager.read_count(), 3u);
+
+  pool.Fetch(ids[0]);  // hit
+  EXPECT_EQ(manager.read_count(), 3u);
+  pool.Fetch(ids[1]);  // miss (was evicted)
+  EXPECT_EQ(manager.read_count(), 4u);
+}
+
+TEST(LruBufferPoolTest, WriteThroughCachingAndFlush) {
+  PageManager manager;
+  const PageId a = manager.Allocate();
+  LruBufferPool pool(&manager, 2);
+  manager.ResetCounters();
+
+  Page page;
+  page.WriteAt<uint32_t>(0, 9u);
+  pool.Write(a, page);
+  EXPECT_EQ(manager.write_count(), 0u);  // buffered, not yet on disk
+
+  // Reading through the pool sees the dirty copy.
+  EXPECT_EQ(pool.Fetch(a).ReadAt<uint32_t>(0), 9u);
+  EXPECT_EQ(manager.read_count(), 0u);
+
+  pool.FlushAll();
+  EXPECT_EQ(manager.write_count(), 1u);
+  Page out;
+  manager.Read(a, &out);
+  EXPECT_EQ(out.ReadAt<uint32_t>(0), 9u);
+}
+
+TEST(LruBufferPoolTest, DirtyEvictionWritesBack) {
+  PageManager manager;
+  PageId ids[3] = {manager.Allocate(), manager.Allocate(),
+                   manager.Allocate()};
+  LruBufferPool pool(&manager, 1);
+  manager.ResetCounters();
+
+  Page page;
+  page.WriteAt<uint32_t>(0, 77u);
+  pool.Write(ids[0], page);
+  pool.Fetch(ids[1]);  // evicts dirty page 0
+  EXPECT_EQ(manager.write_count(), 1u);
+  Page out;
+  manager.Read(ids[0], &out);
+  EXPECT_EQ(out.ReadAt<uint32_t>(0), 77u);
+  (void)ids[2];
+}
+
+TEST(LruBufferPoolTest, ZeroCapacityBypassesCache) {
+  PageManager manager;
+  const PageId a = manager.Allocate();
+  LruBufferPool pool(&manager, 0);
+  manager.ResetCounters();
+
+  pool.Fetch(a);
+  pool.Fetch(a);
+  EXPECT_EQ(manager.read_count(), 2u);  // every access is physical
+  EXPECT_EQ(pool.logical_accesses(), 2u);
+
+  Page page;
+  pool.Write(a, page);
+  EXPECT_EQ(manager.write_count(), 1u);
+}
+
+TEST(LruBufferPoolTest, ResizeShrinksAndEvicts) {
+  PageManager manager;
+  PageId ids[4];
+  for (auto& id : ids) id = manager.Allocate();
+  LruBufferPool pool(&manager, 4);
+  for (const auto& id : ids) pool.Fetch(id);
+  EXPECT_EQ(pool.size(), 4u);
+  pool.Resize(2);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(LruBufferPoolTest, DiscardDropsWithoutWriteback) {
+  PageManager manager;
+  const PageId a = manager.Allocate();
+  LruBufferPool pool(&manager, 2);
+  manager.ResetCounters();
+  Page page;
+  page.WriteAt<uint32_t>(0, 5u);
+  pool.Write(a, page);
+  pool.Discard(a);
+  pool.FlushAll();
+  EXPECT_EQ(manager.write_count(), 0u);  // dirty copy was discarded
+}
+
+}  // namespace
+}  // namespace lbsq::storage

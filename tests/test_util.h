@@ -1,0 +1,96 @@
+#ifndef LBSQ_TESTS_TEST_UTIL_H_
+#define LBSQ_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rtree/knn.h"
+#include "rtree/rtree.h"
+#include "storage/page_manager.h"
+
+// Brute-force reference implementations and fixtures shared by the test
+// suite. Every spatial algorithm in the library is validated against the
+// O(n) (or O(n^2)) truth computed here.
+
+namespace lbsq::test {
+
+// Exhaustive k-NN: sorted by (distance, id).
+inline std::vector<rtree::Neighbor> BruteForceKnn(
+    const std::vector<rtree::DataEntry>& data, const geo::Point& q,
+    size_t k) {
+  std::vector<rtree::Neighbor> all;
+  all.reserve(data.size());
+  for (const rtree::DataEntry& e : data) {
+    all.push_back({e, geo::Distance(q, e.point)});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const rtree::Neighbor& a, const rtree::Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.entry.id < b.entry.id;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+// Exhaustive window query, sorted by id.
+inline std::vector<rtree::DataEntry> BruteForceWindow(
+    const std::vector<rtree::DataEntry>& data, const geo::Rect& w) {
+  std::vector<rtree::DataEntry> out;
+  for (const rtree::DataEntry& e : data) {
+    if (w.Contains(e.point)) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const rtree::DataEntry& a, const rtree::DataEntry& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+inline std::vector<rtree::ObjectId> Ids(
+    const std::vector<rtree::DataEntry>& entries) {
+  std::vector<rtree::ObjectId> ids;
+  ids.reserve(entries.size());
+  for (const rtree::DataEntry& e : entries) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+inline std::vector<rtree::ObjectId> Ids(
+    const std::vector<rtree::Neighbor>& neighbors) {
+  std::vector<rtree::ObjectId> ids;
+  ids.reserve(neighbors.size());
+  for (const rtree::Neighbor& n : neighbors) ids.push_back(n.entry.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// An R-tree bundled with its backing disk, bulk-loaded from `data`.
+struct TreeFixture {
+  std::unique_ptr<storage::PageManager> disk;
+  std::unique_ptr<rtree::RTree> tree;
+
+  explicit TreeFixture(const std::vector<rtree::DataEntry>& data,
+                       size_t buffer_capacity = 64,
+                       const rtree::RTree::Options& options = {}) {
+    disk = std::make_unique<storage::PageManager>();
+    tree = std::make_unique<rtree::RTree>(disk.get(), buffer_capacity,
+                                          options);
+    tree->BulkLoad(data);
+  }
+};
+
+// Options producing small node fan-outs, so modest datasets exercise
+// multi-level trees, splits and reinsertion.
+inline rtree::RTree::Options SmallNodeOptions() {
+  rtree::RTree::Options options;
+  options.leaf_capacity = 8;
+  options.internal_capacity = 6;
+  return options;
+}
+
+}  // namespace lbsq::test
+
+#endif  // LBSQ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "rtree/tree_stats.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+
+namespace lbsq::rtree {
+namespace {
+
+using test::SmallNodeOptions;
+using test::TreeFixture;
+using workload::MakeUnitUniform;
+
+TEST(TreeStatsTest, CountsMatchTreeBookkeeping) {
+  const auto dataset = MakeUnitUniform(5000, 1101);
+  TreeFixture fx(dataset.entries, 64, SmallNodeOptions());
+  const TreeStats stats = CollectTreeStats(*fx.tree);
+  EXPECT_EQ(stats.total_nodes, fx.tree->num_nodes());
+  EXPECT_EQ(stats.total_points, fx.tree->size());
+  EXPECT_EQ(stats.levels.size(), static_cast<size_t>(fx.tree->height()));
+  // Level structure: one root at the top, counts growing downward.
+  EXPECT_EQ(stats.levels.back().node_count, 1u);
+  for (size_t i = 0; i + 1 < stats.levels.size(); ++i) {
+    EXPECT_GE(stats.levels[i].node_count, stats.levels[i + 1].node_count);
+  }
+}
+
+TEST(TreeStatsTest, BulkLoadedOccupancyNearFillFactor) {
+  const auto dataset = MakeUnitUniform(50000, 1103);
+  TreeFixture fx(dataset.entries, 0);  // default options, STR fill 0.7
+  const TreeStats stats = CollectTreeStats(*fx.tree);
+  EXPECT_NEAR(stats.levels[0].avg_occupancy, 0.7, 0.05);
+}
+
+TEST(TreeStatsTest, RStarTreeHasModestLeafOverlap) {
+  // After R* insertion, sibling leaf overlap should be a small fraction
+  // of the total leaf area for uniform points.
+  const auto dataset = MakeUnitUniform(3000, 1105);
+  storage::PageManager disk;
+  RTree tree(&disk, 64, SmallNodeOptions());
+  for (const DataEntry& e : dataset.entries) tree.Insert(e.point, e.id);
+  const TreeStats stats = CollectTreeStats(tree);
+  const LevelSummary& leaves = stats.levels[0];
+  ASSERT_GT(leaves.total_area, 0.0);
+  EXPECT_LT(leaves.overlap_area, 0.35 * leaves.total_area);
+}
+
+TEST(TreeStatsTest, ToStringMentionsEveryLevel) {
+  const auto dataset = MakeUnitUniform(2000, 1107);
+  TreeFixture fx(dataset.entries, 32, SmallNodeOptions());
+  const std::string rendered = CollectTreeStats(*fx.tree).ToString();
+  EXPECT_NE(rendered.find("level"), std::string::npos);
+  EXPECT_NE(rendered.find("total:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbsq::rtree

@@ -1,0 +1,123 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "core/nn_validity.h"
+#include "core/range_validity.h"
+#include "core/window_validity.h"
+#include "core/wire_format.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+
+namespace lbsq::core::wire {
+namespace {
+
+using test::SmallNodeOptions;
+using test::TreeFixture;
+using workload::MakeUnitUniform;
+
+const geo::Rect kUnit(0.0, 0.0, 1.0, 1.0);
+
+TEST(ByteBufferTest, RoundTripPrimitives) {
+  ByteWriter writer;
+  writer.Append<double>(3.5);
+  writer.Append<uint32_t>(42);
+  writer.AppendVarCount(7);
+  writer.Append<uint16_t>(9);
+  ByteReader reader(writer.bytes());
+  EXPECT_DOUBLE_EQ(reader.Read<double>(), 3.5);
+  EXPECT_EQ(reader.Read<uint32_t>(), 42u);
+  EXPECT_EQ(reader.ReadVarCount(), 7u);
+  EXPECT_EQ(reader.Read<uint16_t>(), 9u);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(WireFormatTest, NnResultRoundTripPreservesClientBehavior) {
+  const auto dataset = MakeUnitUniform(5000, 601);
+  TreeFixture fx(dataset.entries, 64, SmallNodeOptions());
+  NnValidityEngine engine(fx.tree.get(), kUnit);
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geo::Point q{rng.NextDouble(), rng.NextDouble()};
+    const size_t k = 1 + rng.NextBounded(5);
+    const NnValidityResult original = engine.Query(q, k);
+    const auto bytes = EncodeNnResult(original);
+    const NnValidityResult decoded = DecodeNnResult(bytes);
+
+    ASSERT_EQ(decoded.answers().size(), original.answers().size());
+    for (size_t i = 0; i < original.answers().size(); ++i) {
+      EXPECT_EQ(decoded.answers()[i].entry.id,
+                original.answers()[i].entry.id);
+      EXPECT_DOUBLE_EQ(decoded.answers()[i].distance,
+                       original.answers()[i].distance);
+    }
+    EXPECT_EQ(decoded.InfluenceSetSize(), original.InfluenceSetSize());
+    EXPECT_NEAR(decoded.region().Area(), original.region().Area(), 1e-12);
+    for (int i = 0; i < 200; ++i) {
+      const geo::Point p{rng.NextDouble(), rng.NextDouble()};
+      EXPECT_EQ(decoded.IsValidAt(p), original.IsValidAt(p));
+    }
+  }
+}
+
+TEST(WireFormatTest, WindowResultRoundTripPreservesClientBehavior) {
+  const auto dataset = MakeUnitUniform(5000, 603);
+  TreeFixture fx(dataset.entries, 64, SmallNodeOptions());
+  WindowValidityEngine engine(fx.tree.get(), kUnit);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geo::Point focus{rng.Uniform(0.1, 0.9), rng.Uniform(0.1, 0.9)};
+    const WindowValidityResult original = engine.Query(focus, 0.03, 0.05);
+    const auto bytes = EncodeWindowResult(original);
+    const WindowValidityResult decoded = DecodeWindowResult(bytes);
+
+    EXPECT_EQ(test::Ids(decoded.result()), test::Ids(original.result()));
+    EXPECT_EQ(decoded.conservative_region(), original.conservative_region());
+    for (int i = 0; i < 300; ++i) {
+      const geo::Point p{rng.NextDouble(), rng.NextDouble()};
+      EXPECT_EQ(decoded.IsValidAt(p), original.IsValidAt(p));
+      EXPECT_EQ(decoded.IsValidAtConservative(p),
+                original.IsValidAtConservative(p));
+    }
+  }
+}
+
+TEST(WireFormatTest, RangeResultRoundTripPreservesClientBehavior) {
+  const auto dataset = MakeUnitUniform(5000, 605);
+  TreeFixture fx(dataset.entries, 64, SmallNodeOptions());
+  RangeValidityEngine engine(fx.tree.get(), kUnit);
+  Rng rng(9);
+  for (int trial = 0; trial < 15; ++trial) {
+    const geo::Point focus{rng.Uniform(0.2, 0.8), rng.Uniform(0.2, 0.8)};
+    const RangeValidityResult original = engine.Query(focus, 0.04);
+    const auto bytes = EncodeRangeResult(original);
+    const RangeValidityResult decoded = DecodeRangeResult(bytes);
+
+    EXPECT_EQ(test::Ids(decoded.result()), test::Ids(original.result()));
+    for (int i = 0; i < 300; ++i) {
+      const geo::Point p{focus.x + rng.Uniform(-0.1, 0.1),
+                         focus.y + rng.Uniform(-0.1, 0.1)};
+      EXPECT_EQ(decoded.IsValidAt(p), original.IsValidAt(p));
+    }
+  }
+}
+
+TEST(WireFormatTest, ValidityAnswerIsCompact) {
+  // The paper's claim: the influence set adds little to a plain answer.
+  const auto dataset = MakeUnitUniform(100000, 607);
+  TreeFixture fx(dataset.entries, 64);
+  NnValidityEngine engine(fx.tree.get(), kUnit);
+  const NnValidityResult result = engine.Query({0.4, 0.4}, 1);
+  const size_t validity_bytes = EncodeNnResult(result).size();
+  const size_t plain_bytes = PlainNnAnswerBytes(1);
+  // ~6 influence objects at 24 bytes each plus fixed overhead: the
+  // validity answer stays within a few hundred bytes.
+  EXPECT_LT(validity_bytes, plain_bytes + 64 + 8 * 24 + 32);
+  // And is far smaller than shipping an [SR01] cache of m = 20.
+  EXPECT_LT(validity_bytes, Sr01AnswerBytes(20) + 200);
+}
+
+}  // namespace
+}  // namespace lbsq::core::wire

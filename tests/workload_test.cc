@@ -1,0 +1,101 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace lbsq::workload {
+namespace {
+
+TEST(DatasetsTest, UniformCardinalityAndBounds) {
+  const auto dataset = MakeUnitUniform(10000, 1);
+  EXPECT_EQ(dataset.entries.size(), 10000u);
+  for (const auto& e : dataset.entries) {
+    EXPECT_TRUE(dataset.universe.Contains(e.point));
+  }
+  // Ids are dense and unique.
+  for (size_t i = 0; i < dataset.entries.size(); ++i) {
+    EXPECT_EQ(dataset.entries[i].id, i);
+  }
+}
+
+TEST(DatasetsTest, GenerationIsDeterministic) {
+  const auto a = MakeUnitUniform(1000, 42);
+  const auto b = MakeUnitUniform(1000, 42);
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].point, b.entries[i].point);
+  }
+  const auto c = MakeUnitUniform(1000, 43);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    if (!(a.entries[i].point == c.entries[i].point)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DatasetsTest, GrLikeMatchesPaperShape) {
+  const auto gr = MakeGrLike(7, 23268);
+  EXPECT_EQ(gr.entries.size(), 23268u);
+  EXPECT_DOUBLE_EQ(gr.universe.width(), 800e3);
+  EXPECT_DOUBLE_EQ(gr.universe.height(), 800e3);
+  for (const auto& e : gr.entries) {
+    EXPECT_TRUE(gr.universe.Contains(e.point));
+  }
+}
+
+TEST(DatasetsTest, NaLikeMatchesPaperShapeAndIsSkewed) {
+  const auto na = MakeNaLike(7, 60000);  // scaled for test speed
+  EXPECT_EQ(na.entries.size(), 60000u);
+  EXPECT_DOUBLE_EQ(na.universe.width(), 7000e3);
+  // Skew check: split into a 10x10 grid; the densest cell should far
+  // exceed the average.
+  size_t counts[100] = {0};
+  for (const auto& e : na.entries) {
+    auto i = static_cast<size_t>((e.point.x / na.universe.width()) * 10);
+    auto j = static_cast<size_t>((e.point.y / na.universe.height()) * 10);
+    ++counts[std::min<size_t>(j, 9) * 10 + std::min<size_t>(i, 9)];
+  }
+  const size_t max_cell = *std::max_element(counts, counts + 100);
+  EXPECT_GT(max_cell, 3u * (60000 / 100));
+}
+
+TEST(DatasetsTest, ClusteredRespectsBackgroundFraction) {
+  const auto dataset = MakeClustered(
+      10000, geo::Rect(0, 0, 1, 1), 10, 1.2, 0.01, 0.02, 0.2, 3);
+  EXPECT_EQ(dataset.entries.size(), 10000u);
+}
+
+TEST(QueriesTest, DataDistributedQueriesFollowData) {
+  // Data concentrated in the left half: queries must be too.
+  auto dataset = MakeUniform(5000, geo::Rect(0, 0, 0.5, 1.0), 5);
+  dataset.universe = geo::Rect(0, 0, 1, 1);  // wider universe
+  const auto queries = MakeDataDistributedQueries(dataset, 1000, 9, 0.01);
+  size_t left = 0;
+  for (const auto& q : queries) {
+    EXPECT_TRUE(dataset.universe.Contains(q));
+    if (q.x < 0.55) ++left;
+  }
+  EXPECT_GT(left, 950u);
+}
+
+TEST(QueriesTest, TrajectoryStepsAreBounded) {
+  const auto dataset = MakeUnitUniform(100, 11);
+  const double step = 0.01;
+  const auto traj = MakeRandomWaypointTrajectory(dataset, 500, step, 13);
+  ASSERT_EQ(traj.size(), 500u);
+  for (size_t i = 1; i < traj.size(); ++i) {
+    EXPECT_LE(geo::Distance(traj[i - 1], traj[i]), step + 1e-12);
+  }
+}
+
+TEST(QueriesTest, UniformQueriesCoverUniverse) {
+  const geo::Rect universe(2.0, 3.0, 10.0, 8.0);
+  const auto queries = MakeUniformQueries(universe, 500, 15);
+  for (const auto& q : queries) {
+    EXPECT_TRUE(universe.Contains(q));
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::workload

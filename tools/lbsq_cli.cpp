@@ -1,0 +1,285 @@
+// Command-line workbench for the library: generate datasets, build a
+// persistent on-disk index, and run location-based queries against it.
+//
+//   lbsq_cli generate --type uniform|gr|na --n 100000 --seed 7 --out pts.csv
+//   lbsq_cli build    --data pts.csv --index idx.db
+//   lbsq_cli stats    --index idx.db
+//   lbsq_cli nn       --index idx.db --x 0.31 --y 0.74 --k 3
+//   lbsq_cli window   --index idx.db --x 0.31 --y 0.74 --hx 0.02 --hy 0.02
+//   lbsq_cli range    --index idx.db --x 0.31 --y 0.74 --r 0.05
+//
+// The index file is self-contained: logical page 0 stores the tree meta
+// and the data universe, so every later invocation can re-attach.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/nn_validity.h"
+#include "core/range_validity.h"
+#include "core/window_validity.h"
+#include "rtree/rtree.h"
+#include "rtree/tree_stats.h"
+#include "storage/file_page_manager.h"
+#include "workload/datasets.h"
+
+namespace {
+
+using namespace lbsq;
+
+using ArgMap = std::map<std::string, std::string>;
+
+ArgMap ParseArgs(int argc, char** argv, int first) {
+  ArgMap args;
+  for (int i = first; i + 1 < argc; i += 2) {
+    const char* key = argv[i];
+    if (std::strncmp(key, "--", 2) != 0) {
+      std::fprintf(stderr, "expected --flag, got '%s'\n", key);
+      std::exit(2);
+    }
+    args[key + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string Require(const ArgMap& args, const std::string& key) {
+  auto it = args.find(key);
+  if (it == args.end()) {
+    std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+    std::exit(2);
+  }
+  return it->second;
+}
+
+std::string GetOr(const ArgMap& args, const std::string& key,
+                  const std::string& fallback) {
+  auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// generate
+// ---------------------------------------------------------------------------
+
+int CmdGenerate(const ArgMap& args) {
+  const std::string type = GetOr(args, "type", "uniform");
+  const auto seed = static_cast<uint64_t>(
+      std::strtoull(GetOr(args, "seed", "42").c_str(), nullptr, 10));
+  const size_t n = std::strtoul(GetOr(args, "n", "100000").c_str(), nullptr, 10);
+  const std::string out_path = Require(args, "out");
+
+  workload::Dataset dataset;
+  if (type == "uniform") {
+    dataset = workload::MakeUnitUniform(n, seed);
+  } else if (type == "gr") {
+    dataset = workload::MakeGrLike(seed, n);
+  } else if (type == "na") {
+    dataset = workload::MakeNaLike(seed, n);
+  } else {
+    std::fprintf(stderr, "unknown --type '%s' (uniform|gr|na)\n",
+                 type.c_str());
+    return 2;
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "# universe " << dataset.universe.min_x << ' '
+      << dataset.universe.min_y << ' ' << dataset.universe.max_x << ' '
+      << dataset.universe.max_y << '\n';
+  out.precision(17);
+  for (const rtree::DataEntry& e : dataset.entries) {
+    out << e.point.x << ',' << e.point.y << ',' << e.id << '\n';
+  }
+  std::printf("wrote %zu points (%s) to %s\n", dataset.entries.size(),
+              type.c_str(), out_path.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// build / attach
+// ---------------------------------------------------------------------------
+
+bool LoadCsv(const std::string& path, workload::Dataset* dataset) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line.substr(1));
+      std::string word;
+      header >> word;  // "universe"
+      header >> dataset->universe.min_x >> dataset->universe.min_y >>
+          dataset->universe.max_x >> dataset->universe.max_y;
+      continue;
+    }
+    std::istringstream row(line);
+    rtree::DataEntry e;
+    char comma;
+    row >> e.point.x >> comma >> e.point.y >> comma >> e.id;
+    dataset->entries.push_back(e);
+  }
+  return !dataset->entries.empty();
+}
+
+// Page 0 layout: tree meta at offset 0, universe rect at offset 32.
+void SaveIndexHeader(storage::FilePageManager* store, storage::PageId page,
+                     const rtree::RTree::Meta& meta,
+                     const geo::Rect& universe) {
+  storage::Page header;
+  meta.SerializeTo(&header, 0);
+  header.WriteAt<double>(32, universe.min_x);
+  header.WriteAt<double>(40, universe.min_y);
+  header.WriteAt<double>(48, universe.max_x);
+  header.WriteAt<double>(56, universe.max_y);
+  store->Write(page, header);
+}
+
+struct AttachedIndex {
+  std::unique_ptr<storage::FilePageManager> store;
+  std::unique_ptr<rtree::RTree> tree;
+  geo::Rect universe;
+};
+
+AttachedIndex Attach(const std::string& path) {
+  AttachedIndex idx;
+  idx.store = std::make_unique<storage::FilePageManager>(
+      path, storage::FilePageManager::Mode::kOpen);
+  storage::Page header;
+  idx.store->Read(0, &header);
+  const auto meta = rtree::RTree::Meta::DeserializeFrom(header, 0);
+  idx.universe =
+      geo::Rect(header.ReadAt<double>(32), header.ReadAt<double>(40),
+                header.ReadAt<double>(48), header.ReadAt<double>(56));
+  idx.tree = std::make_unique<rtree::RTree>(
+      idx.store.get(), /*buffer_capacity=*/256, rtree::RTree::Options(),
+      meta);
+  return idx;
+}
+
+int CmdBuild(const ArgMap& args) {
+  const std::string data_path = Require(args, "data");
+  const std::string index_path = Require(args, "index");
+  workload::Dataset dataset;
+  if (!LoadCsv(data_path, &dataset)) {
+    std::fprintf(stderr, "failed to load %s\n", data_path.c_str());
+    return 1;
+  }
+  if (dataset.universe.IsEmpty()) {
+    for (const rtree::DataEntry& e : dataset.entries) {
+      dataset.universe = dataset.universe.ExpandedToInclude(e.point);
+    }
+  }
+  storage::FilePageManager store(index_path,
+                                 storage::FilePageManager::Mode::kCreate);
+  const storage::PageId header_page = store.Allocate();
+  rtree::RTree tree(&store, /*buffer_capacity=*/256);
+  tree.BulkLoad(dataset.entries);
+  tree.buffer().FlushAll();
+  SaveIndexHeader(&store, header_page, tree.meta(), dataset.universe);
+  store.Sync();
+  std::printf("indexed %zu points into %s (%zu nodes, height %d)\n",
+              tree.size(), index_path.c_str(), tree.num_nodes(),
+              tree.height());
+  return 0;
+}
+
+int CmdStats(const ArgMap& args) {
+  AttachedIndex idx = Attach(Require(args, "index"));
+  std::printf("points:   %zu\n", idx.tree->size());
+  std::printf("nodes:    %zu (%zu pages on disk)\n", idx.tree->num_nodes(),
+              idx.store->live_pages());
+  std::printf("height:   %d\n", idx.tree->height());
+  std::printf("universe: [%g, %g] x [%g, %g]\n", idx.universe.min_x,
+              idx.universe.max_x, idx.universe.min_y, idx.universe.max_y);
+  std::printf("%s", rtree::CollectTreeStats(*idx.tree).ToString().c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// queries
+// ---------------------------------------------------------------------------
+
+int CmdNn(const ArgMap& args) {
+  AttachedIndex idx = Attach(Require(args, "index"));
+  const geo::Point q{std::strtod(Require(args, "x").c_str(), nullptr),
+                     std::strtod(Require(args, "y").c_str(), nullptr)};
+  const size_t k = std::strtoul(GetOr(args, "k", "1").c_str(), nullptr, 10);
+  core::NnValidityEngine engine(idx.tree.get(), idx.universe);
+  const auto result = engine.Query(q, k);
+  for (const auto& n : result.answers()) {
+    std::printf("neighbor id=%u at (%.6g, %.6g), distance %.6g\n",
+                n.entry.id, n.entry.point.x, n.entry.point.y, n.distance);
+  }
+  std::printf("validity region: %zu edges, area %.6g, |S_inf|=%zu\n",
+              result.region().num_vertices(), result.region().Area(),
+              result.InfluenceSetSize());
+  return 0;
+}
+
+int CmdWindow(const ArgMap& args) {
+  AttachedIndex idx = Attach(Require(args, "index"));
+  const geo::Point q{std::strtod(Require(args, "x").c_str(), nullptr),
+                     std::strtod(Require(args, "y").c_str(), nullptr)};
+  const double hx = std::strtod(Require(args, "hx").c_str(), nullptr);
+  const double hy = std::strtod(Require(args, "hy").c_str(), nullptr);
+  core::WindowValidityEngine engine(idx.tree.get(), idx.universe);
+  const auto result = engine.Query(q, hx, hy);
+  std::printf("%zu objects in window\n", result.result().size());
+  const geo::Rect& c = result.conservative_region();
+  std::printf("validity: inner rect area %.6g, %zu outer obstacles, "
+              "conservative [%g, %g] x [%g, %g]\n",
+              result.region().base().Area(), result.region().holes().size(),
+              c.min_x, c.max_x, c.min_y, c.max_y);
+  return 0;
+}
+
+int CmdRange(const ArgMap& args) {
+  AttachedIndex idx = Attach(Require(args, "index"));
+  const geo::Point q{std::strtod(Require(args, "x").c_str(), nullptr),
+                     std::strtod(Require(args, "y").c_str(), nullptr)};
+  const double r = std::strtod(Require(args, "r").c_str(), nullptr);
+  core::RangeValidityEngine engine(idx.tree.get(), idx.universe);
+  const auto result = engine.Query(q, r);
+  std::printf("%zu objects within %.6g\n", result.result().size(), r);
+  std::printf("validity: %zu inner + %zu outer influence objects, "
+              "conservative polygon with %zu vertices\n",
+              result.inner_influencers().size(),
+              result.outer_influencers().size(),
+              result.conservative_region().num_vertices());
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: lbsq_cli <generate|build|stats|nn|window|range> "
+               "[--flag value ...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const ArgMap args = ParseArgs(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "build") return CmdBuild(args);
+  if (command == "stats") return CmdStats(args);
+  if (command == "nn") return CmdNn(args);
+  if (command == "window") return CmdWindow(args);
+  if (command == "range") return CmdRange(args);
+  Usage();
+  return 2;
+}
