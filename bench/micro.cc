@@ -44,6 +44,20 @@ void BM_KnnBestFirst(benchmark::State& state) {
 }
 BENCHMARK(BM_KnnBestFirst)->Arg(1)->Arg(10)->Arg(100);
 
+// Pre-NodeView baseline (materializing queue of nodes and points); the
+// delta against BM_KnnBestFirst is the zero-copy + pruning win.
+void BM_KnnBestFirstLegacy(benchmark::State& state) {
+  auto& wb = SharedBench();
+  const auto& queries = SharedQueries();
+  const auto k = static_cast<size_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rtree::KnnBestFirstLegacy(*wb.tree, queries[i++ % queries.size()], k));
+  }
+}
+BENCHMARK(BM_KnnBestFirstLegacy)->Arg(1)->Arg(10)->Arg(100);
+
 void BM_KnnDepthFirst(benchmark::State& state) {
   auto& wb = SharedBench();
   const auto& queries = SharedQueries();

@@ -1,8 +1,11 @@
 #include "rtree/knn.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <limits>
 #include <queue>
+#include <utility>
 
 #include "common/check.h"
 #include "geometry/rect.h"
@@ -21,64 +24,90 @@ struct WorseNeighbor {
   }
 };
 
-// Max-heap of the best k candidates found so far.
+// Max-heap of the best k candidates found so far. The search runs on
+// *squared* distances throughout (Neighbor.distance holds d^2 until
+// TakeSorted converts it): x -> x^2 is strictly increasing on [0, inf),
+// so every comparison — heap order, pruning, tie detection — has the
+// same outcome as with true distances, and geo::Distance/geo::MinDist
+// are literally sqrt(SquaredDistance)/sqrt(SquaredMinDist), so the final
+// distances are bit-identical. This drops one sqrt per candidate point
+// and per child MBR.
+//
+// The heap lives in per-thread scratch storage (kNN calls are
+// call-and-return, so at most one ResultHeap is live per thread) and is
+// manipulated with the std heap algorithms — the same algorithms
+// std::priority_queue runs on top of, so ordering behavior is identical
+// while the backing allocation is reused across queries.
 class ResultHeap {
  public:
-  explicit ResultHeap(size_t k) : k_(k) {}
+  explicit ResultHeap(size_t k) : k_(k), heap_(ScratchStorage()) {
+    heap_.clear();
+  }
 
   double PruneDistance() const {
     return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
-                             : heap_.top().distance;
+                             : heap_.front().distance;
   }
 
   void Offer(const Neighbor& n) {
     if (heap_.size() < k_) {
-      heap_.push(n);
+      heap_.push_back(n);
+      std::push_heap(heap_.begin(), heap_.end(), WorseNeighbor{});
       return;
     }
-    if (WorseNeighbor()(n, heap_.top())) {
-      heap_.pop();
-      heap_.push(n);
+    if (WorseNeighbor()(n, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), WorseNeighbor{});
+      heap_.back() = n;
+      std::push_heap(heap_.begin(), heap_.end(), WorseNeighbor{});
     }
   }
 
+  // Drains the heap into ascending (distance, id) order, converting the
+  // stored squared distances back to true distances.
   std::vector<Neighbor> TakeSorted() {
-    std::vector<Neighbor> out;
-    out.reserve(heap_.size());
-    while (!heap_.empty()) {
-      out.push_back(heap_.top());
-      heap_.pop();
-    }
-    std::reverse(out.begin(), out.end());
+    // sort_heap orders by WorseNeighbor ascending = (distance, id)
+    // ascending — the same sequence the old pop-and-reverse produced.
+    std::sort_heap(heap_.begin(), heap_.end(), WorseNeighbor{});
+    std::vector<Neighbor> out(heap_.begin(), heap_.end());
+    for (Neighbor& n : out) n.distance = std::sqrt(n.distance);
     return out;
   }
 
  private:
+  static std::vector<Neighbor>& ScratchStorage() {
+    thread_local std::vector<Neighbor> storage;
+    return storage;
+  }
+
   size_t k_;
-  std::priority_queue<Neighbor, std::vector<Neighbor>, WorseNeighbor> heap_;
+  std::vector<Neighbor>& heap_;
 };
 
 void DepthFirstVisit(RTree& tree, const geo::Point& q, storage::PageId id,
                      ResultHeap* results) {
-  const Node node = tree.FetchNode(id);
+  const NodeView node = tree.FetchView(id);
+  const size_t n = node.size();
   if (node.is_leaf()) {
-    for (const DataEntry& e : node.data) {
-      const double d = geo::Distance(q, e.point);
-      results->Offer(Neighbor{e, d});
+    for (size_t i = 0; i < n; ++i) {
+      const DataEntry e = node.data_entry(i);
+      results->Offer(Neighbor{e, geo::SquaredDistance(q, e.point)});
     }
     return;
   }
   // Visit children in mindist order (the RKV95 ordering); re-check the
   // prune distance before each visit since earlier visits tighten it.
-  std::vector<std::pair<double, storage::PageId>> order;
-  order.reserve(node.children.size());
-  for (const ChildEntry& e : node.children) {
-    order.emplace_back(geo::MinDist(q, e.mbr), e.child);
+  // The order array is copied out of the view before recursing (the
+  // recursion's fetches invalidate it); it fits on the stack because a
+  // node holds at most kInternalCapacity children.
+  std::array<std::pair<double, storage::PageId>, kInternalCapacity> order;
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = {geo::SquaredMinDist(q, node.child_mbr(i)),
+                node.child_page(i)};
   }
-  std::sort(order.begin(), order.end());
-  for (const auto& [mindist, child] : order) {
-    if (mindist > results->PruneDistance()) break;
-    DepthFirstVisit(tree, q, child, results);
+  std::sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    if (order[i].first > results->PruneDistance()) break;
+    DepthFirstVisit(tree, q, order[i].second, results);
   }
 }
 
@@ -94,6 +123,95 @@ std::vector<Neighbor> KnnDepthFirst(RTree& tree, const geo::Point& q,
 
 std::vector<Neighbor> KnnBestFirst(RTree& tree, const geo::Point& q,
                                    size_t k) {
+  LBSQ_CHECK(k > 0);
+  if (tree.size() == 0) return {};
+
+  struct NodeItem {
+    double mindist;
+    storage::PageId page;
+  };
+  struct LaterNode {
+    bool operator()(const NodeItem& a, const NodeItem& b) const {
+      return a.mindist > b.mindist;
+    }
+  };
+
+  // Best-first over nodes only [HS99]: candidate points never enter the
+  // priority queue. The best k points seen so far live in `best`, whose
+  // k-th distance prunes both leaf-entry offers and child pushes — a
+  // large leaf no longer floods the queue with up to 204 entries. A node
+  // or point strictly beyond the k-th best distance cannot qualify;
+  // equality is kept because distance ties are broken by object id.
+  //
+  // Access accounting is unchanged: this expands exactly the node set
+  // {n : mindist(n) <= d_k} in ascending mindist order — the same nodes,
+  // in the same order, the unpruned queue pops before emitting its k-th
+  // point — so NA/PA match the legacy path (KnnBestFirstLegacy) exactly.
+  // All distances are squared (see ResultHeap); comparisons are
+  // equivalent, so the expansion set and order are untouched.
+  //
+  // The node queue is a heap over per-thread scratch (reused across
+  // queries, no per-query allocation), driven by the same std heap
+  // algorithms std::priority_queue delegates to.
+  thread_local std::vector<NodeItem> queue;
+  queue.clear();
+  queue.push_back(NodeItem{0.0, tree.root()});
+  ResultHeap best(k);
+
+  while (!queue.empty()) {
+    std::pop_heap(queue.begin(), queue.end(), LaterNode{});
+    const NodeItem top = queue.back();
+    queue.pop_back();
+    if (top.mindist > best.PruneDistance()) break;
+    const NodeView node = tree.FetchView(top.page);
+    const size_t n = node.size();
+    if (node.is_leaf()) {
+      // Reject on the x term alone before loading y/id: dy^2 >= 0, so
+      // dx^2 > d_k already implies the full distance is pruned. The
+      // surviving sum mirrors geo::SquaredDistance exactly (same operand
+      // order), keeping distances bit-identical. The prune distance only
+      // tightens when an offer is accepted, so it is refreshed after
+      // Offer instead of being recomputed per entry.
+      double prune = best.PruneDistance();
+      for (size_t i = 0; i < n; ++i) {
+        const double px = node.x(i);
+        const double dx = q.x - px;
+        const double dx2 = dx * dx;
+        if (dx2 > prune) continue;
+        const double py = node.y(i);
+        const double dy = q.y - py;
+        const double d = dx2 + dy * dy;
+        if (d > prune) continue;
+        best.Offer(Neighbor{DataEntry{{px, py}, node.object_id(i)}, d});
+        prune = best.PruneDistance();
+      }
+    } else {
+      // Same staging for child MBRs: geo::SquaredMinDist is dx^2 + dy^2
+      // with dx, dy the per-axis clamped gaps, so a child whose x gap
+      // alone exceeds d_k is dropped after two loads. No offers happen
+      // here, so the prune distance is loop-invariant.
+      const double prune = best.PruneDistance();
+      for (size_t i = 0; i < n; ++i) {
+        const double cmin_x = node.child_min_x(i);
+        const double cmax_x = node.child_max_x(i);
+        const double dx = std::max({cmin_x - q.x, 0.0, q.x - cmax_x});
+        const double dx2 = dx * dx;
+        if (dx2 > prune) continue;
+        const double cmin_y = node.child_min_y(i);
+        const double cmax_y = node.child_max_y(i);
+        const double dy = std::max({cmin_y - q.y, 0.0, q.y - cmax_y});
+        const double mindist = dx2 + dy * dy;
+        if (mindist > prune) continue;
+        queue.push_back(NodeItem{mindist, node.child_page(i)});
+        std::push_heap(queue.begin(), queue.end(), LaterNode{});
+      }
+    }
+  }
+  return best.TakeSorted();
+}
+
+std::vector<Neighbor> KnnBestFirstLegacy(RTree& tree, const geo::Point& q,
+                                         size_t k) {
   LBSQ_CHECK(k > 0);
   if (tree.size() == 0) return {};
 

@@ -25,10 +25,20 @@ struct Neighbor {
 std::vector<Neighbor> KnnDepthFirst(RTree& tree, const geo::Point& q,
                                     size_t k);
 
-// Best-first ("distance browsing") search [HS99]: a global priority queue
-// over nodes and points; optimal in node accesses.
+// Best-first ("distance browsing") search [HS99]: a priority queue over
+// nodes, a bounded max-heap of the best k candidate points, and pruning
+// against the current k-th best distance; optimal in node accesses.
+// Runs on the zero-copy NodeView read path.
 std::vector<Neighbor> KnnBestFirst(RTree& tree, const geo::Point& q,
                                    size_t k);
+
+// Pre-NodeView reference implementation of KnnBestFirst: one global queue
+// holding nodes *and* points, every entry pushed unconditionally, nodes
+// materialized via FetchNode. Same results and access counts as
+// KnnBestFirst; kept as the differential-testing oracle and as the
+// single-threaded seed baseline in bench/throughput.cc.
+std::vector<Neighbor> KnnBestFirstLegacy(RTree& tree, const geo::Point& q,
+                                         size_t k);
 
 }  // namespace lbsq::rtree
 

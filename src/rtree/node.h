@@ -2,8 +2,11 @@
 #define LBSQ_RTREE_NODE_H_
 
 #include <cstdint>
+#include <cstring>
+#include <type_traits>
 #include <vector>
 
+#include "common/check.h"
 #include "geometry/point.h"
 #include "geometry/rect.h"
 #include "storage/page.h"
@@ -72,6 +75,119 @@ struct Node {
 
   void SerializeTo(storage::Page* page) const;
   static Node DeserializeFrom(const storage::Page& page);
+};
+
+// Zero-copy view of a node's serialized page bytes. Where Node
+// materializes every entry into heap-allocated vectors up front, a
+// NodeView decodes fields on access straight from the pinned page in the
+// buffer pool — no allocation, no copy, no per-fetch decode pass. This is
+// the read path of all query traversals (window, k-NN, TP queries).
+//
+// Lifetime: a view borrows the buffer-pool frame it was created from and
+// is invalidated by the next non-const call on that pool (any further
+// fetch or write through the owning tree). Copy out everything you need
+// (child page ids, entries) before fetching the next node, and never
+// re-enter the tree while iterating a view.
+//
+// Entries start at byte offset 4, so doubles inside them are unaligned;
+// accessors memcpy each field, which compiles to plain unaligned loads.
+class NodeView {
+ public:
+  NodeView() = default;
+  explicit NodeView(const storage::Page& page) : bytes_(page.data()) {}
+
+  uint16_t level() const { return ReadAs<uint16_t>(0); }
+  bool is_leaf() const { return level() == 0; }
+  size_t size() const { return ReadAs<uint16_t>(2); }
+
+  // Leaf entry accessors (level == 0). The split x()/y() pair lets hot
+  // scan loops reject on x before touching the y (and id) bytes at all.
+  double x(size_t i) const {
+    LBSQ_DCHECK(is_leaf() && i < size());
+    return ReadAs<double>(kNodeHeaderSize +
+                          static_cast<uint32_t>(i) * kDataEntrySize);
+  }
+  double y(size_t i) const {
+    LBSQ_DCHECK(is_leaf() && i < size());
+    return ReadAs<double>(kNodeHeaderSize +
+                          static_cast<uint32_t>(i) * kDataEntrySize + 8);
+  }
+  geo::Point point(size_t i) const {
+    LBSQ_DCHECK(is_leaf() && i < size());
+    const uint32_t off = kNodeHeaderSize + static_cast<uint32_t>(i) * kDataEntrySize;
+    return {ReadAs<double>(off), ReadAs<double>(off + 8)};
+  }
+  ObjectId object_id(size_t i) const {
+    LBSQ_DCHECK(is_leaf() && i < size());
+    const uint32_t off = kNodeHeaderSize + static_cast<uint32_t>(i) * kDataEntrySize;
+    return ReadAs<uint32_t>(off + 16);
+  }
+  DataEntry data_entry(size_t i) const {
+    return DataEntry{point(i), object_id(i)};
+  }
+
+  // Internal entry accessors (level > 0). The per-field accessors let
+  // scan loops reject a child on one or two coordinates without loading
+  // the rest of its MBR.
+  double child_min_x(size_t i) const {
+    LBSQ_DCHECK(!is_leaf() && i < size());
+    return ReadAs<double>(kNodeHeaderSize +
+                          static_cast<uint32_t>(i) * kChildEntrySize);
+  }
+  double child_min_y(size_t i) const {
+    LBSQ_DCHECK(!is_leaf() && i < size());
+    return ReadAs<double>(kNodeHeaderSize +
+                          static_cast<uint32_t>(i) * kChildEntrySize + 8);
+  }
+  double child_max_x(size_t i) const {
+    LBSQ_DCHECK(!is_leaf() && i < size());
+    return ReadAs<double>(kNodeHeaderSize +
+                          static_cast<uint32_t>(i) * kChildEntrySize + 16);
+  }
+  double child_max_y(size_t i) const {
+    LBSQ_DCHECK(!is_leaf() && i < size());
+    return ReadAs<double>(kNodeHeaderSize +
+                          static_cast<uint32_t>(i) * kChildEntrySize + 24);
+  }
+  geo::Rect child_mbr(size_t i) const {
+    LBSQ_DCHECK(!is_leaf() && i < size());
+    const uint32_t off = kNodeHeaderSize + static_cast<uint32_t>(i) * kChildEntrySize;
+    return {ReadAs<double>(off), ReadAs<double>(off + 8),
+            ReadAs<double>(off + 16), ReadAs<double>(off + 24)};
+  }
+  storage::PageId child_page(size_t i) const {
+    LBSQ_DCHECK(!is_leaf() && i < size());
+    const uint32_t off = kNodeHeaderSize + static_cast<uint32_t>(i) * kChildEntrySize;
+    return ReadAs<uint32_t>(off + 32);
+  }
+  ChildEntry child_entry(size_t i) const {
+    return ChildEntry{child_mbr(i), child_page(i)};
+  }
+
+  // Tight bounding rectangle over the node's entries (cf. Node::ComputeMbr).
+  geo::Rect ComputeMbr() const {
+    geo::Rect mbr = geo::Rect::Empty();
+    const size_t n = size();
+    if (is_leaf()) {
+      for (size_t i = 0; i < n; ++i) mbr = mbr.ExpandedToInclude(point(i));
+    } else {
+      for (size_t i = 0; i < n; ++i) mbr = mbr.ExpandedToInclude(child_mbr(i));
+    }
+    return mbr;
+  }
+
+ private:
+  template <typename T>
+  T ReadAs(uint32_t offset) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    LBSQ_DCHECK(bytes_ != nullptr);
+    LBSQ_DCHECK(offset + sizeof(T) <= storage::kPageSize);
+    T value;
+    std::memcpy(&value, bytes_ + offset, sizeof(T));
+    return value;
+  }
+
+  const uint8_t* bytes_ = nullptr;
 };
 
 }  // namespace lbsq::rtree

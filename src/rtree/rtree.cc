@@ -87,6 +87,14 @@ Node RTree::ReadNode(storage::PageId id) {
 Node RTree::FetchNode(storage::PageId id) { return ReadNode(id); }
 
 void RTree::WriteNode(storage::PageId id, const Node& node) {
+  // Serialize straight into the cached frame when the pool holds one,
+  // skipping the stack page and its 4 KiB copy into the pool. Clearing
+  // first keeps the page bytes identical to serializing a fresh page.
+  if (storage::Page* slot = buffer_.MutablePage(id)) {
+    slot->Clear();
+    node.SerializeTo(slot);
+    return;
+  }
   storage::Page page;
   node.SerializeTo(&page);
   buffer_.Write(id, page);
@@ -560,13 +568,101 @@ bool RTree::DeleteRecursive(storage::PageId page_id, uint16_t node_level,
 // Window query
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Shared window traversal, templated on the emitter so the vector
+// overload inlines its push_back (no std::function call per point).
+//
+// The `contained` flag marks subtrees whose MBR lies entirely inside the
+// window: their leaf points are emitted without per-point Contains tests
+// and their children are pushed without per-child Intersects tests. The
+// fetched node set is unchanged — a contained parent's children all
+// intersect the window anyway — so NA/PA stay identical to the plain
+// traversal (WindowQueryLegacy), as does the emit order.
+struct WindowFrame {
+  storage::PageId id;
+  bool contained;
+};
+
+template <typename Emit>
+void WindowTraverse(RTree& tree, const geo::Rect& w, Emit&& emit) {
+  // The unrolled comparisons below assume a non-empty window (legacy
+  // Intersects() rejects everything for an empty one). Fetch the root
+  // anyway so node-access accounting matches the legacy path exactly.
+  if (w.IsEmpty()) {
+    tree.FetchView(tree.root());
+    return;
+  }
+  // Per-thread scratch: window queries are call-and-return and the emit
+  // contract forbids re-entering the tree mid-scan, so one traversal
+  // stack per thread avoids an allocation per query.
+  thread_local std::vector<WindowFrame> stack;
+  stack.clear();
+  stack.push_back({tree.root(), false});
+  while (!stack.empty()) {
+    const WindowFrame frame = stack.back();
+    stack.pop_back();
+    const NodeView node = tree.FetchView(frame.id);
+    const size_t n = node.size();
+    if (node.is_leaf()) {
+      if (frame.contained) {
+        for (size_t i = 0; i < n; ++i) emit(node.data_entry(i));
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          // Same predicate as Rect::Contains, but rejecting on x before
+          // the y and id bytes of the entry are loaded at all.
+          const double px = node.x(i);
+          if (px < w.min_x || px > w.max_x) continue;
+          const double py = node.y(i);
+          if (py < w.min_y || py > w.max_y) continue;
+          emit(DataEntry{{px, py}, node.object_id(i)});
+        }
+      }
+    } else if (frame.contained) {
+      for (size_t i = 0; i < n; ++i) {
+        stack.push_back({node.child_page(i), true});
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        // Unrolled Rect::Intersects with one-field-at-a-time rejection:
+        // a child that misses the window's x range is dropped after two
+        // loads instead of four (plus the page id).
+        const double cmin_x = node.child_min_x(i);
+        if (cmin_x > w.max_x) continue;
+        const double cmax_x = node.child_max_x(i);
+        if (cmax_x < w.min_x) continue;
+        const double cmin_y = node.child_min_y(i);
+        if (cmin_y > w.max_y) continue;
+        const double cmax_y = node.child_max_y(i);
+        if (cmax_y < w.min_y) continue;
+        const bool contained = cmin_x >= w.min_x && cmax_x <= w.max_x &&
+                               cmin_y >= w.min_y && cmax_y <= w.max_y;
+        stack.push_back({node.child_page(i), contained});
+      }
+    }
+  }
+}
+
+}  // namespace
+
 void RTree::WindowQuery(const geo::Rect& w, std::vector<DataEntry>* out) {
   out->clear();
-  WindowQuery(w, [out](const DataEntry& e) { out->push_back(e); });
+  WindowTraverse(*this, w, [out](const DataEntry& e) { out->push_back(e); });
 }
 
 void RTree::WindowQuery(const geo::Rect& w,
                         const std::function<void(const DataEntry&)>& emit) {
+  WindowTraverse(*this, w, [&emit](const DataEntry& e) { emit(e); });
+}
+
+void RTree::WindowQueryLegacy(const geo::Rect& w,
+                              std::vector<DataEntry>* out) {
+  out->clear();
+  WindowQueryLegacy(w, [out](const DataEntry& e) { out->push_back(e); });
+}
+
+void RTree::WindowQueryLegacy(
+    const geo::Rect& w, const std::function<void(const DataEntry&)>& emit) {
   std::vector<storage::PageId> stack = {root_};
   while (!stack.empty()) {
     const storage::PageId id = stack.back();
@@ -588,7 +684,7 @@ void RTree::WindowQuery(const geo::Rect& w,
 // Introspection
 // ---------------------------------------------------------------------------
 
-geo::Rect RTree::root_mbr() { return ReadNode(root_).ComputeMbr(); }
+geo::Rect RTree::root_mbr() { return FetchView(root_).ComputeMbr(); }
 
 int RTree::height() { return root_level_ + 1; }
 

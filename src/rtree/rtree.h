@@ -83,15 +83,40 @@ class RTree {
   // paper's "intersect the window" semantics for point data).
   void WindowQuery(const geo::Rect& w, std::vector<DataEntry>* out);
 
-  // Streaming variant.
+  // Streaming variant. Runs on the zero-copy read path: `emit` is called
+  // while a NodeView into the buffer pool is live, so it must not issue
+  // further operations against this tree (re-entrancy would invalidate
+  // the view mid-iteration).
   void WindowQuery(const geo::Rect& w,
                    const std::function<void(const DataEntry&)>& emit);
+
+  // Pre-NodeView reference implementation (materializes every node via
+  // FetchNode). Kept as the differential-testing oracle and as the
+  // single-threaded seed baseline in bench/throughput.cc; identical
+  // results and access counts to WindowQuery.
+  void WindowQueryLegacy(const geo::Rect& w, std::vector<DataEntry>* out);
+  void WindowQueryLegacy(const geo::Rect& w,
+                         const std::function<void(const DataEntry&)>& emit);
 
   // -- Introspection (used by query algorithms and tests) -------------------
 
   // Deserializes the node stored at `id` via the buffer pool (counts one
   // node access).
   Node FetchNode(storage::PageId id);
+
+  // Zero-copy fetch: a view over the page bytes pinned in the buffer
+  // pool. Counts exactly one node access like FetchNode (and one page
+  // access on a buffer miss), so NA/PA accounting is unchanged; it only
+  // skips the per-fetch Node allocation + decode. The view is valid until
+  // the next non-const call on this tree or its buffer pool.
+  NodeView FetchView(storage::PageId id) {
+    ++view_fetches_;
+    return NodeView(buffer_.Fetch(id));
+  }
+
+  // Number of fetches served as zero-copy views (i.e. node allocations
+  // avoided relative to the legacy FetchNode path) since construction.
+  uint64_t view_fetches() const { return view_fetches_; }
 
   storage::PageId root() const { return root_; }
   Meta meta() const {
@@ -189,6 +214,9 @@ class RTree {
 
   // Nodes dissolved by Delete's condense step, pending reinsertion.
   std::vector<Node> orphans_;
+
+  // Fetches served through FetchView (see view_fetches()).
+  uint64_t view_fetches_ = 0;
 };
 
 }  // namespace lbsq::rtree

@@ -114,14 +114,14 @@ void FilePageManager::Free(PageId id) {
 void FilePageManager::Read(PageId id, Page* out) {
   LBSQ_CHECK(id < next_page_);
   LBSQ_CHECK(live_[id]);
-  ++read_count_;
+  read_count_.fetch_add(1, std::memory_order_relaxed);
   PReadPage(fd_, OffsetOf(id), out);
 }
 
 void FilePageManager::Write(PageId id, const Page& page) {
   LBSQ_CHECK(id < next_page_);
   LBSQ_CHECK(live_[id]);
-  ++write_count_;
+  write_count_.fetch_add(1, std::memory_order_relaxed);
   PWritePage(fd_, OffsetOf(id), page);
 }
 

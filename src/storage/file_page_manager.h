@@ -1,6 +1,7 @@
 #ifndef LBSQ_STORAGE_FILE_PAGE_MANAGER_H_
 #define LBSQ_STORAGE_FILE_PAGE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -19,7 +20,11 @@
 //   page 0            header: magic, page count, free-list length
 //   page 1..          free-list continuation + page payloads
 //
-// Concurrency: single-threaded, like the rest of the library.
+// Concurrency: Read/Write use pread/pwrite into caller-owned buffers, so
+// concurrent Read calls are safe once the tree is built (BatchServer
+// workers with per-worker buffer pools). ReadRef is NOT thread-safe — it
+// shares one scratch page — so concurrent readers must go through a
+// buffer pool with capacity > 0, which copies via Read instead.
 
 namespace lbsq::storage {
 
@@ -45,9 +50,16 @@ class FilePageManager final : public PageStore {
   // Valid until the next call on this store (single internal buffer).
   const Page& ReadRef(PageId id) override;
 
-  uint64_t read_count() const override { return read_count_; }
-  uint64_t write_count() const override { return write_count_; }
-  void ResetCounters() override { read_count_ = write_count_ = 0; }
+  uint64_t read_count() const override {
+    return read_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t write_count() const override {
+    return write_count_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() override {
+    read_count_.store(0, std::memory_order_relaxed);
+    write_count_.store(0, std::memory_order_relaxed);
+  }
   size_t live_pages() const override {
     return next_page_ - free_list_.size();
   }
@@ -68,8 +80,8 @@ class FilePageManager final : public PageStore {
   std::vector<PageId> free_list_;
   std::vector<bool> live_;
   Page scratch_;
-  uint64_t read_count_ = 0;
-  uint64_t write_count_ = 0;
+  std::atomic<uint64_t> read_count_{0};
+  std::atomic<uint64_t> write_count_{0};
 };
 
 }  // namespace lbsq::storage

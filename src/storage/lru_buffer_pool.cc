@@ -13,16 +13,18 @@ LruBufferPool::~LruBufferPool() { FlushAll(); }
 
 const Page& LruBufferPool::Fetch(PageId id) {
   ++logical_accesses_;
+  if (capacity_ == 0) {
+    // Unbuffered mode: read straight through (the map is always empty, so
+    // no lookup is needed — every access is a miss). The returned
+    // reference stays valid because PageManager storage is stable.
+    ++misses_;
+    return manager_->ReadRef(id);
+  }
   if (auto it = map_.find(id); it != map_.end()) {
     ++hits_;
     return Touch(it->second).page;
   }
   ++misses_;
-  if (capacity_ == 0) {
-    // Unbuffered mode: read straight through. The returned reference stays
-    // valid because PageManager storage is stable.
-    return manager_->ReadRef(id);
-  }
   frames_.push_front(Frame{id, Page(), false});
   manager_->Read(id, &frames_.front().page);
   map_[id] = frames_.begin();
@@ -47,6 +49,22 @@ void LruBufferPool::Write(PageId id, const Page& page) {
   frames_.push_front(Frame{id, page, true});
   map_[id] = frames_.begin();
   EvictIfNeeded();
+}
+
+Page* LruBufferPool::MutablePage(PageId id) {
+  if (capacity_ == 0) return nullptr;
+  ++logical_accesses_;
+  if (auto it = map_.find(id); it != map_.end()) {
+    ++hits_;
+    Frame& frame = Touch(it->second);
+    frame.dirty = true;
+    return &frame.page;
+  }
+  ++misses_;
+  frames_.push_front(Frame{id, Page(), true});
+  map_[id] = frames_.begin();
+  EvictIfNeeded();
+  return &frames_.front().page;
 }
 
 void LruBufferPool::Discard(PageId id) {

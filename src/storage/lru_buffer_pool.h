@@ -37,6 +37,15 @@ class LruBufferPool {
   // eviction/flush. Counts one logical access.
   void Write(PageId id, const Page& page);
 
+  // In-place variant of Write: returns the cached frame's page for the
+  // caller to serialize into directly, skipping the intermediate page
+  // copy (on a miss the frame starts zeroed, exactly like a fresh Page).
+  // Accounting is identical to Write — one logical access plus the same
+  // hit/miss bookkeeping — and the frame is marked dirty. Returns nullptr
+  // when caching is disabled (capacity 0); callers fall back to Write().
+  // The pointer is invalidated by the next call on this pool.
+  Page* MutablePage(PageId id);
+
   // Drops the page from the pool (e.g. after Free) without writing back.
   void Discard(PageId id);
 

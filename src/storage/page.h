@@ -27,6 +27,9 @@ class Page {
   const uint8_t* data() const { return bytes_; }
   uint8_t* mutable_data() { return bytes_; }
 
+  // Resets the page to all-zero bytes (the state of a fresh Page).
+  void Clear() { std::memset(bytes_, 0, kPageSize); }
+
   template <typename T>
   T ReadAt(uint32_t offset) const {
     static_assert(std::is_trivially_copyable_v<T>);

@@ -24,19 +24,19 @@ void PageManager::Free(PageId id) {
 
 void PageManager::Read(PageId id, Page* out) {
   CheckLive(id);
-  ++read_count_;
+  read_count_.fetch_add(1, std::memory_order_relaxed);
   *out = *pages_[id];
 }
 
 void PageManager::Write(PageId id, const Page& page) {
   CheckLive(id);
-  ++write_count_;
+  write_count_.fetch_add(1, std::memory_order_relaxed);
   *pages_[id] = page;
 }
 
 const Page& PageManager::ReadRef(PageId id) {
   CheckLive(id);
-  ++read_count_;
+  read_count_.fetch_add(1, std::memory_order_relaxed);
   return *pages_[id];
 }
 

@@ -1,6 +1,7 @@
 #ifndef LBSQ_STORAGE_PAGE_MANAGER_H_
 #define LBSQ_STORAGE_PAGE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -39,12 +40,21 @@ class PageManager final : public PageStore {
 
   // Direct const access without copying; still counts one physical read.
   // Unlike the base-class contract, the reference stays valid for the
-  // lifetime of the manager (page storage is stable).
+  // lifetime of the manager (page storage is stable), and concurrent
+  // ReadRef/Read calls from multiple threads are safe as long as no
+  // thread allocates, frees, or writes (the BatchServer read path).
   const Page& ReadRef(PageId id) override;
 
-  uint64_t read_count() const override { return read_count_; }
-  uint64_t write_count() const override { return write_count_; }
-  void ResetCounters() override { read_count_ = write_count_ = 0; }
+  uint64_t read_count() const override {
+    return read_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t write_count() const override {
+    return write_count_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() override {
+    read_count_.store(0, std::memory_order_relaxed);
+    write_count_.store(0, std::memory_order_relaxed);
+  }
 
   // Number of live (allocated, not freed) pages.
   size_t live_pages() const override {
@@ -59,8 +69,11 @@ class PageManager final : public PageStore {
   std::vector<std::unique_ptr<Page>> pages_;
   std::vector<PageId> free_list_;
   std::vector<bool> live_;
-  uint64_t read_count_ = 0;
-  uint64_t write_count_ = 0;
+  // Atomic so concurrent read-only workers (BatchServer) can count
+  // accesses without a data race; relaxed order suffices — the counters
+  // are read only after the workers join.
+  std::atomic<uint64_t> read_count_{0};
+  std::atomic<uint64_t> write_count_{0};
 };
 
 }  // namespace lbsq::storage

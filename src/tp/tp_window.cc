@@ -46,9 +46,11 @@ TpWindowResult TpWindowQuery(rtree::RTree& tree, const geo::Rect& window,
   while (!queue.empty()) {
     const Candidate top = queue.top();
     queue.pop();
-    const rtree::Node node = tree.FetchNode(top.page);
+    const rtree::NodeView node = tree.FetchView(top.page);
+    const size_t n = node.size();
     if (node.is_leaf()) {
-      for (const rtree::DataEntry& e : node.data) {
+      for (size_t i = 0; i < n; ++i) {
+        const rtree::DataEntry e = node.data_entry(i);
         const bool inside = window.Contains(e.point);
         if (inside) out.result.push_back(e);
         const double t = WindowPointInfluenceTime(q, l, hx, hy, e.point);
@@ -62,12 +64,13 @@ TpWindowResult TpWindowQuery(rtree::RTree& tree, const geo::Rect& window,
         }
       }
     } else {
-      for (const rtree::ChildEntry& e : node.children) {
-        const double bound = WindowNodeInfluenceLowerBound(q, l, hx, hy, e.mbr);
+      for (size_t i = 0; i < n; ++i) {
+        const geo::Rect mbr = node.child_mbr(i);
+        const double bound = WindowNodeInfluenceLowerBound(q, l, hx, hy, mbr);
         const bool may_influence =
             bound <= best_time + tie_tol * (1.0 + best_time);
-        const bool may_contain = window.Intersects(e.mbr);
-        if (may_influence || may_contain) queue.push({bound, e.child});
+        const bool may_contain = window.Intersects(mbr);
+        if (may_influence || may_contain) queue.push({bound, node.child_page(i)});
       }
     }
   }

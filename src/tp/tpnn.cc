@@ -45,9 +45,11 @@ TpnnResult Tpnn(rtree::RTree& tree, const geo::Point& q, const geo::Vec2& l,
     const NodeCandidate top = queue.top();
     queue.pop();
     if (top.bound >= best.time) break;  // no candidate can improve
-    const rtree::Node node = tree.FetchNode(top.page);
+    const rtree::NodeView node = tree.FetchView(top.page);
+    const size_t n = node.size();
     if (node.is_leaf()) {
-      for (const rtree::DataEntry& e : node.data) {
+      for (size_t i = 0; i < n; ++i) {
+        const rtree::DataEntry e = node.data_entry(i);
         if (e.id == o_id) continue;
         const double t = PointInfluenceTime(q, l, o, e.point);
         if (Improves(t, e.id, best.time, best.object, best.found)) {
@@ -57,9 +59,9 @@ TpnnResult Tpnn(rtree::RTree& tree, const geo::Point& q, const geo::Vec2& l,
         }
       }
     } else {
-      for (const rtree::ChildEntry& e : node.children) {
-        const double bound = NodeInfluenceLowerBound(q, l, o, e.mbr);
-        if (bound < best.time) queue.push({bound, e.child});
+      for (size_t i = 0; i < n; ++i) {
+        const double bound = NodeInfluenceLowerBound(q, l, o, node.child_mbr(i));
+        if (bound < best.time) queue.push({bound, node.child_page(i)});
       }
     }
   }
@@ -105,9 +107,11 @@ TpknnResult Tpknn(rtree::RTree& tree, const geo::Point& q, const geo::Vec2& l,
     const NodeCandidate top = queue.top();
     queue.pop();
     if (top.bound >= best.time) break;
-    const rtree::Node node = tree.FetchNode(top.page);
+    const rtree::NodeView node = tree.FetchView(top.page);
+    const size_t n = node.size();
     if (node.is_leaf()) {
-      for (const rtree::DataEntry& e : node.data) {
+      for (size_t i = 0; i < n; ++i) {
+        const rtree::DataEntry e = node.data_entry(i);
         // Same cheap pre-bound as for nodes, on the point itself.
         if (0.5 * (geo::Distance(q, e.point) - dist_k) >= best.time) continue;
         if (is_member(e.id)) continue;
@@ -124,10 +128,11 @@ TpknnResult Tpknn(rtree::RTree& tree, const geo::Point& q, const geo::Vec2& l,
         }
       }
     } else {
-      for (const rtree::ChildEntry& e : node.children) {
-        if (cheap_bound(e.mbr) >= best.time) continue;
-        const double bound = node_bound(e.mbr);
-        if (bound < best.time) queue.push({bound, e.child});
+      for (size_t i = 0; i < n; ++i) {
+        const geo::Rect mbr = node.child_mbr(i);
+        if (cheap_bound(mbr) >= best.time) continue;
+        const double bound = node_bound(mbr);
+        if (bound < best.time) queue.push({bound, node.child_page(i)});
       }
     }
   }
