@@ -66,7 +66,7 @@ int main() {
     for (const geo::Point& p : trajectory) {
       client.MoveTo(p);
       if (!client.last_answer_was_cached()) {
-        bytes += core::wire::EncodeNnResult(client.last_result()).size();
+        bytes += core::wire::EncodeNnResult(client.last_result()).value().size();
       }
     }
     std::printf("%-18s %10zu %14zu %14.1f\n", label,

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
         smart_bytes += core::DeltaBytes(
             core::DiffResults(previous, cached.result()));
       } else {
-        smart_bytes += core::wire::EncodeRangeResult(cached).size();
+        smart_bytes += core::wire::EncodeRangeResult(cached).value().size();
       }
       previous = cached.result();
       has = true;

@@ -10,10 +10,25 @@
 
 // Minimal byte-buffer serialization used by the wire format of query
 // answers (core/wire_format.h). Fixed-width little-endian-as-memcpy
-// encoding; both ends are this library, so no cross-architecture
-// byte-swapping is attempted.
+// encoding for scalars plus LEB128 varints for counts; both ends are this
+// library, so no cross-architecture byte-swapping is attempted.
+//
+// The reader has two tiers. Read<T>/ReadVarCount abort on truncation —
+// for buffers the process itself produced. TryRead<T>/TryReadVarCount
+// return false instead — the only tier wire decoders may use, since a
+// hostile or damaged message must degrade to an error, not an abort.
 
 namespace lbsq {
+
+// Bytes a LEB128 varint of `value` occupies (1..5 for uint32 values).
+inline size_t VarCountBytes(uint64_t value) {
+  size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
 
 class ByteWriter {
  public:
@@ -25,7 +40,16 @@ class ByteWriter {
     std::memcpy(bytes_.data() + offset, &value, sizeof(T));
   }
 
-  void AppendVarCount(uint32_t count) { Append<uint32_t>(count); }
+  // Unsigned LEB128: 7 value bits per byte, high bit = continuation.
+  // Counts on the wire are almost always < 128, so this is one byte where
+  // the old fixed-width encoding spent four.
+  void AppendVarCount(uint32_t count) {
+    while (count >= 0x80) {
+      bytes_.push_back(static_cast<uint8_t>(count) | 0x80);
+      count >>= 7;
+    }
+    bytes_.push_back(static_cast<uint8_t>(count));
+  }
 
   const std::vector<uint8_t>& bytes() const { return bytes_; }
   std::vector<uint8_t> Take() { return std::move(bytes_); }
@@ -39,18 +63,51 @@ class ByteReader {
  public:
   explicit ByteReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
 
+  // Aborting read for trusted buffers.
   template <typename T>
   T Read() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    LBSQ_CHECK(offset_ + sizeof(T) <= bytes_.size());
     T value;
-    std::memcpy(&value, bytes_.data() + offset_, sizeof(T));
-    offset_ += sizeof(T);
+    LBSQ_CHECK(TryRead(&value));
     return value;
   }
 
-  uint32_t ReadVarCount() { return Read<uint32_t>(); }
+  // Bounded read for untrusted buffers: false (and no consumption) when
+  // fewer than sizeof(T) bytes remain.
+  template <typename T>
+  bool TryRead(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (sizeof(T) > remaining()) return false;
+    std::memcpy(out, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return true;
+  }
 
+  uint32_t ReadVarCount() {
+    uint32_t value;
+    LBSQ_CHECK(TryReadVarCount(&value));
+    return value;
+  }
+
+  // LEB128 decode, capped at 5 bytes / 32 bits. Rejects truncated input
+  // and values that overflow uint32; does not consume on failure.
+  bool TryReadVarCount(uint32_t* out) {
+    uint64_t value = 0;
+    size_t i = 0;
+    for (; i < 5; ++i) {
+      if (offset_ + i >= bytes_.size()) return false;
+      const uint8_t byte = bytes_[offset_ + i];
+      value |= static_cast<uint64_t>(byte & 0x7f) << (7 * i);
+      if ((byte & 0x80) == 0) {
+        if (value > 0xffffffffull) return false;
+        *out = static_cast<uint32_t>(value);
+        offset_ += i + 1;
+        return true;
+      }
+    }
+    return false;  // continuation bit still set after 5 bytes
+  }
+
+  size_t remaining() const { return bytes_.size() - offset_; }
   bool AtEnd() const { return offset_ == bytes_.size(); }
 
  private:

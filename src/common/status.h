@@ -1,0 +1,128 @@
+#ifndef LBSQ_COMMON_STATUS_H_
+#define LBSQ_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+// Recoverable-error channel for the untrusted layers of the library (wire
+// decoding, disk pages). The library is built without exceptions and
+// LBSQ_CHECK aborts, which is right for internal invariants but wrong for
+// input the process does not control: a malformed client message or a
+// corrupt disk page must degrade to a per-query error, not take down the
+// server. See DESIGN.md "Error-handling model" for the abort-vs-Status
+// boundary.
+
+namespace lbsq {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  // Malformed input (truncated message, bad count, value out of domain).
+  kInvalidArgument = 1,
+  // Stored data failed an integrity check (page checksum mismatch).
+  kDataLoss = 2,
+  // Transient failure; retrying the operation may succeed.
+  kUnavailable = 3,
+  // Invariant violation reported instead of aborting (encode-side).
+  kInternal = 4,
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Retry policy: only transient failures are worth re-attempting; data
+// loss and malformed input are deterministic.
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+// A value or an error. `value()` aborts on an error status (use it only
+// after checking ok(), or where an error is itself a program bug).
+template <typename T>
+class StatusOr {
+ public:
+  // Default: an error ("uninitialized") — lets batch code size a result
+  // vector up front and fill slots in any order.
+  StatusOr() : status_(Status::Internal("uninitialized StatusOr")) {}
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    LBSQ_CHECK(!status_.ok());  // an OK StatusOr must carry a value
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    LBSQ_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    LBSQ_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    LBSQ_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lbsq
+
+#endif  // LBSQ_COMMON_STATUS_H_

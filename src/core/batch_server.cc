@@ -30,7 +30,7 @@ BatchServer::BatchServer(storage::PageStore* disk,
                          const rtree::RTree::Meta& meta,
                          const geo::Rect& universe,
                          const BatchServerOptions& options)
-    : disk_(disk) {
+    : disk_(disk), max_query_retries_(options.max_query_retries) {
   LBSQ_CHECK(options.num_threads >= 1);
   workers_.reserve(options.num_threads);
   for (size_t i = 0; i < options.num_threads; ++i) {
@@ -134,6 +134,58 @@ void BatchServer::RunBatch(size_t count,
   }
 }
 
+template <typename Result, typename Fn>
+StatusOr<Result> BatchServer::ServeChecked(Worker& worker, const Fn& fn) {
+  for (size_t attempt = 0;; ++attempt) {
+    storage::PageStore::ClearReadError();
+    Result result = fn();
+    Status error = storage::PageStore::TakeReadError();
+    if (error.ok()) return result;
+    // The failed fetch may have parked a substituted zero page in this
+    // worker's buffer pool; purge it so neither the retry nor a later
+    // query claimed by this worker serves it as a cache hit.
+    worker.tree->buffer().Clear();
+    if (!IsRetryable(error) || attempt >= max_query_retries_) {
+      query_errors_.fetch_add(1, std::memory_order_relaxed);
+      return error;
+    }
+    query_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<StatusOr<NnValidityResult>> BatchServer::NnQueryBatchChecked(
+    const std::vector<NnQuery>& queries) {
+  std::vector<StatusOr<NnValidityResult>> out(queries.size());
+  RunBatch(queries.size(), [this, &queries, &out](Worker& w, size_t i) {
+    out[i] = ServeChecked<NnValidityResult>(
+        w, [&] { return w.nn_engine->Query(queries[i].q, queries[i].k); });
+  });
+  return out;
+}
+
+std::vector<StatusOr<WindowValidityResult>>
+BatchServer::WindowQueryBatchChecked(const std::vector<WindowQuery>& queries) {
+  std::vector<StatusOr<WindowValidityResult>> out(queries.size());
+  RunBatch(queries.size(), [this, &queries, &out](Worker& w, size_t i) {
+    out[i] = ServeChecked<WindowValidityResult>(w, [&] {
+      return w.window_engine->Query(queries[i].focus, queries[i].hx,
+                                    queries[i].hy);
+    });
+  });
+  return out;
+}
+
+std::vector<StatusOr<RangeValidityResult>> BatchServer::RangeQueryBatchChecked(
+    const std::vector<RangeQuery>& queries) {
+  std::vector<StatusOr<RangeValidityResult>> out(queries.size());
+  RunBatch(queries.size(), [this, &queries, &out](Worker& w, size_t i) {
+    out[i] = ServeChecked<RangeValidityResult>(w, [&] {
+      return w.range_engine->Query(queries[i].focus, queries[i].radius);
+    });
+  });
+  return out;
+}
+
 std::vector<NnValidityResult> BatchServer::NnQueryBatch(
     const std::vector<NnQuery>& queries) {
   std::vector<NnValidityResult> out(queries.size());
@@ -214,6 +266,8 @@ BatchPerfStats BatchServer::perf_stats() const {
   }
   stats.allocations_avoided -= view_fetches_baseline_;
   stats.page_accesses = disk_->read_count() - disk_reads_baseline_;
+  stats.query_errors = query_errors_.load(std::memory_order_relaxed);
+  stats.query_retries = query_retries_.load(std::memory_order_relaxed);
   stats.wall_seconds = wall_seconds_;
   if (!latencies_us_.empty()) {
     stats.p50_us = Percentile(latencies_us_, 50.0);
@@ -226,6 +280,8 @@ BatchPerfStats BatchServer::perf_stats() const {
 
 void BatchServer::ResetPerfStats() {
   queries_ = 0;
+  query_errors_.store(0, std::memory_order_relaxed);
+  query_retries_.store(0, std::memory_order_relaxed);
   wall_seconds_ = 0.0;
   latencies_us_.clear();
   view_fetches_baseline_ = 0;

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
 #include "core/nn_validity.h"
 #include "core/range_validity.h"
 #include "core/window_validity.h"
@@ -55,6 +56,9 @@ struct BatchServerOptions {
   // zero-copy ReadRef into the shared store (fastest for in-memory
   // stores; required to be > 0 for FilePageManager, see above).
   size_t buffer_pages_per_worker = 0;
+  // Retry budget of the *Checked batch variants for transient
+  // (kUnavailable) read faults. Unused by the plain variants.
+  size_t max_query_retries = 2;
   // Must match the options the tree in the store was built with.
   rtree::RTree::Options tree_options;
 };
@@ -67,6 +71,8 @@ struct BatchPerfStats {
   uint64_t node_accesses = 0;        // logical fetches across all workers
   uint64_t page_accesses = 0;        // shared-store reads (buffer misses)
   uint64_t allocations_avoided = 0;  // fetches served as zero-copy views
+  uint64_t query_errors = 0;         // checked queries that returned a Status
+  uint64_t query_retries = 0;        // transient-fault retries that were taken
   double wall_seconds = 0.0;
   double p50_us = 0.0;
   double p95_us = 0.0;
@@ -110,6 +116,20 @@ class BatchServer {
   std::vector<RangeValidityResult> RangeQueryBatch(
       const std::vector<RangeQuery>& queries);
 
+  // Checked batches for untrusted storage (a checksummed / fault-injected
+  // store): result i is either query i's answer or the Status of the read
+  // failure that poisoned it. Transient faults are retried (purging the
+  // worker's buffer pool in between) up to options.max_query_retries
+  // times; queries untouched by faults produce answers bit-identical to
+  // the plain batch variants. The batch always completes — one bad page
+  // fails one query, not the process.
+  std::vector<StatusOr<NnValidityResult>> NnQueryBatchChecked(
+      const std::vector<NnQuery>& queries);
+  std::vector<StatusOr<WindowValidityResult>> WindowQueryBatchChecked(
+      const std::vector<WindowQuery>& queries);
+  std::vector<StatusOr<RangeValidityResult>> RangeQueryBatchChecked(
+      const std::vector<RangeQuery>& queries);
+
   // Conventional batches without validity computation (the naive-client
   // load). Range results are sorted by object id.
   std::vector<std::vector<rtree::Neighbor>> PlainNnBatch(
@@ -137,6 +157,11 @@ class BatchServer {
 
   void WorkerLoop(size_t worker_index);
 
+  // Serves one checked query on `worker`: brackets `fn` with the store's
+  // read-error channel, retrying transient faults within the budget.
+  template <typename Result, typename Fn>
+  StatusOr<Result> ServeChecked(Worker& worker, const Fn& fn);
+
   // Claims chunks of query indices off cursor_ and serves them on
   // `worker` until the batch is drained.
   void ServeClaims(Worker& worker, size_t count);
@@ -148,8 +173,14 @@ class BatchServer {
                 const std::function<void(Worker&, size_t)>& job);
 
   storage::PageStore* disk_;
+  size_t max_query_retries_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+
+  // Checked-path counters; relaxed atomics, updated by workers mid-batch
+  // and read between batches on the dispatcher thread.
+  std::atomic<uint64_t> query_errors_{0};
+  std::atomic<uint64_t> query_retries_{0};
 
   // Batch handoff. A batch is published by bumping job_epoch_ under mu_;
   // workers claim indices from the lock-free cursor and report completion

@@ -79,6 +79,7 @@ class MobileWindowClient {
 
   const std::vector<rtree::DataEntry>& MoveTo(const geo::Point& p) {
     if (mode_ == Mode::kAlwaysQuery) {
+      last_cached_ = false;
       objects_ = server_->PlainWindowQuery(p, hx_, hy_);
       ++server_queries_;
       return objects_;
@@ -89,6 +90,7 @@ class MobileWindowClient {
                   ? result_.IsValidAtConservative(p)
                   : result_.IsValidAt(p);
     }
+    last_cached_ = valid;
     if (!valid) {
       result_ = server_->WindowQuery(p, hx_, hy_);
       has_result_ = true;
@@ -96,6 +98,11 @@ class MobileWindowClient {
     }
     return result_.result();
   }
+
+  // True when the last MoveTo was answered from the cache (cf. the NN
+  // client): the cache-hit-rate measurements of EXPERIMENTS.md-style runs
+  // read this after each update.
+  bool last_answer_was_cached() const { return last_cached_; }
 
   size_t server_queries() const { return server_queries_; }
   const WindowValidityResult& last_result() const { return result_; }
@@ -108,6 +115,7 @@ class MobileWindowClient {
   WindowValidityResult result_;
   std::vector<rtree::DataEntry> objects_;  // kAlwaysQuery mode only
   bool has_result_ = false;
+  bool last_cached_ = false;
   size_t server_queries_ = 0;
 };
 
@@ -128,6 +136,7 @@ class MobileRangeClient {
                   ? result_.IsValidAtConservative(p)
                   : result_.IsValidAt(p);
     }
+    last_cached_ = valid;
     if (!valid) {
       result_ = server_->RangeQuery(p, radius_);
       has_result_ = true;
@@ -135,6 +144,10 @@ class MobileRangeClient {
     }
     return result_.result();
   }
+
+  // True when the last MoveTo was answered from the cache (cf. the NN
+  // client).
+  bool last_answer_was_cached() const { return last_cached_; }
 
   size_t server_queries() const { return server_queries_; }
   const RangeValidityResult& last_result() const { return result_; }
@@ -145,6 +158,7 @@ class MobileRangeClient {
   Mode mode_;
   RangeValidityResult result_;
   bool has_result_ = false;
+  bool last_cached_ = false;
   size_t server_queries_ = 0;
 };
 

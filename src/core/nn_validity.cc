@@ -10,6 +10,7 @@
 #include "geometry/convex_polygon.h"
 #include "geometry/halfplane.h"
 #include "rtree/knn.h"
+#include "storage/page_store.h"
 #include "tp/tpnn.h"
 
 namespace lbsq::core {
@@ -85,6 +86,15 @@ NnValidityResult NnValidityEngine::Query(const geo::Point& q, size_t k) {
   // termination independent of floating-point grazing cases.
   std::set<std::pair<rtree::ObjectId, rtree::ObjectId>> seen;
 
+  if (!storage::PageStore::PendingReadError().ok()) {
+    // A page failed during step (i): the answer set itself is suspect, so
+    // the region-refinement invariants (q closest to its own answers) no
+    // longer hold. Return a degraded result immediately — the checked
+    // query layer that enabled error reporting will discard it.
+    return NnValidityResult(q, universe_, std::move(answers), std::move(pairs),
+                            std::move(poly));
+  }
+
   if (answers.size() < k || tree_->size() <= k) {
     // No outside objects exist: the result can never change inside the
     // universe.
@@ -98,6 +108,10 @@ NnValidityResult NnValidityEngine::Query(const geo::Point& q, size_t k) {
   const uint64_t tp_na_before = tree_->buffer().logical_accesses();
   const uint64_t tp_pa_before = tree_->disk().read_count();
   while (true) {
+    // A TP query hit a bad page: the influence set cannot be completed,
+    // so stop refining (the partial region stays a superset-of-truth
+    // artifact that the checked query layer will discard).
+    if (!storage::PageStore::PendingReadError().ok()) break;
     const size_t vi = flags.FirstUnconfirmed();
     if (vi == VertexFlags::kNone) break;
     const geo::Point v = poly.vertices()[vi];

@@ -4,18 +4,27 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/status.h"
 #include "core/nn_validity.h"
 #include "core/range_validity.h"
 #include "core/window_validity.h"
 #include "geometry/point.h"
 #include "geometry/rect.h"
 #include "rtree/rtree.h"
+#include "storage/page_store.h"
 
 // The server side of the mobile-computing scenario from the paper's
 // introduction: it owns the query engines over one spatial index and
 // serves location-based queries, counting how many it had to process.
 // Mobile clients (mobile_client.h) hit it only when they leave the
 // validity region of a previous answer.
+//
+// The *Checked query variants serve untrusted storage (a checksummed
+// and/or fault-injected page store): instead of trusting every page, they
+// bracket the query with the store's read-error channel, retry transient
+// faults a bounded number of times, and surface anything else as a
+// per-query Status — the process stays up when a page goes bad. The
+// plain variants keep zero overhead for trusted in-memory stores.
 
 namespace lbsq::core {
 
@@ -46,6 +55,31 @@ class Server {
     return range_engine_.Query(focus, radius);
   }
 
+  // Checked variants for untrusted storage: an answer computed while the
+  // page store reported a read failure is never returned. Transient
+  // faults (kUnavailable) are retried up to max_query_retries() times
+  // with the buffer pool purged in between; persistent corruption
+  // (kDataLoss) comes back as the error itself.
+  StatusOr<NnValidityResult> NnQueryChecked(const geo::Point& q, size_t k) {
+    ++nn_queries_served_;
+    return RunChecked<NnValidityResult>(
+        [&] { return nn_engine_.Query(q, k); });
+  }
+
+  StatusOr<WindowValidityResult> WindowQueryChecked(const geo::Point& focus,
+                                                    double hx, double hy) {
+    ++window_queries_served_;
+    return RunChecked<WindowValidityResult>(
+        [&] { return window_engine_.Query(focus, hx, hy); });
+  }
+
+  StatusOr<RangeValidityResult> RangeQueryChecked(const geo::Point& focus,
+                                                  double radius) {
+    ++range_queries_served_;
+    return RunChecked<RangeValidityResult>(
+        [&] { return range_engine_.Query(focus, radius); });
+  }
+
   // Conventional queries without validity-region computation — what a
   // pre-validity-region server would run for the naive re-query client.
   std::vector<rtree::Neighbor> PlainNnQuery(const geo::Point& q, size_t k) {
@@ -65,12 +99,37 @@ class Server {
   size_t window_queries_served() const { return window_queries_served_; }
   size_t range_queries_served() const { return range_queries_served_; }
 
+  // Checked-path counters and retry budget.
+  size_t query_errors() const { return query_errors_; }
+  size_t query_retries() const { return query_retries_; }
+  size_t max_query_retries() const { return max_query_retries_; }
+  void set_max_query_retries(size_t n) { max_query_retries_ = n; }
+
   NnValidityEngine& nn_engine() { return nn_engine_; }
   WindowValidityEngine& window_engine() { return window_engine_; }
   RangeValidityEngine& range_engine() { return range_engine_; }
   const geo::Rect& universe() const { return nn_engine_.universe(); }
 
  private:
+  template <typename Result, typename Fn>
+  StatusOr<Result> RunChecked(const Fn& fn) {
+    for (size_t attempt = 0;; ++attempt) {
+      storage::PageStore::ClearReadError();
+      Result result = fn();
+      Status error = storage::PageStore::TakeReadError();
+      if (error.ok()) return result;
+      // A failed fetch may have parked a substituted zero page in the
+      // buffer pool; purge it so neither the retry nor a later query
+      // silently serves it as a cache hit.
+      tree_->buffer().Clear();
+      if (!IsRetryable(error) || attempt >= max_query_retries_) {
+        ++query_errors_;
+        return error;
+      }
+      ++query_retries_;
+    }
+  }
+
   rtree::RTree* tree_;
   NnValidityEngine nn_engine_;
   WindowValidityEngine window_engine_;
@@ -78,6 +137,9 @@ class Server {
   size_t nn_queries_served_ = 0;
   size_t window_queries_served_ = 0;
   size_t range_queries_served_ = 0;
+  size_t query_errors_ = 0;
+  size_t query_retries_ = 0;
+  size_t max_query_retries_ = 2;
 };
 
 }  // namespace lbsq::core

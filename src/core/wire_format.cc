@@ -1,9 +1,10 @@
 #include "core/wire_format.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 
 #include "common/bytes.h"
-#include "common/check.h"
 #include "geometry/convex_polygon.h"
 #include "geometry/halfplane.h"
 
@@ -12,6 +13,10 @@ namespace lbsq::core::wire {
 namespace {
 
 constexpr size_t kEntryBytes = 2 * sizeof(double) + sizeof(rtree::ObjectId);
+constexpr size_t kPointBytes = 2 * sizeof(double);
+constexpr size_t kRectBytes = 4 * sizeof(double);
+
+Status Truncated() { return Status::InvalidArgument("truncated message"); }
 
 void AppendEntry(ByteWriter* writer, const rtree::DataEntry& e) {
   writer->Append(e.point.x);
@@ -19,12 +24,20 @@ void AppendEntry(ByteWriter* writer, const rtree::DataEntry& e) {
   writer->Append(e.id);
 }
 
-rtree::DataEntry ReadEntry(ByteReader* reader) {
-  rtree::DataEntry e;
-  e.point.x = reader->Read<double>();
-  e.point.y = reader->Read<double>();
-  e.id = reader->Read<rtree::ObjectId>();
-  return e;
+// All Read* helpers are bounded (false = truncated) and reject non-finite
+// coordinates: every value the wire ships is a coordinate or a distance,
+// and a NaN/inf would otherwise leak into client-side geometry.
+bool ReadDouble(ByteReader* reader, double* out) {
+  return reader->TryRead(out) && std::isfinite(*out);
+}
+
+bool ReadEntry(ByteReader* reader, rtree::DataEntry* e) {
+  return ReadDouble(reader, &e->point.x) && ReadDouble(reader, &e->point.y) &&
+         reader->TryRead(&e->id);
+}
+
+bool ReadPoint(ByteReader* reader, geo::Point* p) {
+  return ReadDouble(reader, &p->x) && ReadDouble(reader, &p->y);
 }
 
 void AppendRect(ByteWriter* writer, const geo::Rect& r) {
@@ -34,18 +47,21 @@ void AppendRect(ByteWriter* writer, const geo::Rect& r) {
   writer->Append(r.max_y);
 }
 
-geo::Rect ReadRect(ByteReader* reader) {
-  geo::Rect r;
-  r.min_x = reader->Read<double>();
-  r.min_y = reader->Read<double>();
-  r.max_x = reader->Read<double>();
-  r.max_y = reader->Read<double>();
-  return r;
+bool ReadRect(ByteReader* reader, geo::Rect* r) {
+  return ReadDouble(reader, &r->min_x) && ReadDouble(reader, &r->min_y) &&
+         ReadDouble(reader, &r->max_x) && ReadDouble(reader, &r->max_y);
+}
+
+// Preallocation clamp: never reserve more slots than the remaining bytes
+// could possibly hold. A hostile count in a 12-byte message then reserves
+// nothing, while a truthful count reserves exactly right.
+size_t ClampedReserve(uint32_t count, size_t remaining, size_t entry_bytes) {
+  return std::min<size_t>(count, remaining / entry_bytes);
 }
 
 }  // namespace
 
-std::vector<uint8_t> EncodeNnResult(const NnValidityResult& result) {
+StatusOr<std::vector<uint8_t>> EncodeNnResult(const NnValidityResult& result) {
   ByteWriter writer;
   writer.Append(result.query().x);
   writer.Append(result.query().y);
@@ -62,50 +78,68 @@ std::vector<uint8_t> EncodeNnResult(const NnValidityResult& result) {
       static_cast<uint32_t>(result.influence_pairs().size()));
   for (const InfluencePair& pair : result.influence_pairs()) {
     AppendEntry(&writer, pair.incoming);
-    // The displaced object is one of the answers; ship its index.
+    // The displaced object is one of the answers; ship its index. A pair
+    // displacing a non-answer has no index — encoding one anyway (the old
+    // behavior was to emit 0) would decode into a *different* bisector
+    // and hence a silently wrong validity region, so fail loudly instead.
     uint32_t index = 0;
+    bool found = false;
     for (size_t i = 0; i < result.answers().size(); ++i) {
       if (result.answers()[i].entry.id == pair.displaced.id) {
         index = static_cast<uint32_t>(i);
+        found = true;
         break;
       }
     }
-    writer.Append(index);
+    if (!found) {
+      return Status::Internal(
+          "influence pair displaces an object that is not among the answers");
+    }
+    writer.AppendVarCount(index);
   }
   // Universe (the boundary part of IsValidAt): 32 bytes.
   AppendRect(&writer, result.universe());
   return writer.Take();
 }
 
-NnValidityResult DecodeNnResult(const std::vector<uint8_t>& bytes) {
+StatusOr<NnValidityResult> DecodeNnResult(const std::vector<uint8_t>& bytes) {
   ByteReader reader(bytes);
   geo::Point query;
-  query.x = reader.Read<double>();
-  query.y = reader.Read<double>();
+  if (!ReadPoint(&reader, &query)) return Truncated();
 
-  const uint32_t answer_count = reader.ReadVarCount();
+  uint32_t answer_count = 0;
+  if (!reader.TryReadVarCount(&answer_count)) return Truncated();
   std::vector<rtree::Neighbor> answers;
-  answers.reserve(answer_count);
+  answers.reserve(ClampedReserve(answer_count, reader.remaining(),
+                                 kEntryBytes));
   for (uint32_t i = 0; i < answer_count; ++i) {
     rtree::Neighbor n;
-    n.entry = ReadEntry(&reader);
+    if (!ReadEntry(&reader, &n.entry)) return Truncated();
     n.distance = geo::Distance(query, n.entry.point);
     answers.push_back(n);
   }
 
-  const uint32_t pair_count = reader.ReadVarCount();
+  uint32_t pair_count = 0;
+  if (!reader.TryReadVarCount(&pair_count)) return Truncated();
   std::vector<InfluencePair> pairs;
-  pairs.reserve(pair_count);
+  pairs.reserve(ClampedReserve(pair_count, reader.remaining(),
+                               kEntryBytes + 1));
   for (uint32_t i = 0; i < pair_count; ++i) {
     InfluencePair pair;
-    pair.incoming = ReadEntry(&reader);
-    const uint32_t index = reader.Read<uint32_t>();
-    LBSQ_CHECK(index < answers.size());
+    if (!ReadEntry(&reader, &pair.incoming)) return Truncated();
+    uint32_t index = 0;
+    if (!reader.TryReadVarCount(&index)) return Truncated();
+    if (index >= answers.size()) {
+      return Status::InvalidArgument("influence pair index out of range");
+    }
     pair.displaced = answers[index].entry;
     pairs.push_back(pair);
   }
-  const geo::Rect universe = ReadRect(&reader);
-  LBSQ_CHECK(reader.AtEnd());
+  geo::Rect universe;
+  if (!ReadRect(&reader, &universe)) return Truncated();
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after message");
+  }
 
   // Rebuild the region polygon from the half-planes — identical to the
   // server's (same constraints, same clipping).
@@ -120,7 +154,8 @@ NnValidityResult DecodeNnResult(const std::vector<uint8_t>& bytes) {
                           std::move(pairs), std::move(region));
 }
 
-std::vector<uint8_t> EncodeWindowResult(const WindowValidityResult& result) {
+StatusOr<std::vector<uint8_t>> EncodeWindowResult(
+    const WindowValidityResult& result) {
   ByteWriter writer;
   writer.Append(result.focus().x);
   writer.Append(result.focus().y);
@@ -143,31 +178,44 @@ std::vector<uint8_t> EncodeWindowResult(const WindowValidityResult& result) {
   return writer.Take();
 }
 
-WindowValidityResult DecodeWindowResult(const std::vector<uint8_t>& bytes) {
+StatusOr<WindowValidityResult> DecodeWindowResult(
+    const std::vector<uint8_t>& bytes) {
   ByteReader reader(bytes);
   geo::Point focus;
-  focus.x = reader.Read<double>();
-  focus.y = reader.Read<double>();
-  const double hx = reader.Read<double>();
-  const double hy = reader.Read<double>();
-  const uint32_t result_count = reader.ReadVarCount();
-  std::vector<rtree::DataEntry> result;
-  result.reserve(result_count);
-  for (uint32_t i = 0; i < result_count; ++i) {
-    result.push_back(ReadEntry(&reader));
+  if (!ReadPoint(&reader, &focus)) return Truncated();
+  double hx = 0.0, hy = 0.0;
+  if (!ReadDouble(&reader, &hx) || !ReadDouble(&reader, &hy)) {
+    return Truncated();
   }
-  const geo::Rect base = ReadRect(&reader);
-  const geo::Rect conservative = ReadRect(&reader);
-  const uint32_t hole_count = reader.ReadVarCount();
+  if (hx <= 0.0 || hy <= 0.0) {
+    return Status::InvalidArgument("non-positive window extents");
+  }
+  uint32_t result_count = 0;
+  if (!reader.TryReadVarCount(&result_count)) return Truncated();
+  std::vector<rtree::DataEntry> result;
+  result.reserve(ClampedReserve(result_count, reader.remaining(),
+                                kEntryBytes));
+  for (uint32_t i = 0; i < result_count; ++i) {
+    rtree::DataEntry e;
+    if (!ReadEntry(&reader, &e)) return Truncated();
+    result.push_back(e);
+  }
+  geo::Rect base, conservative;
+  if (!ReadRect(&reader, &base) || !ReadRect(&reader, &conservative)) {
+    return Truncated();
+  }
+  uint32_t hole_count = 0;
+  if (!reader.TryReadVarCount(&hole_count)) return Truncated();
   std::vector<geo::Rect> holes;
-  holes.reserve(hole_count);
+  holes.reserve(ClampedReserve(hole_count, reader.remaining(), kPointBytes));
   for (uint32_t i = 0; i < hole_count; ++i) {
     geo::Point center;
-    center.x = reader.Read<double>();
-    center.y = reader.Read<double>();
+    if (!ReadPoint(&reader, &center)) return Truncated();
     holes.push_back(geo::Rect::Centered(center, hx, hy));
   }
-  LBSQ_CHECK(reader.AtEnd());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after message");
+  }
   // Influence-object lists are a server-side diagnostic; clients only
   // need the region, so they decode as empty.
   return WindowValidityResult(focus, hx, hy, std::move(result), {}, {},
@@ -175,7 +223,8 @@ WindowValidityResult DecodeWindowResult(const std::vector<uint8_t>& bytes) {
                               conservative);
 }
 
-std::vector<uint8_t> EncodeRangeResult(const RangeValidityResult& result) {
+StatusOr<std::vector<uint8_t>> EncodeRangeResult(
+    const RangeValidityResult& result) {
   ByteWriter writer;
   writer.Append(result.focus().x);
   writer.Append(result.focus().y);
@@ -194,30 +243,41 @@ std::vector<uint8_t> EncodeRangeResult(const RangeValidityResult& result) {
   return writer.Take();
 }
 
-RangeValidityResult DecodeRangeResult(const std::vector<uint8_t>& bytes) {
+StatusOr<RangeValidityResult> DecodeRangeResult(
+    const std::vector<uint8_t>& bytes) {
   ByteReader reader(bytes);
   geo::Point focus;
-  focus.x = reader.Read<double>();
-  focus.y = reader.Read<double>();
-  const double radius = reader.Read<double>();
-  const uint32_t result_count = reader.ReadVarCount();
-  std::vector<rtree::DataEntry> result;
-  result.reserve(result_count);
-  for (uint32_t i = 0; i < result_count; ++i) {
-    result.push_back(ReadEntry(&reader));
+  if (!ReadPoint(&reader, &focus)) return Truncated();
+  double radius = 0.0;
+  if (!ReadDouble(&reader, &radius)) return Truncated();
+  if (radius <= 0.0) {
+    return Status::InvalidArgument("non-positive range radius");
   }
-  const geo::Rect bounds = ReadRect(&reader);
-  const uint32_t outer_count = reader.ReadVarCount();
+  uint32_t result_count = 0;
+  if (!reader.TryReadVarCount(&result_count)) return Truncated();
+  std::vector<rtree::DataEntry> result;
+  result.reserve(ClampedReserve(result_count, reader.remaining(),
+                                kEntryBytes));
+  for (uint32_t i = 0; i < result_count; ++i) {
+    rtree::DataEntry e;
+    if (!ReadEntry(&reader, &e)) return Truncated();
+    result.push_back(e);
+  }
+  geo::Rect bounds;
+  if (!ReadRect(&reader, &bounds)) return Truncated();
+  uint32_t outer_count = 0;
+  if (!reader.TryReadVarCount(&outer_count)) return Truncated();
   std::vector<geo::DiskRegion::Disk> outer;
-  outer.reserve(outer_count);
+  outer.reserve(ClampedReserve(outer_count, reader.remaining(), kPointBytes));
   for (uint32_t i = 0; i < outer_count; ++i) {
     geo::DiskRegion::Disk d;
-    d.center.x = reader.Read<double>();
-    d.center.y = reader.Read<double>();
+    if (!ReadPoint(&reader, &d.center)) return Truncated();
     d.radius = radius;
     outer.push_back(d);
   }
-  LBSQ_CHECK(reader.AtEnd());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after message");
+  }
 
   std::vector<geo::DiskRegion::Disk> inner;
   inner.reserve(result.size());
@@ -225,20 +285,28 @@ RangeValidityResult DecodeRangeResult(const std::vector<uint8_t>& bytes) {
     inner.push_back({e.point, radius});
   }
   geo::DiskRegion region(bounds, std::move(inner), std::move(outer));
+  // In a genuine answer the focus lies in its own validity region; a
+  // mutated message can break that, and ConservativePolygon's contract
+  // (an internal CHECK) requires it — reject instead of aborting.
+  if (!region.Contains(focus)) {
+    return Status::InvalidArgument("focus outside decoded validity region");
+  }
   geo::ConvexPolygon conservative = region.ConservativePolygon(focus);
   return RangeValidityResult(focus, radius, std::move(result), {}, {},
                              std::move(region), std::move(conservative));
 }
 
-size_t PlainNnAnswerBytes(size_t k) { return 8 + k * kEntryBytes; }
+size_t PlainNnAnswerBytes(size_t k) {
+  return VarCountBytes(k) + k * kEntryBytes;
+}
 
 size_t PlainWindowAnswerBytes(size_t result_size) {
-  return 8 + result_size * kEntryBytes;
+  return VarCountBytes(result_size) + result_size * kEntryBytes;
 }
 
 size_t Sr01AnswerBytes(size_t m) {
   // m neighbors plus the two distances of the validity test.
-  return 8 + m * kEntryBytes + 2 * sizeof(double);
+  return VarCountBytes(m) + m * kEntryBytes + 2 * sizeof(double);
 }
 
 }  // namespace lbsq::core::wire

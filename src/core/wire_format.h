@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "core/range_validity.h"
 #include "core/validity_region.h"
 
@@ -13,7 +14,7 @@
 // region geometry — and these encoders make the byte counts measurable
 // (bench/netcost.cc compares against [SR01] and naive re-querying).
 //
-// Encodings (all little-endian fixed-width):
+// Encodings (little-endian fixed-width scalars, LEB128 varint counts):
 //   k-NN answer:   query point, universe, answers (point+id), influence
 //                  pairs (incoming point+id, displaced answer index)
 //   window answer: focus, half-extents, result (point+id), conservative
@@ -23,25 +24,41 @@
 // Decoded answers reconstruct objects that behave identically for
 // client-side purposes (IsValidAt, answers/result); server-only
 // artifacts (the NN region polygon) are rebuilt from the pairs.
+//
+// Error handling: both directions return Status instead of aborting.
+// Decoders treat the buffer as hostile — truncated input, trailing bytes,
+// inflated counts, and non-finite or out-of-domain values all come back
+// as kInvalidArgument, never as a crash or an unbounded allocation
+// (preallocation is capped by the bytes actually remaining). Encoders
+// fail with kInternal when the result violates a wire invariant (e.g. an
+// influence pair displacing an object that is not among the answers)
+// rather than silently emitting a message that decodes to a wrong
+// validity region.
 
 namespace lbsq::core::wire {
 
-std::vector<uint8_t> EncodeNnResult(const NnValidityResult& result);
-NnValidityResult DecodeNnResult(const std::vector<uint8_t>& bytes);
+StatusOr<std::vector<uint8_t>> EncodeNnResult(const NnValidityResult& result);
+StatusOr<NnValidityResult> DecodeNnResult(const std::vector<uint8_t>& bytes);
 
-std::vector<uint8_t> EncodeWindowResult(const WindowValidityResult& result);
-WindowValidityResult DecodeWindowResult(const std::vector<uint8_t>& bytes);
+StatusOr<std::vector<uint8_t>> EncodeWindowResult(
+    const WindowValidityResult& result);
+StatusOr<WindowValidityResult> DecodeWindowResult(
+    const std::vector<uint8_t>& bytes);
 
-std::vector<uint8_t> EncodeRangeResult(const RangeValidityResult& result);
-RangeValidityResult DecodeRangeResult(const std::vector<uint8_t>& bytes);
+StatusOr<std::vector<uint8_t>> EncodeRangeResult(
+    const RangeValidityResult& result);
+StatusOr<RangeValidityResult> DecodeRangeResult(
+    const std::vector<uint8_t>& bytes);
 
 // Byte size of a conventional answer without any validity information
-// (what the naive strategy ships per query): just the result objects.
+// (what the naive strategy ships per query): a varint result count plus
+// the result objects — the same framing the validity answers use, so the
+// transmission-cost comparison is apples to apples.
 size_t PlainNnAnswerBytes(size_t k);
 size_t PlainWindowAnswerBytes(size_t result_size);
 
 // Byte size of an [SR01] answer: m neighbors (the client needs all of
-// them to re-rank locally).
+// them to re-rank locally) plus the two distances of the validity test.
 size_t Sr01AnswerBytes(size_t m);
 
 }  // namespace lbsq::core::wire

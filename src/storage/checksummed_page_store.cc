@@ -1,0 +1,157 @@
+#include "storage/checksummed_page_store.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "storage/page_checksum.h"
+
+namespace lbsq::storage {
+
+namespace {
+
+// Checksum of an all-zero page: what Allocate hands out.
+uint64_t ZeroPageChecksum() {
+  static const uint64_t sum = PageChecksum(Page());
+  return sum;
+}
+
+// Mixes one sidecar record into the file integrity sum.
+uint64_t MixRecord(uint64_t h, uint64_t value) {
+  uint64_t z = value + h + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr uint64_t kSidecarMagic = 0x4c42535153554d53ULL;  // "LBSQSUMS"
+
+}  // namespace
+
+ChecksummedPageStore::ChecksummedPageStore(PageStore* inner) : inner_(inner) {
+  LBSQ_CHECK(inner != nullptr);
+}
+
+void ChecksummedPageStore::EnsureSlot(PageId id) {
+  if (id >= sums_.size()) {
+    sums_.resize(id + 1, 0);
+    known_.resize(id + 1, 0);
+  }
+}
+
+PageId ChecksummedPageStore::Allocate() {
+  const PageId id = inner_->Allocate();
+  EnsureSlot(id);
+  sums_[id] = ZeroPageChecksum();
+  known_[id] = 1;
+  return id;
+}
+
+void ChecksummedPageStore::Free(PageId id) {
+  inner_->Free(id);
+  if (id < known_.size()) known_[id] = 0;
+}
+
+void ChecksummedPageStore::Write(PageId id, const Page& page) {
+  EnsureSlot(id);
+  sums_[id] = PageChecksum(page);
+  known_[id] = 1;
+  inner_->Write(id, page);
+}
+
+bool ChecksummedPageStore::Verify(PageId id, const Page& page) {
+  if (id >= known_.size() || !known_[id]) return true;  // nothing stamped
+  if (PageChecksum(page) == sums_[id]) return true;
+  verification_failures_.fetch_add(1, std::memory_order_relaxed);
+  RecordReadError(
+      Status::DataLoss("page " + std::to_string(id) + " failed checksum"));
+  return false;
+}
+
+void ChecksummedPageStore::Read(PageId id, Page* out) {
+  inner_->Read(id, out);
+  if (!Verify(id, *out)) out->Clear();
+}
+
+const Page& ChecksummedPageStore::ReadRef(PageId id) {
+  const Page& page = inner_->ReadRef(id);
+  if (Verify(id, page)) return page;
+  static thread_local Page zero_page;
+  zero_page.Clear();  // a later caller may have seen it via ReadRef too
+  return zero_page;
+}
+
+size_t ChecksummedPageStore::Scrub() {
+  Page scratch;
+  size_t bad = 0;
+  for (PageId id = 0; id < known_.size(); ++id) {
+    if (!known_[id]) continue;
+    inner_->Read(id, &scratch);
+    if (PageChecksum(scratch) != sums_[id]) ++bad;
+  }
+  return bad;
+}
+
+Status ChecksummedPageStore::SaveTable(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open sidecar " + path);
+  }
+  const auto count = static_cast<uint64_t>(sums_.size());
+  uint64_t integrity = MixRecord(0, count);
+  bool ok = std::fwrite(&kSidecarMagic, sizeof(kSidecarMagic), 1, f) == 1 &&
+            std::fwrite(&count, sizeof(count), 1, f) == 1;
+  for (size_t i = 0; ok && i < sums_.size(); ++i) {
+    const uint64_t record =
+        known_[i] ? sums_[i] : 0;  // unknown slots persist as "unknown"
+    const auto flag = static_cast<uint8_t>(known_[i]);
+    ok = std::fwrite(&flag, sizeof(flag), 1, f) == 1 &&
+         std::fwrite(&record, sizeof(record), 1, f) == 1;
+    integrity = MixRecord(integrity, record + flag);
+  }
+  ok = ok && std::fwrite(&integrity, sizeof(integrity), 1, f) == 1;
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    return Status::Unavailable("short write to sidecar " + path);
+  }
+  return Status::Ok();
+}
+
+Status ChecksummedPageStore::LoadTable(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open sidecar " + path);
+  }
+  uint64_t magic = 0, count = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f) != 1 || magic != kSidecarMagic ||
+      std::fread(&count, sizeof(count), 1, f) != 1) {
+    std::fclose(f);
+    return Status::DataLoss("sidecar " + path + " has a bad header");
+  }
+  std::vector<uint64_t> sums;
+  std::vector<uint8_t> known;
+  uint64_t integrity = MixRecord(0, count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t flag = 0;
+    uint64_t record = 0;
+    if (std::fread(&flag, sizeof(flag), 1, f) != 1 ||
+        std::fread(&record, sizeof(record), 1, f) != 1 || flag > 1) {
+      std::fclose(f);
+      return Status::DataLoss("sidecar " + path + " is truncated");
+    }
+    sums.push_back(record);
+    known.push_back(flag);
+    integrity = MixRecord(integrity, record + flag);
+  }
+  uint64_t stored_integrity = 0;
+  const bool tail_ok =
+      std::fread(&stored_integrity, sizeof(stored_integrity), 1, f) == 1;
+  std::fclose(f);
+  if (!tail_ok || stored_integrity != integrity) {
+    return Status::DataLoss("sidecar " + path + " failed its own checksum");
+  }
+  sums_ = std::move(sums);
+  known_ = std::move(known);
+  return Status::Ok();
+}
+
+}  // namespace lbsq::storage

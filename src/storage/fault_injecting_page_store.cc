@@ -1,0 +1,92 @@
+#include "storage/fault_injecting_page_store.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace lbsq::storage {
+
+FaultInjectingPageStore::FaultInjectingPageStore(PageStore* inner,
+                                                const Options& options)
+    : inner_(inner), options_(options), rng_(options.seed) {
+  LBSQ_CHECK(inner != nullptr);
+  LBSQ_CHECK(options.read_fault_probability >= 0.0 &&
+             options.read_fault_probability <= 1.0);
+  LBSQ_CHECK(options.read_corruption_probability >= 0.0 &&
+             options.read_corruption_probability <= 1.0);
+  LBSQ_CHECK(options.torn_write_probability >= 0.0 &&
+             options.torn_write_probability <= 1.0);
+}
+
+FaultInjectingPageStore::ReadFault FaultInjectingPageStore::DrawReadFault(
+    uint32_t* flip_bit) {
+  if (!armed()) return ReadFault::kNone;
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  double p = rng_.NextDouble();
+  if (p < options_.read_fault_probability) return ReadFault::kUnreadable;
+  p -= options_.read_fault_probability;
+  if (p < options_.read_corruption_probability) {
+    *flip_bit = static_cast<uint32_t>(rng_.NextBounded(kPageSize * 8));
+    return ReadFault::kCorrupt;
+  }
+  return ReadFault::kNone;
+}
+
+bool FaultInjectingPageStore::DrawTornWrite() {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  return rng_.NextDouble() < options_.torn_write_probability;
+}
+
+void FaultInjectingPageStore::Read(PageId id, Page* out) {
+  uint32_t flip_bit = 0;
+  switch (DrawReadFault(&flip_bit)) {
+    case ReadFault::kUnreadable:
+      injected_read_faults_.fetch_add(1, std::memory_order_relaxed);
+      RecordReadError(Status::Unavailable(
+          "injected read fault on page " + std::to_string(id)));
+      out->Clear();
+      return;
+    case ReadFault::kCorrupt:
+      inner_->Read(id, out);
+      injected_corruptions_.fetch_add(1, std::memory_order_relaxed);
+      out->mutable_data()[flip_bit / 8] ^=
+          static_cast<uint8_t>(1u << (flip_bit % 8));
+      return;
+    case ReadFault::kNone:
+      inner_->Read(id, out);
+      return;
+  }
+}
+
+const Page& FaultInjectingPageStore::ReadRef(PageId id) {
+  uint32_t flip_bit = 0;
+  const ReadFault fault = DrawReadFault(&flip_bit);
+  if (fault == ReadFault::kNone) return inner_->ReadRef(id);
+  static thread_local Page scratch;
+  if (fault == ReadFault::kUnreadable) {
+    injected_read_faults_.fetch_add(1, std::memory_order_relaxed);
+    RecordReadError(Status::Unavailable("injected read fault on page " +
+                                        std::to_string(id)));
+    scratch.Clear();
+    return scratch;
+  }
+  std::memcpy(scratch.mutable_data(), inner_->ReadRef(id).data(), kPageSize);
+  injected_corruptions_.fetch_add(1, std::memory_order_relaxed);
+  scratch.mutable_data()[flip_bit / 8] ^=
+      static_cast<uint8_t>(1u << (flip_bit % 8));
+  return scratch;
+}
+
+void FaultInjectingPageStore::Write(PageId id, const Page& page) {
+  if (!DrawTornWrite()) {
+    inner_->Write(id, page);
+    return;
+  }
+  injected_torn_writes_.fetch_add(1, std::memory_order_relaxed);
+  Page torn;
+  std::memcpy(torn.mutable_data(), page.data(), kPageSize / 2);
+  inner_->Write(id, torn);
+}
+
+}  // namespace lbsq::storage

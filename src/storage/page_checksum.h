@@ -1,0 +1,36 @@
+#ifndef LBSQ_STORAGE_PAGE_CHECKSUM_H_
+#define LBSQ_STORAGE_PAGE_CHECKSUM_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "storage/page.h"
+
+// 64-bit page checksum used by ChecksummedPageStore. Word-at-a-time
+// multiply-xor mix (the SplitMix64 finalizer folded over the 512 words of
+// a page): not cryptographic, but any single bit flip, torn half-page, or
+// swapped word changes the sum with probability 1 - 2^-64, which is what
+// corruption *detection* needs. Pages are 4 KiB so the loop is 512
+// iterations of cheap ALU work — far below the cost of the pread that
+// produced the bytes.
+
+namespace lbsq::storage {
+
+inline uint64_t PageChecksum(const Page& page) {
+  const uint8_t* bytes = page.data();
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (uint32_t off = 0; off < kPageSize; off += sizeof(uint64_t)) {
+    uint64_t word;
+    std::memcpy(&word, bytes + off, sizeof(word));
+    // Position-dependent mix so transposed words change the sum.
+    uint64_t z = word + h;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h = (h << 1 | h >> 63) ^ (z ^ (z >> 31));
+  }
+  return h;
+}
+
+}  // namespace lbsq::storage
+
+#endif  // LBSQ_STORAGE_PAGE_CHECKSUM_H_

@@ -4,12 +4,15 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/status.h"
 #include "storage/page.h"
 
 // Abstract page store: the R-tree and buffer pool address pages through
 // this interface, so the same index runs on the in-memory simulated disk
 // (PageManager — what the experiments use, since the paper reports access
-// counts) or on a real file (FilePageManager).
+// counts) or on a real file (FilePageManager), optionally wrapped in the
+// integrity/fault decorators (checksummed_page_store.h,
+// fault_injecting_page_store.h).
 
 namespace lbsq::storage {
 
@@ -40,6 +43,39 @@ class PageStore {
 
   // Number of live (allocated, not freed) pages.
   virtual size_t live_pages() const = 0;
+
+  // ---------------------------------------------------------------------
+  // Sticky per-thread read-error channel.
+  //
+  // Read/ReadRef cannot return a Status without plumbing error handling
+  // through every R-tree traversal, so failure detection is out-of-band:
+  // a store that detects a bad read (checksum mismatch, injected fault)
+  // calls RecordReadError and returns a *benign all-zero page* — which
+  // parses as an empty leaf, so the traversal degrades to a partial
+  // answer instead of reading garbage. The query layer brackets each
+  // query with ClearReadError / TakeReadError and discards (or retries)
+  // any answer produced while an error was pending.
+  //
+  // The channel is thread-local: BatchServer workers share one store, and
+  // each worker attributes errors to its own in-flight query. Only the
+  // first error per query is kept (later failures are usually fallout of
+  // the first — e.g. a checksum layer re-flagging a page an injected
+  // fault already zeroed).
+  // ---------------------------------------------------------------------
+
+  // Clears this thread's pending read error (call before a query).
+  static void ClearReadError();
+
+  // This thread's pending read error, OK if none. Cheap; traversal loops
+  // may poll it to bail out early.
+  static const Status& PendingReadError();
+
+  // Returns and clears this thread's pending read error.
+  static Status TakeReadError();
+
+  // Records `status` as this thread's pending read error unless one is
+  // already pending. For store implementations/decorators only.
+  static void RecordReadError(Status status);
 };
 
 }  // namespace lbsq::storage

@@ -85,15 +85,15 @@ std::vector<std::vector<uint8_t>> SerialWireAnswers(core::Server& server,
   std::vector<std::vector<uint8_t>> out;
   out.reserve(w.nn.size() + w.window.size() + w.range.size());
   for (const auto& q : w.nn) {
-    out.push_back(core::wire::EncodeNnResult(server.NnQuery(q.q, q.k)));
+    out.push_back(core::wire::EncodeNnResult(server.NnQuery(q.q, q.k)).value());
   }
   for (const auto& q : w.window) {
     out.push_back(
-        core::wire::EncodeWindowResult(server.WindowQuery(q.focus, q.hx, q.hy)));
+        core::wire::EncodeWindowResult(server.WindowQuery(q.focus, q.hx, q.hy)).value());
   }
   for (const auto& q : w.range) {
     out.push_back(
-        core::wire::EncodeRangeResult(server.RangeQuery(q.focus, q.radius)));
+        core::wire::EncodeRangeResult(server.RangeQuery(q.focus, q.radius)).value());
   }
   return out;
 }
@@ -103,13 +103,13 @@ std::vector<std::vector<uint8_t>> BatchWireAnswers(BatchServer& server,
   std::vector<std::vector<uint8_t>> out;
   out.reserve(w.nn.size() + w.window.size() + w.range.size());
   for (const auto& r : server.NnQueryBatch(w.nn)) {
-    out.push_back(core::wire::EncodeNnResult(r));
+    out.push_back(core::wire::EncodeNnResult(r).value());
   }
   for (const auto& r : server.WindowQueryBatch(w.window)) {
-    out.push_back(core::wire::EncodeWindowResult(r));
+    out.push_back(core::wire::EncodeWindowResult(r).value());
   }
   for (const auto& r : server.RangeQueryBatch(w.range)) {
-    out.push_back(core::wire::EncodeRangeResult(r));
+    out.push_back(core::wire::EncodeRangeResult(r).value());
   }
   return out;
 }
@@ -231,6 +231,43 @@ TEST_F(BatchServerTest, BufferedWorkersStillMatchSerial) {
   options.buffer_pages_per_worker = 32;
   BatchServer batch(&disk_, tree_->meta(), universe_, options);
   EXPECT_EQ(BatchWireAnswers(batch, w), want);
+}
+
+// On a healthy store the checked batch API is a cost-free wrapper: every
+// result is OK, no errors or retries are counted, and the answers are
+// byte-identical to the plain batch path.
+TEST_F(BatchServerTest, CheckedBatchesMatchPlainOnHealthyStore) {
+  const Workload w = MakeWorkload(60, 60, 60, 23);
+  BatchServer batch = MakeBatchServer(4);
+
+  const auto plain_nn = batch.NnQueryBatch(w.nn);
+  const auto plain_window = batch.WindowQueryBatch(w.window);
+  const auto plain_range = batch.RangeQueryBatch(w.range);
+
+  const auto checked_nn = batch.NnQueryBatchChecked(w.nn);
+  const auto checked_window = batch.WindowQueryBatchChecked(w.window);
+  const auto checked_range = batch.RangeQueryBatchChecked(w.range);
+
+  ASSERT_EQ(checked_nn.size(), w.nn.size());
+  for (size_t i = 0; i < w.nn.size(); ++i) {
+    ASSERT_TRUE(checked_nn[i].ok()) << checked_nn[i].status().ToString();
+    EXPECT_EQ(core::wire::EncodeNnResult(checked_nn[i].value()).value(),
+              core::wire::EncodeNnResult(plain_nn[i]).value());
+  }
+  for (size_t i = 0; i < w.window.size(); ++i) {
+    ASSERT_TRUE(checked_window[i].ok());
+    EXPECT_EQ(core::wire::EncodeWindowResult(checked_window[i].value()).value(),
+              core::wire::EncodeWindowResult(plain_window[i]).value());
+  }
+  for (size_t i = 0; i < w.range.size(); ++i) {
+    ASSERT_TRUE(checked_range[i].ok());
+    EXPECT_EQ(core::wire::EncodeRangeResult(checked_range[i].value()).value(),
+              core::wire::EncodeRangeResult(plain_range[i]).value());
+  }
+
+  const auto stats = batch.perf_stats();
+  EXPECT_EQ(stats.query_errors, 0u);
+  EXPECT_EQ(stats.query_retries, 0u);
 }
 
 }  // namespace

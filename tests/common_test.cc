@@ -1,10 +1,14 @@
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/bytes.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/status.h"
 
 namespace lbsq {
 namespace {
@@ -92,6 +96,137 @@ TEST(PercentileTest, InterpolatesBetweenSamples) {
   EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
   EXPECT_DOUBLE_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 50.0), 2.5);  // unsorted
   EXPECT_DOUBLE_EQ(Percentile({5.0}, 99.0), 5.0);
+}
+
+TEST(StatusTest, OkAndErrorBasics) {
+  const Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  const Status err = Status::DataLoss("page 7 failed checksum");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(err.message(), "page 7 failed checksum");
+  EXPECT_EQ(err.ToString(), "DATA_LOSS: page 7 failed checksum");
+  EXPECT_EQ(err, Status::DataLoss("page 7 failed checksum"));
+  EXPECT_FALSE(err == Status::DataLoss("other"));
+}
+
+TEST(StatusTest, OnlyUnavailableIsRetryable) {
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("transient")));
+  EXPECT_FALSE(IsRetryable(Status::Ok()));
+  EXPECT_FALSE(IsRetryable(Status::DataLoss("x")));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsRetryable(Status::Internal("x")));
+}
+
+TEST(StatusOrTest, CarriesValueOrError) {
+  StatusOr<int> value = 42;
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 42);
+  EXPECT_EQ(*value, 42);
+
+  StatusOr<int> error = Status::InvalidArgument("bad");
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kInvalidArgument);
+
+  // Default construction is an error, so a pre-sized result vector never
+  // silently reads as "OK with a garbage value".
+  StatusOr<int> uninitialized;
+  EXPECT_FALSE(uninitialized.ok());
+}
+
+TEST(VarintTest, KnownEncodings) {
+  // LEB128 boundary values and their exact byte counts.
+  const struct {
+    uint32_t value;
+    size_t bytes;
+  } cases[] = {
+      {0, 1},        {1, 1},         {127, 1},      {128, 2},
+      {16383, 2},    {16384, 3},     {2097151, 3},  {2097152, 4},
+      {268435455, 4}, {268435456, 5}, {0xFFFFFFFFu, 5},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(VarCountBytes(c.value), c.bytes) << c.value;
+    ByteWriter writer;
+    writer.AppendVarCount(c.value);
+    EXPECT_EQ(writer.size(), c.bytes) << c.value;
+    ByteReader reader(writer.bytes());
+    uint32_t decoded = 0;
+    ASSERT_TRUE(reader.TryReadVarCount(&decoded)) << c.value;
+    EXPECT_EQ(decoded, c.value);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+TEST(VarintTest, RandomRoundTrip) {
+  Rng rng(29);
+  ByteWriter writer;
+  std::vector<uint32_t> values;
+  for (int i = 0; i < 10000; ++i) {
+    // Mix small counts (the common case) with full-range values.
+    const uint32_t v = (i % 2 == 0)
+                           ? static_cast<uint32_t>(rng.NextBounded(200))
+                           : static_cast<uint32_t>(rng.NextU64());
+    values.push_back(v);
+    writer.AppendVarCount(v);
+  }
+  ByteReader reader(writer.bytes());
+  for (const uint32_t v : values) {
+    uint32_t decoded = 0;
+    ASSERT_TRUE(reader.TryReadVarCount(&decoded));
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(VarintTest, RejectsTruncatedAndOverlong) {
+  // Truncated: continuation bit set but the buffer ends.
+  {
+    const std::vector<uint8_t> bytes = {0x80, 0x80};
+    ByteReader reader(bytes);
+    uint32_t out = 0;
+    EXPECT_FALSE(reader.TryReadVarCount(&out));
+    EXPECT_EQ(reader.remaining(), 2u);  // no consumption on failure
+  }
+  // Overlong: a 6th continuation byte exceeds the 32-bit cap.
+  {
+    const std::vector<uint8_t> bytes = {0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+    ByteReader reader(bytes);
+    uint32_t out = 0;
+    EXPECT_FALSE(reader.TryReadVarCount(&out));
+  }
+  // 5-byte encoding whose value exceeds uint32.
+  {
+    const std::vector<uint8_t> bytes = {0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+    ByteReader reader(bytes);
+    uint32_t out = 0;
+    EXPECT_FALSE(reader.TryReadVarCount(&out));
+  }
+  // Maximum uint32 still decodes: 0xFFFFFFFF = FF FF FF FF 0F.
+  {
+    const std::vector<uint8_t> bytes = {0xFF, 0xFF, 0xFF, 0xFF, 0x0F};
+    ByteReader reader(bytes);
+    uint32_t out = 0;
+    ASSERT_TRUE(reader.TryReadVarCount(&out));
+    EXPECT_EQ(out, 0xFFFFFFFFu);
+  }
+}
+
+TEST(ByteReaderTest, TryReadIsBoundedAndNonConsumingOnFailure) {
+  ByteWriter writer;
+  writer.Append<uint32_t>(7);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.remaining(), 4u);
+  double too_big = 0.0;
+  EXPECT_FALSE(reader.TryRead(&too_big));  // 8 > 4 remaining
+  EXPECT_EQ(reader.remaining(), 4u);       // nothing consumed
+  uint32_t value = 0;
+  ASSERT_TRUE(reader.TryRead(&value));
+  EXPECT_EQ(value, 7u);
+  EXPECT_TRUE(reader.AtEnd());
+  uint8_t byte = 0;
+  EXPECT_FALSE(reader.TryRead(&byte));
 }
 
 }  // namespace

@@ -1,0 +1,243 @@
+// End-to-end robustness of the serving path over failing storage: the
+// production stacking Checksummed(FaultInjecting(base)) under Server and
+// BatchServer. The contract: a fault fails (at most) the query it
+// touched, transient faults are retried away, and every query the faults
+// did not touch produces answers bit-identical to a clean run.
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "core/batch_server.h"
+#include "core/server.h"
+#include "core/wire_format.h"
+#include "geometry/rect.h"
+#include "rtree/rtree.h"
+#include "storage/checksummed_page_store.h"
+#include "storage/fault_injecting_page_store.h"
+#include "storage/page_manager.h"
+
+namespace lbsq {
+namespace {
+
+using core::BatchServer;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kPoints = 20000;
+
+  // Builds the index through the full stack while faults are disarmed, so
+  // every page is stored intact with its checksum stamped.
+  void BuildStack(const storage::FaultInjectingPageStore::Options& options) {
+    faulty_ = std::make_unique<storage::FaultInjectingPageStore>(&disk_,
+                                                                 options);
+    store_ = std::make_unique<storage::ChecksummedPageStore>(faulty_.get());
+    std::mt19937 rng(17);
+    std::uniform_real_distribution<double> coord(0.0, 1.0);
+    std::vector<rtree::DataEntry> data;
+    data.reserve(kPoints);
+    for (size_t i = 0; i < kPoints; ++i) {
+      data.push_back({{coord(rng), coord(rng)}, static_cast<uint32_t>(i)});
+    }
+    tree_ = std::make_unique<rtree::RTree>(store_.get(), 64);
+    tree_->BulkLoad(std::move(data));
+    tree_->buffer().FlushAll();
+  }
+
+  std::vector<BatchServer::NnQuery> MakeNnWorkload(size_t n,
+                                                   uint32_t seed) const {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> coord(0.02, 0.98);
+    std::uniform_int_distribution<size_t> kdist(1, 8);
+    std::vector<BatchServer::NnQuery> queries;
+    for (size_t i = 0; i < n; ++i) {
+      queries.push_back({{coord(rng), coord(rng)}, kdist(rng)});
+    }
+    return queries;
+  }
+
+  storage::PageManager disk_;
+  std::unique_ptr<storage::FaultInjectingPageStore> faulty_;
+  std::unique_ptr<storage::ChecksummedPageStore> store_;
+  std::unique_ptr<rtree::RTree> tree_;
+  geo::Rect universe_{0.0, 0.0, 1.0, 1.0};
+};
+
+// The acceptance scenario: a batch over storage where 10% of page reads
+// fail must (a) complete, (b) surface per-query errors in the result
+// vector and the perf counters, and (c) answer every unaffected query
+// bit-identically to a clean run.
+TEST_F(FaultInjectionTest, BatchCompletesUnderTenPercentReadFaults) {
+  storage::FaultInjectingPageStore::Options options;
+  options.seed = 31;
+  options.read_fault_probability = 0.10;
+  BuildStack(options);
+
+  const auto queries = MakeNnWorkload(300, 37);
+  core::BatchServerOptions server_options;
+  server_options.num_threads = 4;
+  BatchServer server(store_.get(), tree_->meta(), universe_, server_options);
+
+  // Clean reference run through the same server.
+  const auto clean = server.NnQueryBatchChecked(queries);
+  std::vector<std::vector<uint8_t>> clean_bytes;
+  for (const auto& r : clean) {
+    ASSERT_TRUE(r.ok());
+    clean_bytes.push_back(core::wire::EncodeNnResult(r.value()).value());
+  }
+  server.ResetPerfStats();
+
+  faulty_->arm();
+  const auto faulted = server.NnQueryBatchChecked(queries);
+  faulty_->disarm();
+
+  ASSERT_EQ(faulted.size(), queries.size());  // the batch completed
+  EXPECT_GT(faulty_->injected_read_faults(), 0u);
+
+  size_t errors = 0;
+  for (size_t i = 0; i < faulted.size(); ++i) {
+    if (faulted[i].ok()) {
+      // Unaffected (or successfully retried) query: bit-identical answer.
+      EXPECT_EQ(core::wire::EncodeNnResult(faulted[i].value()).value(),
+                clean_bytes[i])
+          << "query " << i;
+    } else {
+      ++errors;
+      EXPECT_EQ(faulted[i].status().code(), StatusCode::kUnavailable);
+    }
+  }
+  const auto stats = server.perf_stats();
+  EXPECT_EQ(stats.query_errors, errors);
+  // At a 10% per-read fault rate, multi-page traversals retry often.
+  EXPECT_GT(stats.query_retries, 0u);
+  // Retries must rescue a decent share: not every query errors out.
+  EXPECT_LT(errors, faulted.size());
+}
+
+// Same scenario with silent corruption instead of hard read failures:
+// the checksum layer converts flipped bits into kDataLoss errors — a
+// wrong answer is never served as OK.
+TEST_F(FaultInjectionTest, CorruptionYieldsDataLossNeverWrongAnswers) {
+  storage::FaultInjectingPageStore::Options options;
+  options.seed = 41;
+  options.read_corruption_probability = 0.05;
+  BuildStack(options);
+
+  const auto queries = MakeNnWorkload(200, 43);
+  core::BatchServerOptions server_options;
+  server_options.num_threads = 4;
+  BatchServer server(store_.get(), tree_->meta(), universe_, server_options);
+
+  const auto clean = server.NnQueryBatchChecked(queries);
+  faulty_->arm();
+  const auto faulted = server.NnQueryBatchChecked(queries);
+  faulty_->disarm();
+
+  EXPECT_GT(faulty_->injected_corruptions(), 0u);
+  EXPECT_GT(store_->verification_failures(), 0u);
+  size_t errors = 0;
+  for (size_t i = 0; i < faulted.size(); ++i) {
+    if (!faulted[i].ok()) {
+      ++errors;
+      EXPECT_EQ(faulted[i].status().code(), StatusCode::kDataLoss);
+      continue;
+    }
+    ASSERT_TRUE(clean[i].ok());
+    EXPECT_EQ(core::wire::EncodeNnResult(faulted[i].value()).value(),
+              core::wire::EncodeNnResult(clean[i].value()).value())
+        << "query " << i;
+  }
+  EXPECT_GT(errors, 0u);
+  EXPECT_LT(errors, faulted.size());
+}
+
+// The single-threaded Server's checked path: retries absorb a modest
+// transient fault rate entirely, and the retry counter shows they ran.
+TEST_F(FaultInjectionTest, ServerRetriesAbsorbTransientFaults) {
+  storage::FaultInjectingPageStore::Options options;
+  options.seed = 53;
+  options.read_fault_probability = 0.02;
+  BuildStack(options);
+
+  core::Server server(tree_.get(), universe_);
+  server.set_max_query_retries(8);
+  const auto queries = MakeNnWorkload(120, 59);
+
+  // Clean reference answers.
+  std::vector<std::vector<uint8_t>> clean_bytes;
+  for (const auto& q : queries) {
+    clean_bytes.push_back(
+        core::wire::EncodeNnResult(server.NnQuery(q.q, q.k)).value());
+  }
+
+  faulty_->arm();
+  size_t ok = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto result = server.NnQueryChecked(queries[i].q, queries[i].k);
+    if (result.ok()) {
+      ++ok;
+      EXPECT_EQ(core::wire::EncodeNnResult(result.value()).value(),
+                clean_bytes[i]);
+    } else {
+      EXPECT_TRUE(IsRetryable(result.status()));
+    }
+  }
+  faulty_->disarm();
+
+  EXPECT_GT(server.query_retries(), 0u);
+  // With a generous retry budget at a 2% fault rate, nearly everything
+  // (and usually everything) succeeds.
+  EXPECT_GT(ok, queries.size() * 3 / 4);
+  EXPECT_EQ(server.query_errors(), queries.size() - ok);
+}
+
+// Window and range checked batches degrade the same way as NN.
+TEST_F(FaultInjectionTest, AllQueryKindsDegradeGracefully) {
+  storage::FaultInjectingPageStore::Options options;
+  options.seed = 61;
+  options.read_fault_probability = 0.10;
+  BuildStack(options);
+
+  std::mt19937 rng(67);
+  std::uniform_real_distribution<double> coord(0.05, 0.95);
+  std::vector<BatchServer::WindowQuery> window;
+  std::vector<BatchServer::RangeQuery> range;
+  for (int i = 0; i < 120; ++i) {
+    window.push_back({{coord(rng), coord(rng)}, 0.01, 0.015});
+    range.push_back({{coord(rng), coord(rng)}, 0.012});
+  }
+
+  core::BatchServerOptions server_options;
+  server_options.num_threads = 3;
+  BatchServer server(store_.get(), tree_->meta(), universe_, server_options);
+  const auto clean_window = server.WindowQueryBatchChecked(window);
+  const auto clean_range = server.RangeQueryBatchChecked(range);
+
+  faulty_->arm();
+  const auto faulted_window = server.WindowQueryBatchChecked(window);
+  const auto faulted_range = server.RangeQueryBatchChecked(range);
+  faulty_->disarm();
+
+  ASSERT_EQ(faulted_window.size(), window.size());
+  ASSERT_EQ(faulted_range.size(), range.size());
+  for (size_t i = 0; i < window.size(); ++i) {
+    if (!faulted_window[i].ok()) continue;
+    ASSERT_TRUE(clean_window[i].ok());
+    EXPECT_EQ(
+        core::wire::EncodeWindowResult(faulted_window[i].value()).value(),
+        core::wire::EncodeWindowResult(clean_window[i].value()).value());
+  }
+  for (size_t i = 0; i < range.size(); ++i) {
+    if (!faulted_range[i].ok()) continue;
+    ASSERT_TRUE(clean_range[i].ok());
+    EXPECT_EQ(core::wire::EncodeRangeResult(faulted_range[i].value()).value(),
+              core::wire::EncodeRangeResult(clean_range[i].value()).value());
+  }
+}
+
+}  // namespace
+}  // namespace lbsq

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/status.h"
 #include "rtree/knn.h"
 #include "rtree/rtree.h"
+#include "storage/checksummed_page_store.h"
 #include "storage/file_page_manager.h"
 #include "tests/test_util.h"
 #include "workload/datasets.h"
@@ -113,6 +115,113 @@ TEST(FilePageManagerTest, RTreePersistsAcrossReopen) {
       EXPECT_EQ(nn[i].entry.id, expected[i].entry.id);
     }
   }
+  std::remove(path.c_str());
+}
+
+// The CLI's integrity setup: build through a checksum layer, persist the
+// table to a sidecar, damage the index file on disk between sessions, and
+// the reopened store must report the damage instead of serving it.
+TEST(ChecksummedFileStoreTest, SidecarDetectsOnDiskCorruption) {
+  const std::string path = TempPath("sums");
+  const std::string sidecar = path + ".sum";
+  PageId target = 0;
+  size_t pages = 0;
+  {
+    FilePageManager file(path, FilePageManager::Mode::kCreate);
+    ChecksummedPageStore store(&file);
+    Page page;
+    for (int i = 0; i < 6; ++i) {
+      const PageId id = store.Allocate();
+      page.WriteAt<uint64_t>(0, 0xa000 + i);
+      page.WriteAt<uint64_t>(kPageSize / 2 + 8, 0xb000 + i);
+      store.Write(id, page);
+      if (i == 3) target = id;
+    }
+    pages = file.live_pages();
+    ASSERT_TRUE(store.SaveTable(sidecar).ok());
+  }
+
+  // Flip one byte of the target page directly in the index file.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    // FilePageManager stores page payloads after a one-page file header.
+    const long offset =
+        static_cast<long>((target + 1) * kPageSize + kPageSize / 2 + 8);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    int byte = std::fgetc(f);
+    ASSERT_NE(byte, EOF);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    std::fputc(byte ^ 0x20, f);
+    std::fclose(f);
+  }
+
+  {
+    FilePageManager file(path, FilePageManager::Mode::kOpen);
+    ChecksummedPageStore store(&file);
+    ASSERT_TRUE(store.LoadTable(sidecar).ok());
+    EXPECT_EQ(store.Scrub(), 1u);
+
+    // A read of the damaged page reports data loss and yields zeros; the
+    // other pages still verify.
+    PageStore::ClearReadError();
+    Page out;
+    store.Read(target, &out);
+    const Status s = PageStore::TakeReadError();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+    EXPECT_EQ(out.ReadAt<uint64_t>(0), 0u);
+    for (PageId id = 0; id < pages; ++id) {
+      if (id == target) continue;
+      PageStore::ClearReadError();
+      store.Read(id, &out);
+      EXPECT_TRUE(PageStore::TakeReadError().ok()) << "page " << id;
+    }
+  }
+  std::remove(sidecar.c_str());
+  std::remove(path.c_str());
+}
+
+// A damaged sidecar must fail closed (kDataLoss), never load a half table.
+TEST(ChecksummedFileStoreTest, DamagedSidecarIsRejected) {
+  const std::string path = TempPath("badsidecar");
+  const std::string sidecar = path + ".sum";
+  {
+    FilePageManager file(path, FilePageManager::Mode::kCreate);
+    ChecksummedPageStore store(&file);
+    Page page;
+    page.WriteAt<uint64_t>(0, 1u);
+    store.Write(store.Allocate(), page);
+    ASSERT_TRUE(store.SaveTable(sidecar).ok());
+  }
+  // Flip a byte in the middle of the sidecar.
+  {
+    std::FILE* f = std::fopen(sidecar.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 18, SEEK_SET), 0);
+    int byte = std::fgetc(f);
+    ASSERT_NE(byte, EOF);
+    ASSERT_EQ(std::fseek(f, 18, SEEK_SET), 0);
+    std::fputc(byte ^ 0x01, f);
+    std::fclose(f);
+  }
+  {
+    FilePageManager file(path, FilePageManager::Mode::kOpen);
+    ChecksummedPageStore store(&file);
+    const Status s = store.LoadTable(sidecar);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  }
+  // A missing sidecar is merely unavailable (integrity net down), which
+  // the CLI treats as a warning, not an error.
+  {
+    FilePageManager file(path, FilePageManager::Mode::kOpen);
+    ChecksummedPageStore store(&file);
+    const Status s = store.LoadTable(sidecar + ".missing");
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  }
+  std::remove(sidecar.c_str());
   std::remove(path.c_str());
 }
 

@@ -112,5 +112,62 @@ TEST(ServerTest, CountsQueriesPerType) {
   EXPECT_EQ(server.window_queries_served(), 1u);
 }
 
+// last_answer_was_cached reports, per update, whether the validity region
+// absorbed the move — the per-step signal behind the aggregate
+// server_queries counter (and the bytes-on-the-wire accounting in
+// bench/netcost.cc).
+TEST(MobileWindowClientTest, ReportsCacheHitsPerUpdate) {
+  const auto dataset = MakeUnitUniform(3000, 101);
+  TreeFixture fx(dataset.entries, 64);
+  Server server(fx.tree.get(), kUnit);
+  MobileWindowClient client(&server, 0.04, 0.04);
+
+  const auto trajectory = workload::MakeRandomWaypointTrajectory(
+      dataset, 300, 0.001, 103);
+  size_t hits = 0, misses = 0;
+  for (const geo::Point& p : trajectory) {
+    const size_t queries_before = client.server_queries();
+    client.MoveTo(p);
+    const bool queried = client.server_queries() > queries_before;
+    // The flag and the counter must agree at every single step.
+    EXPECT_EQ(client.last_answer_was_cached(), !queried);
+    (queried ? misses : hits) += 1;
+  }
+  // The first update can never be served from an empty cache.
+  EXPECT_GT(misses, 0u);
+  EXPECT_GT(hits, 0u);
+  EXPECT_EQ(misses, client.server_queries());
+  EXPECT_EQ(hits + misses, trajectory.size());
+
+  // A naive client never reports a cache hit.
+  MobileWindowClient naive(&server, 0.04, 0.04,
+                           MobileWindowClient::Mode::kAlwaysQuery);
+  for (int i = 0; i < 5; ++i) {
+    naive.MoveTo(trajectory[i]);
+    EXPECT_FALSE(naive.last_answer_was_cached());
+  }
+}
+
+TEST(MobileRangeClientTest, ReportsCacheHitsPerUpdate) {
+  const auto dataset = MakeUnitUniform(3000, 107);
+  TreeFixture fx(dataset.entries, 64);
+  Server server(fx.tree.get(), kUnit);
+  MobileRangeClient client(&server, 0.05);
+
+  const auto trajectory = workload::MakeRandomWaypointTrajectory(
+      dataset, 300, 0.001, 109);
+  size_t hits = 0, misses = 0;
+  for (const geo::Point& p : trajectory) {
+    const size_t queries_before = client.server_queries();
+    client.MoveTo(p);
+    const bool queried = client.server_queries() > queries_before;
+    EXPECT_EQ(client.last_answer_was_cached(), !queried);
+    (queried ? misses : hits) += 1;
+  }
+  EXPECT_GT(misses, 0u);
+  EXPECT_GT(hits, 0u);
+  EXPECT_EQ(misses, client.server_queries());
+}
+
 }  // namespace
 }  // namespace lbsq::core

@@ -1,5 +1,11 @@
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "common/status.h"
+#include "storage/checksummed_page_store.h"
+#include "storage/fault_injecting_page_store.h"
 #include "storage/lru_buffer_pool.h"
 #include "storage/page.h"
 #include "storage/page_manager.h"
@@ -175,6 +181,243 @@ TEST(LruBufferPoolTest, DiscardDropsWithoutWriteback) {
   pool.Discard(a);
   pool.FlushAll();
   EXPECT_EQ(manager.write_count(), 0u);  // dirty copy was discarded
+}
+
+TEST(ChecksummedPageStoreTest, CleanReadsPassThroughUnchanged) {
+  PageManager manager;
+  ChecksummedPageStore store(&manager);
+  const PageId a = store.Allocate();
+  Page page;
+  page.WriteAt<uint64_t>(0, 0xfeedfaceULL);
+  page.WriteAt<uint64_t>(kPageSize - 8, 77u);
+  store.Write(a, page);
+
+  PageStore::ClearReadError();
+  Page out;
+  store.Read(a, &out);
+  EXPECT_EQ(out.ReadAt<uint64_t>(0), 0xfeedfaceULL);
+  EXPECT_EQ(out.ReadAt<uint64_t>(kPageSize - 8), 77u);
+  EXPECT_EQ(store.ReadRef(a).ReadAt<uint64_t>(0), 0xfeedfaceULL);
+  EXPECT_TRUE(PageStore::TakeReadError().ok());
+  EXPECT_EQ(store.verification_failures(), 0u);
+}
+
+TEST(ChecksummedPageStoreTest, DetectsCorruptionAndDegradesToZeroPage) {
+  PageManager manager;
+  ChecksummedPageStore store(&manager);
+  const PageId a = store.Allocate();
+  Page page;
+  page.WriteAt<uint64_t>(0, 0xfeedfaceULL);
+  store.Write(a, page);
+
+  // Corrupt the page *underneath* the checksum layer: flip one bit.
+  Page raw;
+  manager.Read(a, &raw);
+  raw.mutable_data()[100] ^= 0x04;
+  manager.Write(a, raw);
+
+  PageStore::ClearReadError();
+  Page out;
+  store.Read(a, &out);
+  const Status error = PageStore::TakeReadError();
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(store.verification_failures(), 1u);
+  // The caller never sees the corrupt bytes: the page degrades to zeros,
+  // which parses as an empty leaf.
+  for (size_t i = 0; i < kPageSize; i += 8) {
+    EXPECT_EQ(out.ReadAt<uint64_t>(i), 0u);
+  }
+
+  // ReadRef likewise returns a zero page, not the corrupt bytes.
+  PageStore::ClearReadError();
+  const Page& ref = store.ReadRef(a);
+  EXPECT_EQ(ref.ReadAt<uint64_t>(0), 0u);
+  EXPECT_FALSE(PageStore::TakeReadError().ok());
+
+  // Writing fresh content re-stamps the checksum and heals the page.
+  store.Write(a, page);
+  PageStore::ClearReadError();
+  store.Read(a, &out);
+  EXPECT_TRUE(PageStore::TakeReadError().ok());
+  EXPECT_EQ(out.ReadAt<uint64_t>(0), 0xfeedfaceULL);
+}
+
+TEST(ChecksummedPageStoreTest, FirstReadErrorWinsUntilTaken) {
+  PageManager manager;
+  ChecksummedPageStore store(&manager);
+  const PageId a = store.Allocate();
+  const PageId b = store.Allocate();
+  Page raw;
+  raw.WriteAt<uint64_t>(0, 1u);
+  manager.Write(a, raw);  // bypasses the stamp: page a is now corrupt
+  raw.WriteAt<uint64_t>(0, 2u);
+  manager.Write(b, raw);  // so is page b
+
+  PageStore::ClearReadError();
+  Page out;
+  store.Read(a, &out);
+  store.Read(b, &out);
+  const Status first = PageStore::TakeReadError();
+  ASSERT_FALSE(first.ok());
+  EXPECT_NE(first.message().find("page " + std::to_string(a)),
+            std::string::npos);
+  // Taking the error resets the channel.
+  EXPECT_TRUE(PageStore::PendingReadError().ok());
+}
+
+TEST(ChecksummedPageStoreTest, ScrubCountsCorruptPagesWithoutSideEffects) {
+  PageManager manager;
+  ChecksummedPageStore store(&manager);
+  Page page;
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) {
+    const PageId id = store.Allocate();
+    page.WriteAt<uint64_t>(0, 1000 + i);
+    store.Write(id, page);
+    ids.push_back(id);
+  }
+  EXPECT_EQ(store.Scrub(), 0u);
+
+  Page raw;
+  manager.Read(ids[2], &raw);
+  raw.mutable_data()[1] ^= 0x80;
+  manager.Write(ids[2], raw);
+  manager.Read(ids[5], &raw);
+  raw.mutable_data()[4000] ^= 0x01;
+  manager.Write(ids[5], raw);
+
+  PageStore::ClearReadError();
+  EXPECT_EQ(store.Scrub(), 2u);
+  // Scrub is a diagnostic: it records no read error.
+  EXPECT_TRUE(PageStore::TakeReadError().ok());
+}
+
+TEST(FaultInjectingPageStoreTest, DisarmedIsTransparent) {
+  PageManager manager;
+  FaultInjectingPageStore::Options options;
+  options.read_fault_probability = 1.0;
+  options.torn_write_probability = 1.0;
+  FaultInjectingPageStore store(&manager, options);
+  const PageId a = store.Allocate();
+  Page page;
+  page.WriteAt<uint64_t>(0, 42u);
+  store.Write(a, page);  // not torn: faults start disarmed
+
+  PageStore::ClearReadError();
+  Page out;
+  store.Read(a, &out);
+  EXPECT_EQ(out.ReadAt<uint64_t>(0), 42u);
+  EXPECT_TRUE(PageStore::TakeReadError().ok());
+  EXPECT_EQ(store.injected_read_faults(), 0u);
+  EXPECT_EQ(store.injected_torn_writes(), 0u);
+}
+
+TEST(FaultInjectingPageStoreTest, ReadFaultIsUnavailableAndTransient) {
+  PageManager manager;
+  FaultInjectingPageStore::Options options;
+  options.seed = 7;
+  options.read_fault_probability = 0.5;
+  FaultInjectingPageStore store(&manager, options);
+  const PageId a = store.Allocate();
+  Page page;
+  page.WriteAt<uint64_t>(0, 42u);
+  store.Write(a, page);
+  store.arm();
+
+  // With p = 0.5, 200 reads see both failures and successes; failures are
+  // kUnavailable (retryable) and hand back a zero page.
+  size_t failures = 0, successes = 0;
+  for (int i = 0; i < 200; ++i) {
+    PageStore::ClearReadError();
+    Page out;
+    store.Read(a, &out);
+    const Status s = PageStore::TakeReadError();
+    if (s.ok()) {
+      ++successes;
+      EXPECT_EQ(out.ReadAt<uint64_t>(0), 42u);
+    } else {
+      ++failures;
+      EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+      EXPECT_TRUE(IsRetryable(s));
+      EXPECT_EQ(out.ReadAt<uint64_t>(0), 0u);
+    }
+  }
+  EXPECT_GT(failures, 0u);
+  EXPECT_GT(successes, 0u);
+  EXPECT_EQ(store.injected_read_faults(), failures);
+}
+
+TEST(FaultInjectingPageStoreTest, CorruptionIsSilentUntilChecksummed) {
+  PageManager manager;
+  FaultInjectingPageStore::Options options;
+  options.seed = 11;
+  options.read_corruption_probability = 1.0;
+  FaultInjectingPageStore faulty(&manager, options);
+  // Production stacking: verification sits *above* the corruption source.
+  ChecksummedPageStore store(&faulty);
+  const PageId a = store.Allocate();
+  Page page;
+  page.WriteAt<uint64_t>(0, 42u);
+  store.Write(a, page);
+  faulty.arm();
+
+  PageStore::ClearReadError();
+  Page out;
+  store.Read(a, &out);
+  const Status s = PageStore::TakeReadError();
+  ASSERT_FALSE(s.ok());
+  // Every read is bit-flipped, and the checksum layer reports it as data
+  // loss — not as a transient fault.
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_GT(faulty.injected_corruptions(), 0u);
+  EXPECT_EQ(store.verification_failures(), 1u);
+}
+
+TEST(FaultInjectingPageStoreTest, TornWriteIsCaughtOnLaterRead) {
+  PageManager manager;
+  FaultInjectingPageStore::Options options;
+  options.seed = 13;
+  options.torn_write_probability = 1.0;
+  FaultInjectingPageStore faulty(&manager, options);
+  ChecksummedPageStore store(&faulty);
+  const PageId a = store.Allocate();
+  Page page;
+  // Content in the second half of the page, which a torn write drops.
+  page.WriteAt<uint64_t>(kPageSize - 8, 0xabcdefULL);
+  faulty.arm();
+  store.Write(a, page);
+  EXPECT_EQ(faulty.injected_torn_writes(), 1u);
+  faulty.disarm();
+
+  PageStore::ClearReadError();
+  Page out;
+  store.Read(a, &out);
+  const Status s = PageStore::TakeReadError();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+}
+
+TEST(FaultInjectingPageStoreTest, SameSeedSameSchedule) {
+  auto run = [](uint64_t seed) {
+    PageManager manager;
+    FaultInjectingPageStore::Options options;
+    options.seed = seed;
+    options.read_fault_probability = 0.3;
+    FaultInjectingPageStore store(&manager, options);
+    const PageId a = store.Allocate();
+    store.arm();
+    std::vector<bool> fates;
+    for (int i = 0; i < 64; ++i) {
+      PageStore::ClearReadError();
+      Page out;
+      store.Read(a, &out);
+      fates.push_back(PageStore::TakeReadError().ok());
+    }
+    return fates;
+  };
+  EXPECT_EQ(run(21), run(21));
+  EXPECT_NE(run(21), run(22));
 }
 
 }  // namespace

@@ -1,0 +1,209 @@
+// Mutation fuzzing of the wire decoders: the decode paths face bytes the
+// process does not control, so for *any* input they must return a Status
+// or a well-formed result — never abort, crash, or over-allocate. Run
+// under ASan/UBSan (cmake -DLBSQ_SANITIZE=address) this doubles as a
+// memory-safety sweep of the whole decode surface.
+//
+// Three mutation families per format, >= 10k mutated buffers each:
+//   * truncation at every byte offset of valid messages,
+//   * random bit/byte flips of valid messages,
+//   * count inflation: a varint count field rewritten to a huge value.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/nn_validity.h"
+#include "core/range_validity.h"
+#include "core/window_validity.h"
+#include "core/wire_format.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+
+namespace lbsq::core::wire {
+namespace {
+
+using test::SmallNodeOptions;
+using test::TreeFixture;
+using workload::MakeUnitUniform;
+
+const geo::Rect kUnit(0.0, 0.0, 1.0, 1.0);
+
+// Decoder under test, type-erased so the harness is format-agnostic.
+// Returns true when the buffer decoded OK (the status path is exercised
+// either way; the result object is destroyed, which walks its geometry).
+using Decoder = bool (*)(const std::vector<uint8_t>&);
+
+bool DecodeNn(const std::vector<uint8_t>& bytes) {
+  return DecodeNnResult(bytes).ok();
+}
+bool DecodeWindow(const std::vector<uint8_t>& bytes) {
+  return DecodeWindowResult(bytes).ok();
+}
+bool DecodeRange(const std::vector<uint8_t>& bytes) {
+  return DecodeRangeResult(bytes).ok();
+}
+
+// Seed messages: genuine encodings spanning answer sizes and influence
+// set shapes, so mutations explore every field of the format.
+std::vector<std::vector<uint8_t>> NnSeeds() {
+  const auto dataset = MakeUnitUniform(3000, 701);
+  TreeFixture fx(dataset.entries, 64, SmallNodeOptions());
+  NnValidityEngine engine(fx.tree.get(), kUnit);
+  Rng rng(703);
+  std::vector<std::vector<uint8_t>> seeds;
+  for (int i = 0; i < 6; ++i) {
+    const geo::Point q{rng.Uniform(0.1, 0.9), rng.Uniform(0.1, 0.9)};
+    seeds.push_back(EncodeNnResult(engine.Query(q, 1 + i)).value());
+  }
+  return seeds;
+}
+
+std::vector<std::vector<uint8_t>> WindowSeeds() {
+  const auto dataset = MakeUnitUniform(3000, 705);
+  TreeFixture fx(dataset.entries, 64, SmallNodeOptions());
+  WindowValidityEngine engine(fx.tree.get(), kUnit);
+  Rng rng(707);
+  std::vector<std::vector<uint8_t>> seeds;
+  for (int i = 0; i < 6; ++i) {
+    const geo::Point q{rng.Uniform(0.1, 0.9), rng.Uniform(0.1, 0.9)};
+    seeds.push_back(
+        EncodeWindowResult(engine.Query(q, 0.01 + 0.01 * i, 0.02)).value());
+  }
+  return seeds;
+}
+
+std::vector<std::vector<uint8_t>> RangeSeeds() {
+  const auto dataset = MakeUnitUniform(3000, 709);
+  TreeFixture fx(dataset.entries, 64, SmallNodeOptions());
+  RangeValidityEngine engine(fx.tree.get(), kUnit);
+  Rng rng(711);
+  std::vector<std::vector<uint8_t>> seeds;
+  for (int i = 0; i < 6; ++i) {
+    const geo::Point q{rng.Uniform(0.2, 0.8), rng.Uniform(0.2, 0.8)};
+    seeds.push_back(EncodeRangeResult(engine.Query(q, 0.01 + 0.008 * i))
+                        .value());
+  }
+  return seeds;
+}
+
+// Family 1: every strict prefix of every seed must be rejected.
+size_t FuzzTruncations(const std::vector<std::vector<uint8_t>>& seeds,
+                       Decoder decode) {
+  size_t buffers = 0;
+  for (const auto& seed : seeds) {
+    for (size_t len = 0; len < seed.size(); ++len) {
+      const std::vector<uint8_t> prefix(seed.begin(), seed.begin() + len);
+      EXPECT_FALSE(decode(prefix)) << "prefix of length " << len;
+      ++buffers;
+    }
+  }
+  return buffers;
+}
+
+// Family 2: random byte flips (1..8 per buffer). A flip may leave the
+// message valid (e.g. a coordinate perturbation) — the only requirement
+// is no crash and a definite ok-or-error outcome.
+size_t FuzzByteFlips(const std::vector<std::vector<uint8_t>>& seeds,
+                     Decoder decode, uint64_t seed, size_t iterations) {
+  Rng rng(seed);
+  size_t buffers = 0, rejected = 0;
+  for (size_t i = 0; i < iterations; ++i) {
+    std::vector<uint8_t> mutated = seeds[i % seeds.size()];
+    const size_t flips = 1 + rng.NextBounded(8);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.NextBounded(mutated.size())] ^=
+          static_cast<uint8_t>(1 + rng.NextBounded(255));
+    }
+    if (!decode(mutated)) ++rejected;
+    ++buffers;
+  }
+  // Sanity: the harness is actually exercising the error paths. (Most
+  // flips land in double coordinate payloads and stay decodable; only
+  // hits on counts, varints, or NaN-producing exponent bits reject.)
+  EXPECT_GT(rejected, buffers / 50);
+  return buffers;
+}
+
+// Family 3: splice an inflated LEB128 varint over a random position —
+// this lands on (or creates) count fields claiming up to 2^32 - 1
+// entries. Decoders must reject or succeed without large preallocation;
+// under ASan an over-reserve would OOM the test.
+size_t FuzzCountInflation(const std::vector<std::vector<uint8_t>>& seeds,
+                          Decoder decode, uint64_t seed, size_t iterations) {
+  Rng rng(seed);
+  size_t buffers = 0;
+  for (size_t i = 0; i < iterations; ++i) {
+    std::vector<uint8_t> mutated = seeds[i % seeds.size()];
+    ByteWriter inflated;
+    inflated.AppendVarCount(0x10000000u +
+                            static_cast<uint32_t>(rng.NextU64() >> 36));
+    const size_t pos = rng.NextBounded(mutated.size());
+    for (size_t b = 0; b < inflated.size() && pos + b < mutated.size(); ++b) {
+      mutated[pos + b] = inflated.bytes()[b];
+    }
+    decode(mutated);  // must not crash or over-allocate
+    ++buffers;
+  }
+  return buffers;
+}
+
+// Family 4 (bonus): pure noise, no valid structure at all.
+size_t FuzzRandomNoise(Decoder decode, uint64_t seed, size_t iterations) {
+  Rng rng(seed);
+  size_t buffers = 0;
+  for (size_t i = 0; i < iterations; ++i) {
+    std::vector<uint8_t> noise(rng.NextBounded(400));
+    for (auto& b : noise) b = static_cast<uint8_t>(rng.NextU64());
+    decode(noise);
+    ++buffers;
+  }
+  return buffers;
+}
+
+TEST(WireFuzzTest, NnDecoderSurvivesMutations) {
+  const auto seeds = NnSeeds();
+  size_t buffers = FuzzTruncations(seeds, DecodeNn);
+  buffers += FuzzByteFlips(seeds, DecodeNn, 811, 7000);
+  buffers += FuzzCountInflation(seeds, DecodeNn, 813, 2000);
+  buffers += FuzzRandomNoise(DecodeNn, 815, 1500);
+  EXPECT_GE(buffers, 10000u);
+}
+
+TEST(WireFuzzTest, WindowDecoderSurvivesMutations) {
+  const auto seeds = WindowSeeds();
+  size_t buffers = FuzzTruncations(seeds, DecodeWindow);
+  buffers += FuzzByteFlips(seeds, DecodeWindow, 821, 7000);
+  buffers += FuzzCountInflation(seeds, DecodeWindow, 823, 2000);
+  buffers += FuzzRandomNoise(DecodeWindow, 825, 1500);
+  EXPECT_GE(buffers, 10000u);
+}
+
+TEST(WireFuzzTest, RangeDecoderSurvivesMutations) {
+  const auto seeds = RangeSeeds();
+  size_t buffers = FuzzTruncations(seeds, DecodeRange);
+  buffers += FuzzByteFlips(seeds, DecodeRange, 831, 7000);
+  buffers += FuzzCountInflation(seeds, DecodeRange, 833, 2000);
+  buffers += FuzzRandomNoise(DecodeRange, 835, 1500);
+  EXPECT_GE(buffers, 10000u);
+}
+
+// Property: encode-decode-encode is a fixed point — decoding a valid
+// message and re-encoding it reproduces the exact bytes. (Catches any
+// decode-side normalization drift the round-trip tests would miss.)
+TEST(WireFuzzTest, EncodeDecodeEncodeIsFixedPoint) {
+  for (const auto& seed : NnSeeds()) {
+    EXPECT_EQ(EncodeNnResult(DecodeNnResult(seed).value()).value(), seed);
+  }
+  for (const auto& seed : RangeSeeds()) {
+    EXPECT_EQ(EncodeRangeResult(DecodeRangeResult(seed).value()).value(),
+              seed);
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::core::wire

@@ -4,12 +4,16 @@
 //   lbsq_cli generate --type uniform|gr|na --n 100000 --seed 7 --out pts.csv
 //   lbsq_cli build    --data pts.csv --index idx.db
 //   lbsq_cli stats    --index idx.db
+//   lbsq_cli scrub    --index idx.db
 //   lbsq_cli nn       --index idx.db --x 0.31 --y 0.74 --k 3
 //   lbsq_cli window   --index idx.db --x 0.31 --y 0.74 --hx 0.02 --hy 0.02
 //   lbsq_cli range    --index idx.db --x 0.31 --y 0.74 --r 0.05
 //
 // The index file is self-contained: logical page 0 stores the tree meta
-// and the data universe, so every later invocation can re-attach.
+// and the data universe, so every later invocation can re-attach. Builds
+// also write a checksum sidecar (<index>.sum); later invocations verify
+// every fetched page against it and `scrub` audits the whole file, so
+// on-disk corruption is reported instead of silently served.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +30,7 @@
 #include "core/window_validity.h"
 #include "rtree/rtree.h"
 #include "rtree/tree_stats.h"
+#include "storage/checksummed_page_store.h"
 #include "storage/file_page_manager.h"
 #include "workload/datasets.h"
 
@@ -132,7 +137,7 @@ bool LoadCsv(const std::string& path, workload::Dataset* dataset) {
 }
 
 // Page 0 layout: tree meta at offset 0, universe rect at offset 32.
-void SaveIndexHeader(storage::FilePageManager* store, storage::PageId page,
+void SaveIndexHeader(storage::PageStore* store, storage::PageId page,
                      const rtree::RTree::Meta& meta,
                      const geo::Rect& universe) {
   storage::Page header;
@@ -144,18 +149,38 @@ void SaveIndexHeader(storage::FilePageManager* store, storage::PageId page,
   store->Write(page, header);
 }
 
+std::string SidecarPath(const std::string& index_path) {
+  return index_path + ".sum";
+}
+
 struct AttachedIndex {
-  std::unique_ptr<storage::FilePageManager> store;
+  std::unique_ptr<storage::FilePageManager> file;
+  std::unique_ptr<storage::ChecksummedPageStore> store;
   std::unique_ptr<rtree::RTree> tree;
   geo::Rect universe;
 };
 
 AttachedIndex Attach(const std::string& path) {
   AttachedIndex idx;
-  idx.store = std::make_unique<storage::FilePageManager>(
+  idx.file = std::make_unique<storage::FilePageManager>(
       path, storage::FilePageManager::Mode::kOpen);
+  idx.store = std::make_unique<storage::ChecksummedPageStore>(idx.file.get());
+  const Status loaded = idx.store->LoadTable(SidecarPath(path));
+  if (!loaded.ok()) {
+    // Not fatal — pages simply cannot be verified until rebuilt — but the
+    // user should know the integrity net is down.
+    std::fprintf(stderr, "warning: checksum sidecar %s unusable (%s)\n",
+                 SidecarPath(path).c_str(), loaded.ToString().c_str());
+  }
+  storage::PageStore::ClearReadError();
   storage::Page header;
   idx.store->Read(0, &header);
+  const Status header_status = storage::PageStore::TakeReadError();
+  if (!header_status.ok()) {
+    std::fprintf(stderr, "index header page corrupt: %s\n",
+                 header_status.ToString().c_str());
+    std::exit(1);
+  }
   const auto meta = rtree::RTree::Meta::DeserializeFrom(header, 0);
   idx.universe =
       geo::Rect(header.ReadAt<double>(32), header.ReadAt<double>(40),
@@ -179,18 +204,35 @@ int CmdBuild(const ArgMap& args) {
       dataset.universe = dataset.universe.ExpandedToInclude(e.point);
     }
   }
-  storage::FilePageManager store(index_path,
-                                 storage::FilePageManager::Mode::kCreate);
+  storage::FilePageManager file(index_path,
+                                storage::FilePageManager::Mode::kCreate);
+  storage::ChecksummedPageStore store(&file);
   const storage::PageId header_page = store.Allocate();
   rtree::RTree tree(&store, /*buffer_capacity=*/256);
   tree.BulkLoad(dataset.entries);
   tree.buffer().FlushAll();
   SaveIndexHeader(&store, header_page, tree.meta(), dataset.universe);
-  store.Sync();
+  file.Sync();
+  const Status saved = store.SaveTable(SidecarPath(index_path));
+  if (!saved.ok()) {
+    std::fprintf(stderr, "failed to write checksum sidecar: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
   std::printf("indexed %zu points into %s (%zu nodes, height %d)\n",
               tree.size(), index_path.c_str(), tree.num_nodes(),
               tree.height());
   return 0;
+}
+
+// Reads every checksummed page back and verifies it: the offline
+// integrity audit for an index file that has been sitting on disk.
+int CmdScrub(const ArgMap& args) {
+  AttachedIndex idx = Attach(Require(args, "index"));
+  const size_t bad = idx.store->Scrub();
+  std::printf("scrubbed %zu pages: %zu corrupt\n", idx.file->live_pages(),
+              bad);
+  return bad == 0 ? 0 : 1;
 }
 
 int CmdStats(const ArgMap& args) {
@@ -215,7 +257,12 @@ int CmdNn(const ArgMap& args) {
                      std::strtod(Require(args, "y").c_str(), nullptr)};
   const size_t k = std::strtoul(GetOr(args, "k", "1").c_str(), nullptr, 10);
   core::NnValidityEngine engine(idx.tree.get(), idx.universe);
+  storage::PageStore::ClearReadError();
   const auto result = engine.Query(q, k);
+  if (const Status s = storage::PageStore::TakeReadError(); !s.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
   for (const auto& n : result.answers()) {
     std::printf("neighbor id=%u at (%.6g, %.6g), distance %.6g\n",
                 n.entry.id, n.entry.point.x, n.entry.point.y, n.distance);
@@ -233,7 +280,12 @@ int CmdWindow(const ArgMap& args) {
   const double hx = std::strtod(Require(args, "hx").c_str(), nullptr);
   const double hy = std::strtod(Require(args, "hy").c_str(), nullptr);
   core::WindowValidityEngine engine(idx.tree.get(), idx.universe);
+  storage::PageStore::ClearReadError();
   const auto result = engine.Query(q, hx, hy);
+  if (const Status s = storage::PageStore::TakeReadError(); !s.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
   std::printf("%zu objects in window\n", result.result().size());
   const geo::Rect& c = result.conservative_region();
   std::printf("validity: inner rect area %.6g, %zu outer obstacles, "
@@ -249,7 +301,12 @@ int CmdRange(const ArgMap& args) {
                      std::strtod(Require(args, "y").c_str(), nullptr)};
   const double r = std::strtod(Require(args, "r").c_str(), nullptr);
   core::RangeValidityEngine engine(idx.tree.get(), idx.universe);
+  storage::PageStore::ClearReadError();
   const auto result = engine.Query(q, r);
+  if (const Status s = storage::PageStore::TakeReadError(); !s.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
   std::printf("%zu objects within %.6g\n", result.result().size(), r);
   std::printf("validity: %zu inner + %zu outer influence objects, "
               "conservative polygon with %zu vertices\n",
@@ -261,7 +318,7 @@ int CmdRange(const ArgMap& args) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: lbsq_cli <generate|build|stats|nn|window|range> "
+               "usage: lbsq_cli <generate|build|stats|scrub|nn|window|range> "
                "[--flag value ...]\n");
 }
 
@@ -277,6 +334,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(args);
   if (command == "build") return CmdBuild(args);
   if (command == "stats") return CmdStats(args);
+  if (command == "scrub") return CmdScrub(args);
   if (command == "nn") return CmdNn(args);
   if (command == "window") return CmdWindow(args);
   if (command == "range") return CmdRange(args);
