@@ -21,15 +21,14 @@ using namespace lbsq;
 constexpr size_t kPoints = 100000;
 
 bench::Workbench& SharedBench() {
-  static bench::Workbench* wb =
-      new bench::Workbench(bench::MakeUniformBench(kPoints, 0.1));
-  return *wb;
+  static bench::Workbench wb(bench::MakeUniformBench(kPoints, 0.1));
+  return wb;
 }
 
 std::vector<geo::Point>& SharedQueries() {
-  static auto* queries = new std::vector<geo::Point>(
-      workload::MakeDataDistributedQueries(SharedBench().dataset, 1024, 5));
-  return *queries;
+  static std::vector<geo::Point> queries =
+      workload::MakeDataDistributedQueries(SharedBench().dataset, 1024, 5);
+  return queries;
 }
 
 void BM_KnnBestFirst(benchmark::State& state) {
@@ -135,14 +134,12 @@ BENCHMARK(BM_Sr01MoveTo);
 void BM_VoronoiIndexQuery(benchmark::State& state) {
   // Smaller dataset: the index build is O(n log n) but the point here is
   // query latency.
-  static auto* dataset =
-      new workload::Dataset(workload::MakeUnitUniform(20000, 3));
-  static auto* index =
-      new baselines::VoronoiIndex(dataset->entries, dataset->universe);
+  static workload::Dataset dataset = workload::MakeUnitUniform(20000, 3);
+  static baselines::VoronoiIndex index(dataset.entries, dataset.universe);
   const auto& queries = SharedQueries();
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(index->Query(queries[i++ % queries.size()]));
+    benchmark::DoNotOptimize(index.Query(queries[i++ % queries.size()]));
   }
 }
 BENCHMARK(BM_VoronoiIndexQuery);

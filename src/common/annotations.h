@@ -1,0 +1,46 @@
+#ifndef LBSQ_COMMON_ANNOTATIONS_H_
+#define LBSQ_COMMON_ANNOTATIONS_H_
+
+// Thread-safety annotations for classes that own a mutex. The macros
+// expand to clang's thread-safety attributes when compiling under clang
+// (where -Wthread-safety performs the deep flow-sensitive check) and to
+// nothing under gcc — but they are *not* inert there: tools/lbsq_lint
+// rule `guarded-by` requires every data member of a mutex-owning class
+// to carry exactly one of these, so the locking discipline stays
+// machine-readable on a g++-only box. See DESIGN.md "Static analysis
+// layer".
+//
+// Usage:
+//   std::mutex mu_;
+//   uint64_t epoch_ LBSQ_GUARDED_BY(mu_) = 0;         // read/write under mu_
+//   std::atomic<size_t> cursor_ LBSQ_EXCLUDED(mu_){0};  // own sync, not mu_
+//
+// LBSQ_EXCLUDED deliberately has no clang expansion: it marks members
+// whose synchronization is something *other* than the mutex (relaxed
+// atomics, single-thread phases, const-after-construction) and takes the
+// mutex (or a short reason token) purely as documentation.
+
+#if defined(__clang__)
+#define LBSQ_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LBSQ_THREAD_ANNOTATION_(x)
+#endif
+
+// Member is read and written only while `x` is held.
+#define LBSQ_GUARDED_BY(x) LBSQ_THREAD_ANNOTATION_(guarded_by(x))
+
+// Pointer member: the pointer itself is free, the pointee requires `x`.
+#define LBSQ_PT_GUARDED_BY(x) LBSQ_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Member is deliberately NOT protected by the class mutex; `x` names the
+// mutex it is excluded from or a one-token reason (e.g. relaxed_atomic,
+// const_after_init, dispatcher_only).
+#define LBSQ_EXCLUDED(x)
+
+// Function-level annotations, for completeness when clang lands on the
+// box (ROADMAP: full -Wthread-safety CI).
+#define LBSQ_REQUIRES(...) LBSQ_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define LBSQ_ACQUIRE(...) LBSQ_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define LBSQ_RELEASE(...) LBSQ_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#endif  // LBSQ_COMMON_ANNOTATIONS_H_

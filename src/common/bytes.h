@@ -74,7 +74,7 @@ class ByteReader {
   // Bounded read for untrusted buffers: false (and no consumption) when
   // fewer than sizeof(T) bytes remain.
   template <typename T>
-  bool TryRead(T* out) {
+  [[nodiscard]] bool TryRead(T* out) {
     static_assert(std::is_trivially_copyable_v<T>);
     if (sizeof(T) > remaining()) return false;
     std::memcpy(out, bytes_.data() + offset_, sizeof(T));
@@ -90,7 +90,7 @@ class ByteReader {
 
   // LEB128 decode, capped at 5 bytes / 32 bits. Rejects truncated input
   // and values that overflow uint32; does not consume on failure.
-  bool TryReadVarCount(uint32_t* out) {
+  [[nodiscard]] bool TryReadVarCount(uint32_t* out) {
     uint64_t value = 0;
     size_t i = 0;
     for (; i < 5; ++i) {

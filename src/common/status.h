@@ -40,7 +40,7 @@ inline const char* StatusCodeName(StatusCode code) {
   return "UNKNOWN";
 }
 
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
   Status(StatusCode code, std::string message)
@@ -80,14 +80,14 @@ class Status {
 
 // Retry policy: only transient failures are worth re-attempting; data
 // loss and malformed input are deterministic.
-inline bool IsRetryable(const Status& status) {
+[[nodiscard]] inline bool IsRetryable(const Status& status) {
   return status.code() == StatusCode::kUnavailable;
 }
 
 // A value or an error. `value()` aborts on an error status (use it only
 // after checking ok(), or where an error is itself a program bug).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Default: an error ("uninitialized") — lets batch code size a result
   // vector up front and fill slots in any order.

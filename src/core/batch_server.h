@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "core/nn_validity.h"
 #include "core/range_validity.h"
@@ -123,11 +124,11 @@ class BatchServer {
   // times; queries untouched by faults produce answers bit-identical to
   // the plain batch variants. The batch always completes — one bad page
   // fails one query, not the process.
-  std::vector<StatusOr<NnValidityResult>> NnQueryBatchChecked(
+  [[nodiscard]] std::vector<StatusOr<NnValidityResult>> NnQueryBatchChecked(
       const std::vector<NnQuery>& queries);
-  std::vector<StatusOr<WindowValidityResult>> WindowQueryBatchChecked(
+  [[nodiscard]] std::vector<StatusOr<WindowValidityResult>> WindowQueryBatchChecked(
       const std::vector<WindowQuery>& queries);
-  std::vector<StatusOr<RangeValidityResult>> RangeQueryBatchChecked(
+  [[nodiscard]] std::vector<StatusOr<RangeValidityResult>> RangeQueryBatchChecked(
       const std::vector<RangeQuery>& queries);
 
   // Conventional batches without validity computation (the naive-client
@@ -172,15 +173,16 @@ class BatchServer {
   void RunBatch(size_t count,
                 const std::function<void(Worker&, size_t)>& job);
 
-  storage::PageStore* disk_;
-  size_t max_query_retries_;
-  std::vector<std::unique_ptr<Worker>> workers_;
-  std::vector<std::thread> threads_;
+  // Fixed at construction; workers only read them afterwards.
+  storage::PageStore* disk_ LBSQ_EXCLUDED(const_after_init);
+  size_t max_query_retries_ LBSQ_EXCLUDED(const_after_init);
+  std::vector<std::unique_ptr<Worker>> workers_ LBSQ_EXCLUDED(const_after_init);
+  std::vector<std::thread> threads_ LBSQ_EXCLUDED(const_after_init);
 
   // Checked-path counters; relaxed atomics, updated by workers mid-batch
   // and read between batches on the dispatcher thread.
-  std::atomic<uint64_t> query_errors_{0};
-  std::atomic<uint64_t> query_retries_{0};
+  std::atomic<uint64_t> query_errors_ LBSQ_EXCLUDED(relaxed_atomic){0};
+  std::atomic<uint64_t> query_retries_ LBSQ_EXCLUDED(relaxed_atomic){0};
 
   // Batch handoff. A batch is published by bumping job_epoch_ under mu_;
   // workers claim indices from the lock-free cursor and report completion
@@ -190,20 +192,24 @@ class BatchServer {
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  uint64_t job_epoch_ = 0;
-  size_t job_count_ = 0;
-  std::function<void(Worker&, size_t)> job_;
-  std::atomic<size_t> cursor_{0};
-  size_t workers_done_ = 0;
-  bool stopping_ = false;
+  uint64_t job_epoch_ LBSQ_GUARDED_BY(mu_) = 0;
+  size_t job_count_ LBSQ_GUARDED_BY(mu_) = 0;
+  // Published under mu_ before the epoch bump, then read lock-free by
+  // workers for the duration of the batch: the epoch acquire in
+  // WorkerLoop orders the reads, and RunBatch does not touch job_ again
+  // until every worker reported done.
+  std::function<void(Worker&, size_t)> job_ LBSQ_EXCLUDED(epoch_handoff);
+  std::atomic<size_t> cursor_ LBSQ_EXCLUDED(relaxed_atomic){0};
+  size_t workers_done_ LBSQ_GUARDED_BY(mu_) = 0;
+  bool stopping_ LBSQ_GUARDED_BY(mu_) = false;
 
   // Cumulative stats (mutated only between batches, on the dispatcher
   // thread). page-access baseline = store reads at construction / reset.
-  uint64_t queries_ = 0;
-  uint64_t disk_reads_baseline_ = 0;
-  uint64_t view_fetches_baseline_ = 0;
-  double wall_seconds_ = 0.0;
-  std::vector<double> latencies_us_;
+  uint64_t queries_ LBSQ_EXCLUDED(dispatcher_only) = 0;
+  uint64_t disk_reads_baseline_ LBSQ_EXCLUDED(dispatcher_only) = 0;
+  uint64_t view_fetches_baseline_ LBSQ_EXCLUDED(dispatcher_only) = 0;
+  double wall_seconds_ LBSQ_EXCLUDED(dispatcher_only) = 0.0;
+  std::vector<double> latencies_us_ LBSQ_EXCLUDED(dispatcher_only);
 };
 
 }  // namespace lbsq::core

@@ -60,20 +60,20 @@ class Server {
   // faults (kUnavailable) are retried up to max_query_retries() times
   // with the buffer pool purged in between; persistent corruption
   // (kDataLoss) comes back as the error itself.
-  StatusOr<NnValidityResult> NnQueryChecked(const geo::Point& q, size_t k) {
+  [[nodiscard]] StatusOr<NnValidityResult> NnQueryChecked(const geo::Point& q, size_t k) {
     ++nn_queries_served_;
     return RunChecked<NnValidityResult>(
         [&] { return nn_engine_.Query(q, k); });
   }
 
-  StatusOr<WindowValidityResult> WindowQueryChecked(const geo::Point& focus,
+  [[nodiscard]] StatusOr<WindowValidityResult> WindowQueryChecked(const geo::Point& focus,
                                                     double hx, double hy) {
     ++window_queries_served_;
     return RunChecked<WindowValidityResult>(
         [&] { return window_engine_.Query(focus, hx, hy); });
   }
 
-  StatusOr<RangeValidityResult> RangeQueryChecked(const geo::Point& focus,
+  [[nodiscard]] StatusOr<RangeValidityResult> RangeQueryChecked(const geo::Point& focus,
                                                   double radius) {
     ++range_queries_served_;
     return RunChecked<RangeValidityResult>(

@@ -37,17 +37,17 @@
 
 namespace lbsq::core::wire {
 
-StatusOr<std::vector<uint8_t>> EncodeNnResult(const NnValidityResult& result);
-StatusOr<NnValidityResult> DecodeNnResult(const std::vector<uint8_t>& bytes);
+[[nodiscard]] StatusOr<std::vector<uint8_t>> EncodeNnResult(const NnValidityResult& result);
+[[nodiscard]] StatusOr<NnValidityResult> DecodeNnResult(const std::vector<uint8_t>& bytes);
 
-StatusOr<std::vector<uint8_t>> EncodeWindowResult(
+[[nodiscard]] StatusOr<std::vector<uint8_t>> EncodeWindowResult(
     const WindowValidityResult& result);
-StatusOr<WindowValidityResult> DecodeWindowResult(
+[[nodiscard]] StatusOr<WindowValidityResult> DecodeWindowResult(
     const std::vector<uint8_t>& bytes);
 
-StatusOr<std::vector<uint8_t>> EncodeRangeResult(
+[[nodiscard]] StatusOr<std::vector<uint8_t>> EncodeRangeResult(
     const RangeValidityResult& result);
-StatusOr<RangeValidityResult> DecodeRangeResult(
+[[nodiscard]] StatusOr<RangeValidityResult> DecodeRangeResult(
     const std::vector<uint8_t>& bytes);
 
 // Byte size of a conventional answer without any validity information

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "storage/page.h"
 #include "storage/page_store.h"
@@ -60,13 +61,13 @@ class ChecksummedPageStore final : public PageStore {
   // Reads every checksummed page back and verifies it; returns the number
   // of corrupt pages. Unlike Read, a scrub does not zero anything or
   // record read errors — it is a diagnostic pass (the CLI's `scrub`).
-  size_t Scrub();
+  [[nodiscard]] size_t Scrub();
 
   // Sidecar persistence of the checksum table (for FilePageManager-backed
   // indexes). The file carries its own trailing checksum; LoadTable fails
   // with kDataLoss when the sidecar itself is damaged.
-  Status SaveTable(const std::string& path) const;
-  Status LoadTable(const std::string& path);
+  [[nodiscard]] Status SaveTable(const std::string& path) const;
+  [[nodiscard]] Status LoadTable(const std::string& path);
 
  private:
   // Verifies `page` against the stamped checksum. Returns false — after
@@ -75,10 +76,14 @@ class ChecksummedPageStore final : public PageStore {
   bool Verify(PageId id, const Page& page);
   void EnsureSlot(PageId id);
 
-  PageStore* inner_;
-  std::vector<uint64_t> sums_;
-  std::vector<uint8_t> known_;  // uint8 (not vector<bool>) for plain loads
-  std::atomic<uint64_t> verification_failures_{0};
+  // The table is mutated only by Allocate/Free/Write/LoadTable — all
+  // build-phase calls; during the read-only serving phase every worker
+  // may Read/ReadRef concurrently and the table is never resized.
+  PageStore* inner_ LBSQ_EXCLUDED(const_after_init);
+  std::vector<uint64_t> sums_ LBSQ_EXCLUDED(build_phase_only);
+  // uint8 (not vector<bool>) for plain loads.
+  std::vector<uint8_t> known_ LBSQ_EXCLUDED(build_phase_only);
+  std::atomic<uint64_t> verification_failures_ LBSQ_EXCLUDED(relaxed_atomic){0};
 };
 
 }  // namespace lbsq::storage

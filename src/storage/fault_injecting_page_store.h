@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "common/annotations.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "storage/page.h"
@@ -89,14 +90,14 @@ class FaultInjectingPageStore final : public PageStore {
   ReadFault DrawReadFault(uint32_t* flip_bit);
   bool DrawTornWrite();
 
-  PageStore* inner_;
-  Options options_;
-  std::atomic<bool> armed_{false};
+  PageStore* inner_ LBSQ_EXCLUDED(const_after_init);
+  Options options_ LBSQ_EXCLUDED(const_after_init);
+  std::atomic<bool> armed_ LBSQ_EXCLUDED(relaxed_atomic){false};
   std::mutex rng_mu_;
-  Rng rng_;
-  std::atomic<uint64_t> injected_read_faults_{0};
-  std::atomic<uint64_t> injected_corruptions_{0};
-  std::atomic<uint64_t> injected_torn_writes_{0};
+  Rng rng_ LBSQ_GUARDED_BY(rng_mu_);
+  std::atomic<uint64_t> injected_read_faults_ LBSQ_EXCLUDED(relaxed_atomic){0};
+  std::atomic<uint64_t> injected_corruptions_ LBSQ_EXCLUDED(relaxed_atomic){0};
+  std::atomic<uint64_t> injected_torn_writes_ LBSQ_EXCLUDED(relaxed_atomic){0};
 };
 
 }  // namespace lbsq::storage

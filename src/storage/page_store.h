@@ -68,10 +68,10 @@ class PageStore {
 
   // This thread's pending read error, OK if none. Cheap; traversal loops
   // may poll it to bail out early.
-  static const Status& PendingReadError();
+  [[nodiscard]] static const Status& PendingReadError();
 
   // Returns and clears this thread's pending read error.
-  static Status TakeReadError();
+  [[nodiscard]] static Status TakeReadError();
 
   // Records `status` as this thread's pending read error unless one is
   // already pending. For store implementations/decorators only.

@@ -80,6 +80,14 @@ TEST_F(FaultInjectionTest, BatchCompletesUnderTenPercentReadFaults) {
   const auto queries = MakeNnWorkload(300, 37);
   core::BatchServerOptions server_options;
   server_options.num_threads = 4;
+  // Unbuffered NN traversals touch many pages, so at a 10% per-read
+  // fault rate a single attempt almost always hits a fault; the default
+  // retry budget leaves a measurable chance that *every* query in the
+  // batch exhausts its retries (observed ~1 in 4 runs on a loaded
+  // 1-core host), which is the one outcome the final assertion rejects.
+  // A deeper budget keeps the scenario identical but makes "at least
+  // one query survives" a statistical certainty.
+  server_options.max_query_retries = 6;
   BatchServer server(store_.get(), tree_->meta(), universe_, server_options);
 
   // Clean reference run through the same server.

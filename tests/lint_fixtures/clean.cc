@@ -1,0 +1,22 @@
+// Clean fixture (.cc): timing is not seeding, Try reads are the right
+// tier, and decode surfaces only exist where declared.
+// Not compiled — lbsq_lint only lexes it (tests/lint_test.cc).
+
+// This file carries no surface pragma, so aborting constructs outside a
+// surface are fine (they are the right tool for internal invariants).
+void InternalInvariant(int x) {
+  LBSQ_CHECK(x > 0);
+}
+
+double TimingNotSeeding() {
+  const auto start = std::chrono::steady_clock::now();
+  Work();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+bool BoundedTier(ByteReader* reader) {
+  int v = 0;
+  uint32_t n = 0;
+  return reader->TryRead(&v) && reader->TryReadVarCount(&n);
+}

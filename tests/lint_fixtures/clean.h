@@ -1,0 +1,38 @@
+#ifndef LBSQ_TESTS_LINT_FIXTURES_CLEAN_H_
+#define LBSQ_TESTS_LINT_FIXTURES_CLEAN_H_
+// Clean fixture: constructs that look close to violations but are not.
+// Not compiled — lbsq_lint only lexes it (tests/lint_test.cc).
+
+// A fully annotated mutex-owning class.
+class GoodServer {
+ public:
+  GoodServer(const GoodServer&) = delete;
+  GoodServer& operator=(const GoodServer&) = delete;
+  // An accessor whose *body* touches members: locals and member uses
+  // inside function bodies are not member declarations.
+  uint64_t epoch() const {
+    uint64_t local_copy_ = epoch_;  // trailing underscore, but a local
+    return local_copy_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t epoch_ LBSQ_GUARDED_BY(mu_) = 0;
+  std::atomic<size_t> cursor_ LBSQ_EXCLUDED(relaxed_atomic){0};
+  static constexpr size_t kStatic_ = 4;  // statics are exempt
+};
+
+inline double MemberAccessesAreFine(const Timer& t, Reader& r) {
+  // Member functions named like banned/aborting ones do not fire:
+  // the banned sets match free or std-qualified calls only.
+  double when = t.time();
+  r.Read(0, nullptr);  // PageStore-style checked read, not ByteReader::Read<T>
+  return when;
+}
+
+// Identifiers that merely *mention* banned names inside comments or
+// strings never fire: sprintf, strtok, atof, new, delete, rand().
+inline const char* BannedOnlyInLiterals() { return "sprintf strtok rand()"; }
+
+#endif  // LBSQ_TESTS_LINT_FIXTURES_CLEAN_H_

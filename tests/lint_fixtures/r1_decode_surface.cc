@@ -1,0 +1,12 @@
+// lint: surface(decode)
+// R1 fixture: aborting constructs inside a hostile-input decode surface.
+// Not compiled — lbsq_lint only lexes it (tests/lint_test.cc).
+bool DecodeThing(ByteReader* reader, int x) {
+  LBSQ_CHECK(x > 0);
+  int v = reader->Read<int>();
+  uint32_t n = reader->ReadVarCount();
+  if (x == 2) abort();
+  // lint: allow(check-in-decode-surface)
+  LBSQ_CHECK_GE(v, 0);
+  return n > 0;
+}

@@ -1,0 +1,20 @@
+#ifndef LBSQ_TESTS_LINT_FIXTURES_R2_GUARDED_BY_H_
+#define LBSQ_TESTS_LINT_FIXTURES_R2_GUARDED_BY_H_
+// R2 fixture: a mutex-owning class must annotate every data member.
+// Not compiled — lbsq_lint only lexes it (tests/lint_test.cc).
+class BadServer {
+ private:
+  std::mutex mu_;
+  uint64_t epoch_ LBSQ_GUARDED_BY(mu_) = 0;
+  std::atomic<size_t> cursor_ LBSQ_EXCLUDED(relaxed_atomic){0};
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+// No mutex: members need no annotation, the rule must stay quiet.
+class PlainCounters {
+ private:
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+#endif  // LBSQ_TESTS_LINT_FIXTURES_R2_GUARDED_BY_H_

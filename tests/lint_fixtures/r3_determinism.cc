@@ -1,0 +1,12 @@
+// R3 fixture: nondeterministic randomness sources.
+// Not compiled — lbsq_lint only lexes it (tests/lint_test.cc).
+void Seeding() {
+  std::random_device rd;
+  srand(42);
+  int r = rand();
+  uint64_t t = time(nullptr);
+  auto seed = std::chrono::steady_clock::now();
+  auto started = std::chrono::steady_clock::now();
+  // lint: allow(determinism)
+  int ok = rand();
+}

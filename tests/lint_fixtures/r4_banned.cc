@@ -1,0 +1,20 @@
+// R4 fixture: banned functions and naked new/delete.
+// Not compiled — lbsq_lint only lexes it (tests/lint_test.cc).
+void Banned(char* buf, const char* s) {
+  sprintf(buf, "%s", s);
+  char* tok = strtok(buf, ",");
+  double d = atof(s);
+  int* p = new int[4];
+  delete[] p;
+  // lint: allow(naked-new-delete)
+  int* q = new int;
+  // lint: allow(naked-new-delete)
+  delete q;
+}
+
+class Copyable {
+ public:
+  // Deleted functions are not naked deletes.
+  Copyable(const Copyable&) = delete;
+  Copyable& operator=(const Copyable&) = delete;
+};

@@ -1,0 +1,5 @@
+// R5 fixture: a header with no include guard and a namespace-scope
+// using-directive. Not compiled — lbsq_lint only lexes it.
+using namespace std;
+
+int LintFixtureValue();

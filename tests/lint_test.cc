@@ -1,0 +1,136 @@
+// Self-test of tools/lbsq_lint: every rule must fire at exactly the
+// seeded file:line in tests/lint_fixtures/, the allow-pragma cases must
+// stay quiet, and the clean fixtures must produce no findings at all.
+// The linter is the tier-1 gate (`lint_tree_is_clean`), so a rule
+// regression — a rule that stops firing, fires on the wrong line, or
+// starts false-positiving on clean idioms — must fail here.
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#ifndef LBSQ_LINT_BIN
+#error "build must define LBSQ_LINT_BIN"
+#endif
+#ifndef LBSQ_LINT_FIXTURES
+#error "build must define LBSQ_LINT_FIXTURES"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult RunLint(const std::string& args) {
+  const std::string cmd = std::string(LBSQ_LINT_BIN) + " " + args + " 2>&1";
+  RunResult result;
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    result.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string Fixture(const std::string& name) {
+  return std::string(LBSQ_LINT_FIXTURES) + "/" + name;
+}
+
+// Findings as "file:line: rule" triples (message text is free to evolve).
+std::set<std::string> FindingKeys(const std::string& output) {
+  std::set<std::string> keys;
+  std::istringstream lines(output);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("lbsq_lint:", 0) == 0) continue;  // summary line
+    // file:line: rule: message -> cut at the third ':'.
+    size_t colons = 0, pos = 0;
+    for (; pos < line.size() && colons < 3; ++pos) {
+      if (line[pos] == ':') ++colons;
+    }
+    if (colons == 3) keys.insert(line.substr(0, pos - 1));
+  }
+  return keys;
+}
+
+TEST(LintTest, ListRulesCoversEveryRule) {
+  const RunResult r = RunLint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule :
+       {"check-in-decode-surface", "guarded-by", "determinism",
+        "banned-function", "naked-new-delete", "header-guard",
+        "using-namespace-header"}) {
+    EXPECT_NE(r.output.find(rule), std::string::npos)
+        << "--list-rules is missing " << rule << "\n"
+        << r.output;
+  }
+}
+
+TEST(LintTest, CleanFixturesPass) {
+  const RunResult r = RunLint(Fixture("clean.cc") + " " + Fixture("clean.h"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output, "");
+}
+
+TEST(LintTest, EveryRuleFiresAtTheSeededLine) {
+  const RunResult r =
+      RunLint(Fixture("r1_decode_surface.cc") + " " +
+              Fixture("r2_guarded_by.h") + " " + Fixture("r3_determinism.cc") +
+              " " + Fixture("r4_banned.cc") + " " + Fixture("r5_header.h"));
+  EXPECT_EQ(r.exit_code, 1);
+
+  const std::set<std::string> expected = {
+      // R1: abort tier inside a surface (surface(decode) pragma).
+      Fixture("r1_decode_surface.cc") + ":5: check-in-decode-surface",
+      Fixture("r1_decode_surface.cc") + ":6: check-in-decode-surface",
+      Fixture("r1_decode_surface.cc") + ":7: check-in-decode-surface",
+      Fixture("r1_decode_surface.cc") + ":8: check-in-decode-surface",
+      // line 10 is covered by the allow pragma on line 9.
+
+      // R2: the one unannotated member; mutex/cv and annotated members
+      // are exempt, as is the mutex-free class below it.
+      Fixture("r2_guarded_by.h") + ":11: guarded-by",
+
+      // R3: each nondeterministic source once; timing now() (line 9) and
+      // the allow-pragma'd rand() (line 11) stay quiet.
+      Fixture("r3_determinism.cc") + ":4: determinism",
+      Fixture("r3_determinism.cc") + ":5: determinism",
+      Fixture("r3_determinism.cc") + ":6: determinism",
+      Fixture("r3_determinism.cc") + ":7: determinism",
+      Fixture("r3_determinism.cc") + ":8: determinism",
+
+      // R4: banned functions and naked new/delete; `= delete` members
+      // and the pragma'd pair (lines 10/12) stay quiet.
+      Fixture("r4_banned.cc") + ":4: banned-function",
+      Fixture("r4_banned.cc") + ":5: banned-function",
+      Fixture("r4_banned.cc") + ":6: banned-function",
+      Fixture("r4_banned.cc") + ":7: naked-new-delete",
+      Fixture("r4_banned.cc") + ":8: naked-new-delete",
+
+      // R5: header hygiene, both findings on the first code line.
+      Fixture("r5_header.h") + ":3: header-guard",
+      Fixture("r5_header.h") + ":3: using-namespace-header",
+  };
+
+  EXPECT_EQ(FindingKeys(r.output), expected) << r.output;
+}
+
+TEST(LintTest, MissingFileFailsLoudly) {
+  const RunResult r = RunLint(Fixture("does_not_exist.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("cannot read"), std::string::npos) << r.output;
+}
+
+}  // namespace

@@ -136,9 +136,9 @@ INSTANTIATE_TEST_SUITE_P(
                       DatasetCase{"gr", true, 12000, 12},
                       DatasetCase{"na", false, 8000, 13},
                       DatasetCase{"na", false, 20000, 14}),
-    [](const ::testing::TestParamInfo<DatasetCase>& info) {
-      return std::string(info.param.name) + "_" +
-             std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<DatasetCase>& param_info) {
+      return std::string(param_info.param.name) + "_" +
+             std::to_string(param_info.param.n);
     });
 
 }  // namespace

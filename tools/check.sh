@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Full local verification matrix for lbsq. Runs every configuration a
+# change must survive before it ships, prints one PASS/FAIL line per
+# stage, and exits nonzero if any stage failed. Stages:
+#
+#   lint    tools/lbsq_lint over the whole tree (tier-1 invariants)
+#   plain   default build + full ctest suite
+#   werror  -Wall -Wextra -Wshadow -Werror build (warnings are errors;
+#           catches dropped [[nodiscard]] Status/StatusOr results)
+#   asan    ASan+UBSan build + full ctest suite
+#   tsan    TSan build + the threaded suites (BatchServer, fault
+#           injection) — the rest are single-threaded and add nothing
+#
+# Build directories are reused across runs (build/, build-werror/,
+# build-asan/, build-tsan/), so incremental invocations are cheap.
+# Usage: tools/check.sh [stage ...]   (default: all stages)
+
+set -u
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+JOBS="$(nproc 2>/dev/null || echo 1)"
+
+STAGES=("$@")
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(lint plain werror asan tsan)
+
+declare -A RESULT
+FAILED=0
+
+note() { printf '\n== %s ==\n' "$*"; }
+
+run_stage() {
+  local name="$1"
+  shift
+  note "stage: $name"
+  if "$@"; then
+    RESULT[$name]=PASS
+  else
+    RESULT[$name]=FAIL
+    FAILED=1
+  fi
+}
+
+stage_lint() {
+  cmake -S "$ROOT" -B "$ROOT/build" >/dev/null &&
+    cmake --build "$ROOT/build" --target lbsq_lint -j "$JOBS" &&
+    "$ROOT/build/tools/lbsq_lint" --root "$ROOT"
+}
+
+stage_plain() {
+  cmake -S "$ROOT" -B "$ROOT/build" >/dev/null &&
+    cmake --build "$ROOT/build" -j "$JOBS" &&
+    ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+}
+
+stage_werror() {
+  cmake -S "$ROOT" -B "$ROOT/build-werror" -DLBSQ_WERROR=ON >/dev/null &&
+    cmake --build "$ROOT/build-werror" -j "$JOBS"
+}
+
+stage_asan() {
+  cmake -S "$ROOT" -B "$ROOT/build-asan" -DLBSQ_SANITIZE=address >/dev/null &&
+    cmake --build "$ROOT/build-asan" -j "$JOBS" &&
+    ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$JOBS"
+}
+
+stage_tsan() {
+  cmake -S "$ROOT" -B "$ROOT/build-tsan" -DLBSQ_SANITIZE=thread >/dev/null &&
+    cmake --build "$ROOT/build-tsan" --target batch_server_test \
+      fault_injection_test -j "$JOBS" &&
+    "$ROOT/build-tsan/tests/batch_server_test" &&
+    "$ROOT/build-tsan/tests/fault_injection_test"
+}
+
+for s in "${STAGES[@]}"; do
+  case "$s" in
+    lint | plain | werror | asan | tsan) run_stage "$s" "stage_$s" ;;
+    *)
+      echo "unknown stage: $s (known: lint plain werror asan tsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+printf '\n== summary ==\n'
+for s in "${STAGES[@]}"; do
+  printf '%-8s %s\n' "$s" "${RESULT[$s]}"
+done
+exit "$FAILED"

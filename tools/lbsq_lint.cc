@@ -1,0 +1,809 @@
+// lbsq_lint — project-specific static checker for the lbsq tree.
+//
+// This box builds with g++ only (no clang-tidy, no cppcheck), so the
+// invariants the codebase promises in prose — the abort/Status boundary
+// of DESIGN.md §7, the BatchServer locking discipline, deterministic
+// experiments — are enforced here, by a comment/string-aware lexer over
+// the sources (no full C++ parse; the rules are chosen so token-level
+// analysis is sound for this codebase's style).
+//
+// Rules (see --list-rules and DESIGN.md "Static analysis layer"):
+//   check-in-decode-surface  no aborting construct in hostile-input code
+//   guarded-by               mutex-owning classes annotate every member
+//   determinism              no nondeterministic randomness sources
+//   banned-function          sprintf/strtok/atof/... are off limits
+//   naked-new-delete         ownership goes through smart pointers
+//   header-guard             every header has a guard or #pragma once
+//   using-namespace-header   no `using namespace` in headers
+//
+// Escape hatches:
+//   // lint: allow(rule-id)   suppresses `rule-id` on this line and the
+//                             next (so a pragma may sit on its own line
+//                             above a long statement).
+//   // lint: surface(decode)  marks the whole file as a hostile-input
+//                             decode surface (used by future surfaces
+//                             and the fixture self-tests; the two known
+//                             production surfaces are also hardwired by
+//                             path so deleting the comment cannot evade
+//                             the check).
+//
+// Output: `file:line: rule-id: message`, one finding per line, sorted;
+// exit status 1 if anything fired, 0 on a clean tree.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+const RuleInfo kRules[] = {
+    {"check-in-decode-surface",
+     "LBSQ_CHECK / aborting ByteReader reads / abort() are forbidden inside "
+     "hostile-input decode surfaces (DESIGN.md S7); use the Try* tier and "
+     "return Status"},
+    {"guarded-by",
+     "every data member of a class that owns a std::mutex must carry "
+     "LBSQ_GUARDED_BY(mu) / LBSQ_PT_GUARDED_BY(mu) / LBSQ_EXCLUDED(reason) "
+     "from common/annotations.h"},
+    {"determinism",
+     "std::random_device, rand, srand, time()-seeding and now()-as-seed are "
+     "banned outside src/common/rng.h; experiments must replay from the seed "
+     "alone"},
+    {"banned-function",
+     "sprintf/vsprintf/strtok/atof/atoi/atol/gets are banned (unbounded or "
+     "locale/error-blind); use snprintf / strto* / std::from_chars"},
+    {"naked-new-delete",
+     "naked new/delete outside the storage allowlist; ownership goes through "
+     "std::make_unique / containers"},
+    {"header-guard",
+     "headers start with an include guard (#ifndef/#define) or #pragma once"},
+    {"using-namespace-header",
+     "`using namespace` in a header leaks into every includer"},
+};
+
+// Hostile-input surfaces, hardwired by path suffix: function-name
+// patterns (trailing '*' = prefix match) inside which rule
+// check-in-decode-surface applies.
+struct SurfaceRule {
+  const char* path_suffix;
+  std::vector<const char*> function_patterns;
+};
+
+const SurfaceRule kSurfaces[] = {
+    {"core/wire_format.cc", {"Decode*", "Read*", "Try*"}},
+    {"storage/checksummed_page_store.cc", {"Verify", "LoadTable", "Scrub"}},
+};
+
+// Files whose job is randomness or which may legitimately draw from the
+// banned determinism sources.
+const char* kDeterminismAllowedSuffixes[] = {"common/rng.h"};
+
+// Directories whose files may use naked new/delete (page arenas own raw
+// storage). Currently empty: the tree uses smart pointers throughout.
+const char* kNewDeleteAllowedSuffixes[] = {"storage/page_arena"};
+
+bool MatchesPattern(const std::string& name, const char* pattern) {
+  const size_t len = std::strlen(pattern);
+  if (len > 0 && pattern[len - 1] == '*') {
+    return name.compare(0, len - 1, pattern, len - 1) == 0;
+  }
+  return name == pattern;
+}
+
+bool HasSuffix(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------
+// Lexer: comments and string/char literals are stripped (so banned
+// identifiers inside them never fire), but comment text is scanned for
+// lint pragmas first.
+// ---------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_ident = false;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  // rule-ids allowed per line (pragma covers its line and the next).
+  std::map<int, std::set<std::string>> allows;
+  // lines of the file with comments/literals blanked, for line-oriented
+  // checks (header guards).
+  std::vector<std::string> stripped_lines;
+  bool whole_file_decode_surface = false;
+};
+
+void RecordPragma(LexedFile* out, const std::string& comment, int line) {
+  // Accept "lint: allow(rule)" and "lint:allow(rule)"; several pragmas
+  // may share one comment.
+  size_t pos = 0;
+  while ((pos = comment.find("lint:", pos)) != std::string::npos) {
+    size_t p = pos + 5;
+    while (p < comment.size() && std::isspace(static_cast<unsigned char>(
+                                     comment[p]))) {
+      ++p;
+    }
+    if (comment.compare(p, 6, "allow(") == 0) {
+      const size_t close = comment.find(')', p + 6);
+      if (close != std::string::npos) {
+        out->allows[line].insert(comment.substr(p + 6, close - (p + 6)));
+      }
+    } else if (comment.compare(p, 8, "surface(") == 0) {
+      const size_t close = comment.find(')', p + 8);
+      if (close != std::string::npos &&
+          comment.substr(p + 8, close - (p + 8)) == "decode") {
+        out->whole_file_decode_surface = true;
+      }
+    }
+    pos = p;
+  }
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+LexedFile Lex(const std::string& text) {
+  LexedFile out;
+  std::string stripped;  // same length/line structure as text
+  stripped.reserve(text.size());
+
+  int line = 1;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto advance_copy = [&](char c) {
+    stripped.push_back(c);
+    if (c == '\n') ++line;
+  };
+  auto advance_blank = [&](char c) {
+    stripped.push_back(c == '\n' ? '\n' : ' ');
+    if (c == '\n') ++line;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const int start_line = line;
+      size_t j = i;
+      while (j < n && text[j] != '\n') ++j;
+      RecordPragma(&out, text.substr(i, j - i), start_line);
+      while (i < j) advance_blank(text[i++]);
+    } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int start_line = line;
+      size_t j = i + 2;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) ++j;
+      const size_t end = (j + 1 < n) ? j + 2 : n;
+      RecordPragma(&out, text.substr(i, end - i), start_line);
+      while (i < end) advance_blank(text[i++]);
+    } else if (c == '"' || c == '\'') {
+      // Raw strings: R"delim( ... )delim"
+      const bool raw = c == '"' && i > 0 && text[i - 1] == 'R' &&
+                       (i < 2 || !IsIdentChar(text[i - 2]));
+      if (raw) {
+        size_t j = i + 1;
+        std::string delim;
+        while (j < n && text[j] != '(') delim.push_back(text[j++]);
+        const std::string closer = ")" + delim + "\"";
+        const size_t close = text.find(closer, j);
+        const size_t end = close == std::string::npos ? n : close + closer.size();
+        while (i < end) advance_blank(text[i++]);
+      } else {
+        const char quote = c;
+        advance_blank(text[i++]);
+        while (i < n && text[i] != quote) {
+          if (text[i] == '\\' && i + 1 < n) advance_blank(text[i++]);
+          if (i < n) advance_blank(text[i++]);
+        }
+        if (i < n) advance_blank(text[i++]);  // closing quote
+      }
+    } else {
+      advance_copy(text[i++]);
+    }
+  }
+
+  // Split the stripped text into lines (header-guard checks) and tokens.
+  {
+    std::istringstream lines(stripped);
+    std::string l;
+    while (std::getline(lines, l)) out.stripped_lines.push_back(l);
+  }
+
+  int tline = 1;
+  i = 0;
+  while (i < stripped.size()) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++tline;
+      ++i;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (IsIdentChar(c)) {
+      size_t j = i;
+      while (j < stripped.size() && IsIdentChar(stripped[j])) ++j;
+      Token t;
+      t.text = stripped.substr(i, j - i);
+      t.line = tline;
+      t.is_ident = !std::isdigit(static_cast<unsigned char>(c));
+      out.tokens.push_back(std::move(t));
+      i = j;
+    } else {
+      // Punctuation; fold "::" and "->" (the member-access and scope
+      // operators the rules look at), everything else is single.
+      Token t;
+      if (c == ':' && i + 1 < stripped.size() && stripped[i + 1] == ':') {
+        t.text = "::";
+        i += 2;
+      } else if (c == '-' && i + 1 < stripped.size() &&
+                 stripped[i + 1] == '>') {
+        t.text = "->";
+        i += 2;
+      } else {
+        t.text = std::string(1, c);
+        ++i;
+      }
+      t.line = tline;
+      out.tokens.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------
+
+struct Finding {
+  std::string path;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+class Linter {
+ public:
+  explicit Linter(std::vector<Finding>* findings) : findings_(findings) {}
+
+  void CheckFile(const std::string& display_path, const std::string& text);
+
+ private:
+  void Report(int line, const char* rule, const std::string& message) {
+    // A pragma on the finding's line or on the line just above it
+    // suppresses the finding.
+    for (int l = line - 1; l <= line; ++l) {
+      auto it = lexed_->allows.find(l);
+      if (it != lexed_->allows.end() && it->second.count(rule)) return;
+    }
+    findings_->push_back({path_, line, rule, message});
+  }
+
+  const Token& Tok(size_t i) const {
+    static const Token kEmpty;
+    return i < lexed_->tokens.size() ? lexed_->tokens[i] : kEmpty;
+  }
+  bool PrevIsMemberAccess(size_t i) const {
+    if (i == 0) return false;
+    const std::string& p = lexed_->tokens[i - 1].text;
+    return p == "." || p == "->";
+  }
+
+  void CheckHeaderGuard();
+  void ScanTokens();
+  void CheckMemberAnnotations(size_t class_open_index, size_t class_close_index,
+                              int class_line, const std::string& class_name);
+  void CheckDeterminismToken(size_t i);
+  void CheckBannedToken(size_t i);
+  void CheckSurfaceToken(size_t i);
+
+  // Statement bounds around token i: [begin, end) delimited by ; { } at
+  // the same nesting, used for "is this now() a seed" context checks.
+  std::pair<size_t, size_t> StatementAround(size_t i) const;
+
+  std::vector<Finding>* findings_;
+  std::string path_;
+  bool is_header_ = false;
+  bool in_bench_ = false;
+  bool determinism_allowed_ = false;
+  bool new_delete_allowed_ = false;
+  std::vector<const char*> surface_patterns_;
+  const LexedFile* lexed_ = nullptr;
+};
+
+std::pair<size_t, size_t> Linter::StatementAround(size_t i) const {
+  const std::vector<Token>& toks = lexed_->tokens;
+  size_t begin = i;
+  while (begin > 0) {
+    const std::string& t = toks[begin - 1].text;
+    if (t == ";" || t == "{" || t == "}") break;
+    --begin;
+  }
+  size_t end = i;
+  while (end < toks.size()) {
+    const std::string& t = toks[end].text;
+    if (t == ";" || t == "{" || t == "}") break;
+    ++end;
+  }
+  return {begin, end};
+}
+
+void Linter::CheckHeaderGuard() {
+  // First meaningful line must be `#pragma once` or `#ifndef`.
+  for (size_t l = 0; l < lexed_->stripped_lines.size(); ++l) {
+    std::string s = lexed_->stripped_lines[l];
+    s.erase(0, s.find_first_not_of(" \t"));
+    if (s.empty()) continue;
+    if (s.rfind("#ifndef", 0) == 0) return;
+    if (s.rfind("#pragma", 0) == 0 &&
+        s.find("once") != std::string::npos) {
+      return;
+    }
+    Report(static_cast<int>(l + 1), "header-guard",
+           "header does not start with an include guard or #pragma once");
+    return;
+  }
+}
+
+void Linter::CheckDeterminismToken(size_t i) {
+  if (determinism_allowed_) return;
+  const Token& t = Tok(i);
+  if (!t.is_ident) return;
+  const bool call = Tok(i + 1).text == "(";
+  if (t.text == "random_device") {
+    Report(t.line, "determinism",
+           "std::random_device is nondeterministic; seed an lbsq::Rng");
+  } else if ((t.text == "rand" || t.text == "srand") && call &&
+             !PrevIsMemberAccess(i)) {
+    Report(t.line, "determinism",
+           t.text + "() is banned; use lbsq::Rng (common/rng.h)");
+  } else if (t.text == "time" && call && !PrevIsMemberAccess(i)) {
+    Report(t.line, "determinism",
+           "time()-based seeding is banned; experiments replay from fixed "
+           "seeds");
+  } else if (t.text == "now" && call && Tok(i + 2).text == ")") {
+    if (in_bench_) return;  // timing blocks in bench/ are the use case
+    // now() is fine for timing; it is banned when the statement around it
+    // smells like seeding.
+    const auto [begin, end] = StatementAround(i);
+    for (size_t j = begin; j < end; ++j) {
+      const Token& s = Tok(j);
+      if (!s.is_ident) continue;
+      std::string lower = s.text;
+      std::transform(lower.begin(), lower.end(), lower.begin(),
+                     [](unsigned char ch) { return std::tolower(ch); });
+      if (lower.find("seed") != std::string::npos || s.text == "Rng" ||
+          s.text == "mt19937" || s.text == "srand") {
+        Report(t.line, "determinism",
+               "now() used as a seed; experiments replay from fixed seeds");
+        return;
+      }
+    }
+  }
+}
+
+void Linter::CheckBannedToken(size_t i) {
+  const Token& t = Tok(i);
+  if (!t.is_ident) return;
+  static const std::set<std::string> kBanned = {
+      "sprintf", "vsprintf", "strtok", "atof", "atoi", "atol", "gets"};
+  if (kBanned.count(t.text) && Tok(i + 1).text == "(" &&
+      !PrevIsMemberAccess(i)) {
+    Report(t.line, "banned-function",
+           t.text + "() is banned; use a bounded/error-reporting equivalent");
+  }
+  if (!new_delete_allowed_) {
+    if (t.text == "new" && Tok(i - 1).text != "operator") {
+      Report(t.line, "naked-new-delete",
+             "naked new; use std::make_unique or a container");
+    } else if (t.text == "delete" && Tok(i - 1).text != "=" &&
+               Tok(i - 1).text != "operator") {
+      // `= delete` declares a deleted function; everything else is a
+      // deallocation.
+      Report(t.line, "naked-new-delete",
+             "naked delete; owning pointers must be smart pointers");
+    }
+  }
+}
+
+void Linter::CheckSurfaceToken(size_t i) {
+  const Token& t = Tok(i);
+  if (!t.is_ident) return;
+  if (t.text.rfind("LBSQ_CHECK", 0) == 0 || t.text.rfind("LBSQ_DCHECK", 0) == 0) {
+    Report(t.line, "check-in-decode-surface",
+           t.text + " aborts on hostile input; return Status instead");
+  } else if (t.text == "abort" && Tok(i + 1).text == "(") {
+    Report(t.line, "check-in-decode-surface",
+           "abort() in a decode surface; return Status instead");
+  } else if (PrevIsMemberAccess(i)) {
+    if (t.text == "Read" && Tok(i + 1).text == "<") {
+      Report(t.line, "check-in-decode-surface",
+             "aborting ByteReader::Read<T> on untrusted bytes; use TryRead");
+    } else if (t.text == "ReadVarCount" && Tok(i + 1).text == "(") {
+      Report(t.line, "check-in-decode-surface",
+             "aborting ByteReader::ReadVarCount on untrusted bytes; use "
+             "TryReadVarCount");
+    }
+  }
+}
+
+void Linter::CheckMemberAnnotations(size_t class_open_index,
+                                    size_t class_close_index, int class_line,
+                                    const std::string& class_name) {
+  // Member declarations are statements at class depth 1 whose declared
+  // name follows the codebase convention (trailing underscore) and is
+  // immediately followed by ; = { or [. Function bodies and nested
+  // classes are skipped wholesale, so locals never match.
+  struct Member {
+    std::string name;
+    int line;
+    bool is_sync_primitive;  // std::mutex / std::condition_variable
+    bool annotated;
+  };
+  std::vector<Member> members;
+  bool has_mutex = false;
+
+  size_t i = class_open_index + 1;
+  size_t stmt_begin = i;
+  int paren_depth = 0;
+  while (i < class_close_index) {
+    const Token& t = Tok(i);
+    if (t.text == "(") {
+      ++paren_depth;
+    } else if (t.text == ")") {
+      --paren_depth;
+    } else if (t.text == "{") {
+      // Skip nested braces (function bodies, nested classes, brace
+      // initializers) — but a brace initializer belongs to the current
+      // statement, so only reset the statement start for the others.
+      int depth = 1;
+      size_t j = i + 1;
+      while (j < class_close_index && depth > 0) {
+        if (Tok(j).text == "{") ++depth;
+        if (Tok(j).text == "}") --depth;
+        ++j;
+      }
+      i = j;
+      continue;
+    } else if (t.text == ";") {
+      stmt_begin = i + 1;
+    } else if (t.text == ":" && (Tok(i - 1).text == "public" ||
+                                 Tok(i - 1).text == "private" ||
+                                 Tok(i - 1).text == "protected")) {
+      stmt_begin = i + 1;
+    } else if (paren_depth == 0 && t.is_ident && t.text.size() > 1 &&
+               t.text.back() == '_') {
+      const std::string& next = Tok(i + 1).text;
+      if (next == ";" || next == "=" || next == "{" || next == "[") {
+        // Statement tokens: from stmt_begin to the terminating ';'.
+        size_t end = i;
+        int inner_paren = 0, inner_brace = 0;
+        while (end < class_close_index) {
+          const std::string& e = Tok(end).text;
+          if (e == "(") ++inner_paren;
+          if (e == ")") --inner_paren;
+          if (e == "{") ++inner_brace;
+          if (e == "}") --inner_brace;
+          if (e == ";" && inner_paren == 0 && inner_brace == 0) break;
+          ++end;
+        }
+        bool is_static = false, is_mutex = false, is_cv = false,
+             annotated = false;
+        for (size_t j = stmt_begin; j < end; ++j) {
+          const std::string& s = Tok(j).text;
+          if (s == "static") is_static = true;
+          if (s == "mutex") is_mutex = true;
+          if (s == "condition_variable") is_cv = true;
+          if (s.rfind("LBSQ_GUARDED_BY", 0) == 0 ||
+              s.rfind("LBSQ_PT_GUARDED_BY", 0) == 0 ||
+              s.rfind("LBSQ_EXCLUDED", 0) == 0) {
+            annotated = true;
+          }
+        }
+        if (!is_static) {
+          if (is_mutex) has_mutex = true;
+          members.push_back({t.text, t.line, is_mutex || is_cv, annotated});
+        }
+        i = end;  // resume at the terminating ';'
+        continue;
+      }
+    }
+    ++i;
+  }
+
+  if (!has_mutex) return;
+  for (const Member& m : members) {
+    if (m.is_sync_primitive || m.annotated) continue;
+    Report(m.line, "guarded-by",
+           "class " + class_name + " owns a std::mutex; member " + m.name +
+               " needs LBSQ_GUARDED_BY / LBSQ_EXCLUDED "
+               "(common/annotations.h)");
+  }
+  (void)class_line;
+}
+
+void Linter::ScanTokens() {
+  const std::vector<Token>& toks = lexed_->tokens;
+
+  // Brace-kind stack for function/namespace/class tracking.
+  enum class BraceKind { kNamespace, kFunction, kClass, kOther };
+  struct Scope {
+    BraceKind kind;
+    bool surface = false;       // function body subject to rule R1
+    size_t open_index = 0;      // token index of '{'
+    int open_line = 0;
+    std::string name;
+  };
+  std::vector<Scope> stack;
+
+  // Pending function-signature automaton (active only outside functions).
+  std::string pending_name;
+  int pending_line = 0;
+  bool have_params = false;
+  int sig_paren_depth = 0;
+  // Last class/struct keyword seen in the current statement, for
+  // classifying the next '{'.
+  std::string pending_class_kw_name;
+  bool pending_namespace = false;
+  bool pending_class = false;
+  bool pending_enum = false;
+
+  auto in_function = [&] {
+    for (const Scope& s : stack) {
+      if (s.kind == BraceKind::kFunction) return true;
+    }
+    return false;
+  };
+  auto in_surface = [&] {
+    for (const Scope& s : stack) {
+      if (s.surface) return true;
+    }
+    return false;
+  };
+  auto reset_statement = [&] {
+    pending_name.clear();
+    have_params = false;
+    pending_namespace = false;
+    pending_class = false;
+    pending_enum = false;
+    pending_class_kw_name.clear();
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+
+    // Line-independent token rules.
+    CheckDeterminismToken(i);
+    CheckBannedToken(i);
+    if (in_surface()) CheckSurfaceToken(i);
+    if (is_header_ && t.text == "using" && Tok(i + 1).text == "namespace") {
+      Report(t.line, "using-namespace-header",
+             "`using namespace` in a header leaks into every includer");
+    }
+
+    // Scope tracking.
+    if (t.text == "{") {
+      Scope s;
+      s.open_index = i;
+      s.open_line = t.line;
+      if (in_function()) {
+        s.kind = BraceKind::kOther;
+      } else if (pending_namespace) {
+        s.kind = BraceKind::kNamespace;
+      } else if (pending_enum) {
+        s.kind = BraceKind::kOther;
+      } else if (pending_class) {
+        s.kind = BraceKind::kClass;
+        s.name = pending_class_kw_name;
+      } else if (have_params && !pending_name.empty()) {
+        s.kind = BraceKind::kFunction;
+        s.name = pending_name;
+        if (lexed_->whole_file_decode_surface) {
+          s.surface = true;
+        } else {
+          for (const char* pattern : surface_patterns_) {
+            if (MatchesPattern(pending_name, pattern)) {
+              s.surface = true;
+              break;
+            }
+          }
+        }
+      } else {
+        s.kind = BraceKind::kOther;  // brace init, array init, ...
+      }
+      stack.push_back(s);
+      reset_statement();
+    } else if (t.text == "}") {
+      if (!stack.empty()) {
+        const Scope s = stack.back();
+        stack.pop_back();
+        if (s.kind == BraceKind::kClass) {
+          CheckMemberAnnotations(s.open_index, i, s.open_line, s.name);
+        }
+      }
+      reset_statement();
+    } else if (t.text == ";" && sig_paren_depth == 0) {
+      reset_statement();
+    } else if (!in_function()) {
+      // Function-signature automaton.
+      if (t.text == "namespace") {
+        pending_namespace = true;
+      } else if (t.text == "class" || t.text == "struct" ||
+                 t.text == "union") {
+        if (Tok(i - 1).text == "enum") {
+          pending_enum = true;  // enum class
+        } else {
+          pending_class = true;
+          // The class name is the next identifier.
+          if (Tok(i + 1).is_ident) pending_class_kw_name = Tok(i + 1).text;
+        }
+      } else if (t.text == "enum") {
+        pending_enum = true;
+      } else if (t.text == "(") {
+        if (sig_paren_depth == 0 && !have_params && Tok(i - 1).is_ident) {
+          pending_name = Tok(i - 1).text;
+          pending_line = t.line;
+        }
+        ++sig_paren_depth;
+      } else if (t.text == ")") {
+        if (sig_paren_depth > 0) --sig_paren_depth;
+        if (sig_paren_depth == 0 && !pending_name.empty()) {
+          have_params = true;  // freeze across ctor-init-lists
+        }
+      } else if (t.text == "=" && sig_paren_depth == 0) {
+        // `= default;` / `= delete;` / variable init — not a definition.
+        pending_name.clear();
+        have_params = false;
+      }
+    }
+  }
+  (void)pending_line;
+}
+
+void Linter::CheckFile(const std::string& display_path,
+                       const std::string& text) {
+  path_ = display_path;
+  is_header_ = HasSuffix(path_, ".h") || HasSuffix(path_, ".hpp");
+  // Normalize path separators for suffix tables.
+  std::string norm = path_;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  in_bench_ = norm.find("bench/") != std::string::npos;
+
+  determinism_allowed_ = false;
+  for (const char* suffix : kDeterminismAllowedSuffixes) {
+    if (HasSuffix(norm, suffix)) determinism_allowed_ = true;
+  }
+  new_delete_allowed_ = false;
+  for (const char* suffix : kNewDeleteAllowedSuffixes) {
+    if (norm.find(suffix) != std::string::npos) new_delete_allowed_ = true;
+  }
+  surface_patterns_.clear();
+  for (const SurfaceRule& s : kSurfaces) {
+    if (HasSuffix(norm, s.path_suffix)) {
+      surface_patterns_ = s.function_patterns;
+    }
+  }
+
+  const LexedFile lexed = Lex(text);
+  lexed_ = &lexed;
+  if (is_header_) CheckHeaderGuard();
+  ScanTokens();
+  lexed_ = nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".cpp" || ext == ".h" || ext == ".hpp";
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lbsq_lint [--root DIR] [--list-rules] [files...]\n"
+               "With no files, lints src/ tools/ bench/ examples/ under "
+               "--root (default: cwd).\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const RuleInfo& r : kRules) {
+        std::printf("%-24s %s\n", r.id, r.summary);
+      }
+      return 0;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) return Usage();
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "lbsq_lint: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> display_and_real;
+  if (files.empty()) {
+    for (const char* dir : {"src", "tools", "bench", "examples"}) {
+      const fs::path base = fs::path(root) / dir;
+      std::error_code ec;
+      if (!fs::is_directory(base, ec)) continue;
+      for (auto it = fs::recursive_directory_iterator(base, ec);
+           it != fs::recursive_directory_iterator(); it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file() && IsSourceFile(it->path())) {
+          const std::string real = it->path().string();
+          // Report paths relative to the root for stable output.
+          std::string display = real;
+          const std::string prefix = (fs::path(root) / "").string();
+          if (display.rfind(prefix, 0) == 0) display.erase(0, prefix.size());
+          display_and_real.emplace_back(display, real);
+        }
+      }
+    }
+  } else {
+    for (const std::string& f : files) display_and_real.emplace_back(f, f);
+  }
+  std::sort(display_and_real.begin(), display_and_real.end());
+
+  std::vector<Finding> findings;
+  Linter linter(&findings);
+  bool read_error = false;
+  for (const auto& [display, real] : display_and_real) {
+    std::ifstream in(real, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "lbsq_lint: cannot read %s\n", real.c_str());
+      read_error = true;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    linter.CheckFile(display, buf.str());
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: %s: %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "lbsq_lint: %zu finding(s)\n", findings.size());
+  }
+  return (findings.empty() && !read_error) ? 0 : 1;
+}
