@@ -9,9 +9,15 @@
 //   batch-T       BatchServer with T worker threads over per-worker
 //                 unbuffered pools (every fetch a zero-copy ReadRef)
 //
+// A second section times the *wire-serving* path (full validity-region
+// answers, encoded) on a clustered client population — many mobile
+// clients concentrated around a few hotspots — with the semantic answer
+// cache off and on, reporting the cache hit rate alongside q/s.
+//
 // Output: an aligned table plus one machine-readable "BENCH {...}" JSON
 // line with queries/second per configuration, the speedups over the
-// serial seed baseline, and batch latency percentiles.
+// serial seed baseline, batch latency percentiles, and the cache
+// section's q/s + hit rate. All rates are min-of-N-rounds (MeasureQps).
 //
 // Environment knobs: LBSQ_SCALE scales the dataset (default 100k
 // points, bench_util.h); LBSQ_CLIENTS sets the number of concurrent
@@ -164,6 +170,46 @@ double BatchQps(core::BatchServer& server, const Workload& w) {
   });
 }
 
+// Clustered client population for the cache section: query locations
+// drawn from a few Gaussian hotspots, with *discrete* per-type
+// parameters so nearby clients ask comparable queries (distinct window
+// extents per client would make region reuse impossible by key).
+Workload MakeClusteredWorkload(const bench::Workbench& wb, size_t clients) {
+  const std::vector<geo::Point> locations = workload::MakeHotspotQueries(
+      wb.dataset.universe, clients, /*hotspots=*/16, /*seed=*/4711,
+      /*sigma=*/0.005);
+  Workload w;
+  for (size_t i = 0; i < clients; ++i) {
+    const geo::Point& q = locations[i];
+    switch (i % 20) {
+      case 12: case 13: case 14: case 15: case 16:
+        w.window.push_back({q, 0.01, 0.008});
+        break;
+      case 17: case 18: case 19:
+        w.range.push_back({q, 0.01});
+        break;
+      default:
+        w.nn.push_back({q, 10});
+        break;
+    }
+  }
+  return w;
+}
+
+// Wire-serving rounds: full validity answers, encoded — the load the
+// semantic cache absorbs. The cache persists across rounds (that is the
+// point: a steady-state server), so the measured rate is the warm rate.
+double WireQps(core::BatchServer& server, const Workload& w) {
+  return MeasureQps(w.total(), [&] {
+    auto nn = server.NnQueryBatchWire(w.nn);
+    asm volatile("" : : "r,m"(nn.data()) : "memory");
+    auto win = server.WindowQueryBatchWire(w.window);
+    asm volatile("" : : "r,m"(win.data()) : "memory");
+    auto rng = server.RangeQueryBatchWire(w.range);
+    asm volatile("" : : "r,m"(rng.data()) : "memory");
+  });
+}
+
 }  // namespace
 
 int main() {
@@ -209,14 +255,49 @@ int main() {
       static_cast<unsigned long long>(stats4.allocations_avoided),
       stats4.p50_us, stats4.p95_us, stats4.p99_us, stats4.max_us);
 
+  // -- Wire serving with the semantic answer cache ------------------------
+  // Clustered clients, full validity-region answers encoded to wire
+  // bytes; cache off vs on (one worker: on the one-core bench box any
+  // speedup must come from work avoided, not parallelism).
+  const Workload cw = MakeClusteredWorkload(wb, clients);
+  bench::PrintTitle("Wire serving, clustered clients (semantic cache)");
+  std::printf("%-14s %12s %10s %9s\n", "configuration", "queries/s",
+              "speedup", "hit rate");
+
+  double wire_qps[2] = {0.0, 0.0};
+  double hit_rate = 0.0;
+  for (int on = 0; on < 2; ++on) {
+    core::BatchServerOptions options;
+    options.num_threads = 1;
+    options.cache.enabled = on != 0;
+    options.cache.max_entries = 1u << 15;
+    options.cache.max_bytes = 32u << 20;
+    core::BatchServer server(wb.disk.get(), wb.tree->meta(),
+                             wb.dataset.universe, options);
+    wire_qps[on] = WireQps(server, cw);
+    if (on != 0) {
+      const core::BatchPerfStats stats = server.perf_stats();
+      hit_rate = stats.cache.lookups == 0
+                     ? 0.0
+                     : static_cast<double>(stats.cache.hits) /
+                           static_cast<double>(stats.cache.lookups);
+    }
+    std::printf("%-14s %12.0f %9.2fx %8.1f%%\n",
+                on != 0 ? "wire-cache" : "wire-nocache", wire_qps[on],
+                wire_qps[on] / wire_qps[0], on != 0 ? hit_rate * 100.0 : 0.0);
+  }
+
   std::printf(
       "\nBENCH {\"name\":\"throughput\",\"points\":%zu,\"clients\":%zu,"
       "\"serial_seed_qps\":%.0f,\"serial_view_qps\":%.0f,"
       "\"batch1_qps\":%.0f,\"batch2_qps\":%.0f,\"batch4_qps\":%.0f,"
       "\"view_speedup\":%.3f,\"batch4_speedup\":%.3f,"
-      "\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f,\"max_us\":%.1f}\n",
+      "\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f,\"max_us\":%.1f,"
+      "\"wire_nocache_qps\":%.0f,\"wire_cache_qps\":%.0f,"
+      "\"cache_speedup\":%.3f,\"cache_hit_rate\":%.3f}\n",
       n, w.total(), seed_qps, view_qps, batch_qps[0], batch_qps[1],
       batch_qps[2], view_qps / seed_qps, batch_qps[2] / seed_qps,
-      stats4.p50_us, stats4.p95_us, stats4.p99_us, stats4.max_us);
+      stats4.p50_us, stats4.p95_us, stats4.p99_us, stats4.max_us,
+      wire_qps[0], wire_qps[1], wire_qps[1] / wire_qps[0], hit_rate);
   return 0;
 }

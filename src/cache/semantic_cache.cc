@@ -1,0 +1,283 @@
+#include "cache/semantic_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lbsq::cache {
+
+namespace {
+
+// Fixed per-entry overhead charged against the byte budget on top of the
+// dynamic payloads: list node, hash-map slot, and the Entry struct
+// itself. An estimate — the budget bounds memory order-of-magnitude, it
+// is not an allocator audit.
+constexpr size_t kEntryOverhead = sizeof(void*) * 8 + 256;
+
+size_t GeometryCharge(const std::vector<BisectorConstraint>& constraints,
+                      const geo::RectMinusBoxes& window_region,
+                      const geo::DiskRegion& range_region) {
+  return constraints.size() * sizeof(BisectorConstraint) +
+         window_region.holes().size() * sizeof(geo::Rect) +
+         (range_region.inner().size() + range_region.outer().size()) *
+             sizeof(geo::DiskRegion::Disk);
+}
+
+}  // namespace
+
+SemanticCache::SemanticCache(const geo::Rect& universe,
+                             const CacheConfig& config)
+    : universe_(universe),
+      config_(config),
+      grid_(config.grid_resolution > 0 ? config.grid_resolution : 1) {
+  LBSQ_CHECK(!universe.IsEmpty());
+  cells_.resize(grid_ * grid_);
+}
+
+size_t SemanticCache::CellX(double x) const {
+  const double w = universe_.width();
+  if (w <= 0.0) return 0;
+  const double t = (x - universe_.min_x) / w * static_cast<double>(grid_);
+  const auto c = static_cast<long long>(t);
+  if (c < 0) return 0;
+  if (c >= static_cast<long long>(grid_)) return grid_ - 1;
+  return static_cast<size_t>(c);
+}
+
+size_t SemanticCache::CellY(double y) const {
+  const double h = universe_.height();
+  if (h <= 0.0) return 0;
+  const double t = (y - universe_.min_y) / h * static_cast<double>(grid_);
+  const auto c = static_cast<long long>(t);
+  if (c < 0) return 0;
+  if (c >= static_cast<long long>(grid_)) return grid_ - 1;
+  return static_cast<size_t>(c);
+}
+
+bool SemanticCache::Covers(const Entry& entry, const geo::Point& p) {
+  switch (entry.kind) {
+    case Kind::kNn:
+      // Mirror NnValidityResult::IsValidAt exactly: every answer member
+      // must stay at least as close as the rival that would displace it,
+      // and the position must stay inside the universe. Any divergence
+      // here would let the cache serve an answer the client's own check
+      // rejects (an immediate re-query loop), so the arithmetic is kept
+      // identical rather than delegated to the polygon.
+      for (const BisectorConstraint& c : entry.constraints) {
+        if (geo::SquaredDistance(p, c.keep) > geo::SquaredDistance(p, c.rival))
+          return false;
+      }
+      return entry.nn_universe.Contains(p);
+    case Kind::kWindow:
+      return entry.window_region.Contains(p);
+    case Kind::kRange:
+      return entry.range_region.Contains(p);
+  }
+  return false;
+}
+
+bool SemanticCache::Lookup(Kind kind, double a, double b, const geo::Point& p,
+                           std::vector<uint8_t>* out) {
+  ++lookups_;
+  std::vector<uint64_t>& cell = cells_[CellIndex(CellX(p.x), CellY(p.y))];
+  // First covering entry wins: any covering entry is an equally valid
+  // answer for a client at p, so there is nothing to rank.
+  size_t i = 0;
+  while (i < cell.size()) {
+    const auto it = index_.find(cell[i]);
+    LBSQ_DCHECK(it != index_.end());
+    EntryList::iterator entry_it = it->second;
+    if (entry_it->epoch != epoch_) {
+      // Lazy invalidation: drop the stale entry; the swap-erase refilled
+      // slot i, so do not advance.
+      RemoveEntry(entry_it, /*stale=*/true);
+      continue;
+    }
+    if (entry_it->kind == kind && entry_it->param_a == a &&
+        entry_it->param_b == b && Covers(*entry_it, p)) {
+      entries_.splice(entries_.begin(), entries_, entry_it);  // touch
+      ++hits_;
+      hit_bytes_ += entry_it->bytes.size();
+      out->assign(entry_it->bytes.begin(), entry_it->bytes.end());
+      return true;
+    }
+    ++i;
+  }
+  ++misses_;
+  return false;
+}
+
+bool SemanticCache::LookupNn(const geo::Point& p, size_t k,
+                             std::vector<uint8_t>* out) {
+  return Lookup(Kind::kNn, static_cast<double>(k), 0.0, p, out);
+}
+
+bool SemanticCache::LookupWindow(const geo::Point& p, double hx, double hy,
+                                 std::vector<uint8_t>* out) {
+  return Lookup(Kind::kWindow, hx, hy, p, out);
+}
+
+bool SemanticCache::LookupRange(const geo::Point& p, double radius,
+                                std::vector<uint8_t>* out) {
+  return Lookup(Kind::kRange, radius, 0.0, p, out);
+}
+
+void SemanticCache::Insert(Entry entry, const geo::Rect& bounds) {
+  entry.charge = entry.bytes.size() + kEntryOverhead +
+                 GeometryCharge(entry.constraints, entry.window_region,
+                                entry.range_region);
+  const geo::Rect clipped = bounds.Intersection(universe_);
+  if (clipped.IsEmpty() || entry.charge > config_.max_bytes ||
+      config_.max_entries == 0) {
+    ++rejected_;
+    return;
+  }
+  entry.cx0 = CellX(clipped.min_x);
+  entry.cy0 = CellY(clipped.min_y);
+  entry.cx1 = CellX(clipped.max_x);
+  entry.cy1 = CellY(clipped.max_y);
+  entry.charge +=
+      (entry.cx1 - entry.cx0 + 1) * (entry.cy1 - entry.cy0 + 1) *
+      sizeof(uint64_t);
+  if (entry.charge > config_.max_bytes) {
+    ++rejected_;
+    return;
+  }
+  entry.id = next_id_++;
+  entry.epoch = epoch_;
+  bytes_ += entry.charge;
+  entries_.push_front(std::move(entry));
+  index_.emplace(entries_.front().id, entries_.begin());
+  AddToGrid(entries_.front());
+  ++inserts_;
+  EvictOverBudget();
+}
+
+void SemanticCache::InsertNn(size_t k, const geo::Rect& universe,
+                             const geo::Rect& bounds,
+                             std::vector<BisectorConstraint> constraints,
+                             std::vector<uint8_t> bytes) {
+  Entry entry;
+  entry.kind = Kind::kNn;
+  entry.param_a = static_cast<double>(k);
+  entry.nn_universe = universe;
+  entry.constraints = std::move(constraints);
+  entry.bytes = std::move(bytes);
+  Insert(std::move(entry), bounds);
+}
+
+void SemanticCache::InsertWindow(double hx, double hy,
+                                 geo::RectMinusBoxes region,
+                                 std::vector<uint8_t> bytes) {
+  Entry entry;
+  entry.kind = Kind::kWindow;
+  entry.param_a = hx;
+  entry.param_b = hy;
+  const geo::Rect bounds = region.base();
+  entry.window_region = std::move(region);
+  entry.bytes = std::move(bytes);
+  Insert(std::move(entry), bounds);
+}
+
+void SemanticCache::InsertRange(double radius, geo::DiskRegion region,
+                                std::vector<uint8_t> bytes) {
+  Entry entry;
+  entry.kind = Kind::kRange;
+  entry.param_a = radius;
+  const geo::Rect bounds = region.bounds();
+  entry.range_region = std::move(region);
+  entry.bytes = std::move(bytes);
+  Insert(std::move(entry), bounds);
+}
+
+void SemanticCache::AddToGrid(const Entry& entry) {
+  for (size_t cy = entry.cy0; cy <= entry.cy1; ++cy) {
+    for (size_t cx = entry.cx0; cx <= entry.cx1; ++cx) {
+      cells_[CellIndex(cx, cy)].push_back(entry.id);
+    }
+  }
+}
+
+void SemanticCache::RemoveFromGrid(const Entry& entry) {
+  for (size_t cy = entry.cy0; cy <= entry.cy1; ++cy) {
+    for (size_t cx = entry.cx0; cx <= entry.cx1; ++cx) {
+      std::vector<uint64_t>& cell = cells_[CellIndex(cx, cy)];
+      for (size_t i = 0; i < cell.size(); ++i) {
+        if (cell[i] == entry.id) {
+          cell[i] = cell.back();  // swap-erase: cells are unordered
+          cell.pop_back();
+          break;
+        }
+      }
+    }
+  }
+}
+
+void SemanticCache::RemoveEntry(EntryList::iterator it, bool stale) {
+  RemoveFromGrid(*it);
+  LBSQ_DCHECK(bytes_ >= it->charge);
+  bytes_ -= it->charge;
+  index_.erase(it->id);
+  entries_.erase(it);
+  if (stale) {
+    ++stale_drops_;
+  } else {
+    ++evictions_;
+  }
+}
+
+void SemanticCache::EvictOverBudget() {
+  while (!entries_.empty() && (entries_.size() > config_.max_entries ||
+                               bytes_ > config_.max_bytes)) {
+    RemoveEntry(std::prev(entries_.end()), /*stale=*/false);
+  }
+}
+
+void SemanticCache::Invalidate() {
+  ++epoch_;
+  ++invalidations_;
+}
+
+size_t SemanticCache::Scrub() {
+  size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const auto next = std::next(it);
+    if (it->epoch != epoch_) {
+      RemoveEntry(it, /*stale=*/true);
+      ++dropped;
+    }
+    it = next;
+  }
+  return dropped;
+}
+
+void SemanticCache::Clear() {
+  for (std::vector<uint64_t>& cell : cells_) cell.clear();
+  entries_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+CacheStats SemanticCache::stats() const {
+  CacheStats stats;
+  stats.lookups = lookups_;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.inserts = inserts_;
+  stats.evictions = evictions_;
+  stats.invalidations = invalidations_;
+  stats.stale_drops = stale_drops_;
+  stats.rejected = rejected_;
+  stats.hit_bytes = hit_bytes_;
+  stats.entries = entries_.size();
+  stats.bytes = bytes_;
+  return stats;
+}
+
+void SemanticCache::ResetCounters() {
+  lookups_ = hits_ = misses_ = inserts_ = evictions_ = 0;
+  invalidations_ = stale_drops_ = rejected_ = hit_bytes_ = 0;
+}
+
+}  // namespace lbsq::cache

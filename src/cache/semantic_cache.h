@@ -1,0 +1,284 @@
+#ifndef LBSQ_CACHE_SEMANTIC_CACHE_H_
+#define LBSQ_CACHE_SEMANTIC_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/annotations.h"
+#include "geometry/disk_region.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "geometry/region.h"
+
+// Server-side semantic answer cache keyed by validity regions.
+//
+// The paper's central artifact — a validity region V(q) proving the
+// answer is constant for every point inside it — is exactly a cache key:
+// when millions of mobile clients cluster in the same cells, the server
+// can hand the second client in a cell the *already-encoded* wire bytes
+// of the first client's answer without touching the R-tree or the page
+// store at all. This is the server-side dual of the paper's client-side
+// region check (and of the influence-set reuse in INSQ-style moving-kNN
+// serving): the same geometry that saves the wireless link also saves
+// the server's I/O.
+//
+// Design:
+//   * Entries store the completed answer's wire encoding plus the exact
+//     membership test of its validity geometry — the bisector
+//     constraints of a k-NN answer (what NnValidityResult::IsValidAt
+//     evaluates), the inner-rectangle-minus-holes region of a window
+//     answer, the arc-bounded region of a range answer. A hit therefore
+//     serves bytes that the *client's own* validity check accepts at its
+//     position; the cache can never hand out an answer the client would
+//     immediately re-query.
+//   * A uniform grid over the universe maps cells -> candidate entries,
+//     so a lookup is O(cell occupancy) point-in-region tests instead of
+//     a scan (the multi-layer point-in-cell idea of Voronoi-index NN
+//     serving, applied to dynamically discovered cells).
+//   * LRU eviction bounded by entry count and byte budget, same
+//     list-plus-hash-map model as storage::LruBufferPool.
+//   * Epoch-based invalidation: any dataset insert/delete bumps the data
+//     epoch (rtree::RTree::update_epoch, synced by the serving layer via
+//     Invalidate()); stale entries are rejected and dropped lazily on
+//     lookup, and Scrub() purges them eagerly.
+//
+// SemanticCache itself is single-threaded (shared-nothing per worker,
+// like the BatchServer buffer pools); SharedSemanticCache below wraps it
+// in a mutex for the one-cache-per-server configuration.
+
+namespace lbsq::cache {
+
+struct CacheConfig {
+  // Master switch: serving layers skip every cache interaction when
+  // false (the measurement baseline).
+  bool enabled = true;
+  // LRU bounds: maximum live entries and maximum total charged bytes
+  // (wire bytes + geometry payload + index bookkeeping).
+  size_t max_entries = 4096;
+  size_t max_bytes = 4u << 20;
+  // Uniform grid resolution (cells per axis) of the spatial index.
+  size_t grid_resolution = 64;
+  // BatchServer: one mutex-protected cache shared by all workers (higher
+  // hit rate, one lock) instead of shared-nothing per-worker caches.
+  bool shared = false;
+};
+
+// Cumulative counters since construction or ResetCounters(); entries and
+// bytes are the current occupancy at the time stats() was called.
+struct CacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;      // LRU/budget evictions
+  uint64_t invalidations = 0;  // epoch bumps (Invalidate calls)
+  uint64_t stale_drops = 0;    // stale entries dropped (lazily or Scrub)
+  uint64_t rejected = 0;       // inserts refused (oversize / empty region)
+  uint64_t hit_bytes = 0;      // wire bytes served from cache
+  size_t entries = 0;
+  size_t bytes = 0;
+};
+
+// One bisector constraint of a k-NN validity cell: the position is valid
+// while `keep` (an answer member) is at least as close as `rival` (the
+// influence object that would displace it) — the exact per-pair test of
+// NnValidityResult::IsValidAt.
+struct BisectorConstraint {
+  geo::Point keep;
+  geo::Point rival;
+};
+
+class SemanticCache {
+ public:
+  // `universe` is the data space every query point lies in; the grid
+  // covers it. The config is fixed at construction.
+  SemanticCache(const geo::Rect& universe, const CacheConfig& config);
+
+  SemanticCache(const SemanticCache&) = delete;
+  SemanticCache& operator=(const SemanticCache&) = delete;
+
+  // -- Lookup --------------------------------------------------------------
+  // Each lookup finds the most recently used live entry whose query
+  // parameters match exactly and whose validity region contains `p`; on a
+  // hit the entry's wire bytes are copied into *out (cleared first) and
+  // the entry is touched. Returns true on hit.
+  bool LookupNn(const geo::Point& p, size_t k, std::vector<uint8_t>* out);
+  bool LookupWindow(const geo::Point& p, double hx, double hy,
+                    std::vector<uint8_t>* out);
+  bool LookupRange(const geo::Point& p, double radius,
+                   std::vector<uint8_t>* out);
+
+  // -- Insert --------------------------------------------------------------
+  // Registers a completed answer under its validity geometry. `bounds`
+  // must contain the region (entries are indexed by the grid cells the
+  // bounds overlap); `bytes` is the encoded wire answer served verbatim
+  // on a hit. Inserts that could never fit (charge > max_bytes) or whose
+  // bounds are empty are rejected and counted.
+  void InsertNn(size_t k, const geo::Rect& universe, const geo::Rect& bounds,
+                std::vector<BisectorConstraint> constraints,
+                std::vector<uint8_t> bytes);
+  void InsertWindow(double hx, double hy, geo::RectMinusBoxes region,
+                    std::vector<uint8_t> bytes);
+  void InsertRange(double radius, geo::DiskRegion region,
+                   std::vector<uint8_t> bytes);
+
+  // -- Invalidation --------------------------------------------------------
+  // Bumps the cache epoch: every current entry becomes stale and is
+  // rejected (and dropped) by subsequent lookups. The serving layer calls
+  // this when the dataset's update epoch advances (any insert/delete).
+  void Invalidate();
+
+  // Eagerly purges every stale entry; returns how many were dropped.
+  size_t Scrub();
+
+  // Drops everything (entries only; counters and epoch unchanged).
+  void Clear();
+
+  uint64_t epoch() const { return epoch_; }
+  size_t entries() const { return entries_.size(); }
+  size_t bytes() const { return bytes_; }
+  const CacheConfig& config() const { return config_; }
+  const geo::Rect& universe() const { return universe_; }
+
+  CacheStats stats() const;
+  void ResetCounters();
+
+ private:
+  enum class Kind : uint8_t { kNn, kWindow, kRange };
+
+  struct Entry {
+    uint64_t id = 0;
+    uint64_t epoch = 0;
+    Kind kind = Kind::kNn;
+    // Exact-match query parameters: (k, 0) / (hx, hy) / (radius, 0).
+    double param_a = 0.0;
+    double param_b = 0.0;
+    // Grid cell range covered by the region's bounds (inclusive).
+    size_t cx0 = 0, cy0 = 0, cx1 = 0, cy1 = 0;
+    // Validity geometry (one of, by kind).
+    geo::Rect nn_universe;                          // kNn
+    std::vector<BisectorConstraint> constraints;    // kNn
+    geo::RectMinusBoxes window_region;              // kWindow
+    geo::DiskRegion range_region;                   // kRange
+    // The answer: encoded wire bytes, served verbatim.
+    std::vector<uint8_t> bytes;
+    // Byte accounting charge (bytes + geometry + index bookkeeping).
+    size_t charge = 0;
+  };
+  using EntryList = std::list<Entry>;  // front = most recently used
+
+  bool Lookup(Kind kind, double a, double b, const geo::Point& p,
+              std::vector<uint8_t>* out);
+  void Insert(Entry entry, const geo::Rect& bounds);
+  // True when `p` satisfies the entry's validity test.
+  static bool Covers(const Entry& entry, const geo::Point& p);
+  // Registers/unregisters the entry id in every grid cell of its range.
+  void AddToGrid(const Entry& entry);
+  void RemoveFromGrid(const Entry& entry);
+  void RemoveEntry(EntryList::iterator it, bool stale);
+  void EvictOverBudget();
+
+  size_t CellIndex(size_t cx, size_t cy) const { return cy * grid_ + cx; }
+  size_t CellX(double x) const;
+  size_t CellY(double y) const;
+
+  geo::Rect universe_;
+  CacheConfig config_;
+  size_t grid_;  // cells per axis (>= 1)
+  uint64_t epoch_ = 0;
+  uint64_t next_id_ = 0;
+  size_t bytes_ = 0;
+  EntryList entries_;
+  std::unordered_map<uint64_t, EntryList::iterator> index_;
+  std::vector<std::vector<uint64_t>> cells_;  // grid_ * grid_ id lists
+
+  // Counters (see CacheStats).
+  uint64_t lookups_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t inserts_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t invalidations_ = 0;
+  uint64_t stale_drops_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t hit_bytes_ = 0;
+};
+
+// Mutex-protected wrapper for the shared-cache configuration: every
+// operation takes the lock, so any number of BatchServer workers may
+// look up and insert concurrently. The hot path still does only
+// O(cell occupancy) work under the lock.
+class SharedSemanticCache {
+ public:
+  SharedSemanticCache(const geo::Rect& universe, const CacheConfig& config)
+      : cache_(universe, config) {}
+
+  SharedSemanticCache(const SharedSemanticCache&) = delete;
+  SharedSemanticCache& operator=(const SharedSemanticCache&) = delete;
+
+  bool LookupNn(const geo::Point& p, size_t k, std::vector<uint8_t>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.LookupNn(p, k, out);
+  }
+  bool LookupWindow(const geo::Point& p, double hx, double hy,
+                    std::vector<uint8_t>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.LookupWindow(p, hx, hy, out);
+  }
+  bool LookupRange(const geo::Point& p, double radius,
+                   std::vector<uint8_t>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.LookupRange(p, radius, out);
+  }
+
+  void InsertNn(size_t k, const geo::Rect& universe, const geo::Rect& bounds,
+                std::vector<BisectorConstraint> constraints,
+                std::vector<uint8_t> bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.InsertNn(k, universe, bounds, std::move(constraints),
+                    std::move(bytes));
+  }
+  void InsertWindow(double hx, double hy, geo::RectMinusBoxes region,
+                    std::vector<uint8_t> bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.InsertWindow(hx, hy, std::move(region), std::move(bytes));
+  }
+  void InsertRange(double radius, geo::DiskRegion region,
+                   std::vector<uint8_t> bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.InsertRange(radius, std::move(region), std::move(bytes));
+  }
+
+  void Invalidate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.Invalidate();
+  }
+  size_t Scrub() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.Scrub();
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.Clear();
+  }
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.stats();
+  }
+  void ResetCounters() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.ResetCounters();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  SemanticCache cache_ LBSQ_GUARDED_BY(mu_);
+};
+
+}  // namespace lbsq::cache
+
+#endif  // LBSQ_CACHE_SEMANTIC_CACHE_H_

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "core/wire_format.h"
 #include "geometry/rect.h"
 
 namespace lbsq::core {
@@ -23,6 +24,22 @@ double SecondsSince(Clock::time_point start) {
 // neighboring slots). Small enough that load stays balanced even for
 // expensive validity queries.
 constexpr size_t kClaimChunk = 64;
+
+// Folds one cache's counters into the batch-wide aggregate (counters and
+// occupancy both sum across per-worker caches).
+void AccumulateCacheStats(const cache::CacheStats& in, cache::CacheStats* out) {
+  out->lookups += in.lookups;
+  out->hits += in.hits;
+  out->misses += in.misses;
+  out->inserts += in.inserts;
+  out->evictions += in.evictions;
+  out->invalidations += in.invalidations;
+  out->stale_drops += in.stale_drops;
+  out->rejected += in.rejected;
+  out->hit_bytes += in.hit_bytes;
+  out->entries += in.entries;
+  out->bytes += in.bytes;
+}
 
 }  // namespace
 
@@ -46,7 +63,15 @@ BatchServer::BatchServer(storage::PageStore* disk,
     // Drop the accesses made by the attach-time sanity check so the stats
     // reflect query work only.
     worker->tree->buffer().ResetCounters();
+    if (options.cache.enabled && !options.cache.shared) {
+      worker->cache =
+          std::make_unique<cache::SemanticCache>(universe, options.cache);
+    }
     workers_.push_back(std::move(worker));
+  }
+  if (options.cache.enabled && options.cache.shared) {
+    shared_cache_ =
+        std::make_unique<cache::SharedSemanticCache>(universe, options.cache);
   }
   disk_reads_baseline_ = disk_->read_count();
 
@@ -186,6 +211,134 @@ std::vector<StatusOr<RangeValidityResult>> BatchServer::RangeQueryBatchChecked(
   return out;
 }
 
+std::vector<StatusOr<std::vector<uint8_t>>> BatchServer::NnQueryBatchWire(
+    const std::vector<NnQuery>& queries) {
+  std::vector<StatusOr<std::vector<uint8_t>>> out(queries.size());
+  RunBatch(queries.size(), [this, &queries, &out](Worker& w, size_t i) {
+    const NnQuery& query = queries[i];
+    std::vector<uint8_t> bytes;
+    if (w.cache && w.cache->LookupNn(query.q, query.k, &bytes)) {
+      out[i] = std::move(bytes);
+      return;
+    }
+    if (shared_cache_ && shared_cache_->LookupNn(query.q, query.k, &bytes)) {
+      out[i] = std::move(bytes);
+      return;
+    }
+    StatusOr<NnValidityResult> result = ServeChecked<NnValidityResult>(
+        w, [&] { return w.nn_engine->Query(query.q, query.k); });
+    if (!result.ok()) {
+      out[i] = result.status();
+      return;
+    }
+    StatusOr<std::vector<uint8_t>> encoded = wire::EncodeNnResult(*result);
+    if (!encoded.ok()) {
+      out[i] = encoded.status();
+      return;
+    }
+    if (w.cache || shared_cache_) {
+      std::vector<cache::BisectorConstraint> constraints;
+      constraints.reserve(result->influence_pairs().size());
+      for (const InfluencePair& pair : result->influence_pairs()) {
+        constraints.push_back({pair.displaced.point, pair.incoming.point});
+      }
+      const geo::Rect bounds = result->region().BoundingBox();
+      if (w.cache) {
+        w.cache->InsertNn(query.k, result->universe(), bounds,
+                          std::move(constraints), *encoded);
+      } else {
+        shared_cache_->InsertNn(query.k, result->universe(), bounds,
+                                std::move(constraints), *encoded);
+      }
+    }
+    out[i] = std::move(*encoded);
+  });
+  return out;
+}
+
+std::vector<StatusOr<std::vector<uint8_t>>> BatchServer::WindowQueryBatchWire(
+    const std::vector<WindowQuery>& queries) {
+  std::vector<StatusOr<std::vector<uint8_t>>> out(queries.size());
+  RunBatch(queries.size(), [this, &queries, &out](Worker& w, size_t i) {
+    const WindowQuery& query = queries[i];
+    std::vector<uint8_t> bytes;
+    if (w.cache && w.cache->LookupWindow(query.focus, query.hx, query.hy,
+                                         &bytes)) {
+      out[i] = std::move(bytes);
+      return;
+    }
+    if (shared_cache_ && shared_cache_->LookupWindow(query.focus, query.hx,
+                                                     query.hy, &bytes)) {
+      out[i] = std::move(bytes);
+      return;
+    }
+    StatusOr<WindowValidityResult> result =
+        ServeChecked<WindowValidityResult>(w, [&] {
+          return w.window_engine->Query(query.focus, query.hx, query.hy);
+        });
+    if (!result.ok()) {
+      out[i] = result.status();
+      return;
+    }
+    StatusOr<std::vector<uint8_t>> encoded = wire::EncodeWindowResult(*result);
+    if (!encoded.ok()) {
+      out[i] = encoded.status();
+      return;
+    }
+    if (w.cache) {
+      w.cache->InsertWindow(query.hx, query.hy, result->region(), *encoded);
+    } else if (shared_cache_) {
+      shared_cache_->InsertWindow(query.hx, query.hy, result->region(),
+                                  *encoded);
+    }
+    out[i] = std::move(*encoded);
+  });
+  return out;
+}
+
+std::vector<StatusOr<std::vector<uint8_t>>> BatchServer::RangeQueryBatchWire(
+    const std::vector<RangeQuery>& queries) {
+  std::vector<StatusOr<std::vector<uint8_t>>> out(queries.size());
+  RunBatch(queries.size(), [this, &queries, &out](Worker& w, size_t i) {
+    const RangeQuery& query = queries[i];
+    std::vector<uint8_t> bytes;
+    if (w.cache && w.cache->LookupRange(query.focus, query.radius, &bytes)) {
+      out[i] = std::move(bytes);
+      return;
+    }
+    if (shared_cache_ &&
+        shared_cache_->LookupRange(query.focus, query.radius, &bytes)) {
+      out[i] = std::move(bytes);
+      return;
+    }
+    StatusOr<RangeValidityResult> result = ServeChecked<RangeValidityResult>(
+        w, [&] { return w.range_engine->Query(query.focus, query.radius); });
+    if (!result.ok()) {
+      out[i] = result.status();
+      return;
+    }
+    StatusOr<std::vector<uint8_t>> encoded = wire::EncodeRangeResult(*result);
+    if (!encoded.ok()) {
+      out[i] = encoded.status();
+      return;
+    }
+    if (w.cache) {
+      w.cache->InsertRange(query.radius, result->region(), *encoded);
+    } else if (shared_cache_) {
+      shared_cache_->InsertRange(query.radius, result->region(), *encoded);
+    }
+    out[i] = std::move(*encoded);
+  });
+  return out;
+}
+
+void BatchServer::NotifyDataChanged() {
+  if (shared_cache_) shared_cache_->Invalidate();
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    if (worker->cache) worker->cache->Invalidate();
+  }
+}
+
 std::vector<NnValidityResult> BatchServer::NnQueryBatch(
     const std::vector<NnQuery>& queries) {
   std::vector<NnValidityResult> out(queries.size());
@@ -275,6 +428,10 @@ BatchPerfStats BatchServer::perf_stats() const {
     stats.p99_us = Percentile(latencies_us_, 99.0);
     stats.max_us = Percentile(latencies_us_, 100.0);
   }
+  if (shared_cache_) AccumulateCacheStats(shared_cache_->stats(), &stats.cache);
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    if (worker->cache) AccumulateCacheStats(worker->cache->stats(), &stats.cache);
+  }
   return stats;
 }
 
@@ -288,7 +445,9 @@ void BatchServer::ResetPerfStats() {
   for (const std::unique_ptr<Worker>& worker : workers_) {
     worker->tree->buffer().ResetCounters();
     view_fetches_baseline_ += worker->tree->view_fetches();
+    if (worker->cache) worker->cache->ResetCounters();
   }
+  if (shared_cache_) shared_cache_->ResetCounters();
   disk_reads_baseline_ = disk_->read_count();
 }
 

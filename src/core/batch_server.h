@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/semantic_cache.h"
 #include "common/annotations.h"
 #include "common/status.h"
 #include "core/nn_validity.h"
@@ -62,6 +63,13 @@ struct BatchServerOptions {
   size_t max_query_retries = 2;
   // Must match the options the tree in the store was built with.
   rtree::RTree::Options tree_options;
+  // Semantic answer cache for the *QueryBatchWire methods. Disabled by
+  // default (batches of distinct clients see no reuse unless the workload
+  // clusters). With cache.shared == false each worker owns a private
+  // cache (shared-nothing, no lock on the hot path, like the buffer
+  // pools); with cache.shared == true all workers share one
+  // mutex-protected cache (higher hit rate, one lock per lookup/insert).
+  cache::CacheConfig cache = {.enabled = false};
 };
 
 // Cumulative performance counters since construction (or the last
@@ -79,6 +87,9 @@ struct BatchPerfStats {
   double p95_us = 0.0;
   double p99_us = 0.0;
   double max_us = 0.0;
+  // Semantic-cache counters, aggregated across the shared cache or every
+  // per-worker cache (all zero when the cache is disabled).
+  cache::CacheStats cache;
 };
 
 class BatchServer {
@@ -131,6 +142,31 @@ class BatchServer {
   [[nodiscard]] std::vector<StatusOr<RangeValidityResult>> RangeQueryBatchChecked(
       const std::vector<RangeQuery>& queries);
 
+  // Wire-serving batches: result i is the encoded wire answer for query i
+  // (or the Status of the read/encode failure that poisoned it). When the
+  // cache is enabled (options.cache), each query first consults the
+  // worker's cache (or the shared cache): a hit returns the stored bytes
+  // of a previous answer whose validity region contains the query point,
+  // with no engine or page-store work. Queries that miss produce bytes
+  // bit-identical to encoding the *QueryBatchChecked answer.
+  [[nodiscard]] std::vector<StatusOr<std::vector<uint8_t>>> NnQueryBatchWire(
+      const std::vector<NnQuery>& queries);
+  [[nodiscard]] std::vector<StatusOr<std::vector<uint8_t>>>
+  WindowQueryBatchWire(const std::vector<WindowQuery>& queries);
+  [[nodiscard]] std::vector<StatusOr<std::vector<uint8_t>>>
+  RangeQueryBatchWire(const std::vector<RangeQuery>& queries);
+
+  // Tells the server the dataset in the store changed (some other handle
+  // inserted or deleted): every cached answer becomes stale and will be
+  // rejected. Call from the dispatcher thread between batches, like the
+  // batch methods themselves.
+  void NotifyDataChanged();
+
+  bool cache_enabled() const {
+    return shared_cache_ != nullptr ||
+           (!workers_.empty() && workers_[0]->cache != nullptr);
+  }
+
   // Conventional batches without validity computation (the naive-client
   // load). Range results are sorted by object id.
   std::vector<std::vector<rtree::Neighbor>> PlainNnBatch(
@@ -153,6 +189,9 @@ class BatchServer {
     std::unique_ptr<NnValidityEngine> nn_engine;
     std::unique_ptr<WindowValidityEngine> window_engine;
     std::unique_ptr<RangeValidityEngine> range_engine;
+    // Private semantic cache (per-worker configuration only; null when
+    // the cache is disabled or shared).
+    std::unique_ptr<cache::SemanticCache> cache;
     std::vector<double> latencies_us;  // scratch, merged after each batch
   };
 
@@ -178,6 +217,10 @@ class BatchServer {
   size_t max_query_retries_ LBSQ_EXCLUDED(const_after_init);
   std::vector<std::unique_ptr<Worker>> workers_ LBSQ_EXCLUDED(const_after_init);
   std::vector<std::thread> threads_ LBSQ_EXCLUDED(const_after_init);
+  // Shared-cache configuration only (null otherwise). The pointer is
+  // fixed at construction; the object serializes access internally.
+  std::unique_ptr<cache::SharedSemanticCache> shared_cache_
+      LBSQ_EXCLUDED(const_after_init);
 
   // Checked-path counters; relaxed atomics, updated by workers mid-batch
   // and read between batches on the dispatcher thread.

@@ -2,12 +2,17 @@
 #define LBSQ_CORE_SERVER_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
+#include "cache/semantic_cache.h"
 #include "common/status.h"
 #include "core/nn_validity.h"
 #include "core/range_validity.h"
 #include "core/window_validity.h"
+#include "core/wire_format.h"
 #include "geometry/point.h"
 #include "geometry/rect.h"
 #include "rtree/rtree.h"
@@ -25,6 +30,14 @@
 // faults a bounded number of times, and surface anything else as a
 // per-query Status — the process stays up when a page goes bad. The
 // plain variants keep zero overhead for trusted in-memory stores.
+//
+// The *QueryWire variants are the full serving path: they return the
+// encoded wire answer (what actually crosses the wireless link) and,
+// when EnableCache() has installed a semantic answer cache, consult it
+// first — a hit returns the already-encoded bytes of a previous answer
+// whose validity region contains the query point, without touching the
+// engines or the page store. The cache is invalidated automatically
+// whenever the tree's update epoch advances (any insert/delete).
 
 namespace lbsq::core {
 
@@ -95,6 +108,92 @@ class Server {
     return out;
   }
 
+  // -- Wire serving path (optionally cache-backed) --------------------------
+
+  // Installs (or, with config.enabled == false, removes) the semantic
+  // answer cache consulted by the *QueryWire methods. Enabling starts
+  // from an empty cache synced to the tree's current update epoch.
+  void EnableCache(const cache::CacheConfig& config) {
+    cache_.reset();
+    if (config.enabled) {
+      cache_.emplace(universe(), config);
+      cache_data_epoch_ = tree_->update_epoch();
+    }
+  }
+  bool cache_enabled() const { return cache_.has_value(); }
+  cache::CacheStats cache_stats() const {
+    return cache_ ? cache_->stats() : cache::CacheStats{};
+  }
+  // True iff the last successful *QueryWire call was served from the
+  // cache (no engine or page-store work).
+  bool last_wire_from_cache() const { return last_wire_from_cache_; }
+
+  // Full serving path for a k-NN query: returns the encoded wire answer.
+  // On a cache hit the stored bytes of a previous answer whose validity
+  // region contains `q` are returned verbatim; on a miss the checked
+  // engine path runs and the fresh answer is cached under its region.
+  [[nodiscard]] StatusOr<std::vector<uint8_t>> NnQueryWire(const geo::Point& q,
+                                                           size_t k) {
+    SyncCacheEpoch();
+    last_wire_from_cache_ = false;
+    std::vector<uint8_t> bytes;
+    if (cache_ && cache_->LookupNn(q, k, &bytes)) {
+      ++nn_queries_served_;
+      last_wire_from_cache_ = true;
+      return bytes;
+    }
+    StatusOr<NnValidityResult> result = NnQueryChecked(q, k);
+    if (!result.ok()) return result.status();
+    StatusOr<std::vector<uint8_t>> encoded = wire::EncodeNnResult(*result);
+    if (!encoded.ok()) return encoded.status();
+    if (cache_) {
+      std::vector<cache::BisectorConstraint> constraints;
+      constraints.reserve(result->influence_pairs().size());
+      for (const InfluencePair& pair : result->influence_pairs()) {
+        constraints.push_back({pair.displaced.point, pair.incoming.point});
+      }
+      cache_->InsertNn(k, result->universe(), result->region().BoundingBox(),
+                       std::move(constraints), *encoded);
+    }
+    return encoded;
+  }
+
+  [[nodiscard]] StatusOr<std::vector<uint8_t>> WindowQueryWire(
+      const geo::Point& focus, double hx, double hy) {
+    SyncCacheEpoch();
+    last_wire_from_cache_ = false;
+    std::vector<uint8_t> bytes;
+    if (cache_ && cache_->LookupWindow(focus, hx, hy, &bytes)) {
+      ++window_queries_served_;
+      last_wire_from_cache_ = true;
+      return bytes;
+    }
+    StatusOr<WindowValidityResult> result = WindowQueryChecked(focus, hx, hy);
+    if (!result.ok()) return result.status();
+    StatusOr<std::vector<uint8_t>> encoded = wire::EncodeWindowResult(*result);
+    if (!encoded.ok()) return encoded.status();
+    if (cache_) cache_->InsertWindow(hx, hy, result->region(), *encoded);
+    return encoded;
+  }
+
+  [[nodiscard]] StatusOr<std::vector<uint8_t>> RangeQueryWire(
+      const geo::Point& focus, double radius) {
+    SyncCacheEpoch();
+    last_wire_from_cache_ = false;
+    std::vector<uint8_t> bytes;
+    if (cache_ && cache_->LookupRange(focus, radius, &bytes)) {
+      ++range_queries_served_;
+      last_wire_from_cache_ = true;
+      return bytes;
+    }
+    StatusOr<RangeValidityResult> result = RangeQueryChecked(focus, radius);
+    if (!result.ok()) return result.status();
+    StatusOr<std::vector<uint8_t>> encoded = wire::EncodeRangeResult(*result);
+    if (!encoded.ok()) return encoded.status();
+    if (cache_) cache_->InsertRange(radius, result->region(), *encoded);
+    return encoded;
+  }
+
   size_t nn_queries_served() const { return nn_queries_served_; }
   size_t window_queries_served() const { return window_queries_served_; }
   size_t range_queries_served() const { return range_queries_served_; }
@@ -111,6 +210,17 @@ class Server {
   const geo::Rect& universe() const { return nn_engine_.universe(); }
 
  private:
+  // Invalidates the cache when the dataset changed under it: compares the
+  // tree's update epoch with the one the cache was last synced to.
+  void SyncCacheEpoch() {
+    if (!cache_) return;
+    const uint64_t tree_epoch = tree_->update_epoch();
+    if (tree_epoch != cache_data_epoch_) {
+      cache_->Invalidate();
+      cache_data_epoch_ = tree_epoch;
+    }
+  }
+
   template <typename Result, typename Fn>
   StatusOr<Result> RunChecked(const Fn& fn) {
     for (size_t attempt = 0;; ++attempt) {
@@ -140,6 +250,11 @@ class Server {
   size_t query_errors_ = 0;
   size_t query_retries_ = 0;
   size_t max_query_retries_ = 2;
+
+  // Semantic answer cache for the wire path (absent = disabled).
+  std::optional<cache::SemanticCache> cache_;
+  uint64_t cache_data_epoch_ = 0;
+  bool last_wire_from_cache_ = false;
 };
 
 }  // namespace lbsq::core

@@ -166,6 +166,7 @@ void RTree::Insert(const geo::Point& p, ObjectId id) {
   DataEntry entry{p, id};
   InsertAtLevel(ChildEntry{}, entry, /*target_level=*/0);
   ++size_;
+  ++update_epoch_;
 }
 
 void RTree::InsertAtLevel(const ChildEntry& entry, const DataEntry& data_entry,
@@ -391,6 +392,7 @@ void RTree::BulkLoad(std::vector<DataEntry> entries, double fill) {
   LBSQ_CHECK(fill > 0.0 && fill <= 1.0);
   if (entries.empty()) return;
   size_ = entries.size();
+  ++update_epoch_;
 
   const auto leaf_cap = std::max<size_t>(
       1, static_cast<size_t>(fill * options_.leaf_capacity));
@@ -474,6 +476,7 @@ bool RTree::Delete(const geo::Point& p, ObjectId id) {
   }
   LBSQ_CHECK(!underflow);  // the root never reports underflow
   --size_;
+  ++update_epoch_;
 
   // Shrink the root while it is internal with a single child.
   while (root_level_ > 0) {

@@ -118,6 +118,12 @@ class RTree {
   // avoided relative to the legacy FetchNode path) since construction.
   uint64_t view_fetches() const { return view_fetches_; }
 
+  // Dataset update epoch: bumped by every successful Insert, Delete and
+  // BulkLoad on this handle. Serving layers compare it against the epoch
+  // their semantic answer cache was filled under and invalidate the
+  // cache when it advances (cache/semantic_cache.h).
+  uint64_t update_epoch() const { return update_epoch_; }
+
   storage::PageId root() const { return root_; }
   Meta meta() const {
     return Meta{root_, root_level_, size_, num_nodes_};
@@ -217,6 +223,9 @@ class RTree {
 
   // Fetches served through FetchView (see view_fetches()).
   uint64_t view_fetches_ = 0;
+
+  // Successful mutations on this handle (see update_epoch()).
+  uint64_t update_epoch_ = 0;
 };
 
 }  // namespace lbsq::rtree

@@ -48,6 +48,29 @@ std::vector<geo::Point> MakeUniformQueries(const geo::Rect& universe,
   return out;
 }
 
+std::vector<geo::Point> MakeHotspotQueries(const geo::Rect& universe,
+                                           size_t count, size_t hotspots,
+                                           uint64_t seed, double sigma) {
+  LBSQ_CHECK(hotspots > 0);
+  Rng rng(seed);
+  std::vector<geo::Point> centers;
+  centers.reserve(hotspots);
+  for (size_t i = 0; i < hotspots; ++i) {
+    centers.push_back({rng.Uniform(universe.min_x, universe.max_x),
+                       rng.Uniform(universe.min_y, universe.max_y)});
+  }
+  const double scale = universe.width() * sigma;
+  std::vector<geo::Point> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const geo::Point& center = centers[rng.NextBounded(hotspots)];
+    const geo::Point p{center.x + rng.Gaussian() * scale,
+                       center.y + rng.Gaussian() * scale};
+    out.push_back(ClampInto(universe, p));
+  }
+  return out;
+}
+
 std::vector<geo::Point> MakeRandomWaypointTrajectory(const Dataset& dataset,
                                                      size_t steps,
                                                      double step,

@@ -27,6 +27,19 @@ std::vector<geo::Point> MakeDataDistributedQueries(const Dataset& dataset,
 std::vector<geo::Point> MakeUniformQueries(const geo::Rect& universe,
                                            size_t count, uint64_t seed);
 
+// `count` query locations drawn from `hotspots` Gaussian clusters: each
+// location picks a random hotspot (centers sampled uniformly in the
+// universe from the same seed) and offsets it by a Gaussian with standard
+// deviation `sigma` (fraction of universe width), clamped into the
+// universe. Models many mobile clients concentrated in a few city
+// centers — the regime where answers' validity regions are shared
+// between clients and a server-side semantic cache pays off
+// (cache/semantic_cache.h).
+std::vector<geo::Point> MakeHotspotQueries(const geo::Rect& universe,
+                                           size_t count, size_t hotspots,
+                                           uint64_t seed,
+                                           double sigma = 0.01);
+
 // A client trajectory under the random-waypoint mobility model: the
 // client walks in fixed `step` increments toward a waypoint sampled from
 // the data distribution, picking a new waypoint on arrival, for `steps`

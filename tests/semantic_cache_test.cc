@@ -1,0 +1,250 @@
+#include "cache/semantic_cache.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/disk_region.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "geometry/region.h"
+
+// Unit tests of the semantic answer cache in isolation: hit/miss
+// geometry, exact-parameter matching, LRU and byte-budget eviction,
+// epoch invalidation, counters, and the mutex-wrapped shared variant.
+// The serving-path integration (Server / BatchServer) is covered by
+// cache_differential_test.cc and batch_server_test.cc.
+
+namespace lbsq::cache {
+namespace {
+
+const geo::Rect kUnit(0.0, 0.0, 1.0, 1.0);
+
+std::vector<uint8_t> MakeBytes(size_t n, uint8_t fill) {
+  return std::vector<uint8_t>(n, fill);
+}
+
+// A window entry whose validity region is a plain rectangle (no holes).
+void InsertWindowRect(SemanticCache* cache, double hx, double hy,
+                      const geo::Rect& rect, std::vector<uint8_t> bytes) {
+  cache->InsertWindow(hx, hy, geo::RectMinusBoxes(rect, {}),
+                      std::move(bytes));
+}
+
+TEST(SemanticCacheTest, WindowHitMissAndParameterMatch) {
+  SemanticCache cache(kUnit, CacheConfig{});
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(0.2, 0.2, 0.4, 0.4),
+                   MakeBytes(16, 7));
+
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(cache.LookupWindow({0.3, 0.3}, 0.1, 0.1, &out));
+  EXPECT_EQ(out, MakeBytes(16, 7));
+
+  // Outside the region: miss.
+  EXPECT_FALSE(cache.LookupWindow({0.5, 0.5}, 0.1, 0.1, &out));
+  // Same position, different window extents: miss (exact parameter key).
+  EXPECT_FALSE(cache.LookupWindow({0.3, 0.3}, 0.2, 0.1, &out));
+  // Different query kind entirely: miss.
+  EXPECT_FALSE(cache.LookupNn({0.3, 0.3}, 1, &out));
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.lookups, 4u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hit_bytes, 16u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SemanticCacheTest, NnBisectorSemanticsAreClosed) {
+  SemanticCache cache(kUnit, CacheConfig{});
+  // Valid while the answer (0.25, 0.5) stays at least as close as the
+  // rival (0.75, 0.5): the half-plane x <= 0.5.
+  std::vector<BisectorConstraint> constraints{
+      {{0.25, 0.5}, {0.75, 0.5}}};
+  cache.InsertNn(1, kUnit, kUnit, constraints, MakeBytes(8, 1));
+
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(cache.LookupNn({0.1, 0.5}, 1, &out));
+  EXPECT_FALSE(cache.LookupNn({0.9, 0.5}, 1, &out));
+  // Exactly on the bisector: still valid — the cache must mirror the
+  // closed (>) comparison of NnValidityResult::IsValidAt, or it would
+  // serve/withhold answers inconsistently with the client's own check.
+  EXPECT_TRUE(cache.LookupNn({0.5, 0.5}, 1, &out));
+  // Same position, different k: miss.
+  EXPECT_FALSE(cache.LookupNn({0.1, 0.5}, 2, &out));
+}
+
+TEST(SemanticCacheTest, WindowHolesMirrorClosedContainment) {
+  SemanticCache cache(kUnit, CacheConfig{});
+  const geo::Rect base(0.0, 0.0, 0.8, 0.8);
+  const geo::Rect hole(0.3, 0.3, 0.5, 0.5);
+  cache.InsertWindow(0.1, 0.1, geo::RectMinusBoxes(base, {hole}),
+                     MakeBytes(4, 2));
+
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(cache.LookupWindow({0.1, 0.1}, 0.1, 0.1, &out));
+  // Inside the hole's interior: invalid.
+  EXPECT_FALSE(cache.LookupWindow({0.4, 0.4}, 0.1, 0.1, &out));
+  // Exactly on the hole boundary: valid (open hole interiors).
+  EXPECT_TRUE(cache.LookupWindow({0.3, 0.4}, 0.1, 0.1, &out));
+}
+
+TEST(SemanticCacheTest, RangeDiskRegion) {
+  SemanticCache cache(kUnit, CacheConfig{});
+  const geo::Rect bounds(0.3, 0.3, 0.7, 0.7);
+  geo::DiskRegion region(bounds, {{{0.5, 0.5}, 0.2}}, {});
+  cache.InsertRange(0.25, region, MakeBytes(4, 3));
+
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(cache.LookupRange({0.5, 0.5}, 0.25, &out));
+  EXPECT_FALSE(cache.LookupRange({0.69, 0.69}, 0.25, &out));  // outside disk
+  EXPECT_FALSE(cache.LookupRange({0.5, 0.5}, 0.1, &out));     // wrong radius
+}
+
+TEST(SemanticCacheTest, LruEvictsLeastRecentlyUsed) {
+  CacheConfig config;
+  config.max_entries = 2;
+  SemanticCache cache(kUnit, config);
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(0.0, 0.0, 0.2, 0.2),
+                   MakeBytes(4, 1));  // A
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(0.4, 0.4, 0.6, 0.6),
+                   MakeBytes(4, 2));  // B
+
+  // Touch A so B becomes the LRU victim.
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(cache.LookupWindow({0.1, 0.1}, 0.1, 0.1, &out));
+
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(0.8, 0.8, 1.0, 1.0),
+                   MakeBytes(4, 3));  // C evicts B
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.LookupWindow({0.1, 0.1}, 0.1, 0.1, &out));   // A alive
+  EXPECT_FALSE(cache.LookupWindow({0.5, 0.5}, 0.1, 0.1, &out));  // B gone
+  EXPECT_TRUE(cache.LookupWindow({0.9, 0.9}, 0.1, 0.1, &out));   // C alive
+}
+
+TEST(SemanticCacheTest, ByteBudgetBoundsOccupancy) {
+  CacheConfig config;
+  config.max_bytes = 2048;
+  SemanticCache cache(kUnit, config);
+  for (int i = 0; i < 8; ++i) {
+    const double lo = 0.1 * i;
+    InsertWindowRect(&cache, 0.05, 0.05,
+                     geo::Rect(lo, lo, lo + 0.05, lo + 0.05),
+                     MakeBytes(512, static_cast<uint8_t>(i)));
+  }
+  EXPECT_LE(cache.bytes(), config.max_bytes);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_GT(cache.entries(), 0u);
+}
+
+TEST(SemanticCacheTest, OversizeAndEmptyBoundsRejected) {
+  CacheConfig config;
+  config.max_bytes = 1024;
+  SemanticCache cache(kUnit, config);
+  // Could never fit: rejected, nothing evicted.
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(0.2, 0.2, 0.4, 0.4),
+                   MakeBytes(4096, 1));
+  // Empty validity region: rejected.
+  cache.InsertWindow(0.1, 0.1, geo::RectMinusBoxes(), MakeBytes(4, 2));
+  // Region entirely outside the universe: rejected.
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(2.0, 2.0, 3.0, 3.0),
+                   MakeBytes(4, 3));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.stats().rejected, 3u);
+  EXPECT_EQ(cache.stats().inserts, 0u);
+}
+
+TEST(SemanticCacheTest, InvalidateDropsStaleEntriesLazily) {
+  SemanticCache cache(kUnit, CacheConfig{});
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(0.2, 0.2, 0.4, 0.4),
+                   MakeBytes(4, 1));
+  cache.Invalidate();
+
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(cache.LookupWindow({0.3, 0.3}, 0.1, 0.1, &out));
+  EXPECT_EQ(cache.entries(), 0u);  // dropped by the lookup itself
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.stale_drops, 1u);
+
+  // Entries inserted after the bump are live again.
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(0.2, 0.2, 0.4, 0.4),
+                   MakeBytes(4, 2));
+  EXPECT_TRUE(cache.LookupWindow({0.3, 0.3}, 0.1, 0.1, &out));
+  EXPECT_EQ(out, MakeBytes(4, 2));
+}
+
+TEST(SemanticCacheTest, ScrubPurgesEagerly) {
+  SemanticCache cache(kUnit, CacheConfig{});
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(0.0, 0.0, 0.2, 0.2),
+                   MakeBytes(4, 1));
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(0.6, 0.6, 0.8, 0.8),
+                   MakeBytes(4, 2));
+  cache.Invalidate();
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(0.4, 0.4, 0.5, 0.5),
+                   MakeBytes(4, 3));
+
+  EXPECT_EQ(cache.Scrub(), 2u);  // only the pre-bump entries
+  EXPECT_EQ(cache.entries(), 1u);
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(cache.LookupWindow({0.45, 0.45}, 0.1, 0.1, &out));
+}
+
+TEST(SemanticCacheTest, ClearDropsEverything) {
+  SemanticCache cache(kUnit, CacheConfig{});
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(0.2, 0.2, 0.4, 0.4),
+                   MakeBytes(4, 1));
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(cache.LookupWindow({0.3, 0.3}, 0.1, 0.1, &out));
+}
+
+TEST(SemanticCacheTest, MostRecentInsertWinsWithinCell) {
+  SemanticCache cache(kUnit, CacheConfig{});
+  // Two live entries with identical parameters covering the same point:
+  // the lookup may serve either (both are valid answers); it must serve
+  // exactly one and count one hit.
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(0.2, 0.2, 0.4, 0.4),
+                   MakeBytes(4, 1));
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(0.25, 0.25, 0.45, 0.45),
+                   MakeBytes(4, 2));
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(cache.LookupWindow({0.3, 0.3}, 0.1, 0.1, &out));
+  EXPECT_TRUE(out == MakeBytes(4, 1) || out == MakeBytes(4, 2));
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(SemanticCacheTest, SharedWrapperIsUsableConcurrently) {
+  SharedSemanticCache cache(kUnit, CacheConfig{});
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      std::vector<uint8_t> out;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const double lo = 0.1 * (i % 8);
+        cache.InsertWindow(
+            0.05, 0.05,
+            geo::RectMinusBoxes(geo::Rect(lo, lo, lo + 0.05, lo + 0.05), {}),
+            MakeBytes(8, static_cast<uint8_t>(t)));
+        cache.LookupWindow({lo + 0.02, lo + 0.02}, 0.05, 0.05, &out);
+        if (i % 50 == 0) cache.Invalidate();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+}
+
+}  // namespace
+}  // namespace lbsq::cache

@@ -169,5 +169,103 @@ TEST(MobileRangeClientTest, ReportsCacheHitsPerUpdate) {
   EXPECT_EQ(misses, client.server_queries());
 }
 
+// Audit of the round-trip accounting at a validity-region boundary: a
+// server round trip is counted if and only if the move left the region
+// (client-cache miss), with the *exact* boundary position still inside —
+// validity regions are closed, mirroring IsValidAt's strict-> compare.
+// The geometry is hand-constructed so the boundary is known in advance.
+
+TEST(MobileNnClientTest, BoundaryCrossingCountsExactlyOneQuery) {
+  // Two points; the 1-NN validity boundary is their bisector x = 0.5.
+  const std::vector<rtree::DataEntry> data = {{{0.25, 0.5}, 1},
+                                              {{0.75, 0.5}, 2}};
+  TreeFixture fx(data, 16);
+  Server server(fx.tree.get(), kUnit);
+  MobileNnClient client(&server, 1);
+
+  ASSERT_EQ(Ids(client.MoveTo({0.4, 0.5})), (std::vector<rtree::ObjectId>{1}));
+  EXPECT_FALSE(client.last_answer_was_cached());  // first contact
+  ASSERT_EQ(client.server_queries(), 1u);
+
+  // Moves inside the region: served from the client cache, no round trip.
+  client.MoveTo({0.45, 0.5});
+  EXPECT_TRUE(client.last_answer_was_cached());
+  EXPECT_EQ(client.server_queries(), 1u);
+
+  // Exactly on the bisector: equidistant, still valid (closed region).
+  client.MoveTo({0.5, 0.5});
+  EXPECT_TRUE(client.last_answer_was_cached());
+  EXPECT_EQ(client.server_queries(), 1u);
+
+  // One step past the boundary: miss, exactly one more round trip, and
+  // the answer flips to the other point.
+  ASSERT_EQ(Ids(client.MoveTo({0.500001, 0.5})),
+            (std::vector<rtree::ObjectId>{2}));
+  EXPECT_FALSE(client.last_answer_was_cached());
+  EXPECT_EQ(client.server_queries(), 2u);
+
+  // And the fresh region absorbs further moves on the new side.
+  client.MoveTo({0.6, 0.5});
+  EXPECT_TRUE(client.last_answer_was_cached());
+  EXPECT_EQ(client.server_queries(), 2u);
+  EXPECT_EQ(client.server_queries(), server.nn_queries_served());
+}
+
+TEST(MobileWindowClientTest, BoundaryCrossingCountsExactlyOneQuery) {
+  // One target in the middle, decoys far away: for a window with
+  // half-extent 0.1 near the center, the validity region is the target's
+  // Minkowski box [0.4, 0.6]^2.
+  const std::vector<rtree::DataEntry> data = {{{0.5, 0.5}, 1},
+                                              {{0.05, 0.05}, 2},
+                                              {{0.95, 0.95}, 3},
+                                              {{0.05, 0.95}, 4},
+                                              {{0.95, 0.05}, 5}};
+  TreeFixture fx(data, 16);
+  Server server(fx.tree.get(), kUnit);
+  MobileWindowClient client(&server, 0.1, 0.1);
+
+  ASSERT_EQ(Ids(client.MoveTo({0.5, 0.5})), (std::vector<rtree::ObjectId>{1}));
+  ASSERT_EQ(client.server_queries(), 1u);
+
+  // On the region's edge: the target sits exactly on the window border,
+  // still in the result (closed window semantics) — no round trip.
+  client.MoveTo({0.6, 0.5});
+  EXPECT_TRUE(client.last_answer_was_cached());
+  EXPECT_EQ(client.server_queries(), 1u);
+
+  // Just beyond: the target escapes the window; one more round trip and
+  // an empty result.
+  EXPECT_TRUE(client.MoveTo({0.600001, 0.5}).empty());
+  EXPECT_FALSE(client.last_answer_was_cached());
+  EXPECT_EQ(client.server_queries(), 2u);
+  EXPECT_EQ(client.server_queries(), server.window_queries_served());
+}
+
+TEST(MobileRangeClientTest, BoundaryCrossingCountsExactlyOneQuery) {
+  // Same layout; range radius 0.2 around the client. The validity region
+  // near the center is the target's disk D((0.5, 0.5), 0.2).
+  const std::vector<rtree::DataEntry> data = {{{0.5, 0.5}, 1},
+                                              {{0.05, 0.05}, 2},
+                                              {{0.95, 0.95}, 3}};
+  TreeFixture fx(data, 16);
+  Server server(fx.tree.get(), kUnit);
+  MobileRangeClient client(&server, 0.2);
+
+  ASSERT_EQ(Ids(client.MoveTo({0.5, 0.5})), (std::vector<rtree::ObjectId>{1}));
+  ASSERT_EQ(client.server_queries(), 1u);
+
+  // Exactly radius away: the target is exactly on the range circle,
+  // still a member (closed range semantics) — cached.
+  client.MoveTo({0.7, 0.5});
+  EXPECT_TRUE(client.last_answer_was_cached());
+  EXPECT_EQ(client.server_queries(), 1u);
+
+  // Just beyond: miss, one more round trip, empty result.
+  EXPECT_TRUE(client.MoveTo({0.700001, 0.5}).empty());
+  EXPECT_FALSE(client.last_answer_was_cached());
+  EXPECT_EQ(client.server_queries(), 2u);
+  EXPECT_EQ(client.server_queries(), server.range_queries_served());
+}
+
 }  // namespace
 }  // namespace lbsq::core

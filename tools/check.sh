@@ -8,7 +8,8 @@
 #   werror  -Wall -Wextra -Wshadow -Werror build (warnings are errors;
 #           catches dropped [[nodiscard]] Status/StatusOr results)
 #   asan    ASan+UBSan build + full ctest suite
-#   tsan    TSan build + the threaded suites (BatchServer, fault
+#   tsan    TSan build + the threaded suites (BatchServer incl. the
+#           cache-enabled wire batches, the shared semantic cache, fault
 #           injection) — the rest are single-threaded and add nothing
 #
 # Build directories are reused across runs (build/, build-werror/,
@@ -66,9 +67,10 @@ stage_asan() {
 stage_tsan() {
   cmake -S "$ROOT" -B "$ROOT/build-tsan" -DLBSQ_SANITIZE=thread >/dev/null &&
     cmake --build "$ROOT/build-tsan" --target batch_server_test \
-      fault_injection_test -j "$JOBS" &&
+      fault_injection_test semantic_cache_test -j "$JOBS" &&
     "$ROOT/build-tsan/tests/batch_server_test" &&
-    "$ROOT/build-tsan/tests/fault_injection_test"
+    "$ROOT/build-tsan/tests/fault_injection_test" &&
+    "$ROOT/build-tsan/tests/semantic_cache_test"
 }
 
 for s in "${STAGES[@]}"; do
