@@ -3,8 +3,16 @@
 // that the validity region adds only the influence set (~6 objects) to
 // each answer while eliminating most round trips; [SR01] ships m objects
 // per query; the naive strategy ships a tiny answer at every update.
+//
+// Byte counts are *measured*: every answer a strategy ships is actually
+// encoded (EncodePlainNnAnswer / EncodeSr01Answer / EncodeNnResult) and
+// the buffer sizes summed. For naive and [SR01] the analytical formulas
+// (PlainNnAnswerBytes / Sr01AnswerBytes) are reconciled against the
+// measured totals — a drift of even one byte fails the run, so the
+// formulas quoted in DESIGN.md cannot silently diverge from the wire.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "baselines/sr01.h"
 #include "bench/bench_util.h"
@@ -15,6 +23,20 @@
 namespace {
 
 using namespace lbsq;
+
+int reconcile_failures = 0;
+
+// Prints one strategy row and checks measured == analytical (both totals
+// are sums over the same per-query answers, so equality is exact).
+void PrintReconciled(const char* label, size_t queries, size_t measured,
+                     size_t analytical, size_t updates) {
+  const long long drift = static_cast<long long>(measured) -
+                          static_cast<long long>(analytical);
+  std::printf("%-18s %10zu %14zu %14.1f %14zu %+6lld\n", label, queries,
+              measured, static_cast<double>(measured) / updates, analytical,
+              drift);
+  if (drift != 0) ++reconcile_failures;
+}
 
 }  // namespace
 
@@ -28,36 +50,51 @@ int main() {
   bench::PrintTitle(
       "Network cost: bytes shipped per strategy (continuous 1-NN)");
   std::printf("dataset: %zu points, %zu updates\n\n", n, updates);
-  std::printf("%-18s %10s %14s %14s\n", "strategy", "queries", "total bytes",
-              "bytes/update");
+  std::printf("%-18s %10s %14s %14s %14s %6s\n", "strategy", "queries",
+              "measured B", "bytes/update", "analytical", "drift");
 
-  // Naive: a plain 1-NN answer at every update.
+  // Naive: a plain 1-NN answer at every update, each actually encoded.
   {
     bench::Workbench wb = bench::MakeBench(dataset, 0.1);
     core::Server server(wb.tree.get(), dataset.universe);
     core::MobileNnClient client(&server, 1,
                                 core::MobileNnClient::Mode::kAlwaysQuery);
-    for (const geo::Point& p : trajectory) client.MoveTo(p);
-    const size_t bytes =
+    size_t measured = 0;
+    for (const geo::Point& p : trajectory) {
+      measured += core::wire::EncodePlainNnAnswer(client.MoveTo(p)).size();
+    }
+    const size_t analytical =
         client.server_queries() * core::wire::PlainNnAnswerBytes(1);
-    std::printf("%-18s %10zu %14zu %14.1f\n", "naive", client.server_queries(),
-                bytes, static_cast<double>(bytes) / updates);
+    PrintReconciled("naive", client.server_queries(), measured, analytical,
+                    updates);
   }
 
-  // SR01 with a sweep of m.
+  // SR01 with a sweep of m: the wire ships the m cached neighbors plus
+  // the two distances of the validity test whenever the server is asked.
   for (size_t m : {4u, 8u, 16u}) {
     bench::Workbench wb = bench::MakeBench(dataset, 0.1);
     baselines::Sr01Client client(wb.tree.get(), 1, m);
-    for (const geo::Point& p : trajectory) client.MoveTo(p);
-    const size_t bytes =
+    size_t measured = 0;
+    size_t seen_queries = 0;
+    for (const geo::Point& p : trajectory) {
+      client.MoveTo(p);
+      if (client.server_queries() != seen_queries) {
+        seen_queries = client.server_queries();
+        measured +=
+            core::wire::EncodeSr01Answer(client.cached_neighbors(), 1).size();
+      }
+    }
+    const size_t analytical =
         client.server_queries() * core::wire::Sr01AnswerBytes(m);
     char label[32];
     std::snprintf(label, sizeof(label), "sr01 (m=%zu)", m);
-    std::printf("%-18s %10zu %14zu %14.1f\n", label, client.server_queries(),
-                bytes, static_cast<double>(bytes) / updates);
+    PrintReconciled(label, client.server_queries(), measured, analytical,
+                    updates);
   }
 
   // Validity regions: the encoded answer including the influence set.
+  // Answer sizes vary with the influence set, so there is no closed-form
+  // analytical total — the measured column is the only truth here.
   auto run_validity = [&](size_t k, const char* label) {
     bench::Workbench wb = bench::MakeBench(dataset, 0.1);
     core::Server server(wb.tree.get(), dataset.universe);
@@ -69,9 +106,9 @@ int main() {
         bytes += core::wire::EncodeNnResult(client.last_result()).value().size();
       }
     }
-    std::printf("%-18s %10zu %14zu %14.1f\n", label,
+    std::printf("%-18s %10zu %14zu %14.1f %14s %6s\n", label,
                 client.server_queries(), bytes,
-                static_cast<double>(bytes) / updates);
+                static_cast<double>(bytes) / updates, "-", "-");
   };
   run_validity(1, "validity region");
 
@@ -83,13 +120,24 @@ int main() {
     core::Server server(wb.tree.get(), dataset.universe);
     core::MobileNnClient client(&server, 4,
                                 core::MobileNnClient::Mode::kAlwaysQuery);
-    for (const geo::Point& p : trajectory) client.MoveTo(p);
-    const size_t bytes =
+    size_t measured = 0;
+    for (const geo::Point& p : trajectory) {
+      measured += core::wire::EncodePlainNnAnswer(client.MoveTo(p)).size();
+    }
+    const size_t analytical =
         client.server_queries() * core::wire::PlainNnAnswerBytes(4);
-    std::printf("%-18s %10zu %14zu %14.1f\n", "naive",
-                client.server_queries(), bytes,
-                static_cast<double>(bytes) / updates);
+    PrintReconciled("naive", client.server_queries(), measured, analytical,
+                    updates);
   }
   run_validity(4, "validity region");
+
+  if (reconcile_failures != 0) {
+    std::printf("\nRECONCILE FAILED: %d strategy rows drifted from their "
+                "analytical size formulas\n",
+                reconcile_failures);
+    return 1;
+  }
+  std::printf("\nreconcile ok: measured wire bytes match the analytical "
+              "formulas exactly\n");
   return 0;
 }

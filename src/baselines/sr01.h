@@ -32,6 +32,12 @@ class Sr01Client {
   size_t server_queries() const { return server_queries_; }
   size_t cached_answers() const { return cached_answers_; }
 
+  // The server's last m-neighbor answer — what [SR01] actually ships per
+  // query. bench/netcost.cc encodes it to measure real wire bytes.
+  const std::vector<rtree::Neighbor>& cached_neighbors() const {
+    return cache_;
+  }
+
  private:
   bool CacheCovers(const geo::Point& p) const;
 

@@ -309,4 +309,24 @@ size_t Sr01AnswerBytes(size_t m) {
   return VarCountBytes(m) + m * kEntryBytes + 2 * sizeof(double);
 }
 
+std::vector<uint8_t> EncodePlainNnAnswer(
+    const std::vector<rtree::Neighbor>& answers) {
+  ByteWriter writer;
+  writer.AppendVarCount(static_cast<uint32_t>(answers.size()));
+  for (const rtree::Neighbor& n : answers) AppendEntry(&writer, n.entry);
+  return writer.Take();
+}
+
+std::vector<uint8_t> EncodeSr01Answer(
+    const std::vector<rtree::Neighbor>& neighbors, size_t k) {
+  ByteWriter writer;
+  writer.AppendVarCount(static_cast<uint32_t>(neighbors.size()));
+  for (const rtree::Neighbor& n : neighbors) AppendEntry(&writer, n.entry);
+  // The two distances of the [SR01] validity test: dist_k and dist_m.
+  const size_t bound = std::min(k, neighbors.size());
+  writer.Append(bound == 0 ? 0.0 : neighbors[bound - 1].distance);
+  writer.Append(neighbors.empty() ? 0.0 : neighbors.back().distance);
+  return writer.Take();
+}
+
 }  // namespace lbsq::core::wire

@@ -61,6 +61,16 @@ size_t PlainWindowAnswerBytes(size_t result_size);
 // them to re-rank locally) plus the two distances of the validity test.
 size_t Sr01AnswerBytes(size_t m);
 
+// Actual encodings of the conventional answers, with the same framing
+// the size formulas above describe. bench/netcost.cc encodes the real
+// answers a run produces and reconciles the measured buffer sizes
+// against the formulas — a formula that drifts from its encoder would
+// silently skew the paper's transmission-cost comparison.
+[[nodiscard]] std::vector<uint8_t> EncodePlainNnAnswer(
+    const std::vector<rtree::Neighbor>& answers);
+[[nodiscard]] std::vector<uint8_t> EncodeSr01Answer(
+    const std::vector<rtree::Neighbor>& neighbors, size_t k);
+
 }  // namespace lbsq::core::wire
 
 #endif  // LBSQ_CORE_WIRE_FORMAT_H_

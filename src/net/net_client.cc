@@ -1,0 +1,188 @@
+#include "net/net_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lbsq::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Unavailable(std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+}  // namespace
+
+Status NetClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Errno("socket");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = Errno("connect");
+    Close();
+    return status;
+  }
+  const int one = 1;
+  (void)setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  next_request_id_ = 1;
+  decoder_ = FrameDecoder();
+  return Status::Ok();
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<uint32_t> NetClient::SendRequest(FrameType type,
+                                          const std::vector<uint8_t>& payload) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  const uint32_t id = next_request_id_++;
+  std::vector<uint8_t> frame = EncodeFrame(type, id, payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Errno("send");
+      Close();
+      return status;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return id;
+}
+
+StatusOr<uint32_t> NetClient::SendNn(const geo::Point& q, uint32_t k) {
+  return SendRequest(FrameType::kNnRequest, EncodeNnRequest({q, k}));
+}
+
+StatusOr<uint32_t> NetClient::SendWindow(const geo::Point& focus, double hx,
+                                         double hy) {
+  return SendRequest(FrameType::kWindowRequest,
+                     EncodeWindowRequest({focus, hx, hy}));
+}
+
+StatusOr<uint32_t> NetClient::SendRange(const geo::Point& focus,
+                                        double radius) {
+  return SendRequest(FrameType::kRangeRequest,
+                     EncodeRangeRequest({focus, radius}));
+}
+
+StatusOr<uint32_t> NetClient::SendPing(const std::vector<uint8_t>& payload) {
+  return SendRequest(FrameType::kPing, payload);
+}
+
+StatusOr<uint32_t> NetClient::SendInfoRequest() {
+  return SendRequest(FrameType::kInfoRequest, {});
+}
+
+StatusOr<NetClient::Reply> NetClient::Receive() {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  Frame frame;
+  for (;;) {
+    const FrameDecoder::Result result = decoder_.Next(&frame);
+    if (result == FrameDecoder::Result::kFrame) break;
+    if (result == FrameDecoder::Result::kError) {
+      const Status status = decoder_.error();
+      Close();
+      return status;
+    }
+    uint8_t chunk[16 << 10];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      decoder_.Feed(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const Status status = n == 0
+                              ? Status::Unavailable("server closed connection")
+                              : Errno("recv");
+    Close();
+    return status;
+  }
+  Reply reply;
+  reply.request_id = frame.request_id;
+  reply.type = frame.type;
+  reply.payload = std::move(frame.payload);
+  if (reply.type == FrameType::kError) {
+    reply.error = DecodeErrorPayload(reply.payload);
+  }
+  return reply;
+}
+
+StatusOr<std::vector<uint8_t>> NetClient::ReceiveAnswer() {
+  StatusOr<Reply> reply = Receive();
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kError) return reply->error;
+  if (reply->type != FrameType::kAnswer) {
+    return Status::InvalidArgument("unexpected reply frame type");
+  }
+  return std::move(reply->payload);
+}
+
+StatusOr<std::vector<uint8_t>> NetClient::NnQueryWire(const geo::Point& q,
+                                                      uint32_t k) {
+  StatusOr<uint32_t> id = SendNn(q, k);
+  if (!id.ok()) return id.status();
+  return ReceiveAnswer();
+}
+
+StatusOr<std::vector<uint8_t>> NetClient::WindowQueryWire(
+    const geo::Point& focus, double hx, double hy) {
+  StatusOr<uint32_t> id = SendWindow(focus, hx, hy);
+  if (!id.ok()) return id.status();
+  return ReceiveAnswer();
+}
+
+StatusOr<std::vector<uint8_t>> NetClient::RangeQueryWire(
+    const geo::Point& focus, double radius) {
+  StatusOr<uint32_t> id = SendRange(focus, radius);
+  if (!id.ok()) return id.status();
+  return ReceiveAnswer();
+}
+
+Status NetClient::Ping() {
+  const std::vector<uint8_t> payload = {'p', 'i', 'n', 'g'};
+  StatusOr<uint32_t> id = SendPing(payload);
+  if (!id.ok()) return id.status();
+  StatusOr<Reply> reply = Receive();
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kError) return reply->error;
+  if (reply->type != FrameType::kPong || reply->payload != payload) {
+    return Status::InvalidArgument("malformed pong");
+  }
+  return Status::Ok();
+}
+
+StatusOr<ServerInfo> NetClient::Info() {
+  StatusOr<uint32_t> id = SendInfoRequest();
+  if (!id.ok()) return id.status();
+  StatusOr<Reply> reply = Receive();
+  if (!reply.ok()) return reply.status();
+  if (reply->type == FrameType::kError) return reply->error;
+  if (reply->type != FrameType::kInfo) {
+    return Status::InvalidArgument("unexpected reply frame type");
+  }
+  return DecodeServerInfo(reply->payload);
+}
+
+}  // namespace lbsq::net

@@ -1,0 +1,92 @@
+#ifndef LBSQ_NET_NET_CLIENT_H_
+#define LBSQ_NET_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+#include "net/frame.h"
+
+// Blocking client for the framed protocol — the mobile-device side of
+// the link. Two usage styles:
+//
+//   * one-shot: NnQueryWire/WindowQueryWire/RangeQueryWire send one
+//     request and block for its answer bytes (exactly what the
+//     in-process Server::*QueryWire would have returned);
+//   * pipelined: issue many Send*() calls back to back, then drain the
+//     replies with Receive() — the server answers in request order per
+//     connection, so request ids line up FIFO. Pipelining is what makes
+//     a single connection saturate the link despite round-trip latency.
+//
+// Not thread-safe; one NetClient per thread (or per simulated client).
+
+namespace lbsq::net {
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient() { Close(); }
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  // Numeric IPv4 addresses plus the literal "localhost".
+  [[nodiscard]] Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // -- Pipelined interface ---------------------------------------------------
+
+  // Each Send* writes one request frame and returns its request id.
+  [[nodiscard]] StatusOr<uint32_t> SendNn(const geo::Point& q, uint32_t k);
+  [[nodiscard]] StatusOr<uint32_t> SendWindow(const geo::Point& focus,
+                                              double hx, double hy);
+  [[nodiscard]] StatusOr<uint32_t> SendRange(const geo::Point& focus,
+                                             double radius);
+  [[nodiscard]] StatusOr<uint32_t> SendPing(
+      const std::vector<uint8_t>& payload);
+  [[nodiscard]] StatusOr<uint32_t> SendInfoRequest();
+
+  struct Reply {
+    uint32_t request_id = 0;
+    FrameType type = FrameType::kError;
+    // Decoded from the payload when type == kError; OK otherwise.
+    Status error;
+    std::vector<uint8_t> payload;
+  };
+
+  // Blocks for the next reply frame. A per-request failure is an OK
+  // StatusOr whose Reply has type kError and a non-OK `error` field;
+  // a transport or framing failure is a non-OK StatusOr (and the
+  // connection is no longer usable).
+  [[nodiscard]] StatusOr<Reply> Receive();
+
+  // -- One-shot conveniences -------------------------------------------------
+
+  // Send one request and block for its answer bytes; a kError reply
+  // comes back as its decoded Status.
+  [[nodiscard]] StatusOr<std::vector<uint8_t>> NnQueryWire(const geo::Point& q,
+                                                           uint32_t k);
+  [[nodiscard]] StatusOr<std::vector<uint8_t>> WindowQueryWire(
+      const geo::Point& focus, double hx, double hy);
+  [[nodiscard]] StatusOr<std::vector<uint8_t>> RangeQueryWire(
+      const geo::Point& focus, double radius);
+  [[nodiscard]] Status Ping();
+  [[nodiscard]] StatusOr<ServerInfo> Info();
+
+ private:
+  [[nodiscard]] StatusOr<uint32_t> SendRequest(
+      FrameType type, const std::vector<uint8_t>& payload);
+  // Waits for a reply and unwraps kAnswer payload bytes.
+  [[nodiscard]] StatusOr<std::vector<uint8_t>> ReceiveAnswer();
+
+  int fd_ = -1;
+  uint32_t next_request_id_ = 1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace lbsq::net
+
+#endif  // LBSQ_NET_NET_CLIENT_H_

@@ -1,0 +1,116 @@
+#include "net/net_server.h"
+
+#include <utility>
+#include <vector>
+
+namespace lbsq::net {
+
+void NetServer::SendError(ReplySink* reply, uint32_t request_id,
+                          const Status& status, bool bad_request) {
+  if (bad_request) {
+    ++loop_.mutable_stats()->bad_requests;
+  } else {
+    ++loop_.mutable_stats()->query_errors;
+  }
+  reply->Send(FrameType::kError, request_id, EncodeErrorPayload(status));
+}
+
+void NetServer::SendAnswer(ReplySink* reply, uint32_t request_id,
+                           StatusOr<std::vector<uint8_t>> answer) {
+  if (!answer.ok()) {
+    SendError(reply, request_id, answer.status(), /*bad_request=*/false);
+    return;
+  }
+  if (answer->size() > kMaxPayloadBytes) {
+    // A well-formed query whose answer cannot cross the link in one
+    // frame (a range query covering most of a huge dataset). Refusing
+    // beats producing a frame no conforming decoder would accept.
+    SendError(reply, request_id,
+              Status::InvalidArgument("answer exceeds frame payload cap"),
+              /*bad_request=*/false);
+    return;
+  }
+  reply->Send(FrameType::kAnswer, request_id, *answer);
+}
+
+void NetServer::OnFrame(uint64_t connection_id, const Frame& frame,
+                        ReplySink* reply) {
+  (void)connection_id;
+  const geo::Rect& universe = server_->universe();
+  switch (frame.type) {
+    case FrameType::kPing:
+      reply->Send(FrameType::kPong, frame.request_id, frame.payload);
+      return;
+
+    case FrameType::kInfoRequest: {
+      ServerInfo info;
+      info.universe = universe;
+      info.points = dataset_size_;
+      info.cache_enabled = server_->cache_enabled();
+      reply->Send(FrameType::kInfo, frame.request_id, EncodeServerInfo(info));
+      return;
+    }
+
+    case FrameType::kNnRequest: {
+      StatusOr<NnRequest> req = DecodeNnRequest(frame.payload);
+      if (!req.ok()) {
+        SendError(reply, frame.request_id, req.status(), /*bad_request=*/true);
+        return;
+      }
+      if (!universe.Contains(req->q)) {
+        SendError(reply, frame.request_id,
+                  Status::InvalidArgument("query point outside universe"),
+                  /*bad_request=*/true);
+        return;
+      }
+      SendAnswer(reply, frame.request_id,
+                 server_->NnQueryWire(req->q, req->k));
+      return;
+    }
+
+    case FrameType::kWindowRequest: {
+      StatusOr<WindowRequest> req = DecodeWindowRequest(frame.payload);
+      if (!req.ok()) {
+        SendError(reply, frame.request_id, req.status(), /*bad_request=*/true);
+        return;
+      }
+      if (!universe.Contains(req->focus)) {
+        SendError(reply, frame.request_id,
+                  Status::InvalidArgument("window focus outside universe"),
+                  /*bad_request=*/true);
+        return;
+      }
+      SendAnswer(reply, frame.request_id,
+                 server_->WindowQueryWire(req->focus, req->hx, req->hy));
+      return;
+    }
+
+    case FrameType::kRangeRequest: {
+      StatusOr<RangeRequest> req = DecodeRangeRequest(frame.payload);
+      if (!req.ok()) {
+        SendError(reply, frame.request_id, req.status(), /*bad_request=*/true);
+        return;
+      }
+      if (!universe.Contains(req->focus)) {
+        SendError(reply, frame.request_id,
+                  Status::InvalidArgument("range focus outside universe"),
+                  /*bad_request=*/true);
+        return;
+      }
+      SendAnswer(reply, frame.request_id,
+                 server_->RangeQueryWire(req->focus, req->radius));
+      return;
+    }
+
+    case FrameType::kAnswer:
+    case FrameType::kPong:
+    case FrameType::kInfo:
+    case FrameType::kError:
+      break;  // reply types are not valid requests
+  }
+  SendError(reply, frame.request_id,
+            Status::InvalidArgument("unknown or non-request frame type"),
+            /*bad_request=*/true);
+}
+
+}  // namespace lbsq::net

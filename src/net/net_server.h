@@ -1,0 +1,64 @@
+#ifndef LBSQ_NET_NET_SERVER_H_
+#define LBSQ_NET_NET_SERVER_H_
+
+#include <cstdint>
+
+#include "core/server.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/net_stats.h"
+
+// The serving edge: an EventLoop whose frame handler routes request
+// frames to core::Server's wire path. Answers are the *QueryWire bytes
+// framed verbatim — on a semantic-cache hit the already-encoded bytes of
+// a previous answer go straight into the socket.
+//
+// Request validation happens in two tiers before any engine runs:
+// the frame codec rejects malformed payloads and out-of-domain
+// parameters (net/frame.h), and the server rejects queries outside its
+// universe — the engines LBSQ_CHECK those preconditions, so a hostile
+// request must never reach them. Either rejection is a per-request
+// Error frame; the connection lives on.
+//
+// Single-threaded by design (see event_loop.h); run Run() on a
+// dedicated thread and use RequestStop()/RequestDrain() from others.
+
+namespace lbsq::net {
+
+class NetServer : private FrameHandler {
+ public:
+  // `dataset_size` is advisory (reported in Info replies); core::Server
+  // does not expose the tree's cardinality.
+  NetServer(core::Server* server, const NetOptions& options,
+            uint64_t dataset_size = 0)
+      : server_(server), loop_(this, options), dataset_size_(dataset_size) {}
+
+  [[nodiscard]] Status Listen() { return loop_.Listen(); }
+  uint16_t port() const { return loop_.port(); }
+
+  uint64_t Run() { return loop_.Run(); }
+  void RequestStop() { loop_.RequestStop(); }
+  void RequestDrain() { loop_.RequestDrain(); }
+
+  // Valid only after Run() has returned (see event_loop.h).
+  const NetStats& stats() const { return loop_.stats(); }
+
+ private:
+  void OnFrame(uint64_t connection_id, const Frame& frame,
+               ReplySink* reply) override;
+
+  void SendError(ReplySink* reply, uint32_t request_id, const Status& status,
+                 bool bad_request);
+  // Frames an OK answer, or converts an engine/oversize failure into an
+  // Error frame.
+  void SendAnswer(ReplySink* reply, uint32_t request_id,
+                  StatusOr<std::vector<uint8_t>> answer);
+
+  core::Server* server_;
+  EventLoop loop_;
+  uint64_t dataset_size_;
+};
+
+}  // namespace lbsq::net
+
+#endif  // LBSQ_NET_NET_SERVER_H_

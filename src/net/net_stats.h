@@ -1,0 +1,40 @@
+#ifndef LBSQ_NET_NET_STATS_H_
+#define LBSQ_NET_NET_STATS_H_
+
+#include <cstdint>
+
+// Per-event-loop counters. The loop is single-threaded and owns these
+// exclusively while Run() is executing; read them only after Run()
+// returns (the loop thread has been joined), so no synchronization is
+// needed — and no mutex, so the guarded-by lint rule does not apply.
+
+namespace lbsq::net {
+
+struct NetStats {
+  // Connection lifecycle. Every accepted connection ends as exactly one
+  // of clean_closes or drops: accepts == clean_closes + drops once the
+  // loop has returned.
+  uint64_t accepts = 0;        // connections accepted
+  uint64_t refused = 0;        // accepted then closed: at max_connections
+  uint64_t clean_closes = 0;   // peer EOF on a frame boundary, nothing owed
+  uint64_t drops = 0;          // server-initiated close for cause
+
+  // Causes (each also counts as a drop).
+  uint64_t idle_timeouts = 0;           // no bytes for idle_timeout_ms
+  uint64_t partial_frame_timeouts = 0;  // frame left unfinished too long
+  uint64_t protocol_errors = 0;         // framing poisoned (magic/version/cap)
+
+  // Per-request errors (the connection survives these).
+  uint64_t bad_requests = 0;   // well-framed but undecodable/out-of-domain
+  uint64_t query_errors = 0;   // engine/storage returned a non-OK status
+
+  // Volume.
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+}  // namespace lbsq::net
+
+#endif  // LBSQ_NET_NET_STATS_H_

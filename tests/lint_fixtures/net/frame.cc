@@ -1,0 +1,14 @@
+// Path-hardwired fixture: any file ending in net/frame.cc is a hostile-
+// input decode surface (no pragma needed). Not compiled — only lexed.
+bool DecodeFrame(ByteReader* reader) {
+  LBSQ_CHECK(reader != nullptr);
+  int v = reader->Read<int>();
+  return v > 0;
+}
+Result Next(Frame* out) {
+  if (out == nullptr) abort();
+  return kFrame;
+}
+void Helper() {
+  LBSQ_CHECK(true);
+}

@@ -127,6 +127,21 @@ TEST(LintTest, EveryRuleFiresAtTheSeededLine) {
   EXPECT_EQ(FindingKeys(r.output), expected) << r.output;
 }
 
+// The frame codec of the TCP serving layer is a decode surface hardwired
+// by path — no `// lint: surface(decode)` pragma in the file. The rule
+// must fire inside functions matching the surface patterns (Decode*,
+// Next, Feed, Read*, Try*) and stay quiet elsewhere (Helper, line 13).
+TEST(LintTest, NetFramePathIsHardwiredDecodeSurface) {
+  const RunResult r = RunLint(Fixture("net/frame.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  const std::set<std::string> expected = {
+      Fixture("net/frame.cc") + ":4: check-in-decode-surface",
+      Fixture("net/frame.cc") + ":5: check-in-decode-surface",
+      Fixture("net/frame.cc") + ":9: check-in-decode-surface",
+  };
+  EXPECT_EQ(FindingKeys(r.output), expected) << r.output;
+}
+
 TEST(LintTest, MissingFileFailsLoudly) {
   const RunResult r = RunLint(Fixture("does_not_exist.cc"));
   EXPECT_EQ(r.exit_code, 1);

@@ -9,7 +9,9 @@
 //   * random bit/byte flips of valid messages,
 //   * count inflation: a varint count field rewritten to a huge value.
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -21,6 +23,7 @@
 #include "core/range_validity.h"
 #include "core/window_validity.h"
 #include "core/wire_format.h"
+#include "net/frame.h"
 #include "tests/test_util.h"
 #include "workload/datasets.h"
 
@@ -207,3 +210,201 @@ TEST(WireFuzzTest, EncodeDecodeEncodeIsFixedPoint) {
 
 }  // namespace
 }  // namespace lbsq::core::wire
+
+// -- Frame-level fuzzing (net/frame.h) ---------------------------------------
+//
+// The TCP framing tier faces the rawest input of all: arbitrary bytes
+// off a socket, split across reads at arbitrary boundaries. For any
+// input the FrameDecoder must return frames, kNeedMore, or a latched
+// error — never abort, crash, or allocate proportionally to a hostile
+// length field. Under ASan this doubles as a memory-safety sweep.
+
+namespace lbsq::net {
+namespace {
+
+struct DrainResult {
+  std::vector<Frame> frames;
+  bool errored = false;
+};
+
+// Pulls every available frame out of the decoder. On error the decoder
+// latches, so draining again later keeps reporting errored.
+void DrainInto(FrameDecoder* decoder, DrainResult* out) {
+  Frame frame;
+  for (;;) {
+    const FrameDecoder::Result result = decoder->Next(&frame);
+    if (result == FrameDecoder::Result::kFrame) {
+      out->frames.push_back(frame);
+      continue;
+    }
+    out->errored = result == FrameDecoder::Result::kError;
+    return;
+  }
+}
+
+// Any extracted request-typed frame additionally runs through the
+// payload codecs — the exact server-side path for a hostile frame.
+void DecodeExtractedPayloads(const std::vector<Frame>& frames) {
+  for (const Frame& frame : frames) {
+    switch (frame.type) {
+      case FrameType::kNnRequest:
+        (void)DecodeNnRequest(frame.payload).ok();
+        break;
+      case FrameType::kWindowRequest:
+        (void)DecodeWindowRequest(frame.payload).ok();
+        break;
+      case FrameType::kRangeRequest:
+        (void)DecodeRangeRequest(frame.payload).ok();
+        break;
+      case FrameType::kInfo:
+        (void)DecodeServerInfo(frame.payload).ok();
+        break;
+      case FrameType::kError:
+        (void)DecodeErrorPayload(frame.payload).ok();
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+// A realistic multi-frame stream: every request type, a reply, an error.
+std::vector<uint8_t> SeedStream() {
+  std::vector<uint8_t> stream;
+  uint32_t id = 1;
+  const auto append = [&stream, &id](FrameType type,
+                                     const std::vector<uint8_t>& payload) {
+    AppendFrame(type, id++, payload.data(), payload.size(), &stream);
+  };
+  append(FrameType::kNnRequest, EncodeNnRequest({{0.25, 0.75}, 8}));
+  append(FrameType::kWindowRequest,
+         EncodeWindowRequest({{0.5, 0.5}, 0.01, 0.02}));
+  append(FrameType::kRangeRequest, EncodeRangeRequest({{0.4, 0.6}, 0.05}));
+  append(FrameType::kPing, {0xde, 0xad, 0xbe, 0xef});
+  append(FrameType::kInfoRequest, {});
+  append(FrameType::kInfo,
+         EncodeServerInfo({geo::Rect(0.0, 0.0, 1.0, 1.0), 1234, true}));
+  append(FrameType::kAnswer, std::vector<uint8_t>(70, 0x5a));
+  append(FrameType::kError,
+         EncodeErrorPayload(Status::InvalidArgument("seed error")));
+  return stream;
+}
+
+TEST(FrameFuzzTest, DecoderSurvivesMutatedSplitStreams) {
+  const std::vector<uint8_t> stream = SeedStream();
+  Rng rng(4001);
+  size_t buffers = 0;
+
+  // Family 1: truncation at every byte offset of the valid stream. A
+  // strict prefix must never produce an error — only frames + kNeedMore.
+  for (size_t len = 0; len <= stream.size(); ++len) {
+    FrameDecoder decoder;
+    decoder.Feed(stream.data(), len);
+    DrainResult result;
+    DrainInto(&decoder, &result);
+    EXPECT_FALSE(result.errored) << "valid prefix of length " << len;
+    ++buffers;
+  }
+
+  // Family 2: random byte flips, each mutated stream decoded twice —
+  // fed whole and fed in random split chunks. The decoder must be
+  // chunking-invariant: identical frames, identical error outcome.
+  size_t errored = 0;
+  for (size_t i = 0; i < 4000; ++i) {
+    std::vector<uint8_t> mutated = stream;
+    const size_t flips = 1 + rng.NextBounded(8);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.NextBounded(mutated.size())] ^=
+          static_cast<uint8_t>(1 + rng.NextBounded(255));
+    }
+
+    FrameDecoder whole;
+    whole.Feed(mutated.data(), mutated.size());
+    DrainResult a;
+    DrainInto(&whole, &a);
+
+    FrameDecoder chunked;
+    DrainResult b;
+    size_t pos = 0;
+    while (pos < mutated.size()) {
+      const size_t n =
+          std::min(mutated.size() - pos, size_t{1} + rng.NextBounded(37));
+      chunked.Feed(mutated.data() + pos, n);
+      DrainInto(&chunked, &b);
+      pos += n;
+    }
+
+    ASSERT_EQ(a.frames.size(), b.frames.size()) << "chunking changed frames";
+    EXPECT_EQ(a.errored, b.errored) << "chunking changed the error outcome";
+    for (size_t f = 0; f < a.frames.size(); ++f) {
+      EXPECT_EQ(a.frames[f].type, b.frames[f].type);
+      EXPECT_EQ(a.frames[f].request_id, b.frames[f].request_id);
+      ASSERT_EQ(a.frames[f].payload, b.frames[f].payload);
+    }
+    DecodeExtractedPayloads(a.frames);
+    if (a.errored) ++errored;
+    buffers += 2;
+  }
+  // The harness is actually reaching the framing error paths (flips on
+  // magic/version/length bytes).
+  EXPECT_GT(errored, 200u);
+
+  // Family 3: hostile length fields — a huge little-endian uint32
+  // spliced over a random offset (often landing on a header's length
+  // field). Must reject or wait, never allocate gigabytes; under ASan an
+  // over-allocation would blow up the test.
+  for (size_t i = 0; i < 2000; ++i) {
+    std::vector<uint8_t> mutated = stream;
+    const uint32_t huge =
+        0x00200000u + static_cast<uint32_t>(rng.NextU64() >> 34);
+    const size_t pos = rng.NextBounded(mutated.size() - sizeof(huge));
+    std::memcpy(mutated.data() + pos, &huge, sizeof(huge));
+    FrameDecoder decoder;
+    decoder.Feed(mutated.data(), mutated.size());
+    DrainResult result;
+    DrainInto(&decoder, &result);
+    DecodeExtractedPayloads(result.frames);
+    ++buffers;
+  }
+
+  // Family 4: pure noise, fed in random chunks.
+  for (size_t i = 0; i < 1500; ++i) {
+    std::vector<uint8_t> noise(rng.NextBounded(300));
+    for (auto& b : noise) b = static_cast<uint8_t>(rng.NextU64());
+    FrameDecoder decoder;
+    size_t pos = 0;
+    DrainResult result;
+    while (pos < noise.size()) {
+      const size_t n =
+          std::min(noise.size() - pos, size_t{1} + rng.NextBounded(23));
+      decoder.Feed(noise.data() + pos, n);
+      DrainInto(&decoder, &result);
+      pos += n;
+    }
+    ++buffers;
+  }
+
+  EXPECT_GE(buffers, 10000u);
+}
+
+// The latch property under fuzz: once a framing error is reported, no
+// amount of subsequent valid input may produce another frame.
+TEST(FrameFuzzTest, ErrorLatchHoldsUnderContinuedInput) {
+  Rng rng(4003);
+  const std::vector<uint8_t> valid = SeedStream();
+  for (size_t i = 0; i < 300; ++i) {
+    std::vector<uint8_t> garbage(kFrameHeaderBytes);
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.NextU64());
+    garbage[0] = 0x00;  // guarantee a magic mismatch
+    FrameDecoder decoder;
+    decoder.Feed(garbage.data(), garbage.size());
+    Frame frame;
+    if (decoder.Next(&frame) != FrameDecoder::Result::kError) continue;
+    decoder.Feed(valid.data(), valid.size());
+    EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kError);
+    EXPECT_FALSE(decoder.error().ok());
+  }
+}
+
+}  // namespace
+}  // namespace lbsq::net

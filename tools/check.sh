@@ -10,7 +10,8 @@
 #   asan    ASan+UBSan build + full ctest suite
 #   tsan    TSan build + the threaded suites (BatchServer incl. the
 #           cache-enabled wire batches, the shared semantic cache, fault
-#           injection) — the rest are single-threaded and add nothing
+#           injection, and the net suites whose event loop runs on its
+#           own thread) — the rest are single-threaded and add nothing
 #
 # Build directories are reused across runs (build/, build-werror/,
 # build-asan/, build-tsan/), so incremental invocations are cheap.
@@ -67,10 +68,13 @@ stage_asan() {
 stage_tsan() {
   cmake -S "$ROOT" -B "$ROOT/build-tsan" -DLBSQ_SANITIZE=thread >/dev/null &&
     cmake --build "$ROOT/build-tsan" --target batch_server_test \
-      fault_injection_test semantic_cache_test -j "$JOBS" &&
+      fault_injection_test semantic_cache_test net_test net_fault_test \
+      -j "$JOBS" &&
     "$ROOT/build-tsan/tests/batch_server_test" &&
     "$ROOT/build-tsan/tests/fault_injection_test" &&
-    "$ROOT/build-tsan/tests/semantic_cache_test"
+    "$ROOT/build-tsan/tests/semantic_cache_test" &&
+    "$ROOT/build-tsan/tests/net_test" &&
+    "$ROOT/build-tsan/tests/net_fault_test"
 }
 
 for s in "${STAGES[@]}"; do

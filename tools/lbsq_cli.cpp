@@ -8,6 +8,12 @@
 //   lbsq_cli nn       --index idx.db --x 0.31 --y 0.74 --k 3
 //   lbsq_cli window   --index idx.db --x 0.31 --y 0.74 --hx 0.02 --hy 0.02
 //   lbsq_cli range    --index idx.db --x 0.31 --y 0.74 --r 0.05
+//   lbsq_cli serve    --index idx.db --port 19537 --cache on
+//   lbsq_cli ping     --port 19537 [--host 127.0.0.1] [--count 5]
+//
+// `serve` exposes the index over the framed TCP protocol (src/net) on
+// loopback; Ctrl-C drains gracefully. Any NetClient — `ping`,
+// bench/net_loadgen, or library code — can then query it.
 //
 // The index file is self-contained: logical page 0 stores the tree meta
 // and the data universe, so every later invocation can re-attach. Builds
@@ -15,6 +21,8 @@
 // every fetched page against it and `scrub` audits the whole file, so
 // on-disk corruption is reported instead of silently served.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,9 +33,13 @@
 #include <string>
 #include <vector>
 
+#include "cache/semantic_cache.h"
 #include "core/nn_validity.h"
 #include "core/range_validity.h"
+#include "core/server.h"
 #include "core/window_validity.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
 #include "rtree/rtree.h"
 #include "rtree/tree_stats.h"
 #include "storage/checksummed_page_store.h"
@@ -316,9 +328,118 @@ int CmdRange(const ArgMap& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// serve / ping
+// ---------------------------------------------------------------------------
+
+// SIGINT drains the serving loop instead of killing the process: pending
+// replies flush, counters print. RequestDrain is an atomic store plus a
+// pipe write — both async-signal-safe.
+net::NetServer* g_serving = nullptr;
+
+void HandleSigint(int) {
+  if (g_serving != nullptr) g_serving->RequestDrain();
+}
+
+int CmdServe(const ArgMap& args) {
+  AttachedIndex idx = Attach(Require(args, "index"));
+  // Heap-allocated: g++ 12 -O2 emits a -Wmaybe-uninitialized false positive
+  // for the optional<SemanticCache> member when Server lives on the stack.
+  auto server = std::make_unique<core::Server>(idx.tree.get(), idx.universe);
+
+  const std::string cache_flag = GetOr(args, "cache", "on");
+  if (cache_flag == "on") {
+    cache::CacheConfig config;
+    config.max_entries =
+        std::strtoul(GetOr(args, "cache-entries", "4096").c_str(), nullptr, 10);
+    config.max_bytes = std::strtoul(
+        GetOr(args, "cache-bytes", std::to_string(4u << 20)).c_str(), nullptr,
+        10);
+    server->EnableCache(config);
+  } else if (cache_flag != "off") {
+    std::fprintf(stderr, "unknown --cache '%s' (on|off)\n", cache_flag.c_str());
+    return 2;
+  }
+
+  net::NetOptions options;
+  options.port = static_cast<uint16_t>(
+      std::strtoul(GetOr(args, "port", "19537").c_str(), nullptr, 10));
+  net::NetServer serving(server.get(), options, idx.tree->size());
+  if (const Status listening = serving.Listen(); !listening.ok()) {
+    std::fprintf(stderr, "cannot listen: %s\n", listening.ToString().c_str());
+    return 1;
+  }
+  g_serving = &serving;
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGTERM, HandleSigint);
+
+  std::printf("serving %zu points on 127.0.0.1:%u (cache %s) — Ctrl-C to "
+              "drain\n",
+              idx.tree->size(), serving.port(), cache_flag.c_str());
+  std::fflush(stdout);
+  serving.Run();
+  g_serving = nullptr;
+
+  const net::NetStats& stats = serving.stats();
+  std::printf("drained: %llu connections (%llu clean, %llu dropped), "
+              "%llu frames in, %llu out, %llu bad requests, "
+              "%llu protocol errors\n",
+              static_cast<unsigned long long>(stats.accepts),
+              static_cast<unsigned long long>(stats.clean_closes),
+              static_cast<unsigned long long>(stats.drops),
+              static_cast<unsigned long long>(stats.frames_in),
+              static_cast<unsigned long long>(stats.frames_out),
+              static_cast<unsigned long long>(stats.bad_requests),
+              static_cast<unsigned long long>(stats.protocol_errors));
+  if (server->cache_enabled()) {
+    const cache::CacheStats cache_stats = server->cache_stats();
+    std::printf("cache: %llu lookups, %llu hits\n",
+                static_cast<unsigned long long>(cache_stats.lookups),
+                static_cast<unsigned long long>(cache_stats.hits));
+  }
+  return 0;
+}
+
+int CmdPing(const ArgMap& args) {
+  const std::string host = GetOr(args, "host", "127.0.0.1");
+  const auto port = static_cast<uint16_t>(
+      std::strtoul(Require(args, "port").c_str(), nullptr, 10));
+  const size_t count =
+      std::strtoul(GetOr(args, "count", "5").c_str(), nullptr, 10);
+
+  net::NetClient client;
+  if (const Status connected = client.Connect(host, port); !connected.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 connected.ToString().c_str());
+    return 1;
+  }
+  const auto info = client.Info();
+  if (info.ok()) {
+    std::printf("server: %llu points, universe [%g, %g] x [%g, %g], "
+                "cache %s\n",
+                static_cast<unsigned long long>(info->points),
+                info->universe.min_x, info->universe.max_x,
+                info->universe.min_y, info->universe.max_y,
+                info->cache_enabled ? "on" : "off");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const Status pong = client.Ping();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    if (!pong.ok()) {
+      std::fprintf(stderr, "ping failed: %s\n", pong.ToString().c_str());
+      return 1;
+    }
+    std::printf("pong %zu: %.3f ms\n", i,
+                std::chrono::duration<double, std::milli>(elapsed).count());
+  }
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: lbsq_cli <generate|build|stats|scrub|nn|window|range> "
+               "usage: lbsq_cli "
+               "<generate|build|stats|scrub|nn|window|range|serve|ping> "
                "[--flag value ...]\n");
 }
 
@@ -338,6 +459,8 @@ int main(int argc, char** argv) {
   if (command == "nn") return CmdNn(args);
   if (command == "window") return CmdWindow(args);
   if (command == "range") return CmdRange(args);
+  if (command == "serve") return CmdServe(args);
+  if (command == "ping") return CmdPing(args);
   Usage();
   return 2;
 }

@@ -91,6 +91,7 @@ struct SurfaceRule {
 const SurfaceRule kSurfaces[] = {
     {"core/wire_format.cc", {"Decode*", "Read*", "Try*"}},
     {"storage/checksummed_page_store.cc", {"Verify", "LoadTable", "Scrub"}},
+    {"net/frame.cc", {"Decode*", "Next", "Feed", "Read*", "Try*"}},
 };
 
 // Files whose job is randomness or which may legitimately draw from the
