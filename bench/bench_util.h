@@ -84,6 +84,32 @@ inline std::vector<geo::Point> QueryWorkload(const Workbench& bench,
                                               seed, /*jitter=*/0.001);
 }
 
+// Machine-readable artifacts: each bench binary writes its "BENCH"
+// JSON object to BENCH_<name>.json as well as printing it, so the perf
+// trajectory is tracked across PRs as files instead of living only in
+// commit messages. LBSQ_BENCH_DIR picks the directory (default: the
+// current one); check.sh's bench-smoke stage validates the files parse.
+inline std::string BenchArtifactPath(const std::string& name) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("LBSQ_BENCH_DIR"); env && *env) {
+    dir = env;
+  }
+  return dir + "/BENCH_" + name + ".json";
+}
+
+inline void WriteBenchArtifact(const std::string& name,
+                               const std::string& json_object) {
+  const std::string path = BenchArtifactPath(name);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs(json_object.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
 // Pretty-printers for the table output.
 inline void PrintTitle(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

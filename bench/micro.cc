@@ -5,6 +5,8 @@
 // cost of the implementation.
 
 #include <algorithm>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -190,4 +192,29 @@ BENCHMARK(BM_VoronoiIndexQuery)->Apply(MinOfRounds);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus the BENCH_micro.json artifact: unless the caller
+// already picked an output file, google-benchmark's own JSON reporter is
+// pointed at bench::BenchArtifactPath("micro") — full name → ns/op data
+// in the same place the other bench binaries drop their artifacts.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    out_flag = "--benchmark_out=" + bench::BenchArtifactPath("micro");
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

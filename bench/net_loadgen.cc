@@ -416,16 +416,26 @@ int main() {
     ok = false;
   }
 
-  std::printf(
-      "\nBENCH {\"name\":\"net_loadgen\",\"points\":%zu,\"connections\":%zu,"
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"name\":\"net_loadgen\",\"points\":%zu,\"connections\":%zu,"
       "\"pipeline_window\":%zu,\"queries\":%zu,"
       "\"net_nocache_qps\":%.0f,\"net_cache_qps\":%.0f,"
       "\"cache_speedup\":%.3f,\"cache_hit_rate\":%.3f,"
       "\"nocache_p50_ms\":%.3f,\"nocache_p99_ms\":%.3f,"
       "\"cache_p50_ms\":%.3f,\"cache_p99_ms\":%.3f,"
-      "\"verified\":%s}\n",
+      "\"writev_calls\":%llu,\"writev_iovecs\":%llu,"
+      "\"bytes_copied\":%llu,\"bytes_zero_copy\":%llu,"
+      "\"verified\":%s}",
       n, connections, kPipelineWindow, completed, off.qps, on.qps,
       on.qps / off.qps, on.hit_rate, off.p50_ms, off.p99_ms, on.p50_ms,
-      on.p99_ms, ok ? "true" : "false");
+      on.p99_ms, static_cast<unsigned long long>(on.stats.writev_calls),
+      static_cast<unsigned long long>(on.stats.writev_iovecs),
+      static_cast<unsigned long long>(on.stats.bytes_copied),
+      static_cast<unsigned long long>(on.stats.bytes_zero_copy),
+      ok ? "true" : "false");
+  std::printf("\nBENCH %s\n", json);
+  bench::WriteBenchArtifact("net_loadgen", json);
   return ok ? 0 : 1;
 }

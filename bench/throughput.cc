@@ -287,17 +287,21 @@ int main() {
                 wire_qps[on] / wire_qps[0], on != 0 ? hit_rate * 100.0 : 0.0);
   }
 
-  std::printf(
-      "\nBENCH {\"name\":\"throughput\",\"points\":%zu,\"clients\":%zu,"
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"name\":\"throughput\",\"points\":%zu,\"clients\":%zu,"
       "\"serial_seed_qps\":%.0f,\"serial_view_qps\":%.0f,"
       "\"batch1_qps\":%.0f,\"batch2_qps\":%.0f,\"batch4_qps\":%.0f,"
       "\"view_speedup\":%.3f,\"batch4_speedup\":%.3f,"
       "\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f,\"max_us\":%.1f,"
       "\"wire_nocache_qps\":%.0f,\"wire_cache_qps\":%.0f,"
-      "\"cache_speedup\":%.3f,\"cache_hit_rate\":%.3f}\n",
+      "\"cache_speedup\":%.3f,\"cache_hit_rate\":%.3f}",
       n, w.total(), seed_qps, view_qps, batch_qps[0], batch_qps[1],
       batch_qps[2], view_qps / seed_qps, batch_qps[2] / seed_qps,
       stats4.p50_us, stats4.p95_us, stats4.p99_us, stats4.max_us,
       wire_qps[0], wire_qps[1], wire_qps[1] / wire_qps[0], hit_rate);
+  std::printf("\nBENCH %s\n", json);
+  bench::WriteBenchArtifact("throughput", json);
   return 0;
 }

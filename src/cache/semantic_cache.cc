@@ -78,7 +78,7 @@ bool SemanticCache::Covers(const Entry& entry, const geo::Point& p) {
 }
 
 bool SemanticCache::Lookup(Kind kind, double a, double b, const geo::Point& p,
-                           std::vector<uint8_t>* out) {
+                           CachedBytes* out) {
   ++lookups_;
   std::vector<uint64_t>& cell = cells_[CellIndex(CellX(p.x), CellY(p.y))];
   // First covering entry wins: any covering entry is an equally valid
@@ -98,8 +98,8 @@ bool SemanticCache::Lookup(Kind kind, double a, double b, const geo::Point& p,
         entry_it->param_b == b && Covers(*entry_it, p)) {
       entries_.splice(entries_.begin(), entries_, entry_it);  // touch
       ++hits_;
-      hit_bytes_ += entry_it->bytes.size();
-      out->assign(entry_it->bytes.begin(), entry_it->bytes.end());
+      hit_bytes_ += entry_it->bytes->size();
+      *out = entry_it->bytes;
       return true;
     }
     ++i;
@@ -108,23 +108,51 @@ bool SemanticCache::Lookup(Kind kind, double a, double b, const geo::Point& p,
   return false;
 }
 
+bool SemanticCache::LookupNnShared(const geo::Point& p, size_t k,
+                                   CachedBytes* out) {
+  return Lookup(Kind::kNn, static_cast<double>(k), 0.0, p, out);
+}
+
+bool SemanticCache::LookupWindowShared(const geo::Point& p, double hx,
+                                       double hy, CachedBytes* out) {
+  return Lookup(Kind::kWindow, hx, hy, p, out);
+}
+
+bool SemanticCache::LookupRangeShared(const geo::Point& p, double radius,
+                                      CachedBytes* out) {
+  return Lookup(Kind::kRange, radius, 0.0, p, out);
+}
+
+namespace {
+
+bool CopyOut(bool hit, const CachedBytes& shared, std::vector<uint8_t>* out) {
+  if (hit) out->assign(shared->begin(), shared->end());
+  return hit;
+}
+
+}  // namespace
+
 bool SemanticCache::LookupNn(const geo::Point& p, size_t k,
                              std::vector<uint8_t>* out) {
-  return Lookup(Kind::kNn, static_cast<double>(k), 0.0, p, out);
+  CachedBytes shared;
+  return CopyOut(LookupNnShared(p, k, &shared), shared, out);
 }
 
 bool SemanticCache::LookupWindow(const geo::Point& p, double hx, double hy,
                                  std::vector<uint8_t>* out) {
-  return Lookup(Kind::kWindow, hx, hy, p, out);
+  CachedBytes shared;
+  return CopyOut(LookupWindowShared(p, hx, hy, &shared), shared, out);
 }
 
 bool SemanticCache::LookupRange(const geo::Point& p, double radius,
                                 std::vector<uint8_t>* out) {
-  return Lookup(Kind::kRange, radius, 0.0, p, out);
+  CachedBytes shared;
+  return CopyOut(LookupRangeShared(p, radius, &shared), shared, out);
 }
 
 void SemanticCache::Insert(Entry entry, const geo::Rect& bounds) {
-  entry.charge = entry.bytes.size() + kEntryOverhead +
+  LBSQ_DCHECK(entry.bytes != nullptr);
+  entry.charge = entry.bytes->size() + kEntryOverhead +
                  GeometryCharge(entry.constraints, entry.window_region,
                                 entry.range_region);
   const geo::Rect clipped = bounds.Intersection(universe_);
@@ -157,7 +185,7 @@ void SemanticCache::Insert(Entry entry, const geo::Rect& bounds) {
 void SemanticCache::InsertNn(size_t k, const geo::Rect& universe,
                              const geo::Rect& bounds,
                              std::vector<BisectorConstraint> constraints,
-                             std::vector<uint8_t> bytes) {
+                             CachedBytes bytes) {
   Entry entry;
   entry.kind = Kind::kNn;
   entry.param_a = static_cast<double>(k);
@@ -169,7 +197,7 @@ void SemanticCache::InsertNn(size_t k, const geo::Rect& universe,
 
 void SemanticCache::InsertWindow(double hx, double hy,
                                  geo::RectMinusBoxes region,
-                                 std::vector<uint8_t> bytes) {
+                                 CachedBytes bytes) {
   Entry entry;
   entry.kind = Kind::kWindow;
   entry.param_a = hx;
@@ -181,7 +209,7 @@ void SemanticCache::InsertWindow(double hx, double hy,
 }
 
 void SemanticCache::InsertRange(double radius, geo::DiskRegion region,
-                                std::vector<uint8_t> bytes) {
+                                CachedBytes bytes) {
   Entry entry;
   entry.kind = Kind::kRange;
   entry.param_a = radius;

@@ -4,8 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/annotations.h"
@@ -92,6 +94,16 @@ struct BisectorConstraint {
   geo::Point rival;
 };
 
+// Cached wire payloads are immutable and reference-counted: a hit can
+// hand out the stored bytes without copying, and a holder (the serving
+// layer's in-flight iovec queue) keeps them alive even if the entry is
+// evicted or invalidated before the socket drains them.
+using CachedBytes = std::shared_ptr<const std::vector<uint8_t>>;
+
+inline CachedBytes MakeCachedBytes(std::vector<uint8_t> bytes) {
+  return std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+}
+
 class SemanticCache {
  public:
   // `universe` is the data space every query point lies in; the grid
@@ -104,8 +116,16 @@ class SemanticCache {
   // -- Lookup --------------------------------------------------------------
   // Each lookup finds the most recently used live entry whose query
   // parameters match exactly and whose validity region contains `p`; on a
-  // hit the entry's wire bytes are copied into *out (cleared first) and
-  // the entry is touched. Returns true on hit.
+  // hit the entry is touched. The *Shared variants hand out the stored
+  // payload without copying (the reference keeps it alive past eviction);
+  // the copying variants assign the bytes into *out for callers that
+  // want an owned buffer. Returns true on hit.
+  bool LookupNnShared(const geo::Point& p, size_t k, CachedBytes* out);
+  bool LookupWindowShared(const geo::Point& p, double hx, double hy,
+                          CachedBytes* out);
+  bool LookupRangeShared(const geo::Point& p, double radius,
+                         CachedBytes* out);
+
   bool LookupNn(const geo::Point& p, size_t k, std::vector<uint8_t>* out);
   bool LookupWindow(const geo::Point& p, double hx, double hy,
                     std::vector<uint8_t>* out);
@@ -117,14 +137,29 @@ class SemanticCache {
   // must contain the region (entries are indexed by the grid cells the
   // bounds overlap); `bytes` is the encoded wire answer served verbatim
   // on a hit. Inserts that could never fit (charge > max_bytes) or whose
-  // bounds are empty are rejected and counted.
+  // bounds are empty are rejected and counted. The vector overloads wrap
+  // the bytes in a CachedBytes payload.
   void InsertNn(size_t k, const geo::Rect& universe, const geo::Rect& bounds,
                 std::vector<BisectorConstraint> constraints,
-                std::vector<uint8_t> bytes);
+                CachedBytes bytes);
   void InsertWindow(double hx, double hy, geo::RectMinusBoxes region,
-                    std::vector<uint8_t> bytes);
+                    CachedBytes bytes);
+  void InsertRange(double radius, geo::DiskRegion region, CachedBytes bytes);
+
+  void InsertNn(size_t k, const geo::Rect& universe, const geo::Rect& bounds,
+                std::vector<BisectorConstraint> constraints,
+                std::vector<uint8_t> bytes) {
+    InsertNn(k, universe, bounds, std::move(constraints),
+             MakeCachedBytes(std::move(bytes)));
+  }
+  void InsertWindow(double hx, double hy, geo::RectMinusBoxes region,
+                    std::vector<uint8_t> bytes) {
+    InsertWindow(hx, hy, std::move(region), MakeCachedBytes(std::move(bytes)));
+  }
   void InsertRange(double radius, geo::DiskRegion region,
-                   std::vector<uint8_t> bytes);
+                   std::vector<uint8_t> bytes) {
+    InsertRange(radius, std::move(region), MakeCachedBytes(std::move(bytes)));
+  }
 
   // -- Invalidation --------------------------------------------------------
   // Bumps the cache epoch: every current entry becomes stale and is
@@ -164,15 +199,16 @@ class SemanticCache {
     std::vector<BisectorConstraint> constraints;    // kNn
     geo::RectMinusBoxes window_region;              // kWindow
     geo::DiskRegion range_region;                   // kRange
-    // The answer: encoded wire bytes, served verbatim.
-    std::vector<uint8_t> bytes;
+    // The answer: encoded wire bytes, served verbatim (shared so a hit
+    // needs no copy and in-flight holders survive eviction).
+    CachedBytes bytes;
     // Byte accounting charge (bytes + geometry + index bookkeeping).
     size_t charge = 0;
   };
   using EntryList = std::list<Entry>;  // front = most recently used
 
   bool Lookup(Kind kind, double a, double b, const geo::Point& p,
-              std::vector<uint8_t>* out);
+              CachedBytes* out);
   void Insert(Entry entry, const geo::Rect& bounds);
   // True when `p` satisfies the entry's validity test.
   static bool Covers(const Entry& entry, const geo::Point& p);

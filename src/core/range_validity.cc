@@ -1,11 +1,62 @@
 #include "core/range_validity.h"
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "common/check.h"
 
 namespace lbsq::core {
+
+namespace {
+
+// Per-thread SoA scratch for the distance filters below. This TU is
+// compiled with LBSQ_SIMD_COMPILE_OPTIONS (see src/core/CMakeLists.txt):
+// the mask pass is a branch-free map over contiguous coordinate arrays
+// that g++ autovectorizes. -ffp-contract=off keeps dx*dx + dy*dy free of
+// FMA contraction, so the computed distances — and with them every
+// answer — are bit-identical to the scalar SquaredDistance call.
+struct DistScratch {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<uint8_t> keep;
+  std::vector<uint32_t> idx;
+
+  // Splits `candidates` into coordinate arrays, then flags every
+  // candidate with SquaredDistance(focus, candidate) <= r_sq. Returns
+  // the candidate count.
+  size_t DistanceMask(const std::vector<rtree::DataEntry>& candidates,
+                      const geo::Point& focus, double r_sq) {
+    const size_t n = candidates.size();
+    xs.resize(n);
+    ys.resize(n);
+    keep.resize(n);
+    idx.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      xs[i] = candidates[i].point.x;
+      ys[i] = candidates[i].point.y;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const double dx = focus.x - xs[i];
+      const double dy = focus.y - ys[i];
+      keep[i] = static_cast<uint8_t>(dx * dx + dy * dy <= r_sq);
+    }
+    return n;
+  }
+
+  // Branchless staging of the indices whose flag matches `want`; returns
+  // how many survive (their order is the candidate order).
+  size_t Stage(size_t n, uint8_t want) {
+    size_t m = 0;
+    for (size_t i = 0; i < n; ++i) {
+      idx[m] = static_cast<uint32_t>(i);
+      m += static_cast<size_t>(keep[i] == want);
+    }
+    return m;
+  }
+};
+
+}  // namespace
 
 RangeValidityEngine::RangeValidityEngine(rtree::RTree* tree,
                                          const geo::Rect& universe)
@@ -31,15 +82,21 @@ RangeValidityResult RangeValidityEngine::Query(const geo::Point& focus,
   // the disk, filtered by true distance.
   const uint64_t na_before = tree_->buffer().logical_accesses();
   const double r_sq = radius * radius;
-  std::vector<rtree::DataEntry> result;
-  tree_->WindowQuery(geo::Rect::Centered(focus, radius, radius),
-                     [&](const rtree::DataEntry& e) {
-                       if (geo::SquaredDistance(focus, e.point) <= r_sq) {
-                         result.push_back(e);
-                       }
-                     });
+  thread_local DistScratch scratch;
+  std::vector<rtree::DataEntry> candidates;
+  tree_->WindowQuery(geo::Rect::Centered(focus, radius, radius), &candidates);
   stats_.result_node_accesses =
       tree_->buffer().logical_accesses() - na_before;
+
+  // SoA two-pass distance filter (see DistScratch): same predicate and
+  // emit order as the per-entry scalar callback.
+  std::vector<rtree::DataEntry> result;
+  {
+    const size_t n = scratch.DistanceMask(candidates, focus, r_sq);
+    const size_t m = scratch.Stage(n, 1);
+    result.reserve(m);
+    for (size_t j = 0; j < m; ++j) result.push_back(candidates[scratch.idx[j]]);
+  }
 
   // Bounding rectangle of the region: inside every inner disk the focus
   // can stray at most 2 * radius from its start (triangle inequality),
@@ -58,19 +115,27 @@ RangeValidityResult RangeValidityEngine::Query(const geo::Point& focus,
   // Step 2: candidate outer objects — anything whose disk can reach the
   // bounded region, i.e. within `radius` of the bounds rectangle.
   const uint64_t na_before2 = tree_->buffer().logical_accesses();
-  std::vector<rtree::DataEntry> outer_objects;
-  std::vector<geo::DiskRegion::Disk> outer;
-  tree_->WindowQuery(bounds.Dilated(radius, radius),
-                     [&](const rtree::DataEntry& e) {
-                       ++stats_.outer_candidates;
-                       if (geo::SquaredDistance(focus, e.point) <= r_sq) {
-                         return;  // inner
-                       }
-                       outer_objects.push_back(e);
-                       outer.push_back({e.point, radius});
-                     });
+  candidates.clear();
+  tree_->WindowQuery(bounds.Dilated(radius, radius), &candidates);
   stats_.influence_node_accesses =
       tree_->buffer().logical_accesses() - na_before2;
+  stats_.outer_candidates += candidates.size();
+
+  // Same mask, inverted selection: everything beyond the radius is an
+  // outer candidate disk.
+  std::vector<rtree::DataEntry> outer_objects;
+  std::vector<geo::DiskRegion::Disk> outer;
+  {
+    const size_t n = scratch.DistanceMask(candidates, focus, r_sq);
+    const size_t m = scratch.Stage(n, 0);
+    outer_objects.reserve(m);
+    outer.reserve(m);
+    for (size_t j = 0; j < m; ++j) {
+      const rtree::DataEntry& e = candidates[scratch.idx[j]];
+      outer_objects.push_back(e);
+      outer.push_back({e.point, radius});
+    }
+  }
 
   geo::DiskRegion region(bounds, std::move(inner), std::move(outer));
   std::vector<size_t> cut_inner;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -128,16 +129,24 @@ class Server {
   // cache (no engine or page-store work).
   bool last_wire_from_cache() const { return last_wire_from_cache_; }
 
+  // Immutable, reference-counted wire answer. The *QueryWireShared
+  // methods return the same payload object the cache stores, so the
+  // serving layer can queue it into an iovec without copying; the
+  // reference keeps the bytes alive even if the cache entry is evicted
+  // or invalidated while the reply is still in a socket's write queue.
+  using WireBytes = cache::CachedBytes;
+
   // Full serving path for a k-NN query: returns the encoded wire answer.
-  // On a cache hit the stored bytes of a previous answer whose validity
-  // region contains `q` are returned verbatim; on a miss the checked
-  // engine path runs and the fresh answer is cached under its region.
-  [[nodiscard]] StatusOr<std::vector<uint8_t>> NnQueryWire(const geo::Point& q,
-                                                           size_t k) {
+  // On a cache hit the stored payload of a previous answer whose
+  // validity region contains `q` is returned verbatim (no copy); on a
+  // miss the checked engine path runs and the fresh answer is cached
+  // under its region.
+  [[nodiscard]] StatusOr<WireBytes> NnQueryWireShared(const geo::Point& q,
+                                                      size_t k) {
     SyncCacheEpoch();
     last_wire_from_cache_ = false;
-    std::vector<uint8_t> bytes;
-    if (cache_ && cache_->LookupNn(q, k, &bytes)) {
+    WireBytes bytes;
+    if (cache_ && cache_->LookupNnShared(q, k, &bytes)) {
       ++nn_queries_served_;
       last_wire_from_cache_ = true;
       return bytes;
@@ -146,6 +155,7 @@ class Server {
     if (!result.ok()) return result.status();
     StatusOr<std::vector<uint8_t>> encoded = wire::EncodeNnResult(*result);
     if (!encoded.ok()) return encoded.status();
+    WireBytes shared = cache::MakeCachedBytes(std::move(*encoded));
     if (cache_) {
       std::vector<cache::BisectorConstraint> constraints;
       constraints.reserve(result->influence_pairs().size());
@@ -153,17 +163,17 @@ class Server {
         constraints.push_back({pair.displaced.point, pair.incoming.point});
       }
       cache_->InsertNn(k, result->universe(), result->region().BoundingBox(),
-                       std::move(constraints), *encoded);
+                       std::move(constraints), shared);
     }
-    return encoded;
+    return shared;
   }
 
-  [[nodiscard]] StatusOr<std::vector<uint8_t>> WindowQueryWire(
+  [[nodiscard]] StatusOr<WireBytes> WindowQueryWireShared(
       const geo::Point& focus, double hx, double hy) {
     SyncCacheEpoch();
     last_wire_from_cache_ = false;
-    std::vector<uint8_t> bytes;
-    if (cache_ && cache_->LookupWindow(focus, hx, hy, &bytes)) {
+    WireBytes bytes;
+    if (cache_ && cache_->LookupWindowShared(focus, hx, hy, &bytes)) {
       ++window_queries_served_;
       last_wire_from_cache_ = true;
       return bytes;
@@ -172,16 +182,17 @@ class Server {
     if (!result.ok()) return result.status();
     StatusOr<std::vector<uint8_t>> encoded = wire::EncodeWindowResult(*result);
     if (!encoded.ok()) return encoded.status();
-    if (cache_) cache_->InsertWindow(hx, hy, result->region(), *encoded);
-    return encoded;
+    WireBytes shared = cache::MakeCachedBytes(std::move(*encoded));
+    if (cache_) cache_->InsertWindow(hx, hy, result->region(), shared);
+    return shared;
   }
 
-  [[nodiscard]] StatusOr<std::vector<uint8_t>> RangeQueryWire(
+  [[nodiscard]] StatusOr<WireBytes> RangeQueryWireShared(
       const geo::Point& focus, double radius) {
     SyncCacheEpoch();
     last_wire_from_cache_ = false;
-    std::vector<uint8_t> bytes;
-    if (cache_ && cache_->LookupRange(focus, radius, &bytes)) {
+    WireBytes bytes;
+    if (cache_ && cache_->LookupRangeShared(focus, radius, &bytes)) {
       ++range_queries_served_;
       last_wire_from_cache_ = true;
       return bytes;
@@ -190,8 +201,32 @@ class Server {
     if (!result.ok()) return result.status();
     StatusOr<std::vector<uint8_t>> encoded = wire::EncodeRangeResult(*result);
     if (!encoded.ok()) return encoded.status();
-    if (cache_) cache_->InsertRange(radius, result->region(), *encoded);
-    return encoded;
+    WireBytes shared = cache::MakeCachedBytes(std::move(*encoded));
+    if (cache_) cache_->InsertRange(radius, result->region(), shared);
+    return shared;
+  }
+
+  // Owned-buffer variants (copying) for callers that mutate or retain
+  // the bytes; the serving layer uses the Shared forms above.
+  [[nodiscard]] StatusOr<std::vector<uint8_t>> NnQueryWire(const geo::Point& q,
+                                                           size_t k) {
+    StatusOr<WireBytes> shared = NnQueryWireShared(q, k);
+    if (!shared.ok()) return shared.status();
+    return **shared;
+  }
+
+  [[nodiscard]] StatusOr<std::vector<uint8_t>> WindowQueryWire(
+      const geo::Point& focus, double hx, double hy) {
+    StatusOr<WireBytes> shared = WindowQueryWireShared(focus, hx, hy);
+    if (!shared.ok()) return shared.status();
+    return **shared;
+  }
+
+  [[nodiscard]] StatusOr<std::vector<uint8_t>> RangeQueryWire(
+      const geo::Point& focus, double radius) {
+    StatusOr<WireBytes> shared = RangeQueryWireShared(focus, radius);
+    if (!shared.ok()) return shared.status();
+    return **shared;
   }
 
   size_t nn_queries_served() const { return nn_queries_served_; }

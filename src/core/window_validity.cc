@@ -1,12 +1,28 @@
 #include "core/window_validity.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "common/check.h"
 #include "geometry/region.h"
 
 namespace lbsq::core {
+
+namespace {
+
+// Per-thread SoA scratch for the candidate filter below. This TU is
+// compiled with LBSQ_SIMD_COMPILE_OPTIONS (see src/core/CMakeLists.txt)
+// so the mask pass autovectorizes; the engines are call-and-return, so
+// one scratch set per thread avoids an allocation per query.
+struct FilterScratch {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<uint8_t> keep;
+  std::vector<uint32_t> idx;
+};
+
+}  // namespace
 
 WindowValidityEngine::WindowValidityEngine(rtree::RTree* tree,
                                            const geo::Rect& universe)
@@ -54,22 +70,59 @@ WindowValidityResult WindowValidityEngine::Query(const geo::Point& focus,
   const geo::Rect marginal = inner.Dilated(hx, hy);
   const uint64_t na_before2 = tree_->buffer().logical_accesses();
   const uint64_t pa_before2 = tree_->disk().read_count();
-  std::vector<rtree::DataEntry> outer_objects;
-  std::vector<geo::Rect> holes;
-  tree_->WindowQuery(marginal, [&](const rtree::DataEntry& e) {
-    ++stats_.outer_candidates;
-    if (window.Contains(e.point)) return;  // inner point
-    const geo::Rect box = geo::Rect::Centered(e.point, hx, hy);
-    const geo::Rect overlap = box.Intersection(inner);
-    // Boxes that merely graze the boundary exclude nothing (closed
-    // containment semantics) and do not constrain the region.
-    if (overlap.IsEmpty() || overlap.Area() == 0.0) return;
-    outer_objects.push_back(e);
-    holes.push_back(box);
-  });
+  std::vector<rtree::DataEntry> candidates;
+  tree_->WindowQuery(marginal, &candidates);
   stats_.influence_node_accesses =
       tree_->buffer().logical_accesses() - na_before2;
   stats_.influence_page_accesses = tree_->disk().read_count() - pa_before2;
+  stats_.outer_candidates += candidates.size();
+
+  // SoA two-pass candidate filter. Pass 1 maps every candidate to a keep
+  // flag as a branch-free loop over contiguous coordinate arrays: a
+  // candidate is an outer influence constraint iff it lies outside the
+  // query window and its Minkowski box clipped to `inner` has positive
+  // area (a box that merely grazes the boundary excludes nothing under
+  // closed containment). The arithmetic is exactly Rect::Centered +
+  // Rect::Intersection + the IsEmpty/Area()==0 test of the scalar loop —
+  // max/min of the identical operands, compared strictly — so the
+  // surviving set and its order are bit-identical. Pass 2 stages the
+  // surviving indices branchlessly, then materializes boxes in order.
+  const size_t n = candidates.size();
+  thread_local FilterScratch scratch;
+  scratch.xs.resize(n);
+  scratch.ys.resize(n);
+  scratch.keep.resize(n);
+  scratch.idx.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    scratch.xs[i] = candidates[i].point.x;
+    scratch.ys[i] = candidates[i].point.y;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double x = scratch.xs[i];
+    const double y = scratch.ys[i];
+    const bool in_window = (x >= window.min_x) & (x <= window.max_x) &
+                           (y >= window.min_y) & (y <= window.max_y);
+    const double omin_x = std::max(x - hx, inner.min_x);
+    const double omax_x = std::min(x + hx, inner.max_x);
+    const double omin_y = std::max(y - hy, inner.min_y);
+    const double omax_y = std::min(y + hy, inner.max_y);
+    scratch.keep[i] = static_cast<uint8_t>(
+        !in_window & (omin_x < omax_x) & (omin_y < omax_y));
+  }
+  size_t m = 0;
+  for (size_t i = 0; i < n; ++i) {
+    scratch.idx[m] = static_cast<uint32_t>(i);
+    m += scratch.keep[i];
+  }
+  std::vector<rtree::DataEntry> outer_objects;
+  std::vector<geo::Rect> holes;
+  outer_objects.reserve(m);
+  holes.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    const rtree::DataEntry& e = candidates[scratch.idx[j]];
+    outer_objects.push_back(e);
+    holes.push_back(geo::Rect::Centered(e.point, hx, hy));
+  }
 
   geo::RectMinusBoxes region(inner, std::move(holes));
   // Outer *influence* objects in the paper's Definition-1 sense: the

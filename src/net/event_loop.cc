@@ -12,6 +12,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "net/write_queue.h"
+
 namespace lbsq::net {
 
 namespace {
@@ -33,24 +35,41 @@ struct EventLoop::Connection final : ReplySink {
   Connection(int fd_in, uint64_t id_in, size_t max_payload, NetStats* stats_in)
       : fd(fd_in), id(id_in), decoder(max_payload), stats(stats_in) {}
 
-  size_t pending_write() const { return write_buf.size() - write_head; }
+  size_t pending_write() const { return out.pending(); }
 
   void Send(FrameType type, uint32_t request_id, const uint8_t* payload,
             size_t payload_len) override {
-    if (write_head == write_buf.size()) {
-      write_buf.clear();
-      write_head = 0;
-    }
-    AppendFrame(type, request_id, payload, payload_len, &write_buf);
+    AppendFrame(type, request_id, payload, payload_len,
+                out.AppendableBuffer());
+    out.BytesAppended(kFrameHeaderBytes + payload_len);
+    stats->bytes_copied += kFrameHeaderBytes + payload_len;
     ++stats->frames_out;
   }
   using ReplySink::Send;
 
+  // Cache-hit fast path: the framing header goes into the owned buffer,
+  // the answer payload is queued by reference — no copy, and the queue's
+  // reference keeps the bytes alive past any cache eviction until the
+  // socket drains them. (WriteQueue still copies payloads too small to
+  // be worth an iovec; the stats record which path ran.)
+  void SendShared(FrameType type, uint32_t request_id,
+                  const SharedPayload& payload) override {
+    AppendFrameHeader(type, request_id, payload->size(),
+                      out.AppendableBuffer());
+    out.BytesAppended(kFrameHeaderBytes);
+    stats->bytes_copied += kFrameHeaderBytes;
+    if (out.AppendShared(payload)) {
+      stats->bytes_zero_copy += payload->size();
+    } else {
+      stats->bytes_copied += payload->size();
+    }
+    ++stats->frames_out;
+  }
+
   int fd = -1;
   uint64_t id = 0;
   FrameDecoder decoder;
-  std::vector<uint8_t> write_buf;
-  size_t write_head = 0;  // flushed prefix of write_buf
+  WriteQueue out;
   bool close_after_flush = false;
   bool drop_on_close = false;  // the pending close counts as a drop
   Clock::time_point last_activity{};
@@ -221,12 +240,19 @@ bool EventLoop::HandleReadable(Connection* conn, Clock::time_point now) {
 }
 
 bool EventLoop::FlushWrites(Connection* conn) {
-  while (conn->write_head < conn->write_buf.size()) {
-    const ssize_t n =
-        ::send(conn->fd, conn->write_buf.data() + conn->write_head,
-               conn->write_buf.size() - conn->write_head, MSG_NOSIGNAL);
+  // Scatter-gather flush: every queued segment (coalesced owned buffers
+  // plus zero-copy cache payloads) goes out in as few sendmsg calls as
+  // possible, instead of one send() per frame.
+  while (!conn->out.empty()) {
+    struct iovec iov[kMaxIovPerSend];
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = conn->out.BuildIovecs(iov, kMaxIovPerSend);
+    ++stats_.writev_calls;
+    stats_.writev_iovecs += static_cast<uint64_t>(msg.msg_iovlen);
+    const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      conn->write_head += static_cast<size_t>(n);
+      conn->out.Consume(static_cast<size_t>(n));
       stats_.bytes_out += static_cast<uint64_t>(n);
       continue;
     }
@@ -235,8 +261,6 @@ bool EventLoop::FlushWrites(Connection* conn) {
     CloseConnection(conn, /*clean=*/false);  // broken pipe / reset
     return false;
   }
-  conn->write_buf.clear();
-  conn->write_head = 0;
   if (conn->close_after_flush) {
     CloseConnection(conn, /*clean=*/!conn->drop_on_close);
     return false;

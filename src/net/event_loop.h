@@ -60,9 +60,11 @@ struct NetOptions {
 };
 
 // Where a frame handler puts reply frames. Appends into the originating
-// connection's write buffer; the loop counts frames_out/bytes_out.
+// connection's write queue; the loop counts frames_out/bytes_out.
 class ReplySink {
  public:
+  using SharedPayload = std::shared_ptr<const std::vector<uint8_t>>;
+
   virtual ~ReplySink() = default;
   virtual void Send(FrameType type, uint32_t request_id,
                     const uint8_t* payload, size_t payload_len) = 0;
@@ -70,6 +72,16 @@ class ReplySink {
   void Send(FrameType type, uint32_t request_id,
             const std::vector<uint8_t>& payload) {
     Send(type, request_id, payload.data(), payload.size());
+  }
+
+  // Zero-copy variant for immutable reference-counted payloads (cache-
+  // stored answers): the event loop's sink queues the payload by
+  // reference behind a framing header and holds it until the socket
+  // drains it. The default forwards to the copying path, so custom
+  // sinks (tests, capture handlers) need not care.
+  virtual void SendShared(FrameType type, uint32_t request_id,
+                          const SharedPayload& payload) {
+    Send(type, request_id, payload->data(), payload->size());
   }
 };
 

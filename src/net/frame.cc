@@ -37,10 +37,10 @@ const char* FrameTypeName(FrameType type) {
   return "UNKNOWN";
 }
 
-void AppendFrame(FrameType type, uint32_t request_id, const uint8_t* payload,
-                 size_t payload_len, std::vector<uint8_t>* out) {
+void AppendFrameHeader(FrameType type, uint32_t request_id,
+                       size_t payload_len, std::vector<uint8_t>* out) {
   const size_t offset = out->size();
-  out->resize(offset + kFrameHeaderBytes + payload_len);
+  out->resize(offset + kFrameHeaderBytes);
   uint8_t* h = out->data() + offset;
   const uint16_t magic = kFrameMagic;
   std::memcpy(h, &magic, sizeof(magic));
@@ -49,8 +49,13 @@ void AppendFrame(FrameType type, uint32_t request_id, const uint8_t* payload,
   std::memcpy(h + 4, &request_id, sizeof(request_id));
   const uint32_t len = static_cast<uint32_t>(payload_len);
   std::memcpy(h + 8, &len, sizeof(len));
+}
+
+void AppendFrame(FrameType type, uint32_t request_id, const uint8_t* payload,
+                 size_t payload_len, std::vector<uint8_t>* out) {
+  AppendFrameHeader(type, request_id, payload_len, out);
   if (payload_len > 0) {
-    std::memcpy(h + kFrameHeaderBytes, payload, payload_len);
+    out->insert(out->end(), payload, payload + payload_len);
   }
 }
 

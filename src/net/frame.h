@@ -87,6 +87,13 @@ struct Frame {
 void AppendFrame(FrameType type, uint32_t request_id, const uint8_t* payload,
                  size_t payload_len, std::vector<uint8_t>* out);
 
+// Appends only the 12-byte header declaring a payload of `payload_len`
+// bytes. The write path uses this to frame a shared (zero-copy) payload:
+// the header lands in the connection's owned buffer while the payload
+// itself is queued by reference (net/write_queue.h).
+void AppendFrameHeader(FrameType type, uint32_t request_id,
+                       size_t payload_len, std::vector<uint8_t>* out);
+
 std::vector<uint8_t> EncodeFrame(FrameType type, uint32_t request_id,
                                  const std::vector<uint8_t>& payload);
 

@@ -41,6 +41,7 @@ Status NetClient::Connect(const std::string& host, uint16_t port) {
   (void)setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   next_request_id_ = 1;
   decoder_ = FrameDecoder();
+  out_.clear();
   return Status::Ok();
 }
 
@@ -49,17 +50,16 @@ void NetClient::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+  out_.clear();
 }
 
-StatusOr<uint32_t> NetClient::SendRequest(FrameType type,
-                                          const std::vector<uint8_t>& payload) {
+Status NetClient::Flush() {
+  if (out_.empty()) return Status::Ok();
   if (fd_ < 0) return Status::Unavailable("not connected");
-  const uint32_t id = next_request_id_++;
-  std::vector<uint8_t> frame = EncodeFrame(type, id, payload);
   size_t sent = 0;
-  while (sent < frame.size()) {
+  while (sent < out_.size()) {
     const ssize_t n =
-        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+        ::send(fd_, out_.data() + sent, out_.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       const Status status = Errno("send");
@@ -67,6 +67,18 @@ StatusOr<uint32_t> NetClient::SendRequest(FrameType type,
       return status;
     }
     sent += static_cast<size_t>(n);
+  }
+  out_.clear();
+  return Status::Ok();
+}
+
+StatusOr<uint32_t> NetClient::SendRequest(FrameType type,
+                                          const std::vector<uint8_t>& payload) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  const uint32_t id = next_request_id_++;
+  AppendFrame(type, id, payload.data(), payload.size(), &out_);
+  if (out_.size() >= kClientCorkBytes) {
+    if (const Status flushed = Flush(); !flushed.ok()) return flushed;
   }
   return id;
 }
@@ -106,6 +118,9 @@ StatusOr<NetClient::Reply> NetClient::Receive() {
       Close();
       return status;
     }
+    // About to block on the socket: corked requests must hit the wire
+    // first or the server has nothing to answer.
+    if (const Status flushed = Flush(); !flushed.ok()) return flushed;
     uint8_t chunk[16 << 10];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n > 0) {

@@ -20,9 +20,23 @@
 //     connection, so request ids line up FIFO. Pipelining is what makes
 //     a single connection saturate the link despite round-trip latency.
 //
+// Sends are corked: Send* serializes the frame into an outgoing buffer
+// and returns without touching the socket; the buffer is written — one
+// send(2) for the whole batch — when Receive() would otherwise block,
+// when it grows past kClientCorkBytes, or on an explicit Flush(). A
+// frame-at-a-time send() per request costs a syscall each; corking
+// amortizes it across the pipeline window. Callers that need bytes on
+// the wire without calling Receive() (none of the request/response
+// paths do) must Flush() explicitly.
+//
 // Not thread-safe; one NetClient per thread (or per simulated client).
 
 namespace lbsq::net {
+
+// Cork limit: a full outgoing buffer this large is flushed eagerly so a
+// caller issuing thousands of sends before the first Receive() cannot
+// wedge the connection once socket buffers fill in both directions.
+inline constexpr size_t kClientCorkBytes = 32u << 10;
 
 class NetClient {
  public:
@@ -57,11 +71,16 @@ class NetClient {
     std::vector<uint8_t> payload;
   };
 
-  // Blocks for the next reply frame. A per-request failure is an OK
-  // StatusOr whose Reply has type kError and a non-OK `error` field;
-  // a transport or framing failure is a non-OK StatusOr (and the
-  // connection is no longer usable).
+  // Blocks for the next reply frame (flushing corked requests first —
+  // see above). A per-request failure is an OK StatusOr whose Reply has
+  // type kError and a non-OK `error` field; a transport or framing
+  // failure is a non-OK StatusOr (and the connection is no longer
+  // usable).
   [[nodiscard]] StatusOr<Reply> Receive();
+
+  // Writes all corked request bytes to the socket. No-op when nothing
+  // is buffered.
+  [[nodiscard]] Status Flush();
 
   // -- One-shot conveniences -------------------------------------------------
 
@@ -85,6 +104,7 @@ class NetClient {
   int fd_ = -1;
   uint32_t next_request_id_ = 1;
   FrameDecoder decoder_;
+  std::vector<uint8_t> out_;  // corked request frames, not yet sent
 };
 
 }  // namespace lbsq::net

@@ -16,12 +16,12 @@ void NetServer::SendError(ReplySink* reply, uint32_t request_id,
 }
 
 void NetServer::SendAnswer(ReplySink* reply, uint32_t request_id,
-                           StatusOr<std::vector<uint8_t>> answer) {
+                           StatusOr<core::Server::WireBytes> answer) {
   if (!answer.ok()) {
     SendError(reply, request_id, answer.status(), /*bad_request=*/false);
     return;
   }
-  if (answer->size() > kMaxPayloadBytes) {
+  if ((*answer)->size() > kMaxPayloadBytes) {
     // A well-formed query whose answer cannot cross the link in one
     // frame (a range query covering most of a huge dataset). Refusing
     // beats producing a frame no conforming decoder would accept.
@@ -30,7 +30,7 @@ void NetServer::SendAnswer(ReplySink* reply, uint32_t request_id,
               /*bad_request=*/false);
     return;
   }
-  reply->Send(FrameType::kAnswer, request_id, *answer);
+  reply->SendShared(FrameType::kAnswer, request_id, *answer);
 }
 
 void NetServer::OnFrame(uint64_t connection_id, const Frame& frame,
@@ -64,7 +64,7 @@ void NetServer::OnFrame(uint64_t connection_id, const Frame& frame,
         return;
       }
       SendAnswer(reply, frame.request_id,
-                 server_->NnQueryWire(req->q, req->k));
+                 server_->NnQueryWireShared(req->q, req->k));
       return;
     }
 
@@ -81,7 +81,7 @@ void NetServer::OnFrame(uint64_t connection_id, const Frame& frame,
         return;
       }
       SendAnswer(reply, frame.request_id,
-                 server_->WindowQueryWire(req->focus, req->hx, req->hy));
+                 server_->WindowQueryWireShared(req->focus, req->hx, req->hy));
       return;
     }
 
@@ -98,7 +98,7 @@ void NetServer::OnFrame(uint64_t connection_id, const Frame& frame,
         return;
       }
       SendAnswer(reply, frame.request_id,
-                 server_->RangeQueryWire(req->focus, req->radius));
+                 server_->RangeQueryWireShared(req->focus, req->radius));
       return;
     }
 

@@ -49,10 +49,11 @@ class NetServer : private FrameHandler {
 
   void SendError(ReplySink* reply, uint32_t request_id, const Status& status,
                  bool bad_request);
-  // Frames an OK answer, or converts an engine/oversize failure into an
+  // Frames an OK answer (zero-copy: the shared payload rides the write
+  // queue by reference), or converts an engine/oversize failure into an
   // Error frame.
   void SendAnswer(ReplySink* reply, uint32_t request_id,
-                  StatusOr<std::vector<uint8_t>> answer);
+                  StatusOr<core::Server::WireBytes> answer);
 
   core::Server* server_;
   EventLoop loop_;

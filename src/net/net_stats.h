@@ -33,6 +33,16 @@ struct NetStats {
   uint64_t frames_out = 0;
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
+
+  // Write-path batching (net/write_queue.h). Invariants, checked in
+  // net_test: after a clean drain bytes_out == bytes_copied +
+  // bytes_zero_copy; writev_iovecs >= writev_calls; frames_out /
+  // writev_calls is the mean frames-per-batch (>= 1 once anything was
+  // sent, and the whole point of the batching when it is larger).
+  uint64_t writev_calls = 0;      // sendmsg(2) gather syscalls issued
+  uint64_t writev_iovecs = 0;     // iovecs submitted across those calls
+  uint64_t bytes_copied = 0;      // reply bytes memcpy'd into owned buffers
+  uint64_t bytes_zero_copy = 0;   // reply bytes queued by reference
 };
 
 }  // namespace lbsq::net

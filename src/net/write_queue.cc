@@ -1,0 +1,82 @@
+#include "net/write_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace lbsq::net {
+
+std::vector<uint8_t>* WriteQueue::AppendableBuffer() {
+  if (segments_.empty() || segments_.back().shared != nullptr) {
+    segments_.emplace_back();
+  }
+  Segment& tail = segments_.back();
+  // Only the head segment can carry a sent prefix, so tail.head != 0
+  // implies this segment is both head and tail (a lone, partially
+  // flushed buffer). Reclaim the dead prefix once it is large enough
+  // that the memmove beats letting the buffer keep growing.
+  if (tail.head > kCompactThresholdBytes) {
+    tail.owned.erase(tail.owned.begin(),
+                     tail.owned.begin() + static_cast<ptrdiff_t>(tail.head));
+    tail.head = 0;
+  }
+  return &tail.owned;
+}
+
+void WriteQueue::BytesAppended(size_t n) { pending_ += n; }
+
+bool WriteQueue::AppendShared(SharedBytes payload) {
+  LBSQ_DCHECK(payload != nullptr);
+  const size_t n = payload->size();
+  if (n < kZeroCopyMinBytes) {
+    std::vector<uint8_t>* buf = AppendableBuffer();
+    buf->insert(buf->end(), payload->begin(), payload->end());
+    pending_ += n;
+    return false;
+  }
+  Segment seg;
+  seg.shared = std::move(payload);
+  segments_.push_back(std::move(seg));
+  pending_ += n;
+  return true;
+}
+
+size_t WriteQueue::BuildIovecs(struct iovec* iov, size_t max_iov) const {
+  size_t count = 0;
+  for (const Segment& seg : segments_) {
+    if (count == max_iov) break;
+    const size_t remaining = seg.size() - seg.head;
+    if (remaining == 0) continue;  // head segment drained but not popped
+    // sendmsg never writes through msg_iov; the const_cast only bridges
+    // the POSIX struct's non-const iov_base.
+    iov[count].iov_base =
+        const_cast<uint8_t*>(seg.data() + seg.head);
+    iov[count].iov_len = remaining;
+    ++count;
+  }
+  return count;
+}
+
+void WriteQueue::Consume(size_t n) {
+  LBSQ_DCHECK(n <= pending_);
+  pending_ -= n;
+  while (n > 0) {
+    Segment& head = segments_.front();
+    const size_t remaining = head.size() - head.head;
+    if (n >= remaining) {
+      n -= remaining;
+      segments_.pop_front();
+    } else {
+      head.head += n;
+      n = 0;
+    }
+  }
+  if (pending_ == 0) segments_.clear();
+}
+
+void WriteQueue::Clear() {
+  segments_.clear();
+  pending_ = 0;
+}
+
+}  // namespace lbsq::net

@@ -1,0 +1,115 @@
+#ifndef LBSQ_NET_WRITE_QUEUE_H_
+#define LBSQ_NET_WRITE_QUEUE_H_
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+// Per-connection outgoing byte queue behind the event loop's
+// sendmsg(2)/iovec write path. Two kinds of segment:
+//
+//   owned    a growable buffer that consecutive small appends (frame
+//            headers, error/pong payloads, answers below the zero-copy
+//            cutoff) coalesce into — one memcpy on enqueue, contiguous
+//            on the wire;
+//   shared   an immutable reference-counted payload (a semantic-cache
+//            answer) queued without copying. The queue's reference keeps
+//            the bytes alive until the socket has drained them, so cache
+//            eviction or epoch invalidation while a reply is in flight
+//            can never free memory under an iovec (see DESIGN.md,
+//            "Batched write path").
+//
+// FlushWrites gathers up to kMaxIovPerSend segments into one
+// sendmsg(2), replacing the old frame-at-a-time send() loop; the queue
+// only tracks byte positions (BuildIovecs/Consume), it never issues
+// syscalls itself, which is what makes it unit-testable without a
+// socket.
+//
+// Compaction: only the head segment can be partially sent (Consume pops
+// every fully-drained segment), so a long partial-send sequence leaves a
+// dead prefix in the head owned buffer. Appends reclaim it only once it
+// exceeds kCompactThresholdBytes — under that, appending to the tail is
+// cheaper than the memmove; above it, the one memmove bounds the dead
+// bytes a slow peer can pin (the old path could only clear the buffer
+// when it drained completely).
+
+namespace lbsq::net {
+
+// Upper bound on iovecs gathered into one sendmsg call. IOV_MAX is
+// 1024; 64 keeps the on-stack array small while already amortizing the
+// syscall cost across a full pipeline window of replies.
+inline constexpr size_t kMaxIovPerSend = 64;
+
+// Shared payloads below this size are copied into the owned tail buffer
+// instead of queued by reference. Measured on the loadgen workload
+// (~300-byte answers): per-payload shared segments — deque node,
+// shared_ptr refcount round-trip, one extra iovec each — cost more than
+// the memcpy they save, a ~15% throughput loss. A page is past the
+// crossover: copying pollutes cache for longer than the fixed
+// per-segment overhead takes.
+inline constexpr size_t kZeroCopyMinBytes = 4096;
+
+// Dead-prefix bound for the head owned buffer (see above).
+inline constexpr size_t kCompactThresholdBytes = 16u << 10;
+
+class WriteQueue {
+ public:
+  using SharedBytes = std::shared_ptr<const std::vector<uint8_t>>;
+
+  size_t pending() const { return pending_; }
+  bool empty() const { return pending_ == 0; }
+
+  // Returns the owned tail buffer for the caller to append frame bytes
+  // into directly (compacting the head's dead prefix first when it is
+  // over threshold); follow with BytesAppended(n) so accounting sees the
+  // new bytes. Splitting the append this way lets AppendFrame serialize
+  // straight into the queue with no intermediate buffer.
+  std::vector<uint8_t>* AppendableBuffer();
+  void BytesAppended(size_t n);
+
+  // Queues `payload` by reference (no copy) when it is at least
+  // kZeroCopyMinBytes, by copy otherwise. Returns true when the payload
+  // was queued zero-copy. The payload must be non-null; callers append
+  // the frame header via AppendableBuffer first.
+  bool AppendShared(SharedBytes payload);
+
+  // Fills up to `max_iov` iovecs covering the unsent prefix in order;
+  // returns how many were filled.
+  size_t BuildIovecs(struct iovec* iov, size_t max_iov) const;
+
+  // Marks `n` bytes (<= pending()) as sent, popping drained segments —
+  // which releases any shared payload references they held.
+  void Consume(size_t n);
+
+  void Clear();
+
+  // Introspection for stats and tests.
+  size_t segments() const { return segments_.size(); }
+  // Dead prefix of the head segment (bytes already sent but not yet
+  // reclaimed).
+  size_t head_dead_bytes() const {
+    return segments_.empty() ? 0 : segments_.front().head;
+  }
+
+ private:
+  struct Segment {
+    std::vector<uint8_t> owned;  // used when `shared` is null
+    SharedBytes shared;
+    size_t head = 0;  // sent prefix
+    size_t size() const { return shared ? shared->size() : owned.size(); }
+    const uint8_t* data() const {
+      return shared ? shared->data() : owned.data();
+    }
+  };
+
+  std::deque<Segment> segments_;
+  size_t pending_ = 0;
+};
+
+}  // namespace lbsq::net
+
+#endif  // LBSQ_NET_WRITE_QUEUE_H_

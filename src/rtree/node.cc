@@ -8,22 +8,21 @@ void Node::SerializeTo(storage::Page* page) const {
   LBSQ_CHECK(size() <= capacity());
   page->WriteAt<uint16_t>(0, level);
   page->WriteAt<uint16_t>(2, static_cast<uint16_t>(size()));
-  uint32_t off = kNodeHeaderSize;
   if (is_leaf()) {
-    for (const DataEntry& e : data) {
-      page->WriteAt<double>(off, e.point.x);
-      page->WriteAt<double>(off + 8, e.point.y);
-      page->WriteAt<uint32_t>(off + 16, e.id);
-      off += kDataEntrySize;
+    for (size_t i = 0; i < data.size(); ++i) {
+      const uint32_t idx = static_cast<uint32_t>(i);
+      page->WriteAt<double>(kLeafXOff + idx * 8, data[i].point.x);
+      page->WriteAt<double>(kLeafYOff + idx * 8, data[i].point.y);
+      page->WriteAt<uint32_t>(kLeafIdOff + idx * 4, data[i].id);
     }
   } else {
-    for (const ChildEntry& e : children) {
-      page->WriteAt<double>(off, e.mbr.min_x);
-      page->WriteAt<double>(off + 8, e.mbr.min_y);
-      page->WriteAt<double>(off + 16, e.mbr.max_x);
-      page->WriteAt<double>(off + 24, e.mbr.max_y);
-      page->WriteAt<uint32_t>(off + 32, e.child);
-      off += kChildEntrySize;
+    for (size_t i = 0; i < children.size(); ++i) {
+      const uint32_t idx = static_cast<uint32_t>(i);
+      page->WriteAt<double>(kChildXloOff + idx * 8, children[i].mbr.min_x);
+      page->WriteAt<double>(kChildYloOff + idx * 8, children[i].mbr.min_y);
+      page->WriteAt<double>(kChildXhiOff + idx * 8, children[i].mbr.max_x);
+      page->WriteAt<double>(kChildYhiOff + idx * 8, children[i].mbr.max_y);
+      page->WriteAt<uint32_t>(kChildIdOff + idx * 4, children[i].child);
     }
   }
 }
@@ -32,28 +31,25 @@ Node Node::DeserializeFrom(const storage::Page& page) {
   Node node;
   node.level = page.ReadAt<uint16_t>(0);
   const uint16_t count = page.ReadAt<uint16_t>(2);
-  uint32_t off = kNodeHeaderSize;
   if (node.level == 0) {
     node.data.reserve(count);
     for (uint16_t i = 0; i < count; ++i) {
       DataEntry e;
-      e.point.x = page.ReadAt<double>(off);
-      e.point.y = page.ReadAt<double>(off + 8);
-      e.id = page.ReadAt<uint32_t>(off + 16);
+      e.point.x = page.ReadAt<double>(kLeafXOff + i * 8u);
+      e.point.y = page.ReadAt<double>(kLeafYOff + i * 8u);
+      e.id = page.ReadAt<uint32_t>(kLeafIdOff + i * 4u);
       node.data.push_back(e);
-      off += kDataEntrySize;
     }
   } else {
     node.children.reserve(count);
     for (uint16_t i = 0; i < count; ++i) {
       ChildEntry e;
-      e.mbr.min_x = page.ReadAt<double>(off);
-      e.mbr.min_y = page.ReadAt<double>(off + 8);
-      e.mbr.max_x = page.ReadAt<double>(off + 16);
-      e.mbr.max_y = page.ReadAt<double>(off + 24);
-      e.child = page.ReadAt<uint32_t>(off + 32);
+      e.mbr.min_x = page.ReadAt<double>(kChildXloOff + i * 8u);
+      e.mbr.min_y = page.ReadAt<double>(kChildYloOff + i * 8u);
+      e.mbr.max_x = page.ReadAt<double>(kChildXhiOff + i * 8u);
+      e.mbr.max_y = page.ReadAt<double>(kChildYhiOff + i * 8u);
+      e.child = page.ReadAt<uint32_t>(kChildIdOff + i * 4u);
       node.children.push_back(e);
-      off += kChildEntrySize;
     }
   }
   return node;

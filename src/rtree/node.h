@@ -11,16 +11,39 @@
 #include "geometry/rect.h"
 #include "storage/page.h"
 
-// R-tree node layout. Every node occupies exactly one 4 KiB page:
+// R-tree node layout. Every node occupies exactly one 4 KiB page, with
+// its entries stored structure-of-arrays (SoA): each coordinate lives in
+// its own contiguous, 8-byte-aligned array so that the hot scan loops
+// (window overlap tests, kNN mindist computation) read consecutive
+// memory and autovectorize.
 //
 //   offset 0: uint16 level      (0 = leaf)
 //   offset 2: uint16 count
-//   offset 4: entries
+//   offset 8: coordinate arrays (fixed capacity-sized slots; see below)
 //
-// Leaf entries hold a data point and its object id (20 bytes), matching
-// the paper's "page size of 4k bytes resulting in a node capacity of 204
-// entries". Internal entries hold a child MBR and child page id
-// (36 bytes, capacity 113).
+// Leaf pages (level 0), capacity 204 — matching the paper's "page size
+// of 4k bytes resulting in a node capacity of 204 entries" at 20 logical
+// bytes per entry (x, y, id):
+//
+//   x[204]  doubles at kLeafXOff  (8)
+//   y[204]  doubles at kLeafYOff  (1640)
+//   id[204] uint32s at kLeafIdOff (3272)   ... ends at 4088 <= 4096
+//
+// Internal pages (level > 0), capacity 113 at 36 logical bytes per entry
+// (child MBR + child page id):
+//
+//   xlo[113]   doubles at kChildXloOff (8)
+//   ylo[113]   doubles at kChildYloOff (912)
+//   xhi[113]   doubles at kChildXhiOff (1816)
+//   yhi[113]   doubles at kChildYhiOff (2720)
+//   child[113] uint32s at kChildIdOff  (3624) ... ends at 4076 <= 4096
+//
+// The arrays are capacity-sized slots, so an entry's position never moves
+// as the count changes; only the first `count` elements of each array are
+// meaningful. Answers are unaffected by the layout: serialization round-
+// trips the exact same doubles/ids as the previous array-of-structs
+// layout, in the same entry order — only their byte positions inside the
+// page differ.
 
 namespace lbsq::rtree {
 
@@ -39,6 +62,8 @@ struct ChildEntry {
 };
 
 inline constexpr uint32_t kNodeHeaderSize = 4;
+// Logical per-entry sizes (capacity arithmetic, cost accounting): the
+// paper's 20-byte leaf entries and 36-byte internal entries.
 inline constexpr uint32_t kDataEntrySize = 2 * sizeof(double) + sizeof(uint32_t);
 inline constexpr uint32_t kChildEntrySize = 4 * sizeof(double) + sizeof(uint32_t);
 inline constexpr uint32_t kLeafCapacity =
@@ -48,6 +73,36 @@ inline constexpr uint32_t kInternalCapacity =
 
 static_assert(kLeafCapacity == 204,
               "leaf capacity must match the paper's node capacity");
+
+// SoA array offsets. Arrays start at byte 8 so every double slot is
+// 8-byte aligned within the page.
+inline constexpr uint32_t kSoaArrayBase = 8;
+inline constexpr uint32_t kLeafXOff = kSoaArrayBase;
+inline constexpr uint32_t kLeafYOff = kLeafXOff + kLeafCapacity * 8;
+inline constexpr uint32_t kLeafIdOff = kLeafYOff + kLeafCapacity * 8;
+static_assert(kLeafIdOff + kLeafCapacity * 4 <= storage::kPageSize,
+              "SoA leaf arrays must fit in one page");
+inline constexpr uint32_t kChildXloOff = kSoaArrayBase;
+inline constexpr uint32_t kChildYloOff = kChildXloOff + kInternalCapacity * 8;
+inline constexpr uint32_t kChildXhiOff = kChildYloOff + kInternalCapacity * 8;
+inline constexpr uint32_t kChildYhiOff = kChildXhiOff + kInternalCapacity * 8;
+inline constexpr uint32_t kChildIdOff = kChildYhiOff + kInternalCapacity * 8;
+static_assert(kChildIdOff + kInternalCapacity * 4 <= storage::kPageSize,
+              "SoA internal arrays must fit in one page");
+
+// Unaligned-safe scalar loads used by the SoA scan loops. `base` points
+// at the first element of a contiguous array; the compiler turns the
+// memcpy into a plain (vectorizable) load.
+inline double LoadF64(const uint8_t* base, size_t i) {
+  double v;
+  std::memcpy(&v, base + i * sizeof(double), sizeof(v));
+  return v;
+}
+inline uint32_t LoadU32(const uint8_t* base, size_t i) {
+  uint32_t v;
+  std::memcpy(&v, base + i * sizeof(uint32_t), sizeof(v));
+  return v;
+}
 
 // Deserialized node. Nodes are value types: the R-tree reads them out of
 // the buffer pool, mutates them, and writes them back explicitly.
@@ -89,8 +144,9 @@ struct Node {
 // (child page ids, entries) before fetching the next node, and never
 // re-enter the tree while iterating a view.
 //
-// Entries start at byte offset 4, so doubles inside them are unaligned;
-// accessors memcpy each field, which compiles to plain unaligned loads.
+// With the SoA layout every accessor reads one element of a contiguous
+// array; the *_array() methods expose the array bases so that scan loops
+// iterate consecutive memory (the property autovectorization needs).
 class NodeView {
  public:
   NodeView() = default;
@@ -100,65 +156,82 @@ class NodeView {
   bool is_leaf() const { return level() == 0; }
   size_t size() const { return ReadAs<uint16_t>(2); }
 
-  // Leaf entry accessors (level == 0). The split x()/y() pair lets hot
-  // scan loops reject on x before touching the y (and id) bytes at all.
+  // SoA array bases for branch-light scan loops (leaf: level == 0;
+  // internal: level > 0). Index with LoadF64/LoadU32.
+  const uint8_t* leaf_xs() const {
+    LBSQ_DCHECK(is_leaf());
+    return bytes_ + kLeafXOff;
+  }
+  const uint8_t* leaf_ys() const {
+    LBSQ_DCHECK(is_leaf());
+    return bytes_ + kLeafYOff;
+  }
+  const uint8_t* leaf_ids() const {
+    LBSQ_DCHECK(is_leaf());
+    return bytes_ + kLeafIdOff;
+  }
+  const uint8_t* child_xlos() const {
+    LBSQ_DCHECK(!is_leaf());
+    return bytes_ + kChildXloOff;
+  }
+  const uint8_t* child_ylos() const {
+    LBSQ_DCHECK(!is_leaf());
+    return bytes_ + kChildYloOff;
+  }
+  const uint8_t* child_xhis() const {
+    LBSQ_DCHECK(!is_leaf());
+    return bytes_ + kChildXhiOff;
+  }
+  const uint8_t* child_yhis() const {
+    LBSQ_DCHECK(!is_leaf());
+    return bytes_ + kChildYhiOff;
+  }
+  const uint8_t* child_pages() const {
+    LBSQ_DCHECK(!is_leaf());
+    return bytes_ + kChildIdOff;
+  }
+
+  // Leaf entry accessors (level == 0).
   double x(size_t i) const {
     LBSQ_DCHECK(is_leaf() && i < size());
-    return ReadAs<double>(kNodeHeaderSize +
-                          static_cast<uint32_t>(i) * kDataEntrySize);
+    return LoadF64(bytes_ + kLeafXOff, i);
   }
   double y(size_t i) const {
     LBSQ_DCHECK(is_leaf() && i < size());
-    return ReadAs<double>(kNodeHeaderSize +
-                          static_cast<uint32_t>(i) * kDataEntrySize + 8);
+    return LoadF64(bytes_ + kLeafYOff, i);
   }
-  geo::Point point(size_t i) const {
-    LBSQ_DCHECK(is_leaf() && i < size());
-    const uint32_t off = kNodeHeaderSize + static_cast<uint32_t>(i) * kDataEntrySize;
-    return {ReadAs<double>(off), ReadAs<double>(off + 8)};
-  }
+  geo::Point point(size_t i) const { return {x(i), y(i)}; }
   ObjectId object_id(size_t i) const {
     LBSQ_DCHECK(is_leaf() && i < size());
-    const uint32_t off = kNodeHeaderSize + static_cast<uint32_t>(i) * kDataEntrySize;
-    return ReadAs<uint32_t>(off + 16);
+    return LoadU32(bytes_ + kLeafIdOff, i);
   }
   DataEntry data_entry(size_t i) const {
     return DataEntry{point(i), object_id(i)};
   }
 
-  // Internal entry accessors (level > 0). The per-field accessors let
-  // scan loops reject a child on one or two coordinates without loading
-  // the rest of its MBR.
+  // Internal entry accessors (level > 0).
   double child_min_x(size_t i) const {
     LBSQ_DCHECK(!is_leaf() && i < size());
-    return ReadAs<double>(kNodeHeaderSize +
-                          static_cast<uint32_t>(i) * kChildEntrySize);
+    return LoadF64(bytes_ + kChildXloOff, i);
   }
   double child_min_y(size_t i) const {
     LBSQ_DCHECK(!is_leaf() && i < size());
-    return ReadAs<double>(kNodeHeaderSize +
-                          static_cast<uint32_t>(i) * kChildEntrySize + 8);
+    return LoadF64(bytes_ + kChildYloOff, i);
   }
   double child_max_x(size_t i) const {
     LBSQ_DCHECK(!is_leaf() && i < size());
-    return ReadAs<double>(kNodeHeaderSize +
-                          static_cast<uint32_t>(i) * kChildEntrySize + 16);
+    return LoadF64(bytes_ + kChildXhiOff, i);
   }
   double child_max_y(size_t i) const {
     LBSQ_DCHECK(!is_leaf() && i < size());
-    return ReadAs<double>(kNodeHeaderSize +
-                          static_cast<uint32_t>(i) * kChildEntrySize + 24);
+    return LoadF64(bytes_ + kChildYhiOff, i);
   }
   geo::Rect child_mbr(size_t i) const {
-    LBSQ_DCHECK(!is_leaf() && i < size());
-    const uint32_t off = kNodeHeaderSize + static_cast<uint32_t>(i) * kChildEntrySize;
-    return {ReadAs<double>(off), ReadAs<double>(off + 8),
-            ReadAs<double>(off + 16), ReadAs<double>(off + 24)};
+    return {child_min_x(i), child_min_y(i), child_max_x(i), child_max_y(i)};
   }
   storage::PageId child_page(size_t i) const {
     LBSQ_DCHECK(!is_leaf() && i < size());
-    const uint32_t off = kNodeHeaderSize + static_cast<uint32_t>(i) * kChildEntrySize;
-    return ReadAs<uint32_t>(off + 32);
+    return LoadU32(bytes_ + kChildIdOff, i);
   }
   ChildEntry child_entry(size_t i) const {
     return ChildEntry{child_mbr(i), child_page(i)};

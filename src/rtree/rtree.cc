@@ -611,14 +611,21 @@ void WindowTraverse(RTree& tree, const geo::Rect& w, Emit&& emit) {
       if (frame.contained) {
         for (size_t i = 0; i < n; ++i) emit(node.data_entry(i));
       } else {
+        // SoA two-pass scan: pass 1 evaluates Rect::Contains for every
+        // entry as a branch-free map over the contiguous x[]/y[] arrays
+        // (autovectorizes); pass 2 emits the hits in entry order — the
+        // same predicate and emit order as the scalar loop.
+        uint8_t hit[kLeafCapacity];
+        const uint8_t* xs = node.leaf_xs();
+        const uint8_t* ys = node.leaf_ys();
         for (size_t i = 0; i < n; ++i) {
-          // Same predicate as Rect::Contains, but rejecting on x before
-          // the y and id bytes of the entry are loaded at all.
-          const double px = node.x(i);
-          if (px < w.min_x || px > w.max_x) continue;
-          const double py = node.y(i);
-          if (py < w.min_y || py > w.max_y) continue;
-          emit(DataEntry{{px, py}, node.object_id(i)});
+          const double px = LoadF64(xs, i);
+          const double py = LoadF64(ys, i);
+          hit[i] = static_cast<uint8_t>((px >= w.min_x) & (px <= w.max_x) &
+                                        (py >= w.min_y) & (py <= w.max_y));
+        }
+        for (size_t i = 0; i < n; ++i) {
+          if (hit[i]) emit(node.data_entry(i));
         }
       }
     } else if (frame.contained) {
@@ -626,21 +633,31 @@ void WindowTraverse(RTree& tree, const geo::Rect& w, Emit&& emit) {
         stack.push_back({node.child_page(i), true});
       }
     } else {
+      // Pass 1: Rect::Intersects and window-contains-child masks over
+      // the contiguous MBR arrays (2 = intersects and contained,
+      // 1 = intersects only, 0 = disjoint); pass 2 pushes the
+      // surviving children in entry order, as before.
+      uint8_t overlap[kInternalCapacity];
+      const uint8_t* xlo = node.child_xlos();
+      const uint8_t* ylo = node.child_ylos();
+      const uint8_t* xhi = node.child_xhis();
+      const uint8_t* yhi = node.child_yhis();
       for (size_t i = 0; i < n; ++i) {
-        // Unrolled Rect::Intersects with one-field-at-a-time rejection:
-        // a child that misses the window's x range is dropped after two
-        // loads instead of four (plus the page id).
-        const double cmin_x = node.child_min_x(i);
-        if (cmin_x > w.max_x) continue;
-        const double cmax_x = node.child_max_x(i);
-        if (cmax_x < w.min_x) continue;
-        const double cmin_y = node.child_min_y(i);
-        if (cmin_y > w.max_y) continue;
-        const double cmax_y = node.child_max_y(i);
-        if (cmax_y < w.min_y) continue;
-        const bool contained = cmin_x >= w.min_x && cmax_x <= w.max_x &&
-                               cmin_y >= w.min_y && cmax_y <= w.max_y;
-        stack.push_back({node.child_page(i), contained});
+        const double cmin_x = LoadF64(xlo, i);
+        const double cmin_y = LoadF64(ylo, i);
+        const double cmax_x = LoadF64(xhi, i);
+        const double cmax_y = LoadF64(yhi, i);
+        const uint8_t intersects =
+            static_cast<uint8_t>((cmin_x <= w.max_x) & (cmax_x >= w.min_x) &
+                                 (cmin_y <= w.max_y) & (cmax_y >= w.min_y));
+        const uint8_t contained =
+            static_cast<uint8_t>((cmin_x >= w.min_x) & (cmax_x <= w.max_x) &
+                                 (cmin_y >= w.min_y) & (cmax_y <= w.max_y));
+        overlap[i] = static_cast<uint8_t>(intersects + (intersects & contained));
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (overlap[i] == 0) continue;
+        stack.push_back({node.child_page(i), overlap[i] == 2});
       }
     }
   }

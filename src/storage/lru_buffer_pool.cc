@@ -20,14 +20,14 @@ const Page& LruBufferPool::Fetch(PageId id) {
     ++misses_;
     return manager_->ReadRef(id);
   }
-  if (auto it = map_.find(id); it != map_.end()) {
+  if (auto* it = map_.Find(id)) {
     ++hits_;
-    return Touch(it->second).page;
+    return Touch(*it).page;
   }
   ++misses_;
   frames_.push_front(Frame{id, Page(), false});
   manager_->Read(id, &frames_.front().page);
-  map_[id] = frames_.begin();
+  map_.Insert(id, frames_.begin());
   EvictIfNeeded();
   return frames_.front().page;
 }
@@ -38,39 +38,39 @@ void LruBufferPool::Write(PageId id, const Page& page) {
     manager_->Write(id, page);
     return;
   }
-  if (auto it = map_.find(id); it != map_.end()) {
+  if (auto* it = map_.Find(id)) {
     ++hits_;
-    Frame& frame = Touch(it->second);
+    Frame& frame = Touch(*it);
     frame.page = page;
     frame.dirty = true;
     return;
   }
   ++misses_;
   frames_.push_front(Frame{id, page, true});
-  map_[id] = frames_.begin();
+  map_.Insert(id, frames_.begin());
   EvictIfNeeded();
 }
 
 Page* LruBufferPool::MutablePage(PageId id) {
   if (capacity_ == 0) return nullptr;
   ++logical_accesses_;
-  if (auto it = map_.find(id); it != map_.end()) {
+  if (auto* it = map_.Find(id)) {
     ++hits_;
-    Frame& frame = Touch(it->second);
+    Frame& frame = Touch(*it);
     frame.dirty = true;
     return &frame.page;
   }
   ++misses_;
   frames_.push_front(Frame{id, Page(), true});
-  map_[id] = frames_.begin();
+  map_.Insert(id, frames_.begin());
   EvictIfNeeded();
   return &frames_.front().page;
 }
 
 void LruBufferPool::Discard(PageId id) {
-  if (auto it = map_.find(id); it != map_.end()) {
-    frames_.erase(it->second);
-    map_.erase(it);
+  if (auto* it = map_.Find(id)) {
+    frames_.erase(*it);
+    map_.Erase(id);
   }
 }
 
@@ -81,7 +81,7 @@ void LruBufferPool::FlushAll() {
 void LruBufferPool::Clear() {
   FlushAll();
   frames_.clear();
-  map_.clear();
+  map_.Clear();
 }
 
 void LruBufferPool::Resize(size_t capacity) {
@@ -98,7 +98,7 @@ void LruBufferPool::EvictIfNeeded() {
   while (map_.size() > capacity_) {
     Frame& victim = frames_.back();
     WriteBack(victim);
-    map_.erase(victim.id);
+    map_.Erase(victim.id);
     frames_.pop_back();
   }
 }

@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <list>
-#include <unordered_map>
 
 #include "storage/page.h"
+#include "storage/page_index.h"
 #include "storage/page_store.h"
 
 // LRU page buffer. The paper's cost experiments (Figures 27, 28, 34, 35)
@@ -83,7 +83,7 @@ class LruBufferPool {
   PageStore* manager_;
   size_t capacity_;
   FrameList frames_;  // front = most recently used
-  std::unordered_map<PageId, FrameList::iterator> map_;
+  PageIndex<FrameList::iterator> map_;
   uint64_t logical_accesses_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

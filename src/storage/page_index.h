@@ -1,0 +1,124 @@
+#ifndef LBSQ_STORAGE_PAGE_INDEX_H_
+#define LBSQ_STORAGE_PAGE_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "storage/page.h"
+
+// Flat open-addressing PageId -> value index used by the LRU buffer
+// pool. std::unordered_map costs a per-node allocation and two dependent
+// pointer chases per lookup, which shows up directly in the R-tree fetch
+// hot path; this table is one contiguous array probed linearly from a
+// Fibonacci-mixed hash, with backward-shift deletion (no tombstones).
+//
+// It is purely an index: iteration order is never exposed, so the buffer
+// pool's hit/miss decisions and eviction order — the paper's NA/PA
+// accounting — are driven by the frame list alone and cannot change when
+// this replaces the hash map.
+//
+// kInvalidPageId marks empty slots, so it cannot be used as a key (the
+// pool never stores it: pages always have real ids).
+
+namespace lbsq::storage {
+
+template <typename V>
+class PageIndex {
+ public:
+  PageIndex() { Rehash(kMinSlots); }
+
+  // Returns the value for id, or nullptr. The pointer is invalidated by
+  // the next Insert/Erase/Clear.
+  V* Find(PageId id) {
+    size_t i = Slot(id);
+    while (keys_[i] != kInvalidPageId) {
+      if (keys_[i] == id) return &values_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  // Inserts a new mapping; id must not be present.
+  void Insert(PageId id, V value) {
+    LBSQ_DCHECK(id != kInvalidPageId);
+    if ((size_ + 1) * 2 > keys_.size()) Rehash(keys_.size() * 2);
+    size_t i = Slot(id);
+    while (keys_[i] != kInvalidPageId) {
+      LBSQ_DCHECK(keys_[i] != id);
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = id;
+    values_[i] = value;
+    ++size_;
+  }
+
+  // Removes id if present. Backward-shift deletion: closing the gap by
+  // sliding back every later cluster entry whose probe path covered it,
+  // preserving the no-gap-on-probe-path invariant without tombstones.
+  void Erase(PageId id) {
+    size_t i = Slot(id);
+    while (keys_[i] != kInvalidPageId) {
+      if (keys_[i] == id) break;
+      i = (i + 1) & mask_;
+    }
+    if (keys_[i] == kInvalidPageId) return;
+    --size_;
+    size_t gap = i;
+    size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (keys_[j] == kInvalidPageId) break;
+      const size_t ideal = Slot(keys_[j]);
+      // j's probe path starts at ideal; it covers the gap iff the gap
+      // lies within [ideal, j] in circular probe order.
+      if (((j - ideal) & mask_) >= ((j - gap) & mask_)) {
+        keys_[gap] = keys_[j];
+        values_[gap] = values_[j];
+        gap = j;
+      }
+    }
+    keys_[gap] = kInvalidPageId;
+  }
+
+  void Clear() {
+    keys_.assign(keys_.size(), kInvalidPageId);
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  static constexpr size_t kMinSlots = 64;
+
+  size_t Slot(PageId id) const {
+    // Fibonacci mixing: sequential page ids spread across the table
+    // instead of forming one linear-probe cluster.
+    return (static_cast<uint64_t>(id) * 2654435769u >> 16) & mask_;
+  }
+
+  void Rehash(size_t slots) {
+    std::vector<PageId> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    keys_.assign(slots, kInvalidPageId);
+    values_.assign(slots, V{});
+    mask_ = slots - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kInvalidPageId) continue;
+      size_t j = Slot(old_keys[i]);
+      while (keys_[j] != kInvalidPageId) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      values_[j] = old_values[i];
+    }
+  }
+
+  std::vector<PageId> keys_;
+  std::vector<V> values_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace lbsq::storage
+
+#endif  // LBSQ_STORAGE_PAGE_INDEX_H_

@@ -5,6 +5,12 @@
 // property throughout: bytes received over the socket are bit-identical
 // to what the in-process wire path returns for the same query.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -19,6 +25,7 @@
 #include "net/frame.h"
 #include "net/net_client.h"
 #include "net/net_server.h"
+#include "net/write_queue.h"
 #include "tests/test_util.h"
 #include "workload/datasets.h"
 #include "workload/queries.h"
@@ -473,6 +480,169 @@ TEST(NetServerTest, StatsAccountEveryConnection) {
   EXPECT_EQ(stats.accepts, 5u);
   EXPECT_EQ(stats.clean_closes + stats.drops, stats.accepts);
   EXPECT_EQ(stats.drops, 0u);
+}
+
+// -- Write-path batching stats -----------------------------------------------
+
+TEST(NetServerTest, StatsAccountWritevBatching) {
+  ServedDataset served;
+  const auto queries = workload::MakeHotspotQueries(kUnit, 40, 4, 911, 0.02);
+  ServerHarness harness(&served.server, NetOptions{});
+  ASSERT_TRUE(harness.Start().ok());
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.port()).ok());
+  for (const geo::Point& q : queries) {
+    ASSERT_TRUE(client.SendNn(q, 3).ok());
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto reply = client.Receive();
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->type, FrameType::kAnswer);
+    // Small answers must have taken the coalescing path, staying below
+    // the zero-copy cutoff.
+    EXPECT_LT(reply->payload.size(), kZeroCopyMinBytes);
+  }
+  client.Close();
+  const NetStats stats = harness.Finish(/*drain=*/true);
+
+  EXPECT_EQ(stats.frames_out, queries.size());
+  // The gather-write invariants (net_stats.h): every sendmsg submitted
+  // at least one iovec, batches never outnumber frames, and after a
+  // clean drain every byte out is accounted as copied or zero-copy.
+  EXPECT_GE(stats.writev_calls, 1u);
+  EXPECT_GE(stats.writev_iovecs, stats.writev_calls);
+  EXPECT_LE(stats.writev_calls, stats.frames_out);
+  EXPECT_EQ(stats.bytes_out, stats.bytes_copied + stats.bytes_zero_copy);
+  EXPECT_EQ(stats.bytes_zero_copy, 0u)
+      << "sub-cutoff answers must not take the zero-copy path";
+}
+
+TEST(NetServerTest, LargeAnswerServesZeroCopy) {
+  ServedDataset served;
+  // A range answer listing most of the dataset: comfortably past the
+  // zero-copy cutoff yet under the frame payload cap.
+  const geo::Point q{0.5, 0.5};
+  const double radius = 0.4;
+  const std::vector<uint8_t> want =
+      served.server.RangeQueryWire(q, radius).value();
+  ASSERT_GE(want.size(), kZeroCopyMinBytes);
+  ASSERT_LE(want.size(), kMaxPayloadBytes);
+
+  ServerHarness harness(&served.server, NetOptions{});
+  ASSERT_TRUE(harness.Start().ok());
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.port()).ok());
+  const auto got = client.RangeQueryWire(q, radius);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, want);
+  client.Close();
+  const NetStats stats = harness.Finish(/*drain=*/true);
+
+  EXPECT_GE(stats.bytes_zero_copy, want.size())
+      << "a large answer must ride the write queue by reference";
+  EXPECT_EQ(stats.bytes_out, stats.bytes_copied + stats.bytes_zero_copy);
+}
+
+// -- Raw-socket framing differential -----------------------------------------
+
+// A bare blocking TCP socket speaking the protocol by hand, so the test
+// can compare the server's reply *stream* byte-for-byte against
+// EncodeFrame output instead of trusting a decoder to normalize it.
+class RawSocket {
+ public:
+  ~RawSocket() { Close(); }
+
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      return false;
+    }
+    const int one = 1;
+    (void)setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+
+  bool SendAll(const std::vector<uint8_t>& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool RecvExactly(size_t count, std::vector<uint8_t>* out) {
+    out->resize(count);
+    size_t got = 0;
+    while (got < count) {
+      const ssize_t n = ::recv(fd_, out->data() + got, count - got, 0);
+      if (n <= 0) return false;
+      got += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(NetServerTest, CacheHitReplyStreamByteIdenticalToEncodedFrames) {
+  // The writev fast path must put exactly the pre-batching framing on
+  // the wire: header then payload per reply, replies in request order.
+  // Cache on, single pipelined connection — the replay is deterministic
+  // (see CacheOnSingleConnectionMatchesInProcessReplay), so the whole
+  // reply stream is predictable byte-for-byte, cache hits included.
+  const auto dataset = workload::MakeUnitUniform(1500, 917);
+  TreeFixture reference_fx(dataset.entries, 64, SmallNodeOptions());
+  core::Server reference(reference_fx.tree.get(), kUnit);
+  TreeFixture served_fx(dataset.entries, 64, SmallNodeOptions());
+  core::Server served(served_fx.tree.get(), kUnit);
+  cache::CacheConfig config;
+  config.enabled = true;
+  reference.EnableCache(config);
+  served.EnableCache(config);
+
+  const auto queries = workload::MakeHotspotQueries(kUnit, 120, 3, 919, 0.01);
+  std::vector<uint8_t> requests;
+  std::vector<uint8_t> want_stream;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const uint32_t id = static_cast<uint32_t>(i + 1);
+    const std::vector<uint8_t> req = EncodeNnRequest({queries[i], 4});
+    AppendFrame(FrameType::kNnRequest, id, req.data(), req.size(), &requests);
+    const std::vector<uint8_t> answer =
+        reference.NnQueryWire(queries[i], 4).value();
+    AppendFrame(FrameType::kAnswer, id, answer.data(), answer.size(),
+                &want_stream);
+  }
+  ASSERT_GT(reference.cache_stats().hits, 0u) << "workload never hit";
+
+  ServerHarness harness(&served, NetOptions{});
+  ASSERT_TRUE(harness.Start().ok());
+  RawSocket sock;
+  ASSERT_TRUE(sock.Connect(harness.port()));
+  ASSERT_TRUE(sock.SendAll(requests));
+  std::vector<uint8_t> got_stream;
+  ASSERT_TRUE(sock.RecvExactly(want_stream.size(), &got_stream));
+  EXPECT_EQ(got_stream, want_stream)
+      << "reply stream framing diverged from EncodeFrame";
+  sock.Close();
+  harness.Finish(/*drain=*/true);
+  EXPECT_GT(served.cache_stats().hits, 0u);
 }
 
 }  // namespace

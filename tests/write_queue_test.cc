@@ -1,0 +1,220 @@
+#include "net/write_queue.h"
+
+#include <sys/uio.h>
+
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+// Unit tests for the event loop's outgoing byte queue — segment
+// coalescing, the zero-copy cutoff, iovec assembly, and above all the
+// partial-send sequences that motivated the threshold compaction
+// heuristic: the old write buffer could only reclaim its dead prefix
+// when the whole buffer drained, so a slow peer forced either a full
+// memmove per flush or unbounded growth.
+
+namespace lbsq::net {
+namespace {
+
+std::vector<uint8_t> Bytes(size_t n, uint8_t start = 0) {
+  std::vector<uint8_t> v(n);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+void Append(WriteQueue* q, const std::vector<uint8_t>& bytes) {
+  std::vector<uint8_t>* buf = q->AppendableBuffer();
+  buf->insert(buf->end(), bytes.begin(), bytes.end());
+  q->BytesAppended(bytes.size());
+}
+
+// Flattens the queue's current unsent bytes through BuildIovecs — the
+// exact view a sendmsg call would transmit.
+std::vector<uint8_t> Gather(const WriteQueue& q) {
+  std::vector<uint8_t> out;
+  struct iovec iov[kMaxIovPerSend];
+  const size_t n = q.BuildIovecs(iov, kMaxIovPerSend);
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* base = static_cast<const uint8_t*>(iov[i].iov_base);
+    out.insert(out.end(), base, base + iov[i].iov_len);
+  }
+  return out;
+}
+
+TEST(WriteQueueTest, SmallAppendsCoalesceIntoOneSegment) {
+  WriteQueue q;
+  EXPECT_TRUE(q.empty());
+  Append(&q, Bytes(12));
+  Append(&q, Bytes(300, 12));
+  Append(&q, Bytes(12, 56));
+  EXPECT_EQ(q.pending(), 324u);
+  EXPECT_EQ(q.segments(), 1u);
+
+  struct iovec iov[kMaxIovPerSend];
+  EXPECT_EQ(q.BuildIovecs(iov, kMaxIovPerSend), 1u);
+  EXPECT_EQ(iov[0].iov_len, 324u);
+}
+
+TEST(WriteQueueTest, SharedPayloadBelowCutoffIsCopied) {
+  WriteQueue q;
+  Append(&q, Bytes(12));  // a frame header
+  auto payload = std::make_shared<const std::vector<uint8_t>>(
+      Bytes(kZeroCopyMinBytes - 1, 7));
+  EXPECT_FALSE(q.AppendShared(payload));
+  EXPECT_EQ(q.segments(), 1u) << "tiny payload must coalesce, not segment";
+  EXPECT_EQ(q.pending(), 12 + kZeroCopyMinBytes - 1);
+
+  std::vector<uint8_t> want = Bytes(12);
+  want.insert(want.end(), payload->begin(), payload->end());
+  EXPECT_EQ(Gather(q), want);
+}
+
+TEST(WriteQueueTest, LargeSharedPayloadRidesZeroCopy) {
+  WriteQueue q;
+  Append(&q, Bytes(12));
+  auto payload =
+      std::make_shared<const std::vector<uint8_t>>(Bytes(kZeroCopyMinBytes, 3));
+  const uint8_t* stored = payload->data();
+  EXPECT_TRUE(q.AppendShared(payload));
+  EXPECT_EQ(q.segments(), 2u);
+
+  struct iovec iov[kMaxIovPerSend];
+  ASSERT_EQ(q.BuildIovecs(iov, kMaxIovPerSend), 2u);
+  // Genuinely zero-copy: the iovec points into the shared buffer itself.
+  EXPECT_EQ(iov[1].iov_base, stored);
+  EXPECT_EQ(iov[1].iov_len, payload->size());
+
+  // The queue's reference alone keeps the bytes alive — this is the
+  // iovec lifetime rule that makes serving a payload safe even if the
+  // cache evicts the entry mid-flight.
+  payload.reset();
+  std::vector<uint8_t> want = Bytes(12);
+  const std::vector<uint8_t> body = Bytes(kZeroCopyMinBytes, 3);
+  want.insert(want.end(), body.begin(), body.end());
+  EXPECT_EQ(Gather(q), want);
+}
+
+TEST(WriteQueueTest, AppendAfterSharedSegmentOpensNewOwnedSegment) {
+  WriteQueue q;
+  Append(&q, Bytes(12));
+  ASSERT_TRUE(q.AppendShared(
+      std::make_shared<const std::vector<uint8_t>>(Bytes(kZeroCopyMinBytes))));
+  Append(&q, Bytes(12, 99));  // must not mutate the shared payload
+  EXPECT_EQ(q.segments(), 3u);
+  EXPECT_EQ(q.pending(), 12 + kZeroCopyMinBytes + 12);
+}
+
+TEST(WriteQueueTest, PartialSendSequenceDrainsInOrder) {
+  WriteQueue q;
+  Append(&q, Bytes(100));
+  ASSERT_TRUE(q.AppendShared(
+      std::make_shared<const std::vector<uint8_t>>(Bytes(kZeroCopyMinBytes))));
+  Append(&q, Bytes(50, 200));
+  const std::vector<uint8_t> want = Gather(q);
+  const size_t total = q.pending();
+
+  // Consume in awkward chunks straddling segment boundaries, re-checking
+  // the gathered view after each partial send.
+  std::vector<uint8_t> sent;
+  const size_t chunks[] = {1, 99, 3, kZeroCopyMinBytes - 10, 7, total};
+  for (const size_t chunk : chunks) {
+    if (q.empty()) break;
+    const std::vector<uint8_t> view = Gather(q);
+    const size_t n = chunk < view.size() ? chunk : view.size();
+    sent.insert(sent.end(), view.begin(), view.begin() + n);
+    q.Consume(n);
+    EXPECT_EQ(q.pending(), total - sent.size());
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.segments(), 0u) << "fully drained queue must release segments";
+  EXPECT_EQ(sent, want);
+}
+
+TEST(WriteQueueTest, ConsumePopsDrainedSharedSegmentsAndTheirReferences) {
+  WriteQueue q;
+  auto payload =
+      std::make_shared<const std::vector<uint8_t>>(Bytes(kZeroCopyMinBytes));
+  std::weak_ptr<const std::vector<uint8_t>> alive = payload;
+  Append(&q, Bytes(12));
+  ASSERT_TRUE(q.AppendShared(std::move(payload)));
+  Append(&q, Bytes(12, 50));
+
+  q.Consume(12 + kZeroCopyMinBytes);  // through the shared segment
+  EXPECT_EQ(q.segments(), 1u);
+  // The queue held the only strong reference; popping the drained
+  // segment must release the payload.
+  EXPECT_TRUE(alive.expired());
+  EXPECT_EQ(q.pending(), 12u);
+}
+
+TEST(WriteQueueTest, DeadPrefixUnderThresholdIsLeftAlone) {
+  WriteQueue q;
+  Append(&q, Bytes(1000));
+  q.Consume(400);
+  EXPECT_EQ(q.head_dead_bytes(), 400u);
+  // Appending must not memmove a small dead prefix away.
+  Append(&q, Bytes(10));
+  EXPECT_EQ(q.head_dead_bytes(), 400u);
+  EXPECT_EQ(q.pending(), 610u);
+  std::vector<uint8_t> want = Bytes(1000);
+  want.erase(want.begin(), want.begin() + 400);
+  const std::vector<uint8_t> tail = Bytes(10);
+  want.insert(want.end(), tail.begin(), tail.end());
+  EXPECT_EQ(Gather(q), want);
+}
+
+TEST(WriteQueueTest, DeadPrefixOverThresholdCompactsOnAppend) {
+  WriteQueue q;
+  const size_t big = kCompactThresholdBytes + 4096;
+  Append(&q, Bytes(big));
+  q.Consume(kCompactThresholdBytes + 1);
+  EXPECT_EQ(q.head_dead_bytes(), kCompactThresholdBytes + 1);
+  const std::vector<uint8_t> before = Gather(q);
+
+  Append(&q, Bytes(10, 42));
+  EXPECT_EQ(q.head_dead_bytes(), 0u) << "over-threshold prefix must compact";
+  EXPECT_EQ(q.pending(), big - (kCompactThresholdBytes + 1) + 10);
+  std::vector<uint8_t> want = before;
+  const std::vector<uint8_t> tail = Bytes(10, 42);
+  want.insert(want.end(), tail.begin(), tail.end());
+  EXPECT_EQ(Gather(q), want) << "compaction must not reorder or drop bytes";
+}
+
+TEST(WriteQueueTest, BuildIovecsHonorsCapInOrder) {
+  WriteQueue q;
+  for (size_t i = 0; i < kMaxIovPerSend + 8; ++i) {
+    ASSERT_TRUE(q.AppendShared(std::make_shared<const std::vector<uint8_t>>(
+        Bytes(kZeroCopyMinBytes, static_cast<uint8_t>(i)))));
+  }
+  struct iovec iov[kMaxIovPerSend];
+  ASSERT_EQ(q.BuildIovecs(iov, kMaxIovPerSend), kMaxIovPerSend);
+  for (size_t i = 0; i < kMaxIovPerSend; ++i) {
+    EXPECT_EQ(static_cast<const uint8_t*>(iov[i].iov_base)[0],
+              static_cast<uint8_t>(i));
+  }
+  // Draining the first batch exposes the remaining segments.
+  size_t batch = 0;
+  for (size_t i = 0; i < kMaxIovPerSend; ++i) batch += iov[i].iov_len;
+  q.Consume(batch);
+  ASSERT_EQ(q.BuildIovecs(iov, kMaxIovPerSend), 8u);
+  EXPECT_EQ(static_cast<const uint8_t*>(iov[0].iov_base)[0],
+            static_cast<uint8_t>(kMaxIovPerSend));
+}
+
+TEST(WriteQueueTest, ClearDropsEverything) {
+  WriteQueue q;
+  Append(&q, Bytes(100));
+  ASSERT_TRUE(q.AppendShared(
+      std::make_shared<const std::vector<uint8_t>>(Bytes(kZeroCopyMinBytes))));
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.segments(), 0u);
+  struct iovec iov[kMaxIovPerSend];
+  EXPECT_EQ(q.BuildIovecs(iov, kMaxIovPerSend), 0u);
+}
+
+}  // namespace
+}  // namespace lbsq::net

@@ -12,6 +12,10 @@
 #           cache-enabled wire batches, the shared semantic cache, fault
 #           injection, and the net suites whose event loop runs on its
 #           own thread) — the rest are single-threaded and add nothing
+#   bench-smoke  micro + net_loadgen at tiny sizes; fails on crash, a
+#           failed reply verification, or a missing/malformed
+#           BENCH_*.json artifact (the numbers themselves are not gated
+#           here — a smoke box is too noisy for thresholds)
 #
 # Build directories are reused across runs (build/, build-werror/,
 # build-asan/, build-tsan/), so incremental invocations are cheap.
@@ -23,7 +27,7 @@ ROOT="$PWD"
 JOBS="$(nproc 2>/dev/null || echo 1)"
 
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(lint plain werror asan tsan)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(lint plain werror asan tsan bench-smoke)
 
 declare -A RESULT
 FAILED=0
@@ -77,11 +81,32 @@ stage_tsan() {
     "$ROOT/build-tsan/tests/net_fault_test"
 }
 
+stage_bench_smoke() {
+  cmake -S "$ROOT" -B "$ROOT/build" >/dev/null &&
+    cmake --build "$ROOT/build" --target micro net_loadgen -j "$JOBS" || return 1
+  local dir
+  dir="$(mktemp -d)" || return 1
+  local ok=0
+  # One fast micro benchmark (min-of-rounds still applies) and the
+  # loadgen at a small dataset — the loadgen's own reply verification
+  # is the correctness gate; artifacts must exist and parse.
+  LBSQ_BENCH_DIR="$dir" "$ROOT/build/bench/micro" \
+    '--benchmark_filter=BM_KnnBestFirst/10/' >/dev/null &&
+    LBSQ_BENCH_DIR="$dir" LBSQ_SCALE=0.05 "$ROOT/build/bench/net_loadgen" \
+      >/dev/null &&
+    python3 -m json.tool "$dir/BENCH_micro.json" >/dev/null &&
+    python3 -m json.tool "$dir/BENCH_net_loadgen.json" >/dev/null ||
+    ok=1
+  rm -rf "$dir"
+  return "$ok"
+}
+
 for s in "${STAGES[@]}"; do
   case "$s" in
     lint | plain | werror | asan | tsan) run_stage "$s" "stage_$s" ;;
+    bench-smoke) run_stage "$s" stage_bench_smoke ;;
     *)
-      echo "unknown stage: $s (known: lint plain werror asan tsan)" >&2
+      echo "unknown stage: $s (known: lint plain werror asan tsan bench-smoke)" >&2
       exit 2
       ;;
   esac
