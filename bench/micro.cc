@@ -153,8 +153,11 @@ void BM_SemanticCacheHit(benchmark::State& state) {
     for (const auto& pair : result.influence_pairs()) {
       constraints.push_back({pair.displaced.point, pair.incoming.point});
     }
+    std::vector<geo::Point> answers;
+    for (const auto& n : result.answers()) answers.push_back(n.entry.point);
     sc.InsertNn(10, result.universe(), result.region().BoundingBox(),
-                std::move(constraints), std::vector<uint8_t>(512, 0));
+                std::move(answers), std::move(constraints),
+                std::vector<uint8_t>(512, 0));
   }
   std::vector<uint8_t> out;
   size_t i = 0;

@@ -1,6 +1,7 @@
 #include "cache/semantic_cache.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/check.h"
@@ -15,10 +16,20 @@ namespace {
 // is not an allocator audit.
 constexpr size_t kEntryOverhead = sizeof(void*) * 8 + 256;
 
-size_t GeometryCharge(const std::vector<BisectorConstraint>& constraints,
+// Grid cell lists are swap-erased, so after heavy eviction/invalidation
+// churn a cell that once held many entries pins its peak capacity even
+// when nearly empty (the WriteQueue dead-prefix problem in vector
+// clothes). A cell is reallocated to fit once it is mostly slack and the
+// slack is worth reclaiming: capacity at least this many slots and
+// occupancy at or below a quarter of it.
+constexpr size_t kCellCompactionMinCapacity = 64;
+
+size_t GeometryCharge(const std::vector<geo::Point>& nn_answers,
+                      const std::vector<BisectorConstraint>& constraints,
                       const geo::RectMinusBoxes& window_region,
                       const geo::DiskRegion& range_region) {
-  return constraints.size() * sizeof(BisectorConstraint) +
+  return nn_answers.size() * sizeof(geo::Point) +
+         constraints.size() * sizeof(BisectorConstraint) +
          window_region.holes().size() * sizeof(geo::Rect) +
          (range_region.inner().size() + range_region.outer().size()) *
              sizeof(geo::DiskRegion::Disk);
@@ -33,6 +44,7 @@ SemanticCache::SemanticCache(const geo::Rect& universe,
       grid_(config.grid_resolution > 0 ? config.grid_resolution : 1) {
   LBSQ_CHECK(!universe.IsEmpty());
   cells_.resize(grid_ * grid_);
+  inval_cells_.resize(grid_ * grid_);
 }
 
 size_t SemanticCache::CellX(double x) const {
@@ -77,6 +89,106 @@ bool SemanticCache::Covers(const Entry& entry, const geo::Point& p) {
   return false;
 }
 
+bool SemanticCache::AffectedByUpdate(const Entry& entry, const geo::Point& p,
+                                     UpdateKind kind) {
+  switch (entry.kind) {
+    case Kind::kNn: {
+      if (kind == UpdateKind::kInsert) {
+        // With fewer than k objects cached (dataset smaller than k),
+        // any insert joins the answer set everywhere.
+        if (entry.nn_answers.size() < static_cast<size_t>(entry.param_a))
+          return true;
+        // The new object kills the entry iff it could displace (or tie)
+        // an answer member somewhere in the validity region V: exists
+        // q in V and answer a with d^2(q,a) >= d^2(q,p). The
+        // discriminant d^2(q,a) - d^2(q,p) is linear in q, so its max
+        // over the bounding rect (>= its max over V) is attained at a
+        // corner — four evaluations decide the whole rect exactly. >=
+        // kills ties: the validity test is closed (keep wins ties), so
+        // a point landing exactly on a bisector joins the influence
+        // frontier and changes the encoded region.
+        const geo::Point corners[4] = {
+            {entry.bounds.min_x, entry.bounds.min_y},
+            {entry.bounds.min_x, entry.bounds.max_y},
+            {entry.bounds.max_x, entry.bounds.min_y},
+            {entry.bounds.max_x, entry.bounds.max_y}};
+        for (const geo::Point& a : entry.nn_answers) {
+          for (const geo::Point& c : corners) {
+            if (geo::SquaredDistance(c, a) >= geo::SquaredDistance(c, p))
+              return true;
+          }
+        }
+        return false;
+      }
+      // Delete: the bytes reference only the answer members and the
+      // influence pairs; removing any other object changes neither the
+      // k nearest at any q in V nor which rivals are minimal.
+      for (const geo::Point& a : entry.nn_answers) {
+        if (a.x == p.x && a.y == p.y) return true;
+      }
+      for (const BisectorConstraint& c : entry.constraints) {
+        if ((c.keep.x == p.x && c.keep.y == p.y) ||
+            (c.rival.x == p.x && c.rival.y == p.y))
+          return true;
+      }
+      return false;
+    }
+    case Kind::kWindow:
+      // Insert and delete alike: the engine collects every hole
+      // candidate from base.Dilated(hx, hy) (window_validity.cc), and
+      // the inner rect depends only on the result set and focus — an
+      // object that cannot reach the dilated base appears nowhere in
+      // the encoding.
+      return entry.window_region.base()
+          .Dilated(entry.param_a, entry.param_b)
+          .Contains(p);
+    case Kind::kRange:
+      // Insert and delete alike: influence candidates come from
+      // bounds.Dilated(r, r) (range_validity.cc) and the result from a
+      // disk inside it.
+      return entry.range_region.bounds()
+          .Dilated(entry.param_a, entry.param_a)
+          .Contains(p);
+  }
+  return true;
+}
+
+geo::Rect SemanticCache::KillFootprint(const Entry& entry) const {
+  switch (entry.kind) {
+    case Kind::kNn: {
+      // Under-filled answers die on any insert — register everywhere.
+      if (entry.nn_answers.size() < static_cast<size_t>(entry.param_a))
+        return universe_;
+      // Insert-kill points lie within max corner-to-answer distance of
+      // a bounds corner; delete-kill points are the stored answer /
+      // keep / rival positions themselves, all within the same reach
+      // (keeps are answers; rivals enter the max below).
+      double reach2 = 0.0;
+      const geo::Point corners[4] = {
+          {entry.bounds.min_x, entry.bounds.min_y},
+          {entry.bounds.min_x, entry.bounds.max_y},
+          {entry.bounds.max_x, entry.bounds.min_y},
+          {entry.bounds.max_x, entry.bounds.max_y}};
+      for (const geo::Point& c : corners) {
+        for (const geo::Point& a : entry.nn_answers) {
+          reach2 = std::max(reach2, geo::SquaredDistance(c, a));
+        }
+        for (const BisectorConstraint& bc : entry.constraints) {
+          reach2 = std::max(reach2, geo::SquaredDistance(c, bc.keep));
+          reach2 = std::max(reach2, geo::SquaredDistance(c, bc.rival));
+        }
+      }
+      const double reach = std::sqrt(reach2);
+      return entry.bounds.Dilated(reach, reach);
+    }
+    case Kind::kWindow:
+      return entry.window_region.base().Dilated(entry.param_a, entry.param_b);
+    case Kind::kRange:
+      return entry.range_region.bounds().Dilated(entry.param_a, entry.param_a);
+  }
+  return universe_;
+}
+
 bool SemanticCache::Lookup(Kind kind, double a, double b, const geo::Point& p,
                            CachedBytes* out) {
   ++lookups_;
@@ -91,7 +203,7 @@ bool SemanticCache::Lookup(Kind kind, double a, double b, const geo::Point& p,
     if (entry_it->epoch != epoch_) {
       // Lazy invalidation: drop the stale entry; the swap-erase refilled
       // slot i, so do not advance.
-      RemoveEntry(entry_it, /*stale=*/true);
+      RemoveEntry(entry_it, RemoveCause::kStale);
       continue;
     }
     if (entry_it->kind == kind && entry_it->param_a == a &&
@@ -153,21 +265,31 @@ bool SemanticCache::LookupRange(const geo::Point& p, double radius,
 void SemanticCache::Insert(Entry entry, const geo::Rect& bounds) {
   LBSQ_DCHECK(entry.bytes != nullptr);
   entry.charge = entry.bytes->size() + kEntryOverhead +
-                 GeometryCharge(entry.constraints, entry.window_region,
-                                entry.range_region);
+                 GeometryCharge(entry.nn_answers, entry.constraints,
+                                entry.window_region, entry.range_region);
   const geo::Rect clipped = bounds.Intersection(universe_);
   if (clipped.IsEmpty() || entry.charge > config_.max_bytes ||
       config_.max_entries == 0) {
     ++rejected_;
     return;
   }
+  entry.bounds = clipped;
   entry.cx0 = CellX(clipped.min_x);
   entry.cy0 = CellY(clipped.min_y);
   entry.cx1 = CellX(clipped.max_x);
   entry.cy1 = CellY(clipped.max_y);
-  entry.charge +=
-      (entry.cx1 - entry.cx0 + 1) * (entry.cy1 - entry.cy0 + 1) *
-      sizeof(uint64_t);
+  // Every update point that could kill the entry lies in its kill
+  // footprint (and in the universe — outside updates fall back to the
+  // epoch path), so clipping before registering loses nothing.
+  const geo::Rect inval = KillFootprint(entry).Intersection(universe_);
+  LBSQ_DCHECK(!inval.IsEmpty());
+  entry.ix0 = CellX(inval.min_x);
+  entry.iy0 = CellY(inval.min_y);
+  entry.ix1 = CellX(inval.max_x);
+  entry.iy1 = CellY(inval.max_y);
+  entry.charge += ((entry.cx1 - entry.cx0 + 1) * (entry.cy1 - entry.cy0 + 1) +
+                   (entry.ix1 - entry.ix0 + 1) * (entry.iy1 - entry.iy0 + 1)) *
+                  sizeof(uint64_t);
   if (entry.charge > config_.max_bytes) {
     ++rejected_;
     return;
@@ -184,12 +306,14 @@ void SemanticCache::Insert(Entry entry, const geo::Rect& bounds) {
 
 void SemanticCache::InsertNn(size_t k, const geo::Rect& universe,
                              const geo::Rect& bounds,
+                             std::vector<geo::Point> answers,
                              std::vector<BisectorConstraint> constraints,
                              CachedBytes bytes) {
   Entry entry;
   entry.kind = Kind::kNn;
   entry.param_a = static_cast<double>(k);
   entry.nn_universe = universe;
+  entry.nn_answers = std::move(answers);
   entry.constraints = std::move(constraints);
   entry.bytes = std::move(bytes);
   Insert(std::move(entry), bounds);
@@ -225,46 +349,105 @@ void SemanticCache::AddToGrid(const Entry& entry) {
       cells_[CellIndex(cx, cy)].push_back(entry.id);
     }
   }
+  for (size_t cy = entry.iy0; cy <= entry.iy1; ++cy) {
+    for (size_t cx = entry.ix0; cx <= entry.ix1; ++cx) {
+      inval_cells_[CellIndex(cx, cy)].push_back(entry.id);
+    }
+  }
+}
+
+void SemanticCache::EraseFromCell(std::vector<uint64_t>& cell, uint64_t id) {
+  for (size_t i = 0; i < cell.size(); ++i) {
+    if (cell[i] == id) {
+      cell[i] = cell.back();  // swap-erase: cells are unordered
+      cell.pop_back();
+      break;
+    }
+  }
+  if (cell.capacity() >= kCellCompactionMinCapacity &&
+      cell.size() * 4 <= cell.capacity()) {
+    // Copy-and-swap instead of shrink_to_fit: the latter is a
+    // non-binding request. Live iterations index the cell vector object,
+    // not its buffer, so reallocating here is safe.
+    std::vector<uint64_t>(cell.begin(), cell.end()).swap(cell);
+    ++cell_compactions_;
+  }
 }
 
 void SemanticCache::RemoveFromGrid(const Entry& entry) {
   for (size_t cy = entry.cy0; cy <= entry.cy1; ++cy) {
     for (size_t cx = entry.cx0; cx <= entry.cx1; ++cx) {
-      std::vector<uint64_t>& cell = cells_[CellIndex(cx, cy)];
-      for (size_t i = 0; i < cell.size(); ++i) {
-        if (cell[i] == entry.id) {
-          cell[i] = cell.back();  // swap-erase: cells are unordered
-          cell.pop_back();
-          break;
-        }
-      }
+      EraseFromCell(cells_[CellIndex(cx, cy)], entry.id);
+    }
+  }
+  for (size_t cy = entry.iy0; cy <= entry.iy1; ++cy) {
+    for (size_t cx = entry.ix0; cx <= entry.ix1; ++cx) {
+      EraseFromCell(inval_cells_[CellIndex(cx, cy)], entry.id);
     }
   }
 }
 
-void SemanticCache::RemoveEntry(EntryList::iterator it, bool stale) {
+void SemanticCache::RemoveEntry(EntryList::iterator it, RemoveCause cause) {
   RemoveFromGrid(*it);
   LBSQ_DCHECK(bytes_ >= it->charge);
   bytes_ -= it->charge;
   index_.erase(it->id);
   entries_.erase(it);
-  if (stale) {
-    ++stale_drops_;
-  } else {
-    ++evictions_;
+  switch (cause) {
+    case RemoveCause::kEvicted:
+      ++evictions_;
+      break;
+    case RemoveCause::kStale:
+      ++stale_drops_;
+      break;
+    case RemoveCause::kUpdate:
+      ++entries_invalidated_by_update_;
+      break;
   }
 }
 
 void SemanticCache::EvictOverBudget() {
   while (!entries_.empty() && (entries_.size() > config_.max_entries ||
                                bytes_ > config_.max_bytes)) {
-    RemoveEntry(std::prev(entries_.end()), /*stale=*/false);
+    RemoveEntry(std::prev(entries_.end()), RemoveCause::kEvicted);
   }
+}
+
+size_t SemanticCache::InvalidateAt(const geo::Point& p, UpdateKind kind) {
+  if (!universe_.Contains(p)) {
+    // The grid clamps out-of-universe coordinates into border cells, so
+    // a far-away update could miss entries it should kill; such updates
+    // (rare — the universe is the data space) take the epoch path.
+    Invalidate();
+    return 0;
+  }
+  std::vector<uint64_t>& cell =
+      inval_cells_[CellIndex(CellX(p.x), CellY(p.y))];
+  size_t killed = 0;
+  size_t i = 0;
+  while (i < cell.size()) {
+    const auto it = index_.find(cell[i]);
+    LBSQ_DCHECK(it != index_.end());
+    EntryList::iterator entry_it = it->second;
+    if (entry_it->epoch != epoch_) {
+      // Sweep stale entries in passing, same as Lookup; slot i was
+      // refilled by the swap-erase, so do not advance.
+      RemoveEntry(entry_it, RemoveCause::kStale);
+      continue;
+    }
+    if (AffectedByUpdate(*entry_it, p, kind)) {
+      RemoveEntry(entry_it, RemoveCause::kUpdate);
+      ++killed;
+      continue;
+    }
+    ++i;
+  }
+  return killed;
 }
 
 void SemanticCache::Invalidate() {
   ++epoch_;
-  ++invalidations_;
+  ++epoch_invalidations_;
 }
 
 size_t SemanticCache::Scrub() {
@@ -272,7 +455,7 @@ size_t SemanticCache::Scrub() {
   for (auto it = entries_.begin(); it != entries_.end();) {
     const auto next = std::next(it);
     if (it->epoch != epoch_) {
-      RemoveEntry(it, /*stale=*/true);
+      RemoveEntry(it, RemoveCause::kStale);
       ++dropped;
     }
     it = next;
@@ -282,6 +465,7 @@ size_t SemanticCache::Scrub() {
 
 void SemanticCache::Clear() {
   for (std::vector<uint64_t>& cell : cells_) cell.clear();
+  for (std::vector<uint64_t>& cell : inval_cells_) cell.clear();
   entries_.clear();
   index_.clear();
   bytes_ = 0;
@@ -294,10 +478,12 @@ CacheStats SemanticCache::stats() const {
   stats.misses = misses_;
   stats.inserts = inserts_;
   stats.evictions = evictions_;
-  stats.invalidations = invalidations_;
+  stats.epoch_invalidations = epoch_invalidations_;
+  stats.entries_invalidated_by_update = entries_invalidated_by_update_;
   stats.stale_drops = stale_drops_;
   stats.rejected = rejected_;
   stats.hit_bytes = hit_bytes_;
+  stats.cell_compactions = cell_compactions_;
   stats.entries = entries_.size();
   stats.bytes = bytes_;
   return stats;
@@ -305,7 +491,8 @@ CacheStats SemanticCache::stats() const {
 
 void SemanticCache::ResetCounters() {
   lookups_ = hits_ = misses_ = inserts_ = evictions_ = 0;
-  invalidations_ = stale_drops_ = rejected_ = hit_bytes_ = 0;
+  epoch_invalidations_ = entries_invalidated_by_update_ = 0;
+  stale_drops_ = rejected_ = hit_bytes_ = cell_compactions_ = 0;
 }
 
 }  // namespace lbsq::cache

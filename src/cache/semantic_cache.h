@@ -43,10 +43,16 @@
 //     serving, applied to dynamically discovered cells).
 //   * LRU eviction bounded by entry count and byte budget, same
 //     list-plus-hash-map model as storage::LruBufferPool.
-//   * Epoch-based invalidation: any dataset insert/delete bumps the data
-//     epoch (rtree::RTree::update_epoch, synced by the serving layer via
-//     Invalidate()); stale entries are rejected and dropped lazily on
-//     lookup, and Scrub() purges them eagerly.
+//   * Two invalidation paths. Region-scoped (InvalidateAt): a dataset
+//     insert/delete at point p kills exactly the entries whose answer
+//     bytes the update can change — the per-kind predicates are derived
+//     from the same arithmetic as the validity tests (see the
+//     "invalidation lattice" section of DESIGN.md) and looked up through
+//     a second grid registration covering each entry's kill footprint.
+//     Epoch (Invalidate): bumps the data epoch so *every* current entry
+//     becomes stale — the fallback for BulkLoad and for updates the
+//     serving layer cannot attribute to a point (stale entries are
+//     rejected and dropped lazily on lookup; Scrub() purges eagerly).
 //
 // SemanticCache itself is single-threaded (shared-nothing per worker,
 // like the BatchServer buffer pools); SharedSemanticCache below wraps it
@@ -67,20 +73,31 @@ struct CacheConfig {
   // BatchServer: one mutex-protected cache shared by all workers (higher
   // hit rate, one lock) instead of shared-nothing per-worker caches.
   bool shared = false;
+  // Serving layers: invalidate per update via InvalidateAt when the tree
+  // can attribute its epoch advance to individual points (the RTree
+  // update log); false forces the epoch sledgehammer on every update —
+  // the pre-region-scoping behavior, kept as the differential twin.
+  bool region_scoped = true;
 };
 
 // Cumulative counters since construction or ResetCounters(); entries and
 // bytes are the current occupancy at the time stats() was called.
+// Accounting invariant (absent Clear()):
+//   inserts == evictions + stale_drops + entries_invalidated_by_update
+//              + entries
 struct CacheStats {
   uint64_t lookups = 0;
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t inserts = 0;
-  uint64_t evictions = 0;      // LRU/budget evictions
-  uint64_t invalidations = 0;  // epoch bumps (Invalidate calls)
+  uint64_t evictions = 0;            // LRU/budget evictions
+  uint64_t epoch_invalidations = 0;  // epoch bumps (Invalidate calls)
+  // Entries killed surgically by InvalidateAt (region-scoped path).
+  uint64_t entries_invalidated_by_update = 0;
   uint64_t stale_drops = 0;    // stale entries dropped (lazily or Scrub)
   uint64_t rejected = 0;       // inserts refused (oversize / empty region)
   uint64_t hit_bytes = 0;      // wire bytes served from cache
+  uint64_t cell_compactions = 0;  // grid cell lists shrunk after churn
   size_t entries = 0;
   size_t bytes = 0;
 };
@@ -93,6 +110,10 @@ struct BisectorConstraint {
   geo::Point keep;
   geo::Point rival;
 };
+
+// What a dataset update did at its point, for InvalidateAt. Mirrors
+// rtree::UpdateKind (the cache does not depend on the rtree layer).
+enum class UpdateKind : uint8_t { kInsert, kDelete };
 
 // Cached wire payloads are immutable and reference-counted: a hit can
 // hand out the stored bytes without copying, and a holder (the serving
@@ -135,11 +156,14 @@ class SemanticCache {
   // -- Insert --------------------------------------------------------------
   // Registers a completed answer under its validity geometry. `bounds`
   // must contain the region (entries are indexed by the grid cells the
-  // bounds overlap); `bytes` is the encoded wire answer served verbatim
-  // on a hit. Inserts that could never fit (charge > max_bytes) or whose
-  // bounds are empty are rejected and counted. The vector overloads wrap
-  // the bytes in a CachedBytes payload.
+  // bounds overlap); `answers` are the positions of the k result objects
+  // (region-scoped invalidation tests inserts against them); `bytes` is
+  // the encoded wire answer served verbatim on a hit. Inserts that could
+  // never fit (charge > max_bytes) or whose bounds are empty are rejected
+  // and counted. The vector overloads wrap the bytes in a CachedBytes
+  // payload.
   void InsertNn(size_t k, const geo::Rect& universe, const geo::Rect& bounds,
+                std::vector<geo::Point> answers,
                 std::vector<BisectorConstraint> constraints,
                 CachedBytes bytes);
   void InsertWindow(double hx, double hy, geo::RectMinusBoxes region,
@@ -147,9 +171,10 @@ class SemanticCache {
   void InsertRange(double radius, geo::DiskRegion region, CachedBytes bytes);
 
   void InsertNn(size_t k, const geo::Rect& universe, const geo::Rect& bounds,
+                std::vector<geo::Point> answers,
                 std::vector<BisectorConstraint> constraints,
                 std::vector<uint8_t> bytes) {
-    InsertNn(k, universe, bounds, std::move(constraints),
+    InsertNn(k, universe, bounds, std::move(answers), std::move(constraints),
              MakeCachedBytes(std::move(bytes)));
   }
   void InsertWindow(double hx, double hy, geo::RectMinusBoxes region,
@@ -162,9 +187,21 @@ class SemanticCache {
   }
 
   // -- Invalidation --------------------------------------------------------
+  // Region-scoped invalidation for one dataset update at `p`: eagerly
+  // removes exactly the live entries whose kill predicate fires (see
+  // DESIGN.md "invalidation lattice" — a k-NN entry dies only if the new
+  // point can beat an answer member somewhere in its region, or the
+  // deleted point is one of its answer/influence objects; window/range
+  // entries die only if the update can enter their candidate windows).
+  // An update outside the universe falls back to Invalidate() — the grid
+  // cannot scope it. Returns the number of entries removed by the
+  // predicate (stale entries swept in passing count as stale drops).
+  size_t InvalidateAt(const geo::Point& p, UpdateKind kind);
+
   // Bumps the cache epoch: every current entry becomes stale and is
   // rejected (and dropped) by subsequent lookups. The serving layer calls
-  // this when the dataset's update epoch advances (any insert/delete).
+  // this when the dataset changed in a way it cannot attribute to
+  // individual update points (BulkLoad, trimmed update log).
   void Invalidate();
 
   // Eagerly purges every stale entry; returns how many were dropped.
@@ -184,6 +221,7 @@ class SemanticCache {
 
  private:
   enum class Kind : uint8_t { kNn, kWindow, kRange };
+  enum class RemoveCause : uint8_t { kEvicted, kStale, kUpdate };
 
   struct Entry {
     uint64_t id = 0;
@@ -192,10 +230,18 @@ class SemanticCache {
     // Exact-match query parameters: (k, 0) / (hx, hy) / (radius, 0).
     double param_a = 0.0;
     double param_b = 0.0;
-    // Grid cell range covered by the region's bounds (inclusive).
+    // Universe-clipped bounding rect of the validity region (the kill
+    // predicate's corner tests run against it).
+    geo::Rect bounds;
+    // Lookup-grid cell range covered by `bounds` (inclusive).
     size_t cx0 = 0, cy0 = 0, cx1 = 0, cy1 = 0;
+    // Invalidation-grid cell range covered by the kill footprint — the
+    // (larger) rect containing every update point whose predicate could
+    // fire for this entry (inclusive).
+    size_t ix0 = 0, iy0 = 0, ix1 = 0, iy1 = 0;
     // Validity geometry (one of, by kind).
     geo::Rect nn_universe;                          // kNn
+    std::vector<geo::Point> nn_answers;             // kNn: result positions
     std::vector<BisectorConstraint> constraints;    // kNn
     geo::RectMinusBoxes window_region;              // kWindow
     geo::DiskRegion range_region;                   // kRange
@@ -212,10 +258,20 @@ class SemanticCache {
   void Insert(Entry entry, const geo::Rect& bounds);
   // True when `p` satisfies the entry's validity test.
   static bool Covers(const Entry& entry, const geo::Point& p);
-  // Registers/unregisters the entry id in every grid cell of its range.
+  // True when an update of `kind` at `p` can change the entry's answer
+  // bytes (the per-kind kill predicate).
+  static bool AffectedByUpdate(const Entry& entry, const geo::Point& p,
+                               UpdateKind kind);
+  // The rect containing every update point that could kill `entry`
+  // (already clipped bounds in hand); clipped to the universe by Insert.
+  geo::Rect KillFootprint(const Entry& entry) const;
+  // Registers/unregisters the entry id in every cell of both grids.
   void AddToGrid(const Entry& entry);
   void RemoveFromGrid(const Entry& entry);
-  void RemoveEntry(EntryList::iterator it, bool stale);
+  // Swap-erases `id` from one cell list, compacting the list's capacity
+  // when mostly dead (see kCellCompactionMinCapacity in the .cc).
+  void EraseFromCell(std::vector<uint64_t>& cell, uint64_t id);
+  void RemoveEntry(EntryList::iterator it, RemoveCause cause);
   void EvictOverBudget();
 
   size_t CellIndex(size_t cx, size_t cy) const { return cy * grid_ + cx; }
@@ -230,7 +286,14 @@ class SemanticCache {
   size_t bytes_ = 0;
   EntryList entries_;
   std::unordered_map<uint64_t, EntryList::iterator> index_;
-  std::vector<std::vector<uint64_t>> cells_;  // grid_ * grid_ id lists
+  // Two parallel grids over the universe (grid_ * grid_ id lists each):
+  // cells_ indexes entries by their region bounds (lookup: which entries
+  // might cover a query point), inval_cells_ by their kill footprint
+  // (InvalidateAt: which entries might die from an update at a point).
+  // Keeping them separate keeps the hot lookup path's cells small — kill
+  // footprints are strictly larger than region bounds.
+  std::vector<std::vector<uint64_t>> cells_;
+  std::vector<std::vector<uint64_t>> inval_cells_;
 
   // Counters (see CacheStats).
   uint64_t lookups_ = 0;
@@ -238,10 +301,12 @@ class SemanticCache {
   uint64_t misses_ = 0;
   uint64_t inserts_ = 0;
   uint64_t evictions_ = 0;
-  uint64_t invalidations_ = 0;
+  uint64_t epoch_invalidations_ = 0;
+  uint64_t entries_invalidated_by_update_ = 0;
   uint64_t stale_drops_ = 0;
   uint64_t rejected_ = 0;
   uint64_t hit_bytes_ = 0;
+  uint64_t cell_compactions_ = 0;
 };
 
 // Mutex-protected wrapper for the shared-cache configuration: every
@@ -272,11 +337,12 @@ class SharedSemanticCache {
   }
 
   void InsertNn(size_t k, const geo::Rect& universe, const geo::Rect& bounds,
+                std::vector<geo::Point> answers,
                 std::vector<BisectorConstraint> constraints,
                 std::vector<uint8_t> bytes) {
     std::lock_guard<std::mutex> lock(mu_);
-    cache_.InsertNn(k, universe, bounds, std::move(constraints),
-                    std::move(bytes));
+    cache_.InsertNn(k, universe, bounds, std::move(answers),
+                    std::move(constraints), std::move(bytes));
   }
   void InsertWindow(double hx, double hy, geo::RectMinusBoxes region,
                     std::vector<uint8_t> bytes) {
@@ -289,6 +355,10 @@ class SharedSemanticCache {
     cache_.InsertRange(radius, std::move(region), std::move(bytes));
   }
 
+  size_t InvalidateAt(const geo::Point& p, UpdateKind kind) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.InvalidateAt(p, kind);
+  }
   void Invalidate() {
     std::lock_guard<std::mutex> lock(mu_);
     cache_.Invalidate();

@@ -33,10 +33,12 @@ void AccumulateCacheStats(const cache::CacheStats& in, cache::CacheStats* out) {
   out->misses += in.misses;
   out->inserts += in.inserts;
   out->evictions += in.evictions;
-  out->invalidations += in.invalidations;
+  out->epoch_invalidations += in.epoch_invalidations;
+  out->entries_invalidated_by_update += in.entries_invalidated_by_update;
   out->stale_drops += in.stale_drops;
   out->rejected += in.rejected;
   out->hit_bytes += in.hit_bytes;
+  out->cell_compactions += in.cell_compactions;
   out->entries += in.entries;
   out->bytes += in.bytes;
 }
@@ -47,8 +49,12 @@ BatchServer::BatchServer(storage::PageStore* disk,
                          const rtree::RTree::Meta& meta,
                          const geo::Rect& universe,
                          const BatchServerOptions& options)
-    : disk_(disk), max_query_retries_(options.max_query_retries) {
+    : disk_(disk),
+      max_query_retries_(options.max_query_retries),
+      authority_(options.authoritative_tree),
+      cache_region_scoped_(options.cache.region_scoped) {
   LBSQ_CHECK(options.num_threads >= 1);
+  if (authority_ != nullptr) authority_epoch_ = authority_->update_epoch();
   workers_.reserve(options.num_threads);
   for (size_t i = 0; i < options.num_threads; ++i) {
     auto worker = std::make_unique<Worker>();
@@ -131,8 +137,39 @@ void BatchServer::WorkerLoop(size_t worker_index) {
   }
 }
 
+void BatchServer::SyncWithAuthority() {
+  if (authority_ == nullptr) return;
+  const uint64_t epoch = authority_->update_epoch();
+  if (epoch == authority_epoch_) return;
+  // The authority's pool is write-back: push its dirty pages into the
+  // shared store, then re-point every (idle) worker handle at the fresh
+  // meta with their possibly-stale buffers dropped.
+  authority_->buffer().FlushAll();
+  const rtree::RTree::Meta meta = authority_->meta();
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    worker->tree->Reattach(meta);
+  }
+  update_scratch_.clear();
+  if (cache_region_scoped_ &&
+      authority_->CopyUpdatesSince(authority_epoch_, &update_scratch_)) {
+    for (const rtree::UpdateRecord& u : update_scratch_) {
+      const cache::UpdateKind kind = u.kind == rtree::UpdateKind::kInsert
+                                         ? cache::UpdateKind::kInsert
+                                         : cache::UpdateKind::kDelete;
+      if (shared_cache_) shared_cache_->InvalidateAt(u.point, kind);
+      for (const std::unique_ptr<Worker>& worker : workers_) {
+        if (worker->cache) worker->cache->InvalidateAt(u.point, kind);
+      }
+    }
+  } else {
+    NotifyDataChanged();
+  }
+  authority_epoch_ = epoch;
+}
+
 void BatchServer::RunBatch(size_t count,
                            const std::function<void(Worker&, size_t)>& job) {
+  SyncWithAuthority();
   const Clock::time_point start = Clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -237,6 +274,11 @@ std::vector<StatusOr<std::vector<uint8_t>>> BatchServer::NnQueryBatchWire(
       return;
     }
     if (w.cache || shared_cache_) {
+      std::vector<geo::Point> answers;
+      answers.reserve(result->answers().size());
+      for (const rtree::Neighbor& n : result->answers()) {
+        answers.push_back(n.entry.point);
+      }
       std::vector<cache::BisectorConstraint> constraints;
       constraints.reserve(result->influence_pairs().size());
       for (const InfluencePair& pair : result->influence_pairs()) {
@@ -245,10 +287,12 @@ std::vector<StatusOr<std::vector<uint8_t>>> BatchServer::NnQueryBatchWire(
       const geo::Rect bounds = result->region().BoundingBox();
       if (w.cache) {
         w.cache->InsertNn(query.k, result->universe(), bounds,
-                          std::move(constraints), *encoded);
+                          std::move(answers), std::move(constraints),
+                          *encoded);
       } else {
         shared_cache_->InsertNn(query.k, result->universe(), bounds,
-                                std::move(constraints), *encoded);
+                                std::move(answers), std::move(constraints),
+                                *encoded);
       }
     }
     out[i] = std::move(*encoded);

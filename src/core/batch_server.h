@@ -63,6 +63,17 @@ struct BatchServerOptions {
   size_t max_query_retries = 2;
   // Must match the options the tree in the store was built with.
   rtree::RTree::Options tree_options;
+  // The handle that mutates the tree in the shared store, if any. When
+  // set, every batch begins by checking its update_epoch(): if the
+  // dataset changed since the last batch, the server flushes the
+  // authority's buffer, re-points every worker handle at the new meta
+  // (the root can move on a split) and invalidates the caches —
+  // region-scoped through the authority's update log when possible.
+  // Without it, mutations through other handles are invisible until an
+  // explicit NotifyDataChanged(), and even that cannot refresh worker
+  // handles whose meta went stale. Must outlive the server; mutate it
+  // only between batches (from the dispatcher thread).
+  rtree::RTree* authoritative_tree = nullptr;
   // Semantic answer cache for the *QueryBatchWire methods. Disabled by
   // default (batches of distinct clients see no reuse unless the workload
   // clusters). With cache.shared == false each worker owns a private
@@ -159,7 +170,9 @@ class BatchServer {
   // Tells the server the dataset in the store changed (some other handle
   // inserted or deleted): every cached answer becomes stale and will be
   // rejected. Call from the dispatcher thread between batches, like the
-  // batch methods themselves.
+  // batch methods themselves. Note this cannot refresh the workers'
+  // private tree handles — prefer options.authoritative_tree, which
+  // syncs meta and caches automatically at every batch boundary.
   void NotifyDataChanged();
 
   bool cache_enabled() const {
@@ -212,9 +225,18 @@ class BatchServer {
   void RunBatch(size_t count,
                 const std::function<void(Worker&, size_t)>& job);
 
+  // Catches workers up with options.authoritative_tree (no-op without
+  // one): flushes the authority's write-back buffer, re-attaches worker
+  // handles to its meta and invalidates caches — per update point via
+  // the authority's update log when region scoping allows, else fully.
+  // Runs on the dispatcher thread while all workers are idle.
+  void SyncWithAuthority();
+
   // Fixed at construction; workers only read them afterwards.
   storage::PageStore* disk_ LBSQ_EXCLUDED(const_after_init);
   size_t max_query_retries_ LBSQ_EXCLUDED(const_after_init);
+  rtree::RTree* authority_ LBSQ_EXCLUDED(const_after_init);
+  bool cache_region_scoped_ LBSQ_EXCLUDED(const_after_init);
   std::vector<std::unique_ptr<Worker>> workers_ LBSQ_EXCLUDED(const_after_init);
   std::vector<std::thread> threads_ LBSQ_EXCLUDED(const_after_init);
   // Shared-cache configuration only (null otherwise). The pointer is
@@ -248,6 +270,11 @@ class BatchServer {
 
   // Cumulative stats (mutated only between batches, on the dispatcher
   // thread). page-access baseline = store reads at construction / reset.
+  // authority_epoch_ = the authoritative tree's epoch workers last
+  // synced to (SyncWithAuthority).
+  uint64_t authority_epoch_ LBSQ_EXCLUDED(dispatcher_only) = 0;
+  std::vector<rtree::UpdateRecord> update_scratch_
+      LBSQ_EXCLUDED(dispatcher_only);
   uint64_t queries_ LBSQ_EXCLUDED(dispatcher_only) = 0;
   uint64_t disk_reads_baseline_ LBSQ_EXCLUDED(dispatcher_only) = 0;
   uint64_t view_fetches_baseline_ LBSQ_EXCLUDED(dispatcher_only) = 0;

@@ -37,8 +37,13 @@
 // when EnableCache() has installed a semantic answer cache, consult it
 // first — a hit returns the already-encoded bytes of a previous answer
 // whose validity region contains the query point, without touching the
-// engines or the page store. The cache is invalidated automatically
-// whenever the tree's update epoch advances (any insert/delete).
+// engines or the page store. The cache tracks dataset mutations
+// automatically: when the tree's update epoch advances, the server
+// replays the tree's update log through the cache's region-scoped
+// InvalidateAt (each insert/delete kills only the entries whose answer
+// it can change), falling back to a full epoch invalidation when the
+// updates cannot be attributed to points (BulkLoad, trimmed log, or
+// config.region_scoped == false).
 
 namespace lbsq::core {
 
@@ -157,13 +162,18 @@ class Server {
     if (!encoded.ok()) return encoded.status();
     WireBytes shared = cache::MakeCachedBytes(std::move(*encoded));
     if (cache_) {
+      std::vector<geo::Point> answers;
+      answers.reserve(result->answers().size());
+      for (const rtree::Neighbor& n : result->answers()) {
+        answers.push_back(n.entry.point);
+      }
       std::vector<cache::BisectorConstraint> constraints;
       constraints.reserve(result->influence_pairs().size());
       for (const InfluencePair& pair : result->influence_pairs()) {
         constraints.push_back({pair.displaced.point, pair.incoming.point});
       }
       cache_->InsertNn(k, result->universe(), result->region().BoundingBox(),
-                       std::move(constraints), shared);
+                       std::move(answers), std::move(constraints), shared);
     }
     return shared;
   }
@@ -245,15 +255,30 @@ class Server {
   const geo::Rect& universe() const { return nn_engine_.universe(); }
 
  private:
-  // Invalidates the cache when the dataset changed under it: compares the
-  // tree's update epoch with the one the cache was last synced to.
+  // Catches the cache up with dataset mutations: when the tree's update
+  // epoch has advanced past the cache's synced epoch, replay the tree's
+  // update log through region-scoped invalidation (each update kills
+  // only the entries it can affect). Falls back to the epoch
+  // sledgehammer when region scoping is off or the log cannot attribute
+  // the gap to points (BulkLoad, trimmed log).
   void SyncCacheEpoch() {
     if (!cache_) return;
     const uint64_t tree_epoch = tree_->update_epoch();
-    if (tree_epoch != cache_data_epoch_) {
-      cache_->Invalidate();
-      cache_data_epoch_ = tree_epoch;
+    if (tree_epoch == cache_data_epoch_) return;
+    bool scoped = false;
+    if (cache_->config().region_scoped) {
+      update_scratch_.clear();
+      if (tree_->CopyUpdatesSince(cache_data_epoch_, &update_scratch_)) {
+        for (const rtree::UpdateRecord& u : update_scratch_) {
+          cache_->InvalidateAt(u.point, u.kind == rtree::UpdateKind::kInsert
+                                            ? cache::UpdateKind::kInsert
+                                            : cache::UpdateKind::kDelete);
+        }
+        scoped = true;
+      }
     }
+    if (!scoped) cache_->Invalidate();
+    cache_data_epoch_ = tree_epoch;
   }
 
   template <typename Result, typename Fn>
@@ -290,6 +315,8 @@ class Server {
   std::optional<cache::SemanticCache> cache_;
   uint64_t cache_data_epoch_ = 0;
   bool last_wire_from_cache_ = false;
+  // Reused buffer for SyncCacheEpoch's update-log replay.
+  std::vector<rtree::UpdateRecord> update_scratch_;
 };
 
 }  // namespace lbsq::core

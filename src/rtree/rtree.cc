@@ -161,12 +161,59 @@ size_t RTree::ChooseSubtree(const Node& node, const geo::Rect& r) {
   return best;
 }
 
+namespace {
+
+// Update-log capacity: how far back CopyUpdatesSince can reach. 4096
+// covers any realistic between-sync gap (serving layers sync on every
+// query / batch); a cache that fell further behind is better off with
+// one epoch nuke than thousands of per-point passes anyway.
+constexpr size_t kUpdateLogCapacity = 4096;
+
+}  // namespace
+
+void RTree::RecordUpdate(const geo::Point& p, UpdateKind kind) {
+  // Amortized O(1) front-trim: let the log grow to twice the capacity,
+  // then drop the older half in one move instead of erasing per update.
+  if (update_log_.size() >= 2 * kUpdateLogCapacity) {
+    update_log_.erase(update_log_.begin(),
+                      update_log_.begin() + kUpdateLogCapacity);
+    log_floor_ += kUpdateLogCapacity;
+  }
+  update_log_.push_back({p, kind});
+}
+
+bool RTree::CopyUpdatesSince(uint64_t since_epoch,
+                             std::vector<UpdateRecord>* out) const {
+  if (since_epoch > update_epoch_ || since_epoch < log_floor_) return false;
+  // Invariant: log_floor_ + update_log_.size() == update_epoch_, so the
+  // records for epochs (since_epoch, update_epoch_] start at index
+  // since_epoch - log_floor_.
+  for (size_t i = static_cast<size_t>(since_epoch - log_floor_);
+       i < update_log_.size(); ++i) {
+    out->push_back(update_log_[i]);
+  }
+  return true;
+}
+
+void RTree::Reattach(const Meta& meta) {
+  LBSQ_CHECK(meta.root != storage::kInvalidPageId);
+  // Drop buffered pages before adopting the new root: any page may have
+  // been rewritten by the mutating handle. The buffer is clean for a
+  // read-only handle, so Clear() writes nothing back.
+  buffer_.Clear();
+  root_ = meta.root;
+  root_level_ = meta.root_level;
+  size_ = meta.size;
+  num_nodes_ = meta.num_nodes;
+}
+
 void RTree::Insert(const geo::Point& p, ObjectId id) {
   reinserted_levels_.assign(static_cast<size_t>(root_level_) + 2, false);
   DataEntry entry{p, id};
   InsertAtLevel(ChildEntry{}, entry, /*target_level=*/0);
   ++size_;
   ++update_epoch_;
+  RecordUpdate(p, UpdateKind::kInsert);
 }
 
 void RTree::InsertAtLevel(const ChildEntry& entry, const DataEntry& data_entry,
@@ -393,6 +440,11 @@ void RTree::BulkLoad(std::vector<DataEntry> entries, double fill) {
   if (entries.empty()) return;
   size_ = entries.size();
   ++update_epoch_;
+  // A bulk load is not attributable to individual points: clear the log
+  // and raise the floor so CopyUpdatesSince reports the gap and callers
+  // fall back to full invalidation.
+  update_log_.clear();
+  log_floor_ = update_epoch_;
 
   const auto leaf_cap = std::max<size_t>(
       1, static_cast<size_t>(fill * options_.leaf_capacity));
@@ -477,6 +529,7 @@ bool RTree::Delete(const geo::Point& p, ObjectId id) {
   LBSQ_CHECK(!underflow);  // the root never reports underflow
   --size_;
   ++update_epoch_;
+  RecordUpdate(p, UpdateKind::kDelete);
 
   // Shrink the root while it is internal with a single child.
   while (root_level_ > 0) {

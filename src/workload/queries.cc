@@ -71,6 +71,85 @@ std::vector<geo::Point> MakeHotspotQueries(const geo::Rect& universe,
   return out;
 }
 
+MixedWorkload MakeMixedWorkload(const Dataset& dataset, size_t queries,
+                                double updates_per_kilo_query,
+                                size_t hotspots, uint64_t seed, double sigma) {
+  LBSQ_CHECK(!dataset.entries.empty());
+  LBSQ_CHECK(hotspots > 0);
+  LBSQ_CHECK(updates_per_kilo_query >= 0.0);
+  Rng rng(seed);
+  const geo::Rect& universe = dataset.universe;
+
+  std::vector<geo::Point> centers;
+  centers.reserve(hotspots);
+  for (size_t i = 0; i < hotspots; ++i) {
+    centers.push_back({rng.Uniform(universe.min_x, universe.max_x),
+                       rng.Uniform(universe.min_y, universe.max_y)});
+  }
+
+  // Live objects, mirrored as the ops are generated so deletes always
+  // name an object present at that point in the stream.
+  std::vector<rtree::DataEntry> live = dataset.entries;
+  rtree::ObjectId next_id = 0;
+  for (const rtree::DataEntry& e : live) {
+    next_id = std::max(next_id, e.id + 1);
+  }
+  const size_t min_live = dataset.entries.size() / 2;
+
+  const double lambda = updates_per_kilo_query / 1000.0;
+  // Knuth's product method: valid for the small per-query rates used
+  // here (lambda <= ~10).
+  const double poisson_floor = std::exp(-lambda);
+  auto poisson = [&]() {
+    size_t k = 0;
+    double product = rng.NextDouble();
+    while (product > poisson_floor) {
+      ++k;
+      product *= rng.NextDouble();
+    }
+    return k;
+  };
+
+  const double query_scale = universe.width() * sigma;
+  const double jitter_scale = universe.width() * 0.01;
+  MixedWorkload out;
+  out.ops.reserve(queries + static_cast<size_t>(lambda * queries) + 16);
+  for (size_t i = 0; i < queries; ++i) {
+    if (lambda > 0.0) {
+      const size_t updates = poisson();
+      for (size_t u = 0; u < updates; ++u) {
+        const bool do_delete =
+            rng.NextDouble() < 0.5 && live.size() > min_live;
+        if (do_delete) {
+          const size_t victim = rng.NextBounded(live.size());
+          out.ops.push_back(
+              {MixedOp::Kind::kDelete, live[victim].point, live[victim].id});
+          live[victim] = live.back();
+          live.pop_back();
+          ++out.deletes;
+        } else {
+          const geo::Point& base =
+              live[rng.NextBounded(live.size())].point;
+          const geo::Point p = ClampInto(
+              universe, {base.x + rng.Gaussian() * jitter_scale,
+                         base.y + rng.Gaussian() * jitter_scale});
+          out.ops.push_back({MixedOp::Kind::kInsert, p, next_id});
+          live.push_back({p, next_id});
+          ++next_id;
+          ++out.inserts;
+        }
+      }
+    }
+    const geo::Point& center = centers[rng.NextBounded(hotspots)];
+    const geo::Point q =
+        ClampInto(universe, {center.x + rng.Gaussian() * query_scale,
+                             center.y + rng.Gaussian() * query_scale});
+    out.ops.push_back({MixedOp::Kind::kQuery, q, 0});
+    ++out.queries;
+  }
+  return out;
+}
+
 std::vector<geo::Point> MakeRandomWaypointTrajectory(const Dataset& dataset,
                                                      size_t steps,
                                                      double step,

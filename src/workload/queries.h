@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "geometry/point.h"
+#include "rtree/node.h"
 #include "workload/datasets.h"
 
 // Query-location and trajectory generators. Following Section 6, query
@@ -39,6 +40,40 @@ std::vector<geo::Point> MakeHotspotQueries(const geo::Rect& universe,
                                            size_t count, size_t hotspots,
                                            uint64_t seed,
                                            double sigma = 0.01);
+
+// One step of a moving-world workload: either a query location or a
+// point update (insert/delete) against the dataset the workload was
+// built from. Consumers must apply the ops in order starting from the
+// original dataset — delete ops name objects that are live at that
+// point in the stream, and insert ops introduce fresh ids above the
+// dataset's.
+struct MixedOp {
+  enum class Kind : uint8_t { kQuery, kInsert, kDelete };
+  Kind kind = Kind::kQuery;
+  geo::Point point;        // query location, or the updated object's point
+  rtree::ObjectId id = 0;  // object id for kInsert/kDelete; unused for kQuery
+};
+
+struct MixedWorkload {
+  std::vector<MixedOp> ops;
+  size_t queries = 0;
+  size_t inserts = 0;
+  size_t deletes = 0;
+};
+
+// `queries` hotspot query locations (as in MakeHotspotQueries)
+// interleaved with Poisson-arrival point updates: before each query the
+// number of updates is drawn from Poisson(updates_per_kilo_query /
+// 1000), so the expected mix is `updates_per_kilo_query` updates per
+// 1000 queries. Each update is a fair coin flip between inserting a
+// fresh object at a jittered copy of a live object's location (keeping
+// updates data-distributed, like the paper's Section 6 workloads) and
+// deleting a uniformly chosen live object. Deletes are suppressed when
+// fewer than half the original objects remain live.
+MixedWorkload MakeMixedWorkload(const Dataset& dataset, size_t queries,
+                                double updates_per_kilo_query,
+                                size_t hotspots, uint64_t seed,
+                                double sigma = 0.01);
 
 // A client trajectory under the random-waypoint mobility model: the
 // client walks in fixed `step` increments toward a waypoint sampled from

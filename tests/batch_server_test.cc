@@ -415,8 +415,83 @@ TEST_F(BatchServerTest, SharedCacheServesValidAnswersAndInvalidates) {
   ExpectWireBatchValid(w, nn, window, range, serial);
 
   const auto stats = batch.perf_stats();
-  EXPECT_EQ(stats.cache.invalidations, 1u);
+  EXPECT_EQ(stats.cache.epoch_invalidations, 1u);
   EXPECT_GT(stats.cache.stale_drops, 0u);
+}
+
+// Regression for the stale-read hole: mutating the tree through the
+// primary handle WITHOUT calling NotifyDataChanged() used to leave the
+// workers traversing stale pages (the authority's dirty pages never hit
+// the shared store) and the caches replaying pre-update answers. With
+// options.authoritative_tree set, the dispatcher must detect the epoch
+// change at the next batch, flush + re-point the worker handles, and
+// region-scope-invalidate the caches — no notification required.
+TEST_F(BatchServerTest, AuthoritativeTreeSyncSurvivesUnnotifiedMutations) {
+  const Workload w = MakeClusteredWorkload(400, 200, 200, 73);
+
+  core::BatchServerOptions options;
+  options.num_threads = 4;
+  options.cache.enabled = true;
+  options.cache.shared = true;
+  options.authoritative_tree = tree_.get();
+  BatchServer batch(&disk_, tree_->meta(), universe_, options);
+
+  // Warm the cache.
+  {
+    core::Server serial(tree_.get(), universe_);
+    const auto nn = batch.NnQueryBatchWire(w.nn);
+    const auto window = batch.WindowQueryBatchWire(w.window);
+    const auto range = batch.RangeQueryBatchWire(w.range);
+    ExpectWireBatchValid(w, nn, window, range, serial);
+  }
+  EXPECT_GT(batch.perf_stats().cache.entries, 0u);
+
+  // Mutate through the primary handle only: a few thousand inserts
+  // (splitting nodes as they go) plus deletes of some of them. No
+  // NotifyDataChanged.
+  std::mt19937 rng(75);
+  std::uniform_real_distribution<double> coord(0.05, 0.95);
+  std::vector<rtree::DataEntry> added;
+  for (uint32_t i = 0; i < 2000; ++i) {
+    const rtree::DataEntry e{{coord(rng), coord(rng)},
+                             static_cast<uint32_t>(kPoints + 1 + i)};
+    tree_->Insert(e.point, e.id);
+    added.push_back(e);
+  }
+  for (size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree_->Delete(added[i].point, added[i].id));
+  }
+
+  // The next batch runs against the mutated tree; every answer must be
+  // semantically exact for the *current* data.
+  {
+    core::Server serial(tree_.get(), universe_);
+    const auto nn = batch.NnQueryBatchWire(w.nn);
+    const auto window = batch.WindowQueryBatchWire(w.window);
+    const auto range = batch.RangeQueryBatchWire(w.range);
+    ExpectWireBatchValid(w, nn, window, range, serial);
+  }
+  const auto mid = batch.perf_stats();
+  // The sync replayed the update log instead of nuking the cache.
+  EXPECT_GT(mid.cache.entries_invalidated_by_update, 0u);
+  EXPECT_EQ(mid.cache.epoch_invalidations, 0u);
+
+  // Overflow the bounded update log between batches (its trim raises
+  // the log floor past the server's synced epoch): the sync can no
+  // longer replay per-point updates and must fall back to the epoch
+  // nuke — while the workers still follow the (by now re-rooted) tree.
+  for (uint32_t i = 0; i < 9000; ++i) {
+    tree_->Insert({coord(rng), coord(rng)},
+                  static_cast<uint32_t>(kPoints + 10000 + i));
+  }
+  {
+    core::Server serial(tree_.get(), universe_);
+    const auto nn = batch.NnQueryBatchWire(w.nn);
+    const auto window = batch.WindowQueryBatchWire(w.window);
+    const auto range = batch.RangeQueryBatchWire(w.range);
+    ExpectWireBatchValid(w, nn, window, range, serial);
+  }
+  EXPECT_EQ(batch.perf_stats().cache.epoch_invalidations, 1u);
 }
 
 }  // namespace

@@ -61,6 +61,10 @@ TEST(CacheDifferentialTest, CachedAnswersMatchFreshAcrossEpochBump) {
   cache::CacheConfig config;
   config.max_entries = 8192;
   config.max_bytes = 16u << 20;
+  // This test pins down the epoch-nuke fallback path: one update drops
+  // the whole cache. Region-scoped invalidation has its own
+  // differential test (churn_differential_test.cc).
+  config.region_scoped = false;
   cached.EnableCache(config);
 
   const std::vector<geo::Point> queries =
@@ -134,7 +138,7 @@ TEST(CacheDifferentialTest, CachedAnswersMatchFreshAcrossEpochBump) {
   // epoch bump: plenty of hits overall, exactly one invalidation, and
   // live (post-bump) entries at the end.
   const cache::CacheStats stats = cached.cache_stats();
-  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.epoch_invalidations, 1u);
   EXPECT_GT(stats.hits, kQueries / 4);
   EXPECT_GT(stats.stale_drops, 0u);
   EXPECT_GT(stats.entries, 0u);

@@ -64,7 +64,8 @@ TEST(SemanticCacheTest, NnBisectorSemanticsAreClosed) {
   // rival (0.75, 0.5): the half-plane x <= 0.5.
   std::vector<BisectorConstraint> constraints{
       {{0.25, 0.5}, {0.75, 0.5}}};
-  cache.InsertNn(1, kUnit, kUnit, constraints, MakeBytes(8, 1));
+  cache.InsertNn(1, kUnit, kUnit, {{0.25, 0.5}}, constraints,
+                 MakeBytes(8, 1));
 
   std::vector<uint8_t> out;
   EXPECT_TRUE(cache.LookupNn({0.1, 0.5}, 1, &out));
@@ -168,7 +169,7 @@ TEST(SemanticCacheTest, InvalidateDropsStaleEntriesLazily) {
   EXPECT_FALSE(cache.LookupWindow({0.3, 0.3}, 0.1, 0.1, &out));
   EXPECT_EQ(cache.entries(), 0u);  // dropped by the lookup itself
   const CacheStats stats = cache.stats();
-  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.epoch_invalidations, 1u);
   EXPECT_EQ(stats.stale_drops, 1u);
 
   // Entries inserted after the bump are live again.
@@ -218,6 +219,185 @@ TEST(SemanticCacheTest, MostRecentInsertWinsWithinCell) {
   ASSERT_TRUE(cache.LookupWindow({0.3, 0.3}, 0.1, 0.1, &out));
   EXPECT_TRUE(out == MakeBytes(4, 1) || out == MakeBytes(4, 2));
   EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(SemanticCacheTest, InvalidateAtKillsOnlyAffectedNnEntries) {
+  SemanticCache cache(kUnit, CacheConfig{});
+  // 1-NN answer (0.25, 0.5) with rival (0.75, 0.5): validity region is
+  // the half-plane x <= 0.5, bounding box [0, 0.5] x [0, 1].
+  const geo::Point answer{0.25, 0.5};
+  const geo::Point rival{0.75, 0.5};
+  const geo::Rect bounds(0.0, 0.0, 0.5, 1.0);
+  cache.InsertNn(1, kUnit, bounds, {answer}, {{answer, rival}},
+                 MakeBytes(8, 1));
+
+  // An insert far beyond the rival can never beat the answer anywhere in
+  // the region: retained.
+  EXPECT_EQ(cache.InvalidateAt({0.99, 0.5}, UpdateKind::kInsert), 0u);
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(cache.LookupNn({0.3, 0.5}, 1, &out));
+
+  // An insert right next to the answer beats it over most of the region:
+  // killed.
+  EXPECT_EQ(cache.InvalidateAt({0.31, 0.5}, UpdateKind::kInsert), 1u);
+  EXPECT_FALSE(cache.LookupNn({0.3, 0.5}, 1, &out));
+  EXPECT_EQ(cache.stats().entries_invalidated_by_update, 1u);
+  EXPECT_EQ(cache.stats().epoch_invalidations, 0u);
+}
+
+TEST(SemanticCacheTest, InsertExactlyOnBisectorInvalidates) {
+  SemanticCache cache(kUnit, CacheConfig{});
+  // The answer and rival are symmetric about x = 0.5, so the region
+  // boundary (their bisector) is the bounds edge x = 0.5. Re-inserting a
+  // point at the rival's position ties with the answer exactly on that
+  // edge — the validity test is closed (keep wins ties), so the new
+  // point joins the influence frontier there and the entry's encoded
+  // region changes. A strict (>) predicate would wrongly retain it.
+  const geo::Point answer{0.25, 0.5};
+  const geo::Point rival{0.75, 0.5};
+  const geo::Rect bounds(0.0, 0.0, 0.5, 1.0);
+  cache.InsertNn(1, kUnit, bounds, {answer}, {{answer, rival}},
+                 MakeBytes(8, 1));
+  EXPECT_EQ(cache.InvalidateAt(rival, UpdateKind::kInsert), 1u);
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(cache.LookupNn({0.3, 0.5}, 1, &out));
+}
+
+TEST(SemanticCacheTest, NnDeleteKillsOnlyReferencedObjects) {
+  SemanticCache cache(kUnit, CacheConfig{});
+  const geo::Point answer{0.25, 0.5};
+  const geo::Point rival{0.75, 0.5};
+  const geo::Rect bounds(0.0, 0.0, 0.5, 1.0);
+  cache.InsertNn(1, kUnit, bounds, {answer}, {{answer, rival}},
+                 MakeBytes(8, 1));
+
+  // Deleting an object the answer never referenced changes nothing.
+  EXPECT_EQ(cache.InvalidateAt({0.2, 0.2}, UpdateKind::kDelete), 0u);
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(cache.LookupNn({0.3, 0.5}, 1, &out));
+
+  // Deleting the influence rival changes the encoded region: killed.
+  EXPECT_EQ(cache.InvalidateAt(rival, UpdateKind::kDelete), 1u);
+  EXPECT_FALSE(cache.LookupNn({0.3, 0.5}, 1, &out));
+
+  // Deleting the answer member itself kills too.
+  cache.InsertNn(1, kUnit, bounds, {answer}, {{answer, rival}},
+                 MakeBytes(8, 2));
+  EXPECT_EQ(cache.InvalidateAt(answer, UpdateKind::kDelete), 1u);
+}
+
+TEST(SemanticCacheTest, UnderFilledNnAnswerDiesOnAnyInsert) {
+  SemanticCache cache(kUnit, CacheConfig{});
+  // k = 5 but the dataset held only two objects: the answer is "all
+  // points", valid everywhere, and any insert anywhere joins it.
+  cache.InsertNn(5, kUnit, kUnit, {{0.2, 0.2}, {0.8, 0.8}}, {},
+                 MakeBytes(8, 1));
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(cache.LookupNn({0.5, 0.5}, 5, &out));
+  EXPECT_EQ(cache.InvalidateAt({0.9, 0.1}, UpdateKind::kInsert), 1u);
+  EXPECT_FALSE(cache.LookupNn({0.5, 0.5}, 5, &out));
+
+  // Deleting a non-member leaves the all-points answer intact; deleting
+  // a member kills it.
+  cache.InsertNn(5, kUnit, kUnit, {{0.2, 0.2}, {0.8, 0.8}}, {},
+                 MakeBytes(8, 2));
+  EXPECT_EQ(cache.InvalidateAt({0.9, 0.1}, UpdateKind::kDelete), 0u);
+  EXPECT_EQ(cache.InvalidateAt({0.8, 0.8}, UpdateKind::kDelete), 1u);
+}
+
+TEST(SemanticCacheTest, WindowKillPredicateIsDilatedBase) {
+  SemanticCache cache(kUnit, CacheConfig{});
+  // Base [0.3, 0.5]^2 with half-extents 0.1: an update interacts with
+  // the answer iff its hx x hy box can reach the base, i.e. iff it lies
+  // in the dilated base [0.2, 0.6]^2 (closed — the engine's candidate
+  // window uses closed containment).
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(0.3, 0.3, 0.5, 0.5),
+                   MakeBytes(8, 1));
+  EXPECT_EQ(cache.InvalidateAt({0.61, 0.3}, UpdateKind::kInsert), 0u);
+  EXPECT_EQ(cache.InvalidateAt({0.61, 0.3}, UpdateKind::kDelete), 0u);
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(cache.LookupWindow({0.4, 0.4}, 0.1, 0.1, &out));
+  EXPECT_EQ(cache.InvalidateAt({0.6, 0.6}, UpdateKind::kInsert), 1u);
+  EXPECT_FALSE(cache.LookupWindow({0.4, 0.4}, 0.1, 0.1, &out));
+}
+
+TEST(SemanticCacheTest, RangeKillPredicateIsDilatedBounds) {
+  SemanticCache cache(kUnit, CacheConfig{});
+  // Region bounds [0.4, 0.6]^2 at radius 0.1: influence candidates come
+  // from bounds.Dilated(r, r) = [0.3, 0.7]^2.
+  geo::DiskRegion region(geo::Rect(0.4, 0.4, 0.6, 0.6),
+                         {{{0.5, 0.5}, 0.05}}, {});
+  cache.InsertRange(0.1, region, MakeBytes(8, 1));
+  EXPECT_EQ(cache.InvalidateAt({0.75, 0.5}, UpdateKind::kInsert), 0u);
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(cache.LookupRange({0.5, 0.5}, 0.1, &out));
+  EXPECT_EQ(cache.InvalidateAt({0.65, 0.5}, UpdateKind::kDelete), 1u);
+  EXPECT_FALSE(cache.LookupRange({0.5, 0.5}, 0.1, &out));
+}
+
+TEST(SemanticCacheTest, InvalidateAtOutsideUniverseFallsBackToEpoch) {
+  SemanticCache cache(kUnit, CacheConfig{});
+  InsertWindowRect(&cache, 0.1, 0.1, geo::Rect(0.2, 0.2, 0.4, 0.4),
+                   MakeBytes(8, 1));
+  // The grid clamps out-of-universe points into border cells and could
+  // miss entries; the cache must take the epoch path instead.
+  EXPECT_EQ(cache.InvalidateAt({1.5, 0.5}, UpdateKind::kInsert), 0u);
+  EXPECT_EQ(cache.stats().epoch_invalidations, 1u);
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(cache.LookupWindow({0.3, 0.3}, 0.1, 0.1, &out));
+  EXPECT_EQ(cache.stats().stale_drops, 1u);
+}
+
+TEST(SemanticCacheTest, CellCompactionReclaimsDeadCapacity) {
+  CacheConfig config;
+  config.grid_resolution = 1;  // every entry lands in the single cell
+  config.max_entries = 1u << 12;
+  SemanticCache cache(kUnit, config);
+  constexpr int kEntries = 100;
+  for (int i = 0; i < kEntries; ++i) {
+    const double lo = 0.001 * i;
+    InsertWindowRect(&cache, 0.05, 0.05,
+                     geo::Rect(lo, lo, lo + 0.05, lo + 0.05),
+                     MakeBytes(8, static_cast<uint8_t>(i)));
+  }
+  ASSERT_EQ(cache.entries(), static_cast<size_t>(kEntries));
+  EXPECT_EQ(cache.stats().cell_compactions, 0u);
+  // Epoch-invalidate and scrub: the cell drains one swap-erase at a
+  // time, and once it is mostly slack its capacity must be compacted
+  // instead of pinning the 100-entry peak forever.
+  cache.Invalidate();
+  EXPECT_EQ(cache.Scrub(), static_cast<size_t>(kEntries));
+  EXPECT_GT(cache.stats().cell_compactions, 0u);
+  // The cache still works after compaction.
+  InsertWindowRect(&cache, 0.05, 0.05, geo::Rect(0.2, 0.2, 0.3, 0.3),
+                   MakeBytes(8, 1));
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(cache.LookupWindow({0.25, 0.25}, 0.05, 0.05, &out));
+}
+
+TEST(SemanticCacheTest, AccountingInvariantHolds) {
+  CacheConfig config;
+  config.max_entries = 16;  // force eviction churn
+  SemanticCache cache(kUnit, config);
+  std::vector<uint8_t> out;
+  for (int i = 0; i < 200; ++i) {
+    const double lo = 0.004 * (i % 200);
+    InsertWindowRect(&cache, 0.05, 0.05,
+                     geo::Rect(lo, lo, lo + 0.05, lo + 0.05),
+                     MakeBytes(8, static_cast<uint8_t>(i)));
+    cache.LookupWindow({lo + 0.02, lo + 0.02}, 0.05, 0.05, &out);
+    if (i % 31 == 0) cache.Invalidate();
+    if (i % 7 == 0) {
+      cache.InvalidateAt({lo, lo}, UpdateKind::kInsert);
+    }
+  }
+  cache.Scrub();
+  const CacheStats stats = cache.stats();
+  // Every insert is accounted for exactly once: still live, evicted,
+  // dropped stale, or killed by an update.
+  EXPECT_EQ(stats.inserts,
+            stats.evictions + stats.stale_drops +
+                stats.entries_invalidated_by_update + stats.entries);
 }
 
 TEST(SemanticCacheTest, SharedWrapperIsUsableConcurrently) {

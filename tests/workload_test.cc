@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <map>
 
 #include <gtest/gtest.h>
 
@@ -87,6 +88,64 @@ TEST(QueriesTest, TrajectoryStepsAreBounded) {
   for (size_t i = 1; i < traj.size(); ++i) {
     EXPECT_LE(geo::Distance(traj[i - 1], traj[i]), step + 1e-12);
   }
+}
+
+TEST(QueriesTest, MixedWorkloadIsReplayableAndPoissonPaced) {
+  const auto dataset = MakeUnitUniform(2000, 17);
+  const auto mixed = MakeMixedWorkload(dataset, /*queries=*/4000,
+                                       /*updates_per_kilo_query=*/200.0,
+                                       /*hotspots=*/8, 19);
+
+  EXPECT_EQ(mixed.queries, 4000u);
+  size_t queries = 0, inserts = 0, deletes = 0;
+  // Replay the live set exactly as a consumer applying the ops to a
+  // tree would: every delete must name a currently-live object, every
+  // insert a fresh id.
+  std::map<rtree::ObjectId, geo::Point> live;
+  for (const auto& e : dataset.entries) live[e.id] = e.point;
+  for (const auto& op : mixed.ops) {
+    EXPECT_TRUE(dataset.universe.Contains(op.point));
+    switch (op.kind) {
+      case MixedOp::Kind::kQuery:
+        ++queries;
+        break;
+      case MixedOp::Kind::kInsert:
+        EXPECT_EQ(live.count(op.id), 0u);
+        live[op.id] = op.point;
+        ++inserts;
+        break;
+      case MixedOp::Kind::kDelete: {
+        const auto it = live.find(op.id);
+        ASSERT_NE(it, live.end());
+        EXPECT_EQ(it->second.x, op.point.x);
+        EXPECT_EQ(it->second.y, op.point.y);
+        live.erase(it);
+        ++deletes;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(queries, mixed.queries);
+  EXPECT_EQ(inserts, mixed.inserts);
+  EXPECT_EQ(deletes, mixed.deletes);
+
+  // ~200 updates per 1000 queries: 4000 queries => ~800 updates. Allow
+  // a wide band for Poisson noise.
+  const size_t updates = inserts + deletes;
+  EXPECT_GT(updates, 600u);
+  EXPECT_LT(updates, 1000u);
+  EXPECT_GT(deletes, 0u);
+
+  // Zero rate degenerates to a pure query stream.
+  const auto quiet = MakeMixedWorkload(dataset, 100, 0.0, 8, 19);
+  EXPECT_EQ(quiet.ops.size(), 100u);
+  EXPECT_EQ(quiet.inserts + quiet.deletes, 0u);
+
+  // Determinism: same seed, same stream.
+  const auto again = MakeMixedWorkload(dataset, 4000, 200.0, 8, 19);
+  ASSERT_EQ(again.ops.size(), mixed.ops.size());
+  EXPECT_EQ(again.ops.back().point.x, mixed.ops.back().point.x);
+  EXPECT_EQ(again.ops.back().point.y, mixed.ops.back().point.y);
 }
 
 TEST(QueriesTest, UniformQueriesCoverUniverse) {

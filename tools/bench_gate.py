@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json artifacts against bench/baseline.json.
+
+Usage: bench_gate.py <artifact_dir> <baseline_json>
+
+Reads the artifacts the bench-gate stage of tools/check.sh just
+produced (BENCH_micro.json, BENCH_churn.json, BENCH_net_loadgen.json)
+and checks each gated number against its band in the baseline file:
+
+  knn_best_first_100   micro's min-of-repeats BM_KnnBestFirst/100 time
+                       must stay under min_ns * max_ratio
+  net_cache_qps        the loadgen's cache-on end-to-end q/s must stay
+                       above value * min_ratio
+  churn_*_hit_at_100   at 100 updates per 1k queries the region-scoped
+                       cache must keep a hit rate above `min`, and the
+                       epoch-nuke twin must stay below `max` (if the
+                       nuke path ever stops collapsing there, the
+                       workload no longer exercises the difference and
+                       the gate is meaningless)
+
+Exits nonzero listing every violated band. Timing bands are generous
+multiples (see the baseline's comment); hit rates are deterministic.
+"""
+
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    art_dir, baseline_path = sys.argv[1], sys.argv[2]
+    with open(baseline_path) as f:
+        base = json.load(f)
+    failures = []
+
+    def check(label, ok, detail):
+        print(f"bench-gate: {label}: {detail} [{'ok' if ok else 'FAIL'}]")
+        if not ok:
+            failures.append(label)
+
+    with open(f"{art_dir}/BENCH_micro.json") as f:
+        micro = json.load(f)
+    knn_min = None
+    for b in micro["benchmarks"]:
+        if (b["name"].startswith("BM_KnnBestFirst/100/")
+                and b.get("aggregate_name") == "min"):
+            knn_min = b["real_time"]
+    spec = base["knn_best_first_100"]
+    limit = spec["min_ns"] * spec["max_ratio"]
+    check("knn_best_first_100",
+          knn_min is not None and knn_min <= limit,
+          f"min {knn_min if knn_min is None else round(knn_min)} ns, "
+          f"limit {round(limit)} ns")
+
+    with open(f"{art_dir}/BENCH_net_loadgen.json") as f:
+        loadgen = json.load(f)
+    spec = base["net_cache_qps"]
+    floor = spec["value"] * spec["min_ratio"]
+    qps = loadgen["net_cache_qps"]
+    check("net_cache_qps", qps >= floor,
+          f"{round(qps)} q/s, floor {round(floor)} q/s")
+
+    with open(f"{art_dir}/BENCH_churn.json") as f:
+        churn = json.load(f)
+    row = next((s for s in churn["series"]
+                if s["updates_per_kquery"] == 100), None)
+    if row is None:
+        check("churn_series", False, "no updates_per_kquery=100 row")
+    else:
+        region = row["region"]["hit_rate"]
+        epoch = row["epoch"]["hit_rate"]
+        check("churn_region_hit_at_100",
+              region >= base["churn_region_hit_at_100"]["min"],
+              f"{region:.4f}, floor "
+              f"{base['churn_region_hit_at_100']['min']:.2f}")
+        check("churn_epoch_hit_at_100",
+              epoch <= base["churn_epoch_hit_at_100"]["max"],
+              f"{epoch:.4f}, cap "
+              f"{base['churn_epoch_hit_at_100']['max']:.2f}")
+
+    if failures:
+        print(f"bench-gate: FAILED: {', '.join(failures)}")
+        return 1
+    print("bench-gate: all bands hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,10 @@
 #           failed reply verification, or a missing/malformed
 #           BENCH_*.json artifact (the numbers themselves are not gated
 #           here — a smoke box is too noisy for thresholds)
+#   bench-gate   micro BM_KnnBestFirst/100, churn and a quarter-scale
+#           net_loadgen compared against bench/baseline.json via
+#           tools/bench_gate.py; the baseline's bands are generous
+#           multiples so only a real regression trips them
 #
 # Build directories are reused across runs (build/, build-werror/,
 # build-asan/, build-tsan/), so incremental invocations are cheap.
@@ -27,7 +31,7 @@ ROOT="$PWD"
 JOBS="$(nproc 2>/dev/null || echo 1)"
 
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(lint plain werror asan tsan bench-smoke)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(lint plain werror asan tsan bench-smoke bench-gate)
 
 declare -A RESULT
 FAILED=0
@@ -101,12 +105,35 @@ stage_bench_smoke() {
   return "$ok"
 }
 
+# Re-runs the three gated benchmarks at the baseline's own
+# configuration and compares the numbers against bench/baseline.json.
+# Hit rates are deterministic; timing bands are generous multiples.
+stage_bench_gate() {
+  cmake -S "$ROOT" -B "$ROOT/build" >/dev/null &&
+    cmake --build "$ROOT/build" --target micro churn net_loadgen \
+      -j "$JOBS" || return 1
+  local dir
+  dir="$(mktemp -d)" || return 1
+  local ok=0
+  LBSQ_BENCH_DIR="$dir" "$ROOT/build/bench/micro" \
+    '--benchmark_filter=BM_KnnBestFirst/100/' >/dev/null &&
+    LBSQ_BENCH_DIR="$dir" LBSQ_ROUNDS=1 "$ROOT/build/bench/churn" \
+      >/dev/null &&
+    LBSQ_BENCH_DIR="$dir" LBSQ_SCALE=0.25 "$ROOT/build/bench/net_loadgen" \
+      >/dev/null &&
+    python3 "$ROOT/tools/bench_gate.py" "$dir" "$ROOT/bench/baseline.json" ||
+    ok=1
+  rm -rf "$dir"
+  return "$ok"
+}
+
 for s in "${STAGES[@]}"; do
   case "$s" in
     lint | plain | werror | asan | tsan) run_stage "$s" "stage_$s" ;;
     bench-smoke) run_stage "$s" stage_bench_smoke ;;
+    bench-gate) run_stage "$s" stage_bench_gate ;;
     *)
-      echo "unknown stage: $s (known: lint plain werror asan tsan bench-smoke)" >&2
+      echo "unknown stage: $s (known: lint plain werror asan tsan bench-smoke bench-gate)" >&2
       exit 2
       ;;
   esac
