@@ -37,10 +37,37 @@
 // const_after_init, dispatcher_only).
 #define LBSQ_EXCLUDED(x)
 
-// Function-level annotations, for completeness when clang lands on the
-// box (ROADMAP: full -Wthread-safety CI).
+// Function-level annotations. LBSQ_REQUIRES is load-bearing on every
+// compiler: lbsq_lint's `guarded-access` analysis treats the named
+// mutexes as held on entry inside the function and checks every call
+// site for them, and clang's -Wthread-safety proves the same contract
+// when available (tools/check.sh werror-thread-safety stage).
 #define LBSQ_REQUIRES(...) LBSQ_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
 #define LBSQ_ACQUIRE(...) LBSQ_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
 #define LBSQ_RELEASE(...) LBSQ_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+// Runtime twin of LBSQ_REQUIRES for debug builds: asserts that `mu` is
+// currently locked (by somebody). Implemented as try_lock(), which is
+// undefined behavior if *this* thread already holds a non-recursive
+// mutex — exactly the situation the assert expects — so in practice
+// glibc's non-recursive try_lock returns false (EBUSY) and the assert
+// passes; a correct caller never pays more than one atomic exchange.
+// The assert therefore catches the "nobody holds the lock" bug, not
+// the "a different thread holds it" bug; lbsq_lint's flow check covers
+// the rest statically, and treats LBSQ_ASSERT_HELD(mu) as proof that
+// `mu` is held for the remainder of the enclosing scope.
+#if !defined(NDEBUG)
+#include <cassert>
+#define LBSQ_ASSERT_HELD(mu)            \
+  do {                                  \
+    const bool lbsq_got_ = (mu).try_lock(); \
+    if (lbsq_got_) (mu).unlock();       \
+    assert(!lbsq_got_ && "LBSQ_ASSERT_HELD: mutex not held"); \
+  } while (0)
+#else
+#define LBSQ_ASSERT_HELD(mu) \
+  do {                       \
+  } while (0)
+#endif
 
 #endif  // LBSQ_COMMON_ANNOTATIONS_H_

@@ -125,4 +125,18 @@ class [[nodiscard]] StatusOr {
 
 }  // namespace lbsq
 
+// Propagates an error out of the current function: evaluates `expr`
+// (a Status, or a StatusOr via `.status()`) exactly once and returns it
+// if it is not OK. The enclosing function must return Status or
+// StatusOr<T> (Status converts implicitly to either). lbsq_lint's
+// `status-propagation` rule treats LBSQ_RETURN_IF_ERROR(x.status()) as
+// a dominating ok()-check on `x` for the remainder of the scope.
+#define LBSQ_RETURN_IF_ERROR(expr)                                   \
+  do {                                                               \
+    if (const ::lbsq::Status& lbsq_status_tmp_ = (expr);             \
+        !lbsq_status_tmp_.ok()) {                                    \
+      return lbsq_status_tmp_;                                       \
+    }                                                                \
+  } while (0)
+
 #endif  // LBSQ_COMMON_STATUS_H_

@@ -167,17 +167,23 @@ void BatchServer::SyncWithAuthority() {
   authority_epoch_ = epoch;
 }
 
+void BatchServer::PublishJobLocked(
+    size_t count, const std::function<void(Worker&, size_t)>& job) {
+  LBSQ_ASSERT_HELD(mu_);
+  job_ = job;
+  job_count_ = count;
+  cursor_.store(0, std::memory_order_relaxed);
+  workers_done_ = 0;
+  ++job_epoch_;
+}
+
 void BatchServer::RunBatch(size_t count,
                            const std::function<void(Worker&, size_t)>& job) {
   SyncWithAuthority();
   const Clock::time_point start = Clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job_ = job;
-    job_count_ = count;
-    cursor_.store(0, std::memory_order_relaxed);
-    workers_done_ = 0;
-    ++job_epoch_;
+    PublishJobLocked(count, job);
   }
   work_cv_.notify_all();
   // The dispatcher is worker 0: serve the batch alongside the pool

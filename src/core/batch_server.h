@@ -232,6 +232,15 @@ class BatchServer {
   // Runs on the dispatcher thread while all workers are idle.
   void SyncWithAuthority();
 
+  // Publishes one batch to the worker pool: stores the job and its
+  // size, rewinds the claim cursor, and bumps job_epoch_ — the bump
+  // must be the workers' release point, which is why the caller must
+  // already hold mu_ (enforced statically by lbsq_lint / clang
+  // -Wthread-safety, and at runtime by LBSQ_ASSERT_HELD).
+  void PublishJobLocked(size_t count,
+                        const std::function<void(Worker&, size_t)>& job)
+      LBSQ_REQUIRES(mu_);
+
   // Fixed at construction; workers only read them afterwards.
   storage::PageStore* disk_ LBSQ_EXCLUDED(const_after_init);
   size_t max_query_retries_ LBSQ_EXCLUDED(const_after_init);

@@ -78,7 +78,7 @@ StatusOr<uint32_t> NetClient::SendRequest(FrameType type,
   const uint32_t id = next_request_id_++;
   AppendFrame(type, id, payload.data(), payload.size(), &out_);
   if (out_.size() >= kClientCorkBytes) {
-    if (const Status flushed = Flush(); !flushed.ok()) return flushed;
+    LBSQ_RETURN_IF_ERROR(Flush());
   }
   return id;
 }
@@ -120,7 +120,7 @@ StatusOr<NetClient::Reply> NetClient::Receive() {
     }
     // About to block on the socket: corked requests must hit the wire
     // first or the server has nothing to answer.
-    if (const Status flushed = Flush(); !flushed.ok()) return flushed;
+    LBSQ_RETURN_IF_ERROR(Flush());
     uint8_t chunk[16 << 10];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n > 0) {

@@ -9,8 +9,10 @@ class GoodServer {
   GoodServer(const GoodServer&) = delete;
   GoodServer& operator=(const GoodServer&) = delete;
   // An accessor whose *body* touches members: locals and member uses
-  // inside function bodies are not member declarations.
+  // inside function bodies are not member declarations, and the guarded
+  // read under its lock satisfies guarded-access.
   uint64_t epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
     uint64_t local_copy_ = epoch_;  // trailing underscore, but a local
     return local_copy_;
   }

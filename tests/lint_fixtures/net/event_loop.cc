@@ -1,0 +1,16 @@
+// R10 fixture: the event-loop surface is hardwired by path suffix
+// (net/event_loop.cc) — blocking calls park the poll thread and stall
+// every connection. Not compiled — lbsq_lint only lexes it.
+namespace fix {
+void Pump(int listen_fd, int fd) {
+  usleep(1000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  int conn = accept(listen_fd, nullptr, nullptr);
+  ssize_t n = recv(fd, buf, sizeof(buf), MSG_WAITALL);
+  sleep(1);
+  int fast = accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+  poll(fds, 1, 50);
+  ssize_t m = recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+  nanosleep(&ts, nullptr);  // lint: allow(event-loop-blocking) fixture escape
+}
+}  // namespace fix

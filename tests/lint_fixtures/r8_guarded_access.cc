@@ -1,0 +1,51 @@
+// R8 fixture: flow-sensitive guarded-access. Every write to n_ must be
+// provably under mu_. Not compiled — lbsq_lint only lexes it.
+class LockedCounter {
+ public:
+  void Good() {
+    std::lock_guard<std::mutex> lock(mu_);
+    n_ = 1;
+  }
+  void BadDirect() { n_ = 2; }
+  void BadCallSite() { BumpLocked(); }
+  void GoodCallSite() {
+    std::lock_guard<std::mutex> lock(mu_);
+    BumpLocked();
+  }
+  void EarlyReturnStillHeld(bool flag) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (flag) return;
+    n_ = 3;
+  }
+  void UnlockMidway() {
+    std::unique_lock<std::mutex> lock(mu_);
+    n_ = 4;
+    lock.unlock();
+    n_ = 5;
+  }
+  void GuardScopeEnds() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      n_ = 6;
+    }
+    n_ = 7;
+  }
+  void ManualLockLeak(bool flag) {
+    mu_.lock();
+    n_ = 8;
+    if (flag) return;
+    mu_.unlock();
+  }
+  void AssertHeldIsProof() {
+    LBSQ_ASSERT_HELD(mu_);
+    n_ = 9;
+  }
+  void AllowedEscape() {
+    n_ = 10;  // lint: allow(guarded-access) single-threaded init phase
+  }
+
+ private:
+  void BumpLocked() LBSQ_REQUIRES(mu_) { n_ += 1; }
+  std::mutex mu_;
+  int n_ LBSQ_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,31 @@
+// R9 fixture: in Status/StatusOr-returning functions, a value access on
+// a StatusOr local must be dominated by a check that post-dates its
+// latest assignment. Not compiled — lbsq_lint only lexes it.
+namespace fix {
+StatusOr<int> Get();
+Status Consume() {
+  StatusOr<int> a = Get();
+  int bad_unchecked = *a;
+  if (!a.ok()) return a.status();
+  int ok_after_negated_exit = *a;
+  StatusOr<int> b = Get();
+  if (b.ok()) {
+    int ok_inside_positive_branch = b.value();
+  }
+  int bad_outside_branch = b.value();
+  StatusOr<int> c = Get();
+  if (!c.ok()) return c.status();
+  c = Get();
+  int bad_reassigned_after_check = *c;
+  StatusOr<int> d = Get();
+  LBSQ_RETURN_IF_ERROR(d.status());
+  int ok_after_macro = d.value();
+  int ok_same_statement = c.ok() ? *c : 0;
+  int allowed = *c;  // lint: allow(status-propagation) fixture escape
+  return Status::Ok();
+}
+int NotStatusReturning() {
+  StatusOr<int> e = Get();
+  return *e;
+}
+}  // namespace fix

@@ -71,7 +71,8 @@ TEST(LintTest, ListRulesCoversEveryRule) {
   for (const char* rule :
        {"check-in-decode-surface", "guarded-by", "determinism",
         "banned-function", "naked-new-delete", "header-guard",
-        "using-namespace-header"}) {
+        "using-namespace-header", "guarded-access", "status-propagation",
+        "event-loop-blocking"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos)
         << "--list-rules is missing " << rule << "\n"
         << r.output;
@@ -140,6 +141,84 @@ TEST(LintTest, NetFramePathIsHardwiredDecodeSurface) {
       Fixture("net/frame.cc") + ":9: check-in-decode-surface",
   };
   EXPECT_EQ(FindingKeys(r.output), expected) << r.output;
+}
+
+// R8: the flow-sensitive lock check. The good paths (RAII guard held,
+// early return under a guard, LBSQ_REQUIRES helper called under the
+// lock, LBSQ_ASSERT_HELD as in-scope proof, the allow-pragma escape)
+// must stay quiet; the bad paths must fire at exactly these lines.
+TEST(LintTest, GuardedAccessIsFlowSensitive) {
+  const RunResult r = RunLint(Fixture("r8_guarded_access.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  const std::set<std::string> expected = {
+      // Unlocked direct write.
+      Fixture("r8_guarded_access.cc") + ":9: guarded-access",
+      // LBSQ_REQUIRES helper called without the mutex.
+      Fixture("r8_guarded_access.cc") + ":10: guarded-access",
+      // Write after unique_lock::unlock() mid-function.
+      Fixture("r8_guarded_access.cc") + ":24: guarded-access",
+      // Write after the guard's scope closed.
+      Fixture("r8_guarded_access.cc") + ":31: guarded-access",
+      // Early return with a manual mu_.lock() still held.
+      Fixture("r8_guarded_access.cc") + ":36: guarded-access",
+  };
+  EXPECT_EQ(FindingKeys(r.output), expected) << r.output;
+}
+
+// R9: dominance analysis for StatusOr value accesses. Checked-then-used
+// (negated early exit, positive branch, LBSQ_RETURN_IF_ERROR, a
+// same-statement ternary guard) stays quiet — including in the
+// non-Status function at the bottom; unchecked, outside-the-branch and
+// reassigned-after-check uses fire.
+TEST(LintTest, StatusPropagationDominance) {
+  const RunResult r = RunLint(Fixture("r9_status_propagation.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  const std::set<std::string> expected = {
+      Fixture("r9_status_propagation.cc") + ":8: status-propagation",
+      Fixture("r9_status_propagation.cc") + ":15: status-propagation",
+      Fixture("r9_status_propagation.cc") + ":19: status-propagation",
+  };
+  EXPECT_EQ(FindingKeys(r.output), expected) << r.output;
+}
+
+// R10: the blocking deny-list is hardwired to the event-loop surface by
+// path suffix, like the net/frame.cc decode surface above. Nonblocking
+// idioms (accept4, poll, MSG_DONTWAIT) and the pragma'd nanosleep stay
+// quiet.
+TEST(LintTest, EventLoopBlockingIsPathHardwired) {
+  const RunResult r = RunLint(Fixture("net/event_loop.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  const std::set<std::string> expected = {
+      Fixture("net/event_loop.cc") + ":6: event-loop-blocking",
+      Fixture("net/event_loop.cc") + ":7: event-loop-blocking",
+      Fixture("net/event_loop.cc") + ":8: event-loop-blocking",
+      Fixture("net/event_loop.cc") + ":9: event-loop-blocking",
+      Fixture("net/event_loop.cc") + ":10: event-loop-blocking",
+  };
+  EXPECT_EQ(FindingKeys(r.output), expected) << r.output;
+}
+
+// --json writes the findings as a machine-readable artifact alongside
+// the human-readable output (tools/check.sh parks it next to the
+// BENCH_*.json artifacts).
+TEST(LintTest, JsonArtifactMatchesFindings) {
+  const std::string path = ::testing::TempDir() + "/lbsq_lint_findings.json";
+  const RunResult r =
+      RunLint("--json " + path + " " + Fixture("r9_status_propagation.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "artifact not written: " << path;
+  std::string json;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(json.find("\"tool\":\"lbsq_lint\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\":\"status-propagation\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"line\":8"), std::string::npos) << json;
 }
 
 TEST(LintTest, MissingFileFailsLoudly) {

@@ -4,13 +4,19 @@
 Usage: bench_gate.py <artifact_dir> <baseline_json>
 
 Reads the artifacts the bench-gate stage of tools/check.sh just
-produced (BENCH_micro.json, BENCH_churn.json, BENCH_net_loadgen.json)
-and checks each gated number against its band in the baseline file:
+produced (BENCH_micro.json, BENCH_churn.json, BENCH_net_loadgen.json,
+BENCH_throughput.json) and checks each gated number against its band
+in the baseline file:
 
   knn_best_first_100   micro's min-of-repeats BM_KnnBestFirst/100 time
                        must stay under min_ns * max_ratio
   net_cache_qps        the loadgen's cache-on end-to-end q/s must stay
                        above value * min_ratio
+  batch4_qps           the 4-worker BatchServer's end-to-end q/s at the
+                       gate's quarter scale must stay above
+                       value * min_ratio (ROADMAP perf-gating item; the
+                       band is wide because 4 workers share 1 vcpu on
+                       the reference box)
   churn_*_hit_at_100   at 100 updates per 1k queries the region-scoped
                        cache must keep a hit rate above `min`, and the
                        epoch-nuke twin must stay below `max` (if the
@@ -60,6 +66,14 @@ def main():
     floor = spec["value"] * spec["min_ratio"]
     qps = loadgen["net_cache_qps"]
     check("net_cache_qps", qps >= floor,
+          f"{round(qps)} q/s, floor {round(floor)} q/s")
+
+    with open(f"{art_dir}/BENCH_throughput.json") as f:
+        throughput = json.load(f)
+    spec = base["batch4_qps"]
+    floor = spec["value"] * spec["min_ratio"]
+    qps = throughput["batch4_qps"]
+    check("batch4_qps", qps >= floor,
           f"{round(qps)} q/s, floor {round(floor)} q/s")
 
     with open(f"{art_dir}/BENCH_churn.json") as f:

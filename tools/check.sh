@@ -3,10 +3,16 @@
 # change must survive before it ships, prints one PASS/FAIL line per
 # stage, and exits nonzero if any stage failed. Stages:
 #
-#   lint    tools/lbsq_lint over the whole tree (tier-1 invariants)
+#   lint    tools/lbsq_lint over the whole tree (tier-1 invariants);
+#           also writes the machine-readable findings artifact
+#           LINT_findings.json next to the BENCH_*.json artifacts
 #   plain   default build + full ctest suite
 #   werror  -Wall -Wextra -Wshadow -Werror build (warnings are errors;
 #           catches dropped [[nodiscard]] Status/StatusOr results)
+#   werror-thread-safety  clang -Wthread-safety -Werror build proving
+#           the annotations in src/common/annotations.h; PASS-skips
+#           when no clang++ is on the box (lbsq_lint's guarded-access
+#           rule remains the everywhere gate)
 #   asan    ASan+UBSan build + full ctest suite
 #   tsan    TSan build + the threaded suites (BatchServer incl. the
 #           cache-enabled wire batches, the shared semantic cache, fault
@@ -16,8 +22,9 @@
 #           failed reply verification, or a missing/malformed
 #           BENCH_*.json artifact (the numbers themselves are not gated
 #           here — a smoke box is too noisy for thresholds)
-#   bench-gate   micro BM_KnnBestFirst/100, churn and a quarter-scale
-#           net_loadgen compared against bench/baseline.json via
+#   bench-gate   micro BM_KnnBestFirst/100, churn, a quarter-scale
+#           net_loadgen and a quarter-scale throughput (batch-server
+#           q/s) compared against bench/baseline.json via
 #           tools/bench_gate.py; the baseline's bands are generous
 #           multiples so only a real regression trips them
 #
@@ -31,7 +38,8 @@ ROOT="$PWD"
 JOBS="$(nproc 2>/dev/null || echo 1)"
 
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(lint plain werror asan tsan bench-smoke bench-gate)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(lint plain werror werror-thread-safety \
+  asan tsan bench-smoke bench-gate)
 
 declare -A RESULT
 FAILED=0
@@ -53,7 +61,25 @@ run_stage() {
 stage_lint() {
   cmake -S "$ROOT" -B "$ROOT/build" >/dev/null &&
     cmake --build "$ROOT/build" --target lbsq_lint -j "$JOBS" &&
-    "$ROOT/build/tools/lbsq_lint" --root "$ROOT"
+    "$ROOT/build/tools/lbsq_lint" --root "$ROOT" \
+      --json "$ROOT/LINT_findings.json"
+}
+
+# Opportunistic clang proof of the thread-safety annotations. On a box
+# without clang++ this PASSes as an explicit skip: the contract is still
+# enforced by lbsq_lint's flow-sensitive rules on every run, clang just
+# proves it with a real compiler analysis when available.
+stage_werror_thread_safety() {
+  local clangxx
+  clangxx="$(command -v clang++ || true)"
+  if [ -z "$clangxx" ]; then
+    echo "no clang++ on this box; skipping (lbsq_lint guarded-access still gates)"
+    return 0
+  fi
+  cmake -S "$ROOT" -B "$ROOT/build-clang-ts" \
+    -DCMAKE_CXX_COMPILER="$clangxx" -DLBSQ_WERROR=ON \
+    -DLBSQ_THREAD_SAFETY=ON >/dev/null &&
+    cmake --build "$ROOT/build-clang-ts" -j "$JOBS"
 }
 
 stage_plain() {
@@ -111,7 +137,7 @@ stage_bench_smoke() {
 stage_bench_gate() {
   cmake -S "$ROOT" -B "$ROOT/build" >/dev/null &&
     cmake --build "$ROOT/build" --target micro churn net_loadgen \
-      -j "$JOBS" || return 1
+      throughput -j "$JOBS" || return 1
   local dir
   dir="$(mktemp -d)" || return 1
   local ok=0
@@ -120,6 +146,8 @@ stage_bench_gate() {
     LBSQ_BENCH_DIR="$dir" LBSQ_ROUNDS=1 "$ROOT/build/bench/churn" \
       >/dev/null &&
     LBSQ_BENCH_DIR="$dir" LBSQ_SCALE=0.25 "$ROOT/build/bench/net_loadgen" \
+      >/dev/null &&
+    LBSQ_BENCH_DIR="$dir" LBSQ_SCALE=0.25 "$ROOT/build/bench/throughput" \
       >/dev/null &&
     python3 "$ROOT/tools/bench_gate.py" "$dir" "$ROOT/bench/baseline.json" ||
     ok=1
@@ -130,10 +158,12 @@ stage_bench_gate() {
 for s in "${STAGES[@]}"; do
   case "$s" in
     lint | plain | werror | asan | tsan) run_stage "$s" "stage_$s" ;;
+    werror-thread-safety) run_stage "$s" stage_werror_thread_safety ;;
     bench-smoke) run_stage "$s" stage_bench_smoke ;;
     bench-gate) run_stage "$s" stage_bench_gate ;;
     *)
-      echo "unknown stage: $s (known: lint plain werror asan tsan bench-smoke bench-gate)" >&2
+      echo "unknown stage: $s (known: lint plain werror" \
+        "werror-thread-safety asan tsan bench-smoke bench-gate)" >&2
       exit 2
       ;;
   esac
@@ -141,6 +171,6 @@ done
 
 printf '\n== summary ==\n'
 for s in "${STAGES[@]}"; do
-  printf '%-8s %s\n' "$s" "${RESULT[$s]}"
+  printf '%-20s %s\n' "$s" "${RESULT[$s]}"
 done
 exit "$FAILED"
