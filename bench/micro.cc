@@ -16,6 +16,7 @@
 #include "bench/bench_util.h"
 #include "cache/semantic_cache.h"
 #include "core/nn_validity.h"
+#include "core/range_validity.h"
 #include "core/window_validity.h"
 #include "rtree/knn.h"
 #include "tp/tpnn.h"
@@ -136,6 +137,18 @@ void BM_WindowValidityQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WindowValidityQuery)->Apply(MinOfRounds);
+
+void BM_RangeValidityQuery(benchmark::State& state) {
+  auto& wb = SharedBench();
+  const auto& queries = SharedQueries();
+  core::RangeValidityEngine engine(wb.tree.get(), wb.dataset.universe);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.Query(queries[i++ % queries.size()], 0.02));
+  }
+}
+BENCHMARK(BM_RangeValidityQuery)->Apply(MinOfRounds);
 
 // Cost of a semantic-cache hit on the wire-serving path: one grid-cell
 // scan plus a handful of bisector tests plus the byte copy. Compare

@@ -254,7 +254,7 @@ PhaseResult RunPhase(rtree::RTree* tree, const geo::Rect& universe,
   }
   net::NetOptions options;
   options.max_connections = connections + 4;
-  net::NetServer serving(server.get(), options, tree->size());
+  net::NetServer serving(server.get(), options);
   if (const Status listening = serving.Listen(); !listening.ok()) {
     std::fprintf(stderr, "listen failed: %s\n", listening.ToString().c_str());
     std::exit(1);

@@ -153,38 +153,54 @@ bool SemanticCache::AffectedByUpdate(const Entry& entry, const geo::Point& p,
   return true;
 }
 
+geo::Rect SemanticCache::NnKillFootprint(
+    const geo::Rect& bounds, const std::vector<geo::Point>& answers,
+    const std::vector<BisectorConstraint>& constraints) {
+  // Insert-kill points lie within max corner-to-answer distance of
+  // a bounds corner; delete-kill points are the stored answer /
+  // keep / rival positions themselves, all within the same reach
+  // (keeps are answers; rivals enter the max below).
+  double reach2 = 0.0;
+  const geo::Point corners[4] = {{bounds.min_x, bounds.min_y},
+                                 {bounds.min_x, bounds.max_y},
+                                 {bounds.max_x, bounds.min_y},
+                                 {bounds.max_x, bounds.max_y}};
+  for (const geo::Point& c : corners) {
+    for (const geo::Point& a : answers) {
+      reach2 = std::max(reach2, geo::SquaredDistance(c, a));
+    }
+    for (const BisectorConstraint& bc : constraints) {
+      reach2 = std::max(reach2, geo::SquaredDistance(c, bc.keep));
+      reach2 = std::max(reach2, geo::SquaredDistance(c, bc.rival));
+    }
+  }
+  const double reach = std::sqrt(reach2);
+  return bounds.Dilated(reach, reach);
+}
+
+geo::Rect SemanticCache::WindowKillFootprint(const geo::Rect& base, double hx,
+                                             double hy) {
+  return base.Dilated(hx, hy);
+}
+
+geo::Rect SemanticCache::RangeKillFootprint(const geo::Rect& bounds,
+                                            double radius) {
+  return bounds.Dilated(radius, radius);
+}
+
 geo::Rect SemanticCache::KillFootprint(const Entry& entry) const {
   switch (entry.kind) {
-    case Kind::kNn: {
+    case Kind::kNn:
       // Under-filled answers die on any insert — register everywhere.
       if (entry.nn_answers.size() < static_cast<size_t>(entry.param_a))
         return universe_;
-      // Insert-kill points lie within max corner-to-answer distance of
-      // a bounds corner; delete-kill points are the stored answer /
-      // keep / rival positions themselves, all within the same reach
-      // (keeps are answers; rivals enter the max below).
-      double reach2 = 0.0;
-      const geo::Point corners[4] = {
-          {entry.bounds.min_x, entry.bounds.min_y},
-          {entry.bounds.min_x, entry.bounds.max_y},
-          {entry.bounds.max_x, entry.bounds.min_y},
-          {entry.bounds.max_x, entry.bounds.max_y}};
-      for (const geo::Point& c : corners) {
-        for (const geo::Point& a : entry.nn_answers) {
-          reach2 = std::max(reach2, geo::SquaredDistance(c, a));
-        }
-        for (const BisectorConstraint& bc : entry.constraints) {
-          reach2 = std::max(reach2, geo::SquaredDistance(c, bc.keep));
-          reach2 = std::max(reach2, geo::SquaredDistance(c, bc.rival));
-        }
-      }
-      const double reach = std::sqrt(reach2);
-      return entry.bounds.Dilated(reach, reach);
-    }
+      return NnKillFootprint(entry.bounds, entry.nn_answers,
+                             entry.constraints);
     case Kind::kWindow:
-      return entry.window_region.base().Dilated(entry.param_a, entry.param_b);
+      return WindowKillFootprint(entry.window_region.base(), entry.param_a,
+                                 entry.param_b);
     case Kind::kRange:
-      return entry.range_region.bounds().Dilated(entry.param_a, entry.param_a);
+      return RangeKillFootprint(entry.range_region.bounds(), entry.param_a);
   }
   return universe_;
 }

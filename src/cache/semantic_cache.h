@@ -186,6 +186,22 @@ class SemanticCache {
     InsertRange(radius, std::move(region), MakeCachedBytes(std::move(bytes)));
   }
 
+  // -- Kill footprints -----------------------------------------------------
+  // The kill footprint of an entry is the closed set of update positions
+  // that can possibly invalidate it (the rectangle InvalidateAt registers
+  // the entry under). Exposed as pure functions of the entry geometry so
+  // a sharded serving layer can decide, before inserting, whether an
+  // entry's blast radius stays inside one fragment's territory. The NN
+  // helper assumes a full answer set (answers.size() == k); an
+  // under-filled answer dies on any insert, so its footprint is the
+  // whole universe and the caller must special-case it.
+  static geo::Rect NnKillFootprint(
+      const geo::Rect& bounds, const std::vector<geo::Point>& answers,
+      const std::vector<BisectorConstraint>& constraints);
+  static geo::Rect WindowKillFootprint(const geo::Rect& base, double hx,
+                                       double hy);
+  static geo::Rect RangeKillFootprint(const geo::Rect& bounds, double radius);
+
   // -- Invalidation --------------------------------------------------------
   // Region-scoped invalidation for one dataset update at `p`: eagerly
   // removes exactly the live entries whose kill predicate fires (see

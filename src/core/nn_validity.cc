@@ -62,8 +62,15 @@ class VertexFlags {
 
 NnValidityEngine::NnValidityEngine(rtree::RTree* tree,
                                    const geo::Rect& universe)
-    : tree_(tree), universe_(universe) {
+    : owned_(RTreeBackend(tree)), universe_(universe) {
   LBSQ_CHECK(tree != nullptr);
+  LBSQ_CHECK(!universe.IsEmpty());
+}
+
+NnValidityEngine::NnValidityEngine(SpatialBackend* backend,
+                                   const geo::Rect& universe)
+    : external_(backend), universe_(universe) {
+  LBSQ_CHECK(backend != nullptr);
   LBSQ_CHECK(!universe.IsEmpty());
 }
 
@@ -73,11 +80,12 @@ NnValidityResult NnValidityEngine::Query(const geo::Point& q, size_t k) {
   stats_ = Stats();
 
   // Step (i): the answer set.
-  const uint64_t na_before = tree_->buffer().logical_accesses();
-  const uint64_t pa_before = tree_->disk().read_count();
-  std::vector<rtree::Neighbor> answers = rtree::KnnBestFirst(*tree_, q, k);
-  stats_.nn_node_accesses = tree_->buffer().logical_accesses() - na_before;
-  stats_.nn_page_accesses = tree_->disk().read_count() - pa_before;
+  SpatialBackend* be = backend();
+  const uint64_t na_before = be->node_accesses();
+  const uint64_t pa_before = be->page_accesses();
+  std::vector<rtree::Neighbor> answers = be->Knn(q, k);
+  stats_.nn_node_accesses = be->node_accesses() - na_before;
+  stats_.nn_page_accesses = be->page_accesses() - pa_before;
 
   geo::ConvexPolygon poly = geo::ConvexPolygon::FromRect(universe_);
   std::vector<InfluencePair> pairs;
@@ -95,7 +103,7 @@ NnValidityResult NnValidityEngine::Query(const geo::Point& q, size_t k) {
                             std::move(poly));
   }
 
-  if (answers.size() < k || tree_->size() <= k) {
+  if (answers.size() < k || be->size() <= k) {
     // No outside objects exist: the result can never change inside the
     // universe.
     return NnValidityResult(q, universe_, std::move(answers), std::move(pairs),
@@ -105,8 +113,8 @@ NnValidityResult NnValidityEngine::Query(const geo::Point& q, size_t k) {
   // Step (ii): shrink the polygon with TPNN/TPkNN queries until every
   // vertex is confirmed.
   VertexFlags flags(poly);
-  const uint64_t tp_na_before = tree_->buffer().logical_accesses();
-  const uint64_t tp_pa_before = tree_->disk().read_count();
+  const uint64_t tp_na_before = be->node_accesses();
+  const uint64_t tp_pa_before = be->page_accesses();
   while (true) {
     // A TP query hit a bad page: the influence set cannot be completed,
     // so stop refining (the partial region stays a superset-of-truth
@@ -131,13 +139,13 @@ NnValidityResult NnValidityEngine::Query(const geo::Point& q, size_t k) {
     bool found = false;
     if (k == 1) {
       const tp::TpnnResult res =
-          tp::Tpnn(*tree_, q, dir, answers[0].entry.point, answers[0].entry.id);
+          be->Tpnn(q, dir, answers[0].entry.point, answers[0].entry.id);
       if (res.found) {
         found = true;
         pair = InfluencePair{res.object, answers[0].entry};
       }
     } else {
-      const tp::TpknnResult res = tp::Tpknn(*tree_, q, dir, answers);
+      const tp::TpknnResult res = be->Tpknn(q, dir, answers);
       if (res.found) {
         found = true;
         pair = InfluencePair{res.incoming, res.displaced};
@@ -167,9 +175,8 @@ NnValidityResult NnValidityEngine::Query(const geo::Point& q, size_t k) {
     poly = clipped;
     flags = new_flags;
   }
-  stats_.tpnn_node_accesses =
-      tree_->buffer().logical_accesses() - tp_na_before;
-  stats_.tpnn_page_accesses = tree_->disk().read_count() - tp_pa_before;
+  stats_.tpnn_node_accesses = be->node_accesses() - tp_na_before;
+  stats_.tpnn_page_accesses = be->page_accesses() - tp_pa_before;
 
   // Canonicalize: clipping can leave near-duplicate or collinear
   // vertices behind; the region (and its edge count) is the simplified

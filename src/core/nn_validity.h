@@ -3,7 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 
+#include "core/spatial_backend.h"
 #include "core/validity_region.h"
 #include "geometry/point.h"
 #include "geometry/rect.h"
@@ -38,6 +40,11 @@ class NnValidityEngine {
   // query point must lie inside it.
   NnValidityEngine(rtree::RTree* tree, const geo::Rect& universe);
 
+  // Runs over any SpatialBackend (e.g. a partition::FragmentRouter); the
+  // backend outlives the engine. Same algorithm, same answers — the
+  // validity region is a pure function of the exact query results.
+  NnValidityEngine(SpatialBackend* backend, const geo::Rect& universe);
+
   // Processes a location-based k-NN query at `q`. If the dataset holds
   // fewer than k+1 points the validity region is the whole universe.
   NnValidityResult Query(const geo::Point& q, size_t k);
@@ -53,7 +60,12 @@ class NnValidityEngine {
   const geo::Rect& universe() const { return universe_; }
 
  private:
-  rtree::RTree* tree_;
+  SpatialBackend* backend() {
+    return external_ != nullptr ? external_ : &*owned_;
+  }
+
+  std::optional<RTreeBackend> owned_;   // set by the RTree* constructor
+  SpatialBackend* external_ = nullptr;  // set by the backend constructor
   geo::Rect universe_;
   Stats stats_;
 };

@@ -65,8 +65,22 @@ RangeValidityEngine::RangeValidityEngine(rtree::RTree* tree,
 RangeValidityEngine::RangeValidityEngine(rtree::RTree* tree,
                                          const geo::Rect& universe,
                                          const Options& options)
-    : tree_(tree), universe_(universe), options_(options) {
+    : owned_(RTreeBackend(tree)), universe_(universe), options_(options) {
   LBSQ_CHECK(tree != nullptr);
+  LBSQ_CHECK(!universe.IsEmpty());
+  LBSQ_CHECK(options.max_extent_factor >= 1.0);
+  LBSQ_CHECK(options.arc_vertices >= 4);
+}
+
+RangeValidityEngine::RangeValidityEngine(SpatialBackend* backend,
+                                         const geo::Rect& universe)
+    : RangeValidityEngine(backend, universe, Options()) {}
+
+RangeValidityEngine::RangeValidityEngine(SpatialBackend* backend,
+                                         const geo::Rect& universe,
+                                         const Options& options)
+    : external_(backend), universe_(universe), options_(options) {
+  LBSQ_CHECK(backend != nullptr);
   LBSQ_CHECK(!universe.IsEmpty());
   LBSQ_CHECK(options.max_extent_factor >= 1.0);
   LBSQ_CHECK(options.arc_vertices >= 4);
@@ -79,14 +93,16 @@ RangeValidityResult RangeValidityEngine::Query(const geo::Point& focus,
   stats_ = Stats();
 
   // Step 1: the range query — a window query over the bounding box of
-  // the disk, filtered by true distance.
-  const uint64_t na_before = tree_->buffer().logical_accesses();
+  // the disk, filtered by true distance. The backend's canonical entry
+  // order makes the result and influencer lists (and so the wire bytes)
+  // independent of the tree layout.
+  SpatialBackend* be = backend();
+  const uint64_t na_before = be->node_accesses();
   const double r_sq = radius * radius;
   thread_local DistScratch scratch;
   std::vector<rtree::DataEntry> candidates;
-  tree_->WindowQuery(geo::Rect::Centered(focus, radius, radius), &candidates);
-  stats_.result_node_accesses =
-      tree_->buffer().logical_accesses() - na_before;
+  be->WindowQuery(geo::Rect::Centered(focus, radius, radius), &candidates);
+  stats_.result_node_accesses = be->node_accesses() - na_before;
 
   // SoA two-pass distance filter (see DistScratch): same predicate and
   // emit order as the per-entry scalar callback.
@@ -114,11 +130,10 @@ RangeValidityResult RangeValidityEngine::Query(const geo::Point& focus,
 
   // Step 2: candidate outer objects — anything whose disk can reach the
   // bounded region, i.e. within `radius` of the bounds rectangle.
-  const uint64_t na_before2 = tree_->buffer().logical_accesses();
+  const uint64_t na_before2 = be->node_accesses();
   candidates.clear();
-  tree_->WindowQuery(bounds.Dilated(radius, radius), &candidates);
-  stats_.influence_node_accesses =
-      tree_->buffer().logical_accesses() - na_before2;
+  be->WindowQuery(bounds.Dilated(radius, radius), &candidates);
+  stats_.influence_node_accesses = be->node_accesses() - na_before2;
   stats_.outer_candidates += candidates.size();
 
   // Same mask, inverted selection: everything beyond the radius is an

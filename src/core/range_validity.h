@@ -2,8 +2,10 @@
 #define LBSQ_CORE_RANGE_VALIDITY_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "core/spatial_backend.h"
 #include "geometry/convex_polygon.h"
 #include "geometry/disk_region.h"
 #include "geometry/point.h"
@@ -94,6 +96,10 @@ class RangeValidityEngine {
   RangeValidityEngine(rtree::RTree* tree, const geo::Rect& universe);
   RangeValidityEngine(rtree::RTree* tree, const geo::Rect& universe,
                       const Options& options);
+  // Runs over any SpatialBackend (the backend outlives the engine).
+  RangeValidityEngine(SpatialBackend* backend, const geo::Rect& universe);
+  RangeValidityEngine(SpatialBackend* backend, const geo::Rect& universe,
+                      const Options& options);
 
   // All objects within distance `radius` of `focus` (closed), plus the
   // validity region of that answer.
@@ -103,7 +109,12 @@ class RangeValidityEngine {
   const geo::Rect& universe() const { return universe_; }
 
  private:
-  rtree::RTree* tree_;
+  SpatialBackend* backend() {
+    return external_ != nullptr ? external_ : &*owned_;
+  }
+
+  std::optional<RTreeBackend> owned_;   // set by the RTree* constructors
+  SpatialBackend* external_ = nullptr;  // set by the backend constructors
   geo::Rect universe_;
   Options options_;
   Stats stats_;

@@ -14,6 +14,7 @@
 #include "core/range_validity.h"
 #include "core/window_validity.h"
 #include "core/wire_format.h"
+#include "core/wire_service.h"
 #include "geometry/point.h"
 #include "geometry/rect.h"
 #include "rtree/rtree.h"
@@ -47,7 +48,7 @@
 
 namespace lbsq::core {
 
-class Server {
+class Server : public WireService {
  public:
   Server(rtree::RTree* tree, const geo::Rect& universe)
       : tree_(tree),
@@ -147,7 +148,7 @@ class Server {
   // miss the checked engine path runs and the fresh answer is cached
   // under its region.
   [[nodiscard]] StatusOr<WireBytes> NnQueryWireShared(const geo::Point& q,
-                                                      size_t k) {
+                                                      size_t k) override {
     SyncCacheEpoch();
     last_wire_from_cache_ = false;
     WireBytes bytes;
@@ -179,7 +180,7 @@ class Server {
   }
 
   [[nodiscard]] StatusOr<WireBytes> WindowQueryWireShared(
-      const geo::Point& focus, double hx, double hy) {
+      const geo::Point& focus, double hx, double hy) override {
     SyncCacheEpoch();
     last_wire_from_cache_ = false;
     WireBytes bytes;
@@ -198,7 +199,7 @@ class Server {
   }
 
   [[nodiscard]] StatusOr<WireBytes> RangeQueryWireShared(
-      const geo::Point& focus, double radius) {
+      const geo::Point& focus, double radius) override {
     SyncCacheEpoch();
     last_wire_from_cache_ = false;
     WireBytes bytes;
@@ -252,7 +253,15 @@ class Server {
   NnValidityEngine& nn_engine() { return nn_engine_; }
   WindowValidityEngine& window_engine() { return window_engine_; }
   RangeValidityEngine& range_engine() { return range_engine_; }
-  const geo::Rect& universe() const { return nn_engine_.universe(); }
+  const geo::Rect& universe() const override { return nn_engine_.universe(); }
+
+  ServiceInfo info() const override {
+    ServiceInfo out;
+    out.universe = universe();
+    out.points = tree_->size();
+    out.cache_enabled = cache_enabled();
+    return out;  // fragments empty: single-tree serving
+  }
 
  private:
   // Catches the cache up with dataset mutations: when the tree's update

@@ -1,0 +1,136 @@
+#ifndef LBSQ_CORE_SPATIAL_BACKEND_H_
+#define LBSQ_CORE_SPATIAL_BACKEND_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rtree/knn.h"
+#include "rtree/rtree.h"
+#include "tp/tpnn.h"
+
+// The query surface the validity-region engines actually need from a
+// spatial index. The engines (nn_validity, window_validity,
+// range_validity) consume exactly four primitives — k-NN, window query,
+// TPNN/TPkNN — plus the NA/PA counters and the dataset cardinality.
+// Abstracting them lets the same engine code run over a single R*-tree
+// (RTreeBackend below) or over K spatially sharded fragments behind a
+// router (partition::FragmentRouter), and the validity-region machinery
+// cannot tell the difference: regions are computed from exact answers,
+// wherever they come from.
+//
+// Determinism contract (what makes partitioned wire bytes byte-identical
+// to the single-tree server's — see DESIGN.md "Partitioned serving"):
+//   * Knn returns exactly min(k, size()) neighbors ordered by
+//     (distance, id), ties at the k-th distance resolved toward the
+//     smaller id. rtree::KnnBestFirst already guarantees this, and it is
+//     independent of tree structure, so any backend that returns the
+//     true global top-k in that order is interchangeable.
+//   * WindowQuery returns the matching entries in CANONICAL order —
+//     ascending (id, x, y) — NOT tree-traversal order. Traversal order
+//     leaks the tree's node layout into the wire encoding of window and
+//     range answers; the canonical sort makes the bytes a pure function
+//     of the data set. SortCanonical below is the shared definition.
+//   * Tpnn/Tpknn return the minimum-influence-time object with exact
+//     time ties broken toward the smaller incoming object id (tp.cc's
+//     Improves), which is already traversal-order independent.
+//
+// The backend is also the seam for the checked (untrusted-storage) query
+// path: DropBuffers purges any buffered pages after a read fault so a
+// retry cannot be served a substituted zero page as a hit.
+
+namespace lbsq::core {
+
+class SpatialBackend {
+ public:
+  virtual ~SpatialBackend() = default;
+
+  // Dataset cardinality (the engines' "fewer than k+1 points" early-out).
+  virtual size_t size() const = 0;
+
+  // Cumulative cost counters: node accesses (every logical page fetch)
+  // and page accesses (fetches that missed the buffer pool). Engines
+  // report per-step deltas of these.
+  virtual uint64_t node_accesses() const = 0;
+  virtual uint64_t page_accesses() const = 0;
+
+  // Exact k nearest neighbors of q (see the determinism contract above).
+  virtual std::vector<rtree::Neighbor> Knn(const geo::Point& q,
+                                           size_t k) = 0;
+
+  // All points inside `w` (closed containment), in canonical order.
+  virtual void WindowQuery(const geo::Rect& w,
+                           std::vector<rtree::DataEntry>* out) = 0;
+
+  // Time-parameterized NN / kNN primitives (tp/tpnn.h semantics).
+  virtual tp::TpnnResult Tpnn(const geo::Point& q, const geo::Vec2& l,
+                              const geo::Point& o, rtree::ObjectId o_id) = 0;
+  virtual tp::TpknnResult Tpknn(
+      const geo::Point& q, const geo::Vec2& l,
+      const std::vector<rtree::Neighbor>& answers) = 0;
+
+  // Drops every buffered page (checked-path fault recovery).
+  virtual void DropBuffers() = 0;
+
+  // The canonical entry order of WindowQuery: ascending object id, with
+  // (x, y) as a total-order tiebreak for the degenerate duplicate-id
+  // case. Exact comparisons only, so the order is bit-deterministic.
+  static void SortCanonical(std::vector<rtree::DataEntry>* entries) {
+    std::sort(entries->begin(), entries->end(),
+              [](const rtree::DataEntry& a, const rtree::DataEntry& b) {
+                if (a.id != b.id) return a.id < b.id;
+                if (a.point.x != b.point.x) return a.point.x < b.point.x;
+                return a.point.y < b.point.y;
+              });
+  }
+};
+
+// The single-tree backend: forwards every primitive to one R*-tree. This
+// is what the engines' (RTree*, universe) constructors wrap, so existing
+// callers see no change beyond the canonical window order.
+class RTreeBackend final : public SpatialBackend {
+ public:
+  explicit RTreeBackend(rtree::RTree* tree) : tree_(tree) {}
+
+  size_t size() const override { return tree_->size(); }
+  uint64_t node_accesses() const override {
+    return tree_->buffer().logical_accesses();
+  }
+  uint64_t page_accesses() const override {
+    return tree_->disk().read_count();
+  }
+
+  std::vector<rtree::Neighbor> Knn(const geo::Point& q, size_t k) override {
+    return rtree::KnnBestFirst(*tree_, q, k);
+  }
+
+  void WindowQuery(const geo::Rect& w,
+                   std::vector<rtree::DataEntry>* out) override {
+    tree_->WindowQuery(w, out);
+    SortCanonical(out);
+  }
+
+  tp::TpnnResult Tpnn(const geo::Point& q, const geo::Vec2& l,
+                      const geo::Point& o, rtree::ObjectId o_id) override {
+    return tp::Tpnn(*tree_, q, l, o, o_id);
+  }
+  tp::TpknnResult Tpknn(
+      const geo::Point& q, const geo::Vec2& l,
+      const std::vector<rtree::Neighbor>& answers) override {
+    return tp::Tpknn(*tree_, q, l, answers);
+  }
+
+  void DropBuffers() override { tree_->buffer().Clear(); }
+
+  rtree::RTree* tree() const { return tree_; }
+
+ private:
+  rtree::RTree* tree_;
+};
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_SPATIAL_BACKEND_H_

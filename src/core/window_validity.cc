@@ -31,8 +31,21 @@ WindowValidityEngine::WindowValidityEngine(rtree::RTree* tree,
 WindowValidityEngine::WindowValidityEngine(rtree::RTree* tree,
                                            const geo::Rect& universe,
                                            const Options& options)
-    : tree_(tree), universe_(universe), options_(options) {
+    : owned_(RTreeBackend(tree)), universe_(universe), options_(options) {
   LBSQ_CHECK(tree != nullptr);
+  LBSQ_CHECK(!universe.IsEmpty());
+  LBSQ_CHECK(options.max_extent_factor >= 1.0);
+}
+
+WindowValidityEngine::WindowValidityEngine(SpatialBackend* backend,
+                                           const geo::Rect& universe)
+    : WindowValidityEngine(backend, universe, Options()) {}
+
+WindowValidityEngine::WindowValidityEngine(SpatialBackend* backend,
+                                           const geo::Rect& universe,
+                                           const Options& options)
+    : external_(backend), universe_(universe), options_(options) {
+  LBSQ_CHECK(backend != nullptr);
   LBSQ_CHECK(!universe.IsEmpty());
   LBSQ_CHECK(options.max_extent_factor >= 1.0);
 }
@@ -45,14 +58,17 @@ WindowValidityResult WindowValidityEngine::Query(const geo::Point& focus,
 
   const geo::Rect window = geo::Rect::Centered(focus, hx, hy);
 
-  // Step 1: the result, and with it the inner validity rectangle.
-  const uint64_t na_before = tree_->buffer().logical_accesses();
-  const uint64_t pa_before = tree_->disk().read_count();
+  // Step 1: the result, and with it the inner validity rectangle. The
+  // backend returns entries in canonical (id) order, so everything
+  // downstream — hole order, influencer order, the wire encoding — is a
+  // pure function of the dataset, not of any particular tree layout.
+  SpatialBackend* be = backend();
+  const uint64_t na_before = be->node_accesses();
+  const uint64_t pa_before = be->page_accesses();
   std::vector<rtree::DataEntry> result;
-  tree_->WindowQuery(window, &result);
-  stats_.result_node_accesses =
-      tree_->buffer().logical_accesses() - na_before;
-  stats_.result_page_accesses = tree_->disk().read_count() - pa_before;
+  be->WindowQuery(window, &result);
+  stats_.result_node_accesses = be->node_accesses() - na_before;
+  stats_.result_page_accesses = be->page_accesses() - pa_before;
 
   const double f = options_.max_extent_factor;
   geo::Rect inner =
@@ -68,13 +84,12 @@ WindowValidityResult WindowValidityEngine::Query(const geo::Point& focus,
   // an outer point's Minkowski box could reach the inner rectangle —
   // excluding the original window (those points are inner).
   const geo::Rect marginal = inner.Dilated(hx, hy);
-  const uint64_t na_before2 = tree_->buffer().logical_accesses();
-  const uint64_t pa_before2 = tree_->disk().read_count();
+  const uint64_t na_before2 = be->node_accesses();
+  const uint64_t pa_before2 = be->page_accesses();
   std::vector<rtree::DataEntry> candidates;
-  tree_->WindowQuery(marginal, &candidates);
-  stats_.influence_node_accesses =
-      tree_->buffer().logical_accesses() - na_before2;
-  stats_.influence_page_accesses = tree_->disk().read_count() - pa_before2;
+  be->WindowQuery(marginal, &candidates);
+  stats_.influence_node_accesses = be->node_accesses() - na_before2;
+  stats_.influence_page_accesses = be->page_accesses() - pa_before2;
   stats_.outer_candidates += candidates.size();
 
   // SoA two-pass candidate filter. Pass 1 maps every candidate to a keep

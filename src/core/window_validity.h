@@ -2,7 +2,9 @@
 #define LBSQ_CORE_WINDOW_VALIDITY_H_
 
 #include <cstdint>
+#include <optional>
 
+#include "core/spatial_backend.h"
 #include "core/validity_region.h"
 #include "geometry/point.h"
 #include "geometry/rect.h"
@@ -49,6 +51,10 @@ class WindowValidityEngine {
   WindowValidityEngine(rtree::RTree* tree, const geo::Rect& universe);
   WindowValidityEngine(rtree::RTree* tree, const geo::Rect& universe,
                        const Options& options);
+  // Runs over any SpatialBackend (the backend outlives the engine).
+  WindowValidityEngine(SpatialBackend* backend, const geo::Rect& universe);
+  WindowValidityEngine(SpatialBackend* backend, const geo::Rect& universe,
+                       const Options& options);
 
   // Location-based window query: window of half-extents (hx, hy) centered
   // at `focus`. Requires focus inside the universe and positive extents.
@@ -58,7 +64,12 @@ class WindowValidityEngine {
   const geo::Rect& universe() const { return universe_; }
 
  private:
-  rtree::RTree* tree_;
+  SpatialBackend* backend() {
+    return external_ != nullptr ? external_ : &*owned_;
+  }
+
+  std::optional<RTreeBackend> owned_;   // set by the RTree* constructors
+  SpatialBackend* external_ = nullptr;  // set by the backend constructors
   geo::Rect universe_;
   Options options_;
   Stats stats_;

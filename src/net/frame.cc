@@ -143,6 +143,16 @@ std::vector<uint8_t> EncodeServerInfo(const ServerInfo& info) {
   writer.Append(info.universe.max_y);
   writer.Append(info.points);
   writer.Append(static_cast<uint8_t>(info.cache_enabled ? 1 : 0));
+  writer.AppendVarCount(info.fragments.size());
+  for (const FragmentInfo& f : info.fragments) {
+    writer.Append(f.mbr.min_x);
+    writer.Append(f.mbr.min_y);
+    writer.Append(f.mbr.max_x);
+    writer.Append(f.mbr.max_y);
+    writer.Append(f.points);
+    writer.Append(f.cache_lookups);
+    writer.Append(f.cache_hits);
+  }
   return writer.Take();
 }
 
@@ -200,6 +210,27 @@ StatusOr<ServerInfo> DecodeServerInfo(const std::vector<uint8_t>& payload) {
   if (!reader.TryRead(&info.points)) return Malformed("malformed server info");
   uint8_t cache_flag = 0;
   if (!reader.TryRead(&cache_flag)) return Malformed("malformed server info");
+  uint32_t num_fragments = 0;
+  if (!reader.TryReadVarCount(&num_fragments)) {
+    return Malformed("malformed server info");
+  }
+  if (num_fragments > kMaxInfoFragments) {
+    return Malformed("server info fragment count out of range");
+  }
+  info.fragments.reserve(num_fragments);
+  for (size_t i = 0; i < num_fragments; ++i) {
+    FragmentInfo f;
+    // A fragment MBR must be finite but may be empty (no points yet);
+    // the points/lookups/hits counters are unconstrained.
+    if (!ReadFinite(&reader, &f.mbr.min_x) ||
+        !ReadFinite(&reader, &f.mbr.min_y) ||
+        !ReadFinite(&reader, &f.mbr.max_x) ||
+        !ReadFinite(&reader, &f.mbr.max_y) || !reader.TryRead(&f.points) ||
+        !reader.TryRead(&f.cache_lookups) || !reader.TryRead(&f.cache_hits)) {
+      return Malformed("malformed server info fragment");
+    }
+    info.fragments.push_back(f);
+  }
   if (!reader.AtEnd()) return Malformed("trailing bytes in server info");
   if (info.universe.IsEmpty()) return Malformed("empty server universe");
   info.cache_enabled = cache_flag != 0;

@@ -150,10 +150,23 @@ struct RangeRequest {
 // What kInfo replies carry: enough for a client that knows nothing about
 // the dataset (e.g. the load generator pointed at an external server) to
 // generate in-universe queries.
+// Per-fragment serving stats in an Info reply. Empty unless the server
+// is spatially partitioned. The decoder caps the advertised count —
+// this is a hostile surface and a fragment list is small by design.
+inline constexpr size_t kMaxInfoFragments = 64;
+
+struct FragmentInfo {
+  geo::Rect mbr;  // may be empty iff the fragment holds no points
+  uint64_t points = 0;
+  uint64_t cache_lookups = 0;
+  uint64_t cache_hits = 0;
+};
+
 struct ServerInfo {
   geo::Rect universe;
   uint64_t points = 0;
   bool cache_enabled = false;
+  std::vector<FragmentInfo> fragments;
 };
 
 std::vector<uint8_t> EncodeNnRequest(const NnRequest& req);

@@ -16,7 +16,7 @@ void NetServer::SendError(ReplySink* reply, uint32_t request_id,
 }
 
 void NetServer::SendAnswer(ReplySink* reply, uint32_t request_id,
-                           StatusOr<core::Server::WireBytes> answer) {
+                           StatusOr<core::WireService::WireBytes> answer) {
   if (!answer.ok()) {
     SendError(reply, request_id, answer.status(), /*bad_request=*/false);
     return;
@@ -36,17 +36,23 @@ void NetServer::SendAnswer(ReplySink* reply, uint32_t request_id,
 void NetServer::OnFrame(uint64_t connection_id, const Frame& frame,
                         ReplySink* reply) {
   (void)connection_id;
-  const geo::Rect& universe = server_->universe();
+  const geo::Rect& universe = service_->universe();
   switch (frame.type) {
     case FrameType::kPing:
       reply->Send(FrameType::kPong, frame.request_id, frame.payload);
       return;
 
     case FrameType::kInfoRequest: {
+      const core::ServiceInfo snapshot = service_->info();
       ServerInfo info;
-      info.universe = universe;
-      info.points = dataset_size_;
-      info.cache_enabled = server_->cache_enabled();
+      info.universe = snapshot.universe;
+      info.points = snapshot.points;
+      info.cache_enabled = snapshot.cache_enabled;
+      info.fragments.reserve(snapshot.fragments.size());
+      for (const core::FragmentStat& f : snapshot.fragments) {
+        info.fragments.push_back(
+            FragmentInfo{f.mbr, f.points, f.cache_lookups, f.cache_hits});
+      }
       reply->Send(FrameType::kInfo, frame.request_id, EncodeServerInfo(info));
       return;
     }
@@ -64,7 +70,7 @@ void NetServer::OnFrame(uint64_t connection_id, const Frame& frame,
         return;
       }
       SendAnswer(reply, frame.request_id,
-                 server_->NnQueryWireShared(req->q, req->k));
+                 service_->NnQueryWireShared(req->q, req->k));
       return;
     }
 
@@ -81,7 +87,7 @@ void NetServer::OnFrame(uint64_t connection_id, const Frame& frame,
         return;
       }
       SendAnswer(reply, frame.request_id,
-                 server_->WindowQueryWireShared(req->focus, req->hx, req->hy));
+                 service_->WindowQueryWireShared(req->focus, req->hx, req->hy));
       return;
     }
 
@@ -98,7 +104,7 @@ void NetServer::OnFrame(uint64_t connection_id, const Frame& frame,
         return;
       }
       SendAnswer(reply, frame.request_id,
-                 server_->RangeQueryWireShared(req->focus, req->radius));
+                 service_->RangeQueryWireShared(req->focus, req->radius));
       return;
     }
 

@@ -3,15 +3,16 @@
 
 #include <cstdint>
 
-#include "core/server.h"
+#include "core/wire_service.h"
 #include "net/event_loop.h"
 #include "net/frame.h"
 #include "net/net_stats.h"
 
 // The serving edge: an EventLoop whose frame handler routes request
-// frames to core::Server's wire path. Answers are the *QueryWire bytes
-// framed verbatim — on a semantic-cache hit the already-encoded bytes of
-// a previous answer go straight into the socket.
+// frames to a core::WireService (the single-tree core::Server or the
+// sharded partition::PartitionedServer). Answers are the *QueryWire
+// bytes framed verbatim — on a semantic-cache hit the already-encoded
+// bytes of a previous answer go straight into the socket.
 //
 // Request validation happens in two tiers before any engine runs:
 // the frame codec rejects malformed payloads and out-of-domain
@@ -27,11 +28,10 @@ namespace lbsq::net {
 
 class NetServer : private FrameHandler {
  public:
-  // `dataset_size` is advisory (reported in Info replies); core::Server
-  // does not expose the tree's cardinality.
-  NetServer(core::Server* server, const NetOptions& options,
-            uint64_t dataset_size = 0)
-      : server_(server), loop_(this, options), dataset_size_(dataset_size) {}
+  // Info replies (universe, cardinality, per-fragment stats) come from
+  // the service's own info() snapshot.
+  NetServer(core::WireService* service, const NetOptions& options)
+      : service_(service), loop_(this, options) {}
 
   [[nodiscard]] Status Listen() { return loop_.Listen(); }
   uint16_t port() const { return loop_.port(); }
@@ -53,11 +53,10 @@ class NetServer : private FrameHandler {
   // queue by reference), or converts an engine/oversize failure into an
   // Error frame.
   void SendAnswer(ReplySink* reply, uint32_t request_id,
-                  StatusOr<core::Server::WireBytes> answer);
+                  StatusOr<core::WireService::WireBytes> answer);
 
-  core::Server* server_;
+  core::WireService* service_;
   EventLoop loop_;
-  uint64_t dataset_size_;
 };
 
 }  // namespace lbsq::net

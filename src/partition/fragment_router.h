@@ -1,0 +1,110 @@
+#ifndef LBSQ_PARTITION_FRAGMENT_ROUTER_H_
+#define LBSQ_PARTITION_FRAGMENT_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/annotations.h"
+#include "core/spatial_backend.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "partition/str_partition.h"
+#include "rtree/rtree.h"
+#include "tp/tpnn.h"
+
+// Best-first cross-fragment router: a core::SpatialBackend over K
+// spatially sharded R*-trees. The validity-region engines run over it
+// unchanged and cannot tell it from a single tree, because every
+// primitive reproduces the single-tree answer exactly:
+//
+//   * Knn visits fragments in ascending mindist(q, fragment extent)
+//     order and merges per-fragment top-k lists under the global
+//     (distance, id) total order; the frontier stops as soon as the
+//     next fragment's mindist strictly exceeds the current k-th best
+//     distance (equality keeps going: a tie on the boundary could hide
+//     a smaller id). Since mindist-to-extent lower-bounds the distance
+//     of every point in the fragment — exactly the invariant single-tree
+//     best-first search uses per node — the merged result is the true
+//     global top-k in canonical order.
+//   * WindowQuery fans out to the fragments whose extent intersects the
+//     window and re-sorts the union into the canonical (id, x, y) order.
+//   * Tpnn/Tpknn fan out to every non-empty fragment and merge under the
+//     same (time, incoming id) preference the single-tree search uses
+//     internally, so the winning influence pair is the global one.
+//
+// The routing table (per-fragment extent + cardinality) is the one piece
+// of mutable shared state: the serving layer refreshes it after routing
+// an insert/delete to a fragment, while future per-fragment worker
+// threads only read it. It is mutex-guarded; queries snapshot it and
+// then walk the fragment trees lock-free (tree access is the caller's
+// single-writer domain, exactly as with a single RTree).
+
+namespace lbsq::partition {
+
+class FragmentRouter final : public core::SpatialBackend {
+ public:
+  // `trees[i]` is fragment i's R*-tree (must outlive the router; one per
+  // layout fragment). The routing table starts from the trees' current
+  // bounding boxes.
+  FragmentRouter(std::vector<rtree::RTree*> trees, PartitionLayout layout);
+
+  // -- Routing table --------------------------------------------------------
+
+  size_t num_fragments() const { return trees_.size(); }
+  const PartitionLayout& layout() const { return layout_; }
+
+  // The fragment owning point p (where inserts/deletes for p go).
+  size_t OwnerOf(const geo::Point& p) const { return layout_.OwnerOf(p); }
+
+  // Re-reads fragment f's extent and cardinality from its tree into the
+  // routing table. Call after mutating fragment f; single mutator only
+  // (concurrent readers of the table are fine).
+  void RefreshFragment(size_t f);
+
+  // Snapshot of fragment f's conservative extent (empty iff no points).
+  geo::Rect FragmentExtent(size_t f) const;
+  size_t FragmentSize(size_t f) const;
+
+  // -- core::SpatialBackend -------------------------------------------------
+
+  size_t size() const override;
+  uint64_t node_accesses() const override;
+  uint64_t page_accesses() const override;
+  std::vector<rtree::Neighbor> Knn(const geo::Point& q, size_t k) override;
+  void WindowQuery(const geo::Rect& w,
+                   std::vector<rtree::DataEntry>* out) override;
+  tp::TpnnResult Tpnn(const geo::Point& q, const geo::Vec2& l,
+                      const geo::Point& o, rtree::ObjectId o_id) override;
+  tp::TpknnResult Tpknn(
+      const geo::Point& q, const geo::Vec2& l,
+      const std::vector<rtree::Neighbor>& answers) override;
+  void DropBuffers() override;
+
+  // Fragments touched by the last Knn call (frontier-stop telemetry).
+  size_t last_knn_fragments_visited() const {
+    return last_knn_fragments_visited_;
+  }
+
+ private:
+  struct RouteEntry {
+    geo::Rect extent;  // conservative bounding box of the fragment
+    size_t points = 0;
+  };
+
+  // Table snapshot for one query (extent + cardinality per fragment).
+  std::vector<RouteEntry> SnapshotTable() const;
+
+  const std::vector<rtree::RTree*> trees_ LBSQ_EXCLUDED(mu_);  // immutable
+  const PartitionLayout layout_ LBSQ_EXCLUDED(mu_);            // immutable
+  mutable std::mutex mu_;
+  std::vector<RouteEntry> table_ LBSQ_GUARDED_BY(mu_);
+  // Telemetry written by the (single-threaded) query path, like the
+  // trees themselves — not part of the shared routing table.
+  size_t last_knn_fragments_visited_ LBSQ_EXCLUDED(mu_) = 0;
+};
+
+}  // namespace lbsq::partition
+
+#endif  // LBSQ_PARTITION_FRAGMENT_ROUTER_H_

@@ -205,9 +205,11 @@ void RTree::Reattach(const Meta& meta) {
   root_level_ = meta.root_level;
   size_ = meta.size;
   num_nodes_ = meta.num_nodes;
+  bbox_valid_ = false;  // re-derived on the next bounding_box() call
 }
 
 void RTree::Insert(const geo::Point& p, ObjectId id) {
+  if (bbox_valid_) bbox_ = bbox_.ExpandedToInclude(p);
   reinserted_levels_.assign(static_cast<size_t>(root_level_) + 2, false);
   DataEntry entry{p, id};
   InsertAtLevel(ChildEntry{}, entry, /*target_level=*/0);
@@ -437,7 +439,12 @@ RTree::SplitResult RTree::SplitNode(storage::PageId page_id, Node node) {
 void RTree::BulkLoad(std::vector<DataEntry> entries, double fill) {
   LBSQ_CHECK(size_ == 0);
   LBSQ_CHECK(fill > 0.0 && fill <= 1.0);
+  bbox_ = geo::Rect::Empty();
+  bbox_valid_ = true;
   if (entries.empty()) return;
+  for (const DataEntry& e : entries) {
+    bbox_ = bbox_.ExpandedToInclude(e.point);
+  }
   size_ = entries.size();
   ++update_epoch_;
   // A bulk load is not attributable to individual points: clear the log
@@ -758,6 +765,14 @@ void RTree::WindowQueryLegacy(
 // ---------------------------------------------------------------------------
 
 geo::Rect RTree::root_mbr() { return FetchView(root_).ComputeMbr(); }
+
+geo::Rect RTree::bounding_box() {
+  if (!bbox_valid_) {
+    bbox_ = size_ == 0 ? geo::Rect::Empty() : root_mbr();
+    bbox_valid_ = true;
+  }
+  return bbox_;
+}
 
 int RTree::height() { return root_level_ + 1; }
 

@@ -156,6 +156,13 @@ class RTree {
     return Meta{root_, root_level_, size_, num_nodes_};
   }
   geo::Rect root_mbr();
+  // Conservative bounding box of the data. BulkLoad sets it exactly and
+  // Insert expands it; Delete leaves it untouched, so after deletes it
+  // may overcover (never undercover — mindist pruning against it stays
+  // admissible). Unlike root_mbr() it is free once computed: the first
+  // call on an attached or reattached handle derives it from the root
+  // node, after which maintenance is incremental. Empty iff size() == 0.
+  geo::Rect bounding_box();
   size_t size() const { return size_; }
   size_t num_nodes() const { return num_nodes_; }
   int height();  // 1 for a tree that is a single leaf
@@ -231,6 +238,10 @@ class RTree {
   uint16_t root_level_ = 0;
   size_t size_ = 0;
   size_t num_nodes_ = 1;
+  // Maintained by bounding_box(); invalid until first derived (attach /
+  // Reattach leave it unknown, BulkLoad and Insert keep it current).
+  geo::Rect bbox_ = geo::Rect::Empty();
+  bool bbox_valid_ = false;
   // Levels that have already used their one forced reinsert during the
   // current top-level Insert (R* OverflowTreatment).
   std::vector<bool> reinserted_levels_;

@@ -1,5 +1,8 @@
 #include "storage/lru_buffer_pool.h"
 
+#include <iterator>
+#include <utility>
+
 #include "common/check.h"
 
 namespace lbsq::storage {
@@ -25,11 +28,9 @@ const Page& LruBufferPool::Fetch(PageId id) {
     return Touch(*it).page;
   }
   ++misses_;
-  frames_.push_front(Frame{id, Page(), false});
-  manager_->Read(id, &frames_.front().page);
-  map_.Insert(id, frames_.begin());
-  EvictIfNeeded();
-  return frames_.front().page;
+  const FrameList::iterator it = InsertFrame(id, /*dirty=*/false);
+  manager_->Read(id, &it->page);
+  return it->page;
 }
 
 void LruBufferPool::Write(PageId id, const Page& page) {
@@ -46,9 +47,7 @@ void LruBufferPool::Write(PageId id, const Page& page) {
     return;
   }
   ++misses_;
-  frames_.push_front(Frame{id, page, true});
-  map_.Insert(id, frames_.begin());
-  EvictIfNeeded();
+  InsertFrame(id, /*dirty=*/true)->page = page;
 }
 
 Page* LruBufferPool::MutablePage(PageId id) {
@@ -61,16 +60,17 @@ Page* LruBufferPool::MutablePage(PageId id) {
     return &frame.page;
   }
   ++misses_;
-  frames_.push_front(Frame{id, Page(), true});
-  map_.Insert(id, frames_.begin());
-  EvictIfNeeded();
-  return &frames_.front().page;
+  return &InsertFrame(id, /*dirty=*/true)->page;
 }
 
 void LruBufferPool::Discard(PageId id) {
-  if (auto* it = map_.Find(id)) {
-    frames_.erase(*it);
+  if (auto* pit = map_.Find(id)) {
+    const FrameList::iterator it = *pit;
+    if (it == old_begin_) old_begin_ = std::next(it);
+    if (!it->young) --old_len_;
+    frames_.erase(it);
     map_.Erase(id);
+    Rebalance();
   }
 }
 
@@ -82,24 +82,65 @@ void LruBufferPool::Clear() {
   FlushAll();
   frames_.clear();
   map_.Clear();
+  old_begin_ = frames_.end();
+  old_len_ = 0;
 }
 
 void LruBufferPool::Resize(size_t capacity) {
   capacity_ = capacity;
   EvictIfNeeded();
+  Rebalance();
 }
 
 LruBufferPool::Frame& LruBufferPool::Touch(FrameList::iterator it) {
+  if (it == old_begin_) old_begin_ = std::next(it);
+  if (!it->young) {
+    it->young = true;
+    --old_len_;
+    ++promotions_;
+  }
   frames_.splice(frames_.begin(), frames_, it);
-  return frames_.front();
+  Rebalance();
+  return *it;
+}
+
+LruBufferPool::FrameList::iterator LruBufferPool::InsertFrame(PageId id,
+                                                              bool dirty) {
+  while (map_.size() >= capacity_) EvictOne();
+  const FrameList::iterator it =
+      frames_.insert(old_begin_, Frame{id, Page(), dirty, /*young=*/false});
+  old_begin_ = it;
+  ++old_len_;
+  ++midpoint_insertions_;
+  map_.Insert(id, it);
+  Rebalance();
+  return it;
+}
+
+void LruBufferPool::EvictOne() {
+  LBSQ_CHECK(!frames_.empty());
+  const FrameList::iterator victim = std::prev(frames_.end());
+  if (victim == old_begin_) old_begin_ = frames_.end();
+  if (victim->young) {
+    ++young_evictions_;
+  } else {
+    --old_len_;
+  }
+  WriteBack(*victim);
+  map_.Erase(victim->id);
+  frames_.erase(victim);
 }
 
 void LruBufferPool::EvictIfNeeded() {
-  while (map_.size() > capacity_) {
-    Frame& victim = frames_.back();
-    WriteBack(victim);
-    map_.Erase(victim.id);
-    frames_.pop_back();
+  while (map_.size() > capacity_) EvictOne();
+}
+
+void LruBufferPool::Rebalance() {
+  const size_t target = OldTarget();
+  while (old_len_ < target && old_begin_ != frames_.begin()) {
+    --old_begin_;
+    old_begin_->young = false;
+    ++old_len_;
   }
 }
 

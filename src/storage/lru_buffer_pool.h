@@ -8,11 +8,25 @@
 #include "storage/page_index.h"
 #include "storage/page_store.h"
 
-// LRU page buffer. The paper's cost experiments (Figures 27, 28, 34, 35)
-// report both node accesses (every logical fetch) and page accesses
-// (fetches that miss an LRU buffer sized at 10% of the R-tree). This pool
-// produces both numbers: `Fetch` counts a node access, and misses fall
-// through to the PageManager whose read counter is the page-access count.
+// LRU page buffer with midpoint insertion. The paper's cost experiments
+// (Figures 27, 28, 34, 35) report both node accesses (every logical
+// fetch) and page accesses (fetches that miss an LRU buffer sized at 10%
+// of the R-tree). This pool produces both numbers: `Fetch` counts a node
+// access, and misses fall through to the PageManager whose read counter
+// is the page-access count.
+//
+// Replacement policy: the frame list is split into a *young* (hot)
+// sublist at the front and an *old* sublist at the tail, with the old
+// sublist kept at 3/8 of the capacity (the InnoDB/RonDB buf0buf
+// midpoint). A missed page is inserted at the head of the old sublist,
+// not at the global MRU position; only a subsequent hit promotes it to
+// the young head. Eviction always takes the global tail. A one-touch
+// scan (bulk load, table scan, a range query sweeping leaves) therefore
+// cycles through the old 3/8 of the pool and cannot displace the young
+// sublist, while genuinely re-referenced pages earn their promotion.
+// The young_evictions() counter reports how often a promoted page was
+// evicted anyway — the scan-resistance proof is that it stays at zero
+// while a scan churns the old sublist.
 
 namespace lbsq::storage {
 
@@ -62,31 +76,69 @@ class LruBufferPool {
   uint64_t logical_accesses() const { return logical_accesses_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
-  void ResetCounters() { logical_accesses_ = hits_ = misses_ = 0; }
+
+  // Midpoint-policy counters: frames inserted at the old-sublist head,
+  // old frames promoted young by a hit, and evictions that hit a young
+  // (promoted) frame — the last stays 0 while scans churn the old
+  // sublist, which is the scan-resistance claim in numbers.
+  uint64_t midpoint_insertions() const { return midpoint_insertions_; }
+  uint64_t promotions() const { return promotions_; }
+  uint64_t young_evictions() const { return young_evictions_; }
+
+  void ResetCounters() {
+    logical_accesses_ = hits_ = misses_ = 0;
+    midpoint_insertions_ = promotions_ = young_evictions_ = 0;
+  }
 
   size_t capacity() const { return capacity_; }
   size_t size() const { return map_.size(); }
+  // Current length of the old sublist (the scan-cycling 3/8).
+  size_t old_sublist_size() const { return old_len_; }
 
  private:
   struct Frame {
     PageId id;
     Page page;
     bool dirty = false;
+    bool young = false;  // promoted past the midpoint by a hit
   };
   using FrameList = std::list<Frame>;
 
-  // Moves the frame to the MRU position and returns it.
+  // Desired old-sublist length: 3/8 of capacity, at least one frame so
+  // a miss never lands directly on the young head.
+  size_t OldTarget() const {
+    const size_t t = capacity_ * 3 / 8;
+    return t > 0 ? t : 1;
+  }
+
+  // Moves the frame to the young MRU position (promoting it if it was
+  // old) and returns it.
   Frame& Touch(FrameList::iterator it);
+  // Inserts a fresh frame for `id` at the old-sublist head and returns
+  // its iterator. Evicts first when full, so the fresh frame can never
+  // be its own victim.
+  FrameList::iterator InsertFrame(PageId id, bool dirty);
+  // Evicts the global tail (old tail when the old sublist is nonempty).
+  void EvictOne();
   void EvictIfNeeded();
+  // Refills the old sublist up to OldTarget() by demoting young-tail
+  // frames in place (the boundary slides forward; nothing moves).
+  void Rebalance();
   void WriteBack(Frame& frame);
 
   PageStore* manager_;
   size_t capacity_;
-  FrameList frames_;  // front = most recently used
+  FrameList frames_;  // front = young MRU, back = eviction victim
+  // Head of the old sublist ([old_begin_, end())); end() when empty.
+  FrameList::iterator old_begin_ = frames_.end();
+  size_t old_len_ = 0;
   PageIndex<FrameList::iterator> map_;
   uint64_t logical_accesses_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t midpoint_insertions_ = 0;
+  uint64_t promotions_ = 0;
+  uint64_t young_evictions_ = 0;
 };
 
 }  // namespace lbsq::storage

@@ -15,38 +15,71 @@
 namespace lbsq::storage {
 namespace {
 
-// Reference model: just an ordered list of cached ids (front = MRU).
+// Reference model of the midpoint policy: a young list (front = MRU) and
+// an old list (front = midpoint insertion slot, back = eviction victim),
+// with the old list refilled to 3/8 of capacity by demoting young tails.
+// Mirrors LruBufferPool event for event so hit/miss decisions — which
+// depend on eviction order — must agree exactly.
 class ModelLru {
  public:
   explicit ModelLru(size_t capacity) : capacity_(capacity) {}
 
   // Returns true on hit.
   bool Touch(PageId id) {
-    auto it = std::find(ids_.begin(), ids_.end(), id);
-    if (it != ids_.end()) {
-      ids_.erase(it);
-      ids_.push_front(id);
+    if (Remove(&young_, id) || Remove(&old_, id)) {
+      young_.push_front(id);
+      Rebalance();
       return true;
     }
     if (capacity_ == 0) return false;
-    ids_.push_front(id);
-    if (ids_.size() > capacity_) ids_.pop_back();
+    while (young_.size() + old_.size() >= capacity_) Evict();
+    old_.push_front(id);
+    Rebalance();
     return false;
   }
 
   void Discard(PageId id) {
-    auto it = std::find(ids_.begin(), ids_.end(), id);
-    if (it != ids_.end()) ids_.erase(it);
+    if (!Remove(&young_, id)) Remove(&old_, id);
+    Rebalance();
   }
 
   void Resize(size_t capacity) {
     capacity_ = capacity;
-    while (ids_.size() > capacity_) ids_.pop_back();
+    while (young_.size() + old_.size() > capacity_) Evict();
+    Rebalance();
   }
 
  private:
+  size_t OldTarget() const {
+    const size_t t = capacity_ * 3 / 8;
+    return t > 0 ? t : 1;
+  }
+
+  void Rebalance() {
+    while (old_.size() < OldTarget() && !young_.empty()) {
+      old_.push_front(young_.back());
+      young_.pop_back();
+    }
+  }
+
+  void Evict() {
+    if (!old_.empty()) {
+      old_.pop_back();
+    } else {
+      young_.pop_back();
+    }
+  }
+
+  static bool Remove(std::list<PageId>* ids, PageId id) {
+    auto it = std::find(ids->begin(), ids->end(), id);
+    if (it == ids->end()) return false;
+    ids->erase(it);
+    return true;
+  }
+
   size_t capacity_;
-  std::list<PageId> ids_;
+  std::list<PageId> young_;
+  std::list<PageId> old_;
 };
 
 struct LruFuzzCase {

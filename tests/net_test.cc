@@ -168,7 +168,7 @@ TEST(FrameTest, RequestPayloadsRoundTrip) {
   ASSERT_TRUE(range2.ok());
   EXPECT_EQ(range2->radius, range.radius);
 
-  const ServerInfo info{kUnit, 12345, true};
+  const ServerInfo info{kUnit, 12345, true, {}};
   const auto info2 = DecodeServerInfo(EncodeServerInfo(info));
   ASSERT_TRUE(info2.ok());
   EXPECT_EQ(info2->universe, kUnit);
@@ -216,9 +216,8 @@ TEST(FrameTest, ErrorPayloadRoundTrips) {
 // (or destruction). stats() is only read after the join.
 class ServerHarness {
  public:
-  ServerHarness(core::Server* server, const NetOptions& options,
-                uint64_t dataset_size = 0)
-      : net_(server, options, dataset_size) {}
+  ServerHarness(core::WireService* service, const NetOptions& options)
+      : net_(service, options) {}
 
   ~ServerHarness() {
     if (thread_.joinable()) {
@@ -264,7 +263,7 @@ struct ServedDataset {
 
 TEST(NetServerTest, PingAndInfo) {
   ServedDataset served;
-  ServerHarness harness(&served.server, NetOptions{}, served.dataset.entries.size());
+  ServerHarness harness(&served.server, NetOptions{});
   ASSERT_TRUE(harness.Start().ok());
 
   NetClient client;

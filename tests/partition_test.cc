@@ -1,0 +1,311 @@
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/semantic_cache.h"
+#include "core/spatial_backend.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "partition/fragment_router.h"
+#include "partition/partitioned_server.h"
+#include "partition/str_partition.h"
+#include "rtree/knn.h"
+#include "rtree/rtree.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+
+namespace lbsq::partition {
+namespace {
+
+using test::TreeFixture;
+
+const geo::Rect kUnit(0.0, 0.0, 1.0, 1.0);
+
+// Fragment trees plus a router over them, bulk-loaded from a layout.
+struct RouterFixture {
+  std::vector<std::unique_ptr<TreeFixture>> fragments;
+  std::optional<FragmentRouter> router;
+
+  RouterFixture(const std::vector<rtree::DataEntry>& entries,
+                const geo::Rect& universe, size_t k) {
+    PartitionLayout layout(entries, universe, k);
+    std::vector<std::vector<rtree::DataEntry>> buckets =
+        PartitionEntries(layout, entries);
+    std::vector<rtree::RTree*> trees;
+    for (size_t f = 0; f < k; ++f) {
+      fragments.push_back(std::make_unique<TreeFixture>(buckets[f], 64));
+      trees.push_back(fragments.back()->tree.get());
+    }
+    router.emplace(std::move(trees), std::move(layout));
+  }
+};
+
+TEST(PartitionLayoutTest, TilesUniverseAndRoutesConsistently) {
+  const auto dataset = workload::MakeUnitUniform(4000, 31);
+  for (size_t k : {1u, 2u, 4u, 8u}) {
+    PartitionLayout layout(dataset.entries, kUnit, k);
+    ASSERT_EQ(layout.num_fragments(), k);
+    // Ownership rects tile the universe: every point routes to the
+    // fragment whose rect contains it.
+    for (const rtree::DataEntry& e : dataset.entries) {
+      const size_t owner = layout.OwnerOf(e.point);
+      ASSERT_LT(owner, k);
+      EXPECT_TRUE(layout.OwnershipRect(owner).Contains(e.point));
+    }
+    // Roughly balanced buckets (within 3x of ideal on uniform data).
+    const auto buckets = PartitionEntries(layout, dataset.entries);
+    for (const auto& bucket : buckets) {
+      EXPECT_GT(bucket.size(), dataset.entries.size() / (3 * k));
+      EXPECT_LT(bucket.size(), 3 * dataset.entries.size() / k);
+    }
+  }
+}
+
+TEST(PartitionLayoutTest, StrictOwnershipRejectsSharedEdges) {
+  const auto dataset = workload::MakeUnitUniform(1000, 32);
+  PartitionLayout layout(dataset.entries, kUnit, 4);
+  for (size_t f = 0; f < 4; ++f) {
+    const geo::Rect own = layout.OwnershipRect(f);
+    // A rectangle strictly inside the ownership tile is strictly owned.
+    const double mx = (own.min_x + own.max_x) / 2;
+    const double my = (own.min_y + own.max_y) / 2;
+    const geo::Rect inner{(own.min_x + mx) / 2, (own.min_y + my) / 2,
+                          (mx + own.max_x) / 2, (my + own.max_y) / 2};
+    EXPECT_TRUE(layout.StrictlyOwns(f, inner));
+    // The full tile is strictly owned only when no neighbor exists on
+    // the max edges (a point exactly on a shared interior edge routes
+    // to the right/upper neighbor).
+    const bool max_edges_on_universe =
+        own.max_x == kUnit.max_x && own.max_y == kUnit.max_y;
+    EXPECT_EQ(layout.StrictlyOwns(f, own), max_edges_on_universe) << f;
+    // The whole universe is never strictly owned with K > 1.
+    EXPECT_FALSE(layout.StrictlyOwns(f, kUnit));
+  }
+  // Degenerate K = 1: one fragment strictly owns everything.
+  PartitionLayout single(dataset.entries, kUnit, 1);
+  EXPECT_TRUE(single.StrictlyOwns(0, kUnit));
+}
+
+TEST(FragmentRouterTest, KnnMatchesSingleTreeOnClusteredData) {
+  const auto dataset =
+      workload::MakeClustered(5000, kUnit, 8, 1.1, 0.01, 0.05, 0.1, 41);
+  TreeFixture single(dataset.entries, 256);
+  RouterFixture sharded(dataset.entries, kUnit, 4);
+  for (size_t i = 0; i < 200; ++i) {
+    const geo::Point q{(i % 20) * 0.05 + 0.007, (i / 20) * 0.1 + 0.013};
+    for (size_t k : {1u, 4u, 10u}) {
+      const auto expect = rtree::KnnBestFirst(*single.tree, q, k);
+      const auto got = sharded.router->Knn(q, k);
+      ASSERT_EQ(test::Ids(expect), test::Ids(got)) << "q " << i << " k " << k;
+      ASSERT_GE(sharded.router->last_knn_fragments_visited(), 1u);
+    }
+  }
+}
+
+TEST(FragmentRouterTest, FrontierStopsBeforeFarFragments) {
+  // Four tight corner clusters; K = 4 puts each in its own fragment, so
+  // a query deep inside one cluster must not visit all four.
+  std::vector<rtree::DataEntry> entries;
+  const geo::Point corners[4] = {{0.1, 0.1}, {0.9, 0.1}, {0.1, 0.9}, {0.9, 0.9}};
+  rtree::ObjectId id = 0;
+  for (const geo::Point& c : corners) {
+    for (int i = 0; i < 50; ++i) {
+      entries.push_back({{c.x + (i % 7) * 0.003, c.y + (i / 7) * 0.003}, id++});
+    }
+  }
+  TreeFixture single(entries, 64);
+  RouterFixture sharded(entries, kUnit, 4);
+  const geo::Point q{0.1, 0.1};
+  const auto expect = rtree::KnnBestFirst(*single.tree, q, 5);
+  const auto got = sharded.router->Knn(q, 5);
+  EXPECT_EQ(test::Ids(expect), test::Ids(got));
+  EXPECT_LT(sharded.router->last_knn_fragments_visited(), 4u);
+}
+
+TEST(FragmentRouterTest, DegenerateSingleFragmentMatchesTree) {
+  const auto dataset = workload::MakeUnitUniform(2000, 42);
+  TreeFixture single(dataset.entries, 64);
+  RouterFixture sharded(dataset.entries, kUnit, 1);
+  core::RTreeBackend oracle(single.tree.get());
+
+  const geo::Point q{0.4, 0.6};
+  EXPECT_EQ(test::Ids(oracle.Knn(q, 7)), test::Ids(sharded.router->Knn(q, 7)));
+
+  std::vector<rtree::DataEntry> expect, got;
+  const geo::Rect w{0.2, 0.2, 0.5, 0.7};
+  oracle.WindowQuery(w, &expect);
+  sharded.router->WindowQuery(w, &got);
+  EXPECT_EQ(test::Ids(expect), test::Ids(got));
+  EXPECT_EQ(sharded.router->size(), single.tree->size());
+}
+
+TEST(FragmentRouterTest, WindowSpanningAllFragmentsReturnsCanonicalUnion) {
+  const auto dataset = workload::MakeUnitUniform(3000, 43);
+  TreeFixture single(dataset.entries, 64);
+  for (size_t k : {2u, 4u, 8u}) {
+    RouterFixture sharded(dataset.entries, kUnit, k);
+    std::vector<rtree::DataEntry> expect, got;
+    core::RTreeBackend oracle(single.tree.get());
+    oracle.WindowQuery(kUnit, &expect);  // the whole universe
+    sharded.router->WindowQuery(kUnit, &got);
+    ASSERT_EQ(expect.size(), dataset.entries.size());
+    ASSERT_EQ(test::Ids(expect), test::Ids(got)) << "K " << k;
+  }
+}
+
+TEST(FragmentRouterTest, KnnTieOnFragmentBisectorPrefersSmallerId) {
+  // Two points symmetric about the K = 2 fragment boundary at exactly
+  // equal (power-of-two) distances from the query: the global
+  // (distance, id) order must pick the smaller id even though it lives
+  // in the farther-visited fragment.
+  std::vector<rtree::DataEntry> entries = {
+      {{0.25, 0.5}, 9},   // fragment 0
+      {{0.75, 0.5}, 3},   // fragment 1 (x >= boundary routes right)
+      {{0.05, 0.05}, 20}, {{0.95, 0.95}, 21},  // keep both fragments busy
+  };
+  TreeFixture single(entries, 64);
+  RouterFixture sharded(entries, kUnit, 2);
+  ASSERT_NE(sharded.router->OwnerOf({0.25, 0.5}),
+            sharded.router->OwnerOf({0.75, 0.5}));
+
+  const geo::Point q{0.5, 0.5};  // exactly 0.25 from both candidates
+  const auto got = sharded.router->Knn(q, 1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].entry.id, 3u);
+  EXPECT_EQ(test::Ids(rtree::KnnBestFirst(*single.tree, q, 1)),
+            test::Ids(got));
+  // Both tie candidates must appear, ordered by id, for k = 2.
+  const auto both = sharded.router->Knn(q, 2);
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both[0].entry.id, 3u);
+  EXPECT_EQ(both[1].entry.id, 9u);
+  EXPECT_EQ(both[0].distance, both[1].distance);
+}
+
+TEST(FragmentRouterTest, RoutingTableSurvivesConcurrentReaders) {
+  const auto dataset = workload::MakeUnitUniform(2000, 44);
+  RouterFixture sharded(dataset.entries, kUnit, 4);
+  FragmentRouter& router = *sharded.router;
+
+  // One mutator inserts into fragment trees and refreshes the routing
+  // table; readers hammer the table accessors. The trees themselves are
+  // single-writer (only the mutator touches them) — the shared state
+  // under test is the mutex-guarded table.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&router, &stop] {
+      uint64_t sink = 0;
+      do {
+        for (size_t f = 0; f < router.num_fragments(); ++f) {
+          sink += router.FragmentSize(f);
+          sink += router.FragmentExtent(f).IsEmpty() ? 0 : 1;
+        }
+        sink += router.OwnerOf({0.3, 0.3});
+      } while (!stop.load(std::memory_order_relaxed));
+      EXPECT_GT(sink, 0u);  // every fragment is non-empty here
+    });
+  }
+  for (int i = 0; i < 500; ++i) {
+    const geo::Point p{0.001 * (i % 1000), 0.002 * (i % 500)};
+    const size_t owner = router.OwnerOf(p);
+    sharded.fragments[owner]->tree->Insert(p, 100000 + i);
+    router.RefreshFragment(owner);
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(router.size(), dataset.entries.size() + 500);
+}
+
+TEST(PartitionedServerTest, UpdateBlastRadiusStaysInOwnerFragment) {
+  const auto dataset =
+      workload::MakeClustered(8000, kUnit, 16, 1.1, 0.01, 0.05, 0.1, 45);
+  PartitionedServerOptions options;
+  options.fragments = 4;
+  PartitionedServer server(dataset.entries, kUnit, options);
+
+  cache::CacheConfig config;
+  config.max_entries = 4096;
+  config.max_bytes = 8u << 20;
+  server.EnableCache(config);
+
+  // Find a k-NN query whose kill footprint lands in fragment 0's cache:
+  // dense data points deep inside the tile have tiny validity cells.
+  // (Sparse queries legitimately fall into the boundary cache — the
+  // point of this test is that *owned* entries dodge remote updates.)
+  geo::Point q{0, 0};
+  rtree::ObjectId q_id = 0;
+  bool placed = false;
+  for (const rtree::DataEntry& e : dataset.entries) {
+    if (server.layout().OwnerOf(e.point) != 0) continue;
+    const size_t owned_before = server.owner_cache_inserts();
+    ASSERT_TRUE(server.NnQueryWireShared(e.point, 1).ok());
+    if (server.owner_cache_inserts() > owned_before) {
+      q = e.point;
+      q_id = e.id;
+      placed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(placed) << "no query produced a fragment-owned cache entry";
+  ASSERT_TRUE(server.NnQueryWireShared(q, 1).ok());
+  ASSERT_TRUE(server.last_wire_from_cache());
+
+  // An insert deep inside fragment 3's tile never touches fragment 0's
+  // cache: the cached answer keeps serving.
+  const geo::Rect tile3 = server.layout().OwnershipRect(3);
+  const geo::Point far{(tile3.min_x + tile3.max_x) / 2,
+                       (tile3.min_y + tile3.max_y) / 2};
+  ASSERT_NE(server.layout().OwnerOf(far), server.layout().OwnerOf(q));
+  server.Insert(far, 900001);
+  ASSERT_TRUE(server.NnQueryWireShared(q, 1).ok());
+  EXPECT_TRUE(server.last_wire_from_cache());
+
+  // Deleting the cached answer object itself kills the entry — through
+  // the owner fragment's cache, not a global nuke.
+  const size_t owner_kills_before = server.owner_cache_kills();
+  ASSERT_TRUE(server.Delete(q, q_id));
+  ASSERT_TRUE(server.NnQueryWireShared(q, 1).ok());
+  EXPECT_FALSE(server.last_wire_from_cache());
+  EXPECT_GT(server.owner_cache_kills(), owner_kills_before);
+}
+
+TEST(PartitionedServerTest, InfoReportsPerFragmentStats) {
+  const auto dataset = workload::MakeUnitUniform(4000, 46);
+  PartitionedServerOptions options;
+  options.fragments = 4;
+  PartitionedServer server(dataset.entries, kUnit, options);
+  cache::CacheConfig config;
+  server.EnableCache(config);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(
+        server.NnQueryWireShared({0.03 * i, 1.0 - 0.03 * i}, 2).ok());
+  }
+
+  const core::ServiceInfo info = server.info();
+  EXPECT_EQ(info.points, dataset.entries.size());
+  EXPECT_TRUE(info.cache_enabled);
+  ASSERT_EQ(info.fragments.size(), 4u);
+  size_t points = 0;
+  uint64_t lookups = 0;
+  for (size_t f = 0; f < info.fragments.size(); ++f) {
+    const core::FragmentStat& stat = info.fragments[f];
+    EXPECT_GT(stat.points, 0u);
+    EXPECT_FALSE(stat.mbr.IsEmpty());
+    // The fragment MBR is conservative but within the universe, and its
+    // points all live inside the fragment's ownership tile.
+    EXPECT_GE(stat.mbr.min_x, kUnit.min_x);
+    EXPECT_LE(stat.mbr.max_x, kUnit.max_x);
+    points += stat.points;
+    lookups += stat.cache_lookups;
+  }
+  EXPECT_EQ(points, dataset.entries.size());
+  EXPECT_GT(lookups, 0u);
+}
+
+}  // namespace
+}  // namespace lbsq::partition

@@ -143,6 +143,39 @@ TEST(LruBufferPoolTest, DirtyEvictionWritesBack) {
   (void)ids[2];
 }
 
+TEST(LruBufferPoolTest, MidpointInsertionKeepsScansOffTheHotSet) {
+  // Capacity 8 → old-sublist target 3, young capacity 5. Fill the pool,
+  // promote five pages into the young sublist by re-fetching them, then
+  // sweep 100 one-touch pages. The sweep must cycle entirely through the
+  // old 3/8: every hot page survives and no young frame is ever evicted.
+  PageManager manager;
+  std::vector<PageId> hot, cold, filler;
+  for (int i = 0; i < 5; ++i) hot.push_back(manager.Allocate());
+  for (int i = 0; i < 3; ++i) filler.push_back(manager.Allocate());
+  for (int i = 0; i < 100; ++i) cold.push_back(manager.Allocate());
+
+  LruBufferPool pool(&manager, 8);
+  for (const PageId id : hot) pool.Fetch(id);
+  for (const PageId id : filler) pool.Fetch(id);
+  for (const PageId id : hot) pool.Fetch(id);  // promote to young
+  EXPECT_EQ(pool.promotions(), 5u);
+  EXPECT_EQ(pool.old_sublist_size(), 3u);
+  pool.ResetCounters();
+
+  for (const PageId id : cold) pool.Fetch(id);  // one-touch scan
+  EXPECT_EQ(pool.midpoint_insertions(), 100u);
+  EXPECT_EQ(pool.young_evictions(), 0u);  // the hot set was never touched
+
+  const uint64_t misses_before = pool.misses();
+  for (const PageId id : hot) pool.Fetch(id);
+  EXPECT_EQ(pool.misses(), misses_before);  // all five still resident
+
+  // A plain MRU-insert LRU would have flushed them: the fillers, which
+  // stayed in the old sublist, did get scanned out.
+  pool.Fetch(filler[0]);
+  EXPECT_EQ(pool.misses(), misses_before + 1);
+}
+
 TEST(LruBufferPoolTest, ZeroCapacityBypassesCache) {
   PageManager manager;
   const PageId a = manager.Allocate();

@@ -283,7 +283,7 @@ std::vector<uint8_t> SeedStream() {
   append(FrameType::kPing, {0xde, 0xad, 0xbe, 0xef});
   append(FrameType::kInfoRequest, {});
   append(FrameType::kInfo,
-         EncodeServerInfo({geo::Rect(0.0, 0.0, 1.0, 1.0), 1234, true}));
+         EncodeServerInfo({geo::Rect(0.0, 0.0, 1.0, 1.0), 1234, true, {}}));
   append(FrameType::kAnswer, std::vector<uint8_t>(70, 0x5a));
   append(FrameType::kError,
          EncodeErrorPayload(Status::InvalidArgument("seed error")));

@@ -10,6 +10,9 @@ in the baseline file:
 
   knn_best_first_100   micro's min-of-repeats BM_KnnBestFirst/100 time
                        must stay under min_ns * max_ratio
+  window_validity_query / range_validity_query
+                       same band shape for the full window/range
+                       validity-region engine queries (min-of-repeats)
   net_cache_qps        the loadgen's cache-on end-to-end q/s must stay
                        above value * min_ratio
   batch4_qps           the 4-worker BatchServer's end-to-end q/s at the
@@ -48,17 +51,26 @@ def main():
 
     with open(f"{art_dir}/BENCH_micro.json") as f:
         micro = json.load(f)
-    knn_min = None
-    for b in micro["benchmarks"]:
-        if (b["name"].startswith("BM_KnnBestFirst/100/")
-                and b.get("aggregate_name") == "min"):
-            knn_min = b["real_time"]
-    spec = base["knn_best_first_100"]
-    limit = spec["min_ns"] * spec["max_ratio"]
-    check("knn_best_first_100",
-          knn_min is not None and knn_min <= limit,
-          f"min {knn_min if knn_min is None else round(knn_min)} ns, "
-          f"limit {round(limit)} ns")
+
+    def micro_min(prefix):
+        result = None
+        for b in micro["benchmarks"]:
+            if (b["name"].startswith(prefix)
+                    and b.get("aggregate_name") == "min"):
+                result = b["real_time"]
+        return result
+
+    def check_micro(label, prefix):
+        spec = base[label]
+        limit = spec["min_ns"] * spec["max_ratio"]
+        t = micro_min(prefix)
+        check(label, t is not None and t <= limit,
+              f"min {t if t is None else round(t)} ns, "
+              f"limit {round(limit)} ns")
+
+    check_micro("knn_best_first_100", "BM_KnnBestFirst/100/")
+    check_micro("window_validity_query", "BM_WindowValidityQuery/")
+    check_micro("range_validity_query", "BM_RangeValidityQuery/")
 
     with open(f"{art_dir}/BENCH_net_loadgen.json") as f:
         loadgen = json.load(f)

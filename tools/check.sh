@@ -16,13 +16,16 @@
 #   asan    ASan+UBSan build + full ctest suite
 #   tsan    TSan build + the threaded suites (BatchServer incl. the
 #           cache-enabled wire batches, the shared semantic cache, fault
-#           injection, and the net suites whose event loop runs on its
-#           own thread) — the rest are single-threaded and add nothing
-#   bench-smoke  micro + net_loadgen at tiny sizes; fails on crash, a
-#           failed reply verification, or a missing/malformed
-#           BENCH_*.json artifact (the numbers themselves are not gated
-#           here — a smoke box is too noisy for thresholds)
-#   bench-gate   micro BM_KnnBestFirst/100, churn, a quarter-scale
+#           injection, the net suites whose event loop runs on its own
+#           thread, and the partition suite's concurrent routing-table
+#           readers) — the rest are single-threaded and add nothing
+#   bench-smoke  micro + net_loadgen + the partition K-sweep at tiny
+#           sizes; fails on crash, a failed reply verification, or a
+#           missing/malformed BENCH_*.json artifact (the numbers
+#           themselves are not gated here — a smoke box is too noisy
+#           for thresholds)
+#   bench-gate   micro BM_KnnBestFirst/100 + the window/range validity
+#           engine micros, churn, a quarter-scale
 #           net_loadgen and a quarter-scale throughput (batch-server
 #           q/s) compared against bench/baseline.json via
 #           tools/bench_gate.py; the baseline's bands are generous
@@ -103,29 +106,35 @@ stage_tsan() {
   cmake -S "$ROOT" -B "$ROOT/build-tsan" -DLBSQ_SANITIZE=thread >/dev/null &&
     cmake --build "$ROOT/build-tsan" --target batch_server_test \
       fault_injection_test semantic_cache_test net_test net_fault_test \
-      -j "$JOBS" &&
+      partition_test -j "$JOBS" &&
     "$ROOT/build-tsan/tests/batch_server_test" &&
     "$ROOT/build-tsan/tests/fault_injection_test" &&
     "$ROOT/build-tsan/tests/semantic_cache_test" &&
     "$ROOT/build-tsan/tests/net_test" &&
-    "$ROOT/build-tsan/tests/net_fault_test"
+    "$ROOT/build-tsan/tests/net_fault_test" &&
+    "$ROOT/build-tsan/tests/partition_test"
 }
 
 stage_bench_smoke() {
   cmake -S "$ROOT" -B "$ROOT/build" >/dev/null &&
-    cmake --build "$ROOT/build" --target micro net_loadgen -j "$JOBS" || return 1
+    cmake --build "$ROOT/build" --target micro net_loadgen partition \
+      -j "$JOBS" || return 1
   local dir
   dir="$(mktemp -d)" || return 1
   local ok=0
-  # One fast micro benchmark (min-of-rounds still applies) and the
-  # loadgen at a small dataset — the loadgen's own reply verification
-  # is the correctness gate; artifacts must exist and parse.
+  # One fast micro benchmark (min-of-rounds still applies), the loadgen
+  # and the K-fragment sweep at small datasets — the loadgen's reply
+  # verification and the partition differential tests are the
+  # correctness gates; artifacts must exist and parse.
   LBSQ_BENCH_DIR="$dir" "$ROOT/build/bench/micro" \
     '--benchmark_filter=BM_KnnBestFirst/10/' >/dev/null &&
     LBSQ_BENCH_DIR="$dir" LBSQ_SCALE=0.05 "$ROOT/build/bench/net_loadgen" \
       >/dev/null &&
+    LBSQ_BENCH_DIR="$dir" LBSQ_SCALE=0.05 LBSQ_ROUNDS=1 \
+      "$ROOT/build/bench/partition" >/dev/null &&
     python3 -m json.tool "$dir/BENCH_micro.json" >/dev/null &&
-    python3 -m json.tool "$dir/BENCH_net_loadgen.json" >/dev/null ||
+    python3 -m json.tool "$dir/BENCH_net_loadgen.json" >/dev/null &&
+    python3 -m json.tool "$dir/BENCH_partition.json" >/dev/null ||
     ok=1
   rm -rf "$dir"
   return "$ok"
@@ -142,7 +151,8 @@ stage_bench_gate() {
   dir="$(mktemp -d)" || return 1
   local ok=0
   LBSQ_BENCH_DIR="$dir" "$ROOT/build/bench/micro" \
-    '--benchmark_filter=BM_KnnBestFirst/100/' >/dev/null &&
+    '--benchmark_filter=BM_KnnBestFirst/100/|BM_WindowValidityQuery|BM_RangeValidityQuery' \
+    >/dev/null &&
     LBSQ_BENCH_DIR="$dir" LBSQ_ROUNDS=1 "$ROOT/build/bench/churn" \
       >/dev/null &&
     LBSQ_BENCH_DIR="$dir" LBSQ_SCALE=0.25 "$ROOT/build/bench/net_loadgen" \

@@ -8,12 +8,16 @@
 //   lbsq_cli nn       --index idx.db --x 0.31 --y 0.74 --k 3
 //   lbsq_cli window   --index idx.db --x 0.31 --y 0.74 --hx 0.02 --hy 0.02
 //   lbsq_cli range    --index idx.db --x 0.31 --y 0.74 --r 0.05
-//   lbsq_cli serve    --index idx.db --port 19537 --cache on
+//   lbsq_cli serve    --index idx.db --port 19537 --cache on [--fragments 4]
 //   lbsq_cli ping     --port 19537 [--host 127.0.0.1] [--count 5]
+//   lbsq_cli info     --port 19537 [--host 127.0.0.1]
 //
 // `serve` exposes the index over the framed TCP protocol (src/net) on
 // loopback; Ctrl-C drains gracefully. Any NetClient — `ping`,
-// bench/net_loadgen, or library code — can then query it.
+// bench/net_loadgen, or library code — can then query it. With
+// --fragments K > 1 the points are re-sharded into K spatial fragments
+// served through the FragmentRouter (src/partition); `info` then shows
+// per-fragment point counts, MBRs and cache hit rates.
 //
 // The index file is self-contained: logical page 0 stores the tree meta
 // and the data universe, so every later invocation can re-attach. Builds
@@ -40,6 +44,7 @@
 #include "core/window_validity.h"
 #include "net/net_client.h"
 #include "net/net_server.h"
+#include "partition/partitioned_server.h"
 #include "rtree/rtree.h"
 #include "rtree/tree_stats.h"
 #include "storage/checksummed_page_store.h"
@@ -343,28 +348,52 @@ void HandleSigint(int) {
 
 int CmdServe(const ArgMap& args) {
   AttachedIndex idx = Attach(Require(args, "index"));
-  // Heap-allocated: g++ 12 -O2 emits a -Wmaybe-uninitialized false positive
-  // for the optional<SemanticCache> member when Server lives on the stack.
-  auto server = std::make_unique<core::Server>(idx.tree.get(), idx.universe);
+  const size_t fragments =
+      std::strtoul(GetOr(args, "fragments", "1").c_str(), nullptr, 10);
+  if (fragments == 0) {
+    std::fprintf(stderr, "--fragments must be >= 1\n");
+    return 2;
+  }
 
   const std::string cache_flag = GetOr(args, "cache", "on");
-  if (cache_flag == "on") {
-    cache::CacheConfig config;
-    config.max_entries =
-        std::strtoul(GetOr(args, "cache-entries", "4096").c_str(), nullptr, 10);
-    config.max_bytes = std::strtoul(
-        GetOr(args, "cache-bytes", std::to_string(4u << 20)).c_str(), nullptr,
-        10);
-    server->EnableCache(config);
-  } else if (cache_flag != "off") {
+  cache::CacheConfig config;
+  config.max_entries =
+      std::strtoul(GetOr(args, "cache-entries", "4096").c_str(), nullptr, 10);
+  config.max_bytes = std::strtoul(
+      GetOr(args, "cache-bytes", std::to_string(4u << 20)).c_str(), nullptr,
+      10);
+  if (cache_flag != "on" && cache_flag != "off") {
     std::fprintf(stderr, "unknown --cache '%s' (on|off)\n", cache_flag.c_str());
     return 2;
+  }
+
+  // Heap-allocated: g++ 12 -O2 emits a -Wmaybe-uninitialized false positive
+  // for the optional<SemanticCache> member when Server lives on the stack.
+  std::unique_ptr<core::Server> server;
+  std::unique_ptr<partition::PartitionedServer> sharded;
+  core::WireService* service = nullptr;
+  if (fragments > 1) {
+    // Re-shard the attached index into K in-memory fragments: pull every
+    // entry out of the on-disk tree and bulk-load one tree per fragment
+    // behind the FragmentRouter. The on-disk file stays untouched.
+    std::vector<rtree::DataEntry> entries;
+    idx.tree->WindowQuery(idx.universe, &entries);
+    partition::PartitionedServerOptions popt;
+    popt.fragments = fragments;
+    sharded = std::make_unique<partition::PartitionedServer>(
+        std::move(entries), idx.universe, popt);
+    if (cache_flag == "on") sharded->EnableCache(config);
+    service = sharded.get();
+  } else {
+    server = std::make_unique<core::Server>(idx.tree.get(), idx.universe);
+    if (cache_flag == "on") server->EnableCache(config);
+    service = server.get();
   }
 
   net::NetOptions options;
   options.port = static_cast<uint16_t>(
       std::strtoul(GetOr(args, "port", "19537").c_str(), nullptr, 10));
-  net::NetServer serving(server.get(), options, idx.tree->size());
+  net::NetServer serving(service, options);
   if (const Status listening = serving.Listen(); !listening.ok()) {
     std::fprintf(stderr, "cannot listen: %s\n", listening.ToString().c_str());
     return 1;
@@ -373,9 +402,10 @@ int CmdServe(const ArgMap& args) {
   std::signal(SIGINT, HandleSigint);
   std::signal(SIGTERM, HandleSigint);
 
-  std::printf("serving %zu points on 127.0.0.1:%u (cache %s) — Ctrl-C to "
-              "drain\n",
-              idx.tree->size(), serving.port(), cache_flag.c_str());
+  std::printf("serving %zu points on 127.0.0.1:%u (cache %s, %zu "
+              "fragment%s) — Ctrl-C to drain\n",
+              idx.tree->size(), serving.port(), cache_flag.c_str(), fragments,
+              fragments == 1 ? "" : "s");
   std::fflush(stdout);
   serving.Run();
   g_serving = nullptr;
@@ -391,11 +421,24 @@ int CmdServe(const ArgMap& args) {
               static_cast<unsigned long long>(stats.frames_out),
               static_cast<unsigned long long>(stats.bad_requests),
               static_cast<unsigned long long>(stats.protocol_errors));
-  if (server->cache_enabled()) {
-    const cache::CacheStats cache_stats = server->cache_stats();
+  if (sharded ? sharded->cache_enabled() : server->cache_enabled()) {
+    const cache::CacheStats cache_stats =
+        sharded ? sharded->cache_stats() : server->cache_stats();
     std::printf("cache: %llu lookups, %llu hits\n",
                 static_cast<unsigned long long>(cache_stats.lookups),
                 static_cast<unsigned long long>(cache_stats.hits));
+  }
+  if (sharded) {
+    const core::ServiceInfo info = sharded->info();
+    for (size_t f = 0; f < info.fragments.size(); ++f) {
+      const core::FragmentStat& fs = info.fragments[f];
+      std::printf("fragment %zu: %llu points, mbr [%g, %g] x [%g, %g], "
+                  "%llu cache hits / %llu lookups\n",
+                  f, static_cast<unsigned long long>(fs.points), fs.mbr.min_x,
+                  fs.mbr.max_x, fs.mbr.min_y, fs.mbr.max_y,
+                  static_cast<unsigned long long>(fs.cache_hits),
+                  static_cast<unsigned long long>(fs.cache_lookups));
+    }
   }
   return 0;
 }
@@ -436,10 +479,57 @@ int CmdPing(const ArgMap& args) {
   return 0;
 }
 
+// One INFO round trip, pretty-printed. Against a partitioned server this
+// shows the per-fragment breakdown (point count, MBR, cache hit rate)
+// that the serve-side FragmentStat list carries over the wire.
+int CmdInfo(const ArgMap& args) {
+  const std::string host = GetOr(args, "host", "127.0.0.1");
+  const auto port = static_cast<uint16_t>(
+      std::strtoul(Require(args, "port").c_str(), nullptr, 10));
+
+  net::NetClient client;
+  if (const Status connected = client.Connect(host, port); !connected.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 connected.ToString().c_str());
+    return 1;
+  }
+  const auto info = client.Info();
+  if (!info.ok()) {
+    std::fprintf(stderr, "info failed: %s\n",
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("server: %llu points, universe [%g, %g] x [%g, %g], "
+              "cache %s, %zu fragment%s\n",
+              static_cast<unsigned long long>(info->points),
+              info->universe.min_x, info->universe.max_x,
+              info->universe.min_y, info->universe.max_y,
+              info->cache_enabled ? "on" : "off",
+              info->fragments.empty() ? 1 : info->fragments.size(),
+              info->fragments.size() > 1 ? "s" : "");
+  for (size_t f = 0; f < info->fragments.size(); ++f) {
+    const net::FragmentInfo& frag = info->fragments[f];
+    const double rate =
+        frag.cache_lookups == 0
+            ? 0.0
+            : static_cast<double>(frag.cache_hits) /
+                  static_cast<double>(frag.cache_lookups);
+    std::printf("fragment %zu: %llu points, mbr [%g, %g] x [%g, %g], "
+                "cache %llu/%llu hits (%.1f%%)\n",
+                f, static_cast<unsigned long long>(frag.points),
+                frag.mbr.min_x, frag.mbr.max_x, frag.mbr.min_y,
+                frag.mbr.max_y,
+                static_cast<unsigned long long>(frag.cache_hits),
+                static_cast<unsigned long long>(frag.cache_lookups),
+                100.0 * rate);
+  }
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
                "usage: lbsq_cli "
-               "<generate|build|stats|scrub|nn|window|range|serve|ping> "
+               "<generate|build|stats|scrub|nn|window|range|serve|ping|info> "
                "[--flag value ...]\n");
 }
 
@@ -461,6 +551,7 @@ int main(int argc, char** argv) {
   if (command == "range") return CmdRange(args);
   if (command == "serve") return CmdServe(args);
   if (command == "ping") return CmdPing(args);
+  if (command == "info") return CmdInfo(args);
   Usage();
   return 2;
 }
