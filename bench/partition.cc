@@ -46,6 +46,7 @@ struct RunResult {
   double qps = 0.0;
   double node_accesses_per_query = 0.0;
   double page_accesses_per_query = 0.0;
+  double fanout_per_query = 0.0;
   double hit_rate = 0.0;
   uint64_t owner_inserts = 0;
   uint64_t boundary_inserts = 0;
@@ -74,6 +75,8 @@ RunResult RunOnce(const workload::Dataset& dataset,
 
   const uint64_t na_before = server.router().node_accesses();
   const uint64_t pa_before = server.router().page_accesses();
+  const uint64_t fq_before = server.router().fanout_queries();
+  const uint64_t ff_before = server.router().fanout_fragments();
   size_t qi = 0;
   size_t wire_hits = 0;
   const auto start = std::chrono::steady_clock::now();
@@ -120,6 +123,17 @@ RunResult RunOnce(const workload::Dataset& dataset,
   r.page_accesses_per_query =
       static_cast<double>(server.router().page_accesses() - pa_before) /
       queries;
+  // Fragments visited per *routed backend primitive* (a wire query can
+  // route several primitives — the kNN plus its validity-region TP
+  // probes — and a cache hit routes none, so the primitive count, not
+  // the client query count, is the denominator the thread-per-fragment
+  // split would fan out over).
+  const uint64_t routed = server.router().fanout_queries() - fq_before;
+  r.fanout_per_query =
+      routed == 0 ? 0.0
+                  : static_cast<double>(server.router().fanout_fragments() -
+                                        ff_before) /
+                        static_cast<double>(routed);
   if (cache_on) {
     // Per-query hit fraction (a query that probes the owner cache and
     // then the boundary cache is still one lookup from the client's
@@ -168,8 +182,8 @@ int main() {
       "window / 20%% range) + %zu inserts / %zu deletes; %zu total buffer "
       "frames split across fragments; min time of %zu rounds\n\n",
       n, queries, mixed.inserts, mixed.deletes, kTotalBufferFrames, rounds);
-  std::printf("%4s %12s %8s %8s %12s %10s %14s\n", "K", "raw q/s", "NA/q",
-              "PA/q", "cached q/s", "hit rate", "owner entries");
+  std::printf("%4s %12s %8s %8s %8s %12s %10s %14s\n", "K", "raw q/s", "NA/q",
+              "PA/q", "fan-out", "cached q/s", "hit rate", "owner entries");
 
   std::string series;
   double hit_rate_k1 = 0.0, hit_rate_k4 = 0.0;
@@ -187,9 +201,9 @@ int main() {
             : static_cast<double>(cached.owner_inserts) /
                   static_cast<double>(cached.owner_inserts +
                                       cached.boundary_inserts);
-    std::printf("%4zu %12.0f %8.2f %8.2f %12.0f %9.1f%% %13.1f%%\n", k,
+    std::printf("%4zu %12.0f %8.2f %8.2f %8.2f %12.0f %9.1f%% %13.1f%%\n", k,
                 raw.qps, raw.node_accesses_per_query,
-                raw.page_accesses_per_query, cached.qps,
+                raw.page_accesses_per_query, raw.fanout_per_query, cached.qps,
                 100.0 * cached.hit_rate, 100.0 * owned_share);
 
     char buf[512];
@@ -197,12 +211,13 @@ int main() {
         buf, sizeof(buf),
         "%s{\"fragments\":%zu,"
         "\"raw\":{\"qps\":%.0f,\"node_accesses_per_query\":%.3f,"
-        "\"page_accesses_per_query\":%.3f},"
+        "\"page_accesses_per_query\":%.3f,\"fanout_per_query\":%.3f},"
         "\"cached\":{\"qps\":%.0f,\"hit_rate\":%.4f,"
         "\"owner_inserts\":%llu,\"boundary_inserts\":%llu,"
         "\"owner_kills\":%llu,\"boundary_kills\":%llu}}",
         series.empty() ? "" : ",", k, raw.qps, raw.node_accesses_per_query,
-        raw.page_accesses_per_query, cached.qps, cached.hit_rate,
+        raw.page_accesses_per_query, raw.fanout_per_query, cached.qps,
+        cached.hit_rate,
         static_cast<unsigned long long>(cached.owner_inserts),
         static_cast<unsigned long long>(cached.boundary_inserts),
         static_cast<unsigned long long>(cached.owner_kills),

@@ -1,0 +1,433 @@
+// Load generator for predictive push serving (src/push): one trajectory
+// client walks identical random-waypoint legs twice against a live
+// loopback NetServer — once as a pull-only client that re-queries every
+// time its held answer's validity region runs out, once as a subscriber
+// whose next region arrives as an unsolicited kPush ahead of each
+// predicted crossing. The protocol economy is what is measured, not
+// wall-clock throughput (bench/net_loadgen.cc owns that):
+//
+//   round-trips-per-km    blocking request/response exchanges the
+//                         trajectory forces, per km traveled. Pull pays
+//                         one per region crossing; push pays one
+//                         subscribe per leg and zero per anticipated
+//                         crossing. Sync pings used to fence the
+//                         virtual clock are excluded — they are an
+//                         artifact of deterministic replay, not of the
+//                         protocol (a wall-clock deployment has none).
+//   answer-gap-at-crossing  crossings where the pushed answer was NOT
+//                         already in the client's inbox when it crossed
+//                         (the client would have stalled). The
+//                         acceptance demands zero.
+//   push hit rate         fraction of the scheduler's engine queries
+//                         (subscribes + emissions) served by the
+//                         semantic cache; reported for a cold pass and
+//                         a warm re-run of the same legs against the
+//                         retained cache.
+//
+// Every adopted answer is decoded and checked IsValidAt the crossing
+// point (byte-identity against a pull replica is tests/push_test.cc's
+// differential; re-pulling here would perturb the cache under test).
+// The dataset is static — corrective/revoke paths are exercised by the
+// tests, not this bench. Distances use the unit square as a 100 km x
+// 100 km region, the scale of a metro-area LBS deployment; the
+// pull/push ratio is scale-invariant. Knobs: LBSQ_SCALE scales the
+// dataset (default 20k points).
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/server.h"
+#include "core/wire_format.h"
+#include "net/frame.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
+#include "push/predictor.h"
+#include "push/push_scheduler.h"
+#include "workload/queries.h"
+
+namespace {
+
+using namespace lbsq;
+
+constexpr size_t kPoints = 20000;
+constexpr size_t kLegs = 8;
+constexpr size_t kMaxCrossingsPerLeg = 12;
+constexpr uint32_t kNeighbors = 8;
+constexpr double kSpeed = 0.25;      // universe units per trajectory second
+constexpr double kPushLead = 0.05;   // trajectory seconds ahead of crossing
+constexpr double kKmPerUnit = 100.0;  // unit square = 100 km x 100 km metro
+
+struct Leg {
+  geo::Point start;
+  geo::Vec2 vel;
+};
+
+// Legs start at data-distributed waypoints and head toward the next one
+// at constant speed; the per-leg crossing budget, not the waypoint, ends
+// the leg (the waypoint model's "turn" is the next leg's re-subscribe).
+std::vector<Leg> MakeLegs(const workload::Dataset& dataset, size_t count,
+                          uint64_t seed) {
+  const auto waypoints =
+      workload::MakeRandomWaypointTrajectory(dataset, 2 * count + 2, 0.1, seed);
+  std::vector<Leg> legs;
+  legs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const geo::Point start = waypoints[2 * i];
+    geo::Vec2 dir = waypoints[2 * i + 1] - start;
+    const double norm = std::sqrt(dir.SquaredNorm());
+    if (norm == 0.0) dir = geo::Vec2{1.0, 0.5};
+    const double renorm = std::sqrt(dir.SquaredNorm());
+    legs.push_back(Leg{start, dir * (kSpeed / renorm)});
+  }
+  return legs;
+}
+
+struct WalkResult {
+  size_t round_trips = 0;        // blocking request/response exchanges
+  size_t crossings = 0;          // region boundaries crossed
+  size_t gap_crossings = 0;      // crossed without the answer in hand
+  size_t validity_failures = 0;  // adopted answer invalid at the crossing
+  size_t errors = 0;             // transport / protocol failures
+  double distance = 0.0;         // universe units traveled to crossings
+};
+
+bool HeldAnswerValidAt(const std::vector<uint8_t>& held,
+                       const geo::Point& at) {
+  const auto decoded = core::wire::DecodeNnResult(held);
+  return decoded.ok() && decoded->IsValidAt(at);
+}
+
+// The pull-only baseline: an initial pull per leg, then one pull at
+// every crossing out of the held answer's validity region — the minimum
+// a pull client can do without ever holding a stale answer.
+WalkResult RunPullPhase(rtree::RTree* tree, const geo::Rect& universe,
+                        const std::vector<Leg>& legs) {
+  auto server = std::make_unique<core::Server>(tree, universe);
+  cache::CacheConfig cache_config;
+  cache_config.enabled = true;
+  server->EnableCache(cache_config);
+  net::NetServer serving(server.get(), net::NetOptions{});
+  if (const Status listening = serving.Listen(); !listening.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", listening.ToString().c_str());
+    std::exit(1);
+  }
+  std::thread loop([&serving] { serving.Run(); });
+
+  WalkResult result;
+  net::NetClient client;
+  if (!client.Connect("127.0.0.1", serving.port()).ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    std::exit(1);
+  }
+  for (const Leg& leg : legs) {
+    const net::SubscribeRequest query{net::SubscribeKind::kNn, leg.start,
+                                      leg.vel, kNeighbors, 0.0, 0.0, 0.0};
+    auto held = client.NnQueryWire(leg.start, kNeighbors);
+    if (!held.ok()) {
+      ++result.errors;
+      break;
+    }
+    ++result.round_trips;
+    geo::Point pos = leg.start;
+    for (size_t crossing = 0; crossing < kMaxCrossingsPerLeg; ++crossing) {
+      const push::AnswerAnalysis analysis =
+          push::AnalyzeAnswer(query, universe, *held, pos, leg.vel);
+      if (!analysis.ok) {
+        ++result.errors;
+        break;
+      }
+      if (!analysis.prediction.has_crossing) break;
+      const geo::Point at = analysis.prediction.next_query;
+      result.distance += kSpeed * analysis.prediction.exit_time;
+      held = client.NnQueryWire(at, kNeighbors);
+      if (!held.ok()) {
+        ++result.errors;
+        break;
+      }
+      ++result.round_trips;
+      ++result.crossings;
+      if (!HeldAnswerValidAt(*held, at)) ++result.validity_failures;
+      pos = at;
+    }
+  }
+  client.Close();
+  serving.RequestDrain();
+  loop.join();
+  const net::NetStats& stats = serving.stats();
+  if (stats.protocol_errors + stats.bad_requests + stats.query_errors +
+          stats.drops !=
+      0) {
+    ++result.errors;
+  }
+  return result;
+}
+
+struct PushPassResult {
+  WalkResult walk;
+  double hit_rate = 0.0;
+  uint64_t pushes_sent = 0;
+  bool clean = false;
+};
+
+// Drains the client's unsolicited inbox, keeping the latest answer per
+// crossing point — the protocol's adoption rule (a corrective or an
+// early emission for the same point supersedes; points of an abandoned
+// leg linger harmlessly until the per-leg clear).
+void DrainInbox(net::NetClient* client,
+                std::map<std::pair<double, double>, std::vector<uint8_t>>*
+                    pending,
+                size_t* errors) {
+  net::NetClient::Reply reply;
+  while (client->TakePush(&reply)) {
+    if (reply.type != net::FrameType::kPush) {
+      ++*errors;  // a revoke is impossible on a static dataset
+      continue;
+    }
+    auto envelope = net::DecodePushEnvelope(reply.payload);
+    if (!envelope.ok()) {
+      ++*errors;
+      continue;
+    }
+    (*pending)[{envelope->at.x, envelope->at.y}] = std::move(envelope->answer);
+  }
+}
+
+// One subscribed walk over the legs under the scheduler's virtual
+// clock. Each crossing advances to just before the crossing time and
+// checks the push is already in hand (the answer-gap metric), then
+// advances past it so the server adopts and re-arms. Sync pings fence
+// every advance: the post-wake tick runs before the ping is read, so
+// after the pong every frame the tick emitted is in the inbox.
+PushPassResult RunPushPass(core::Server* server, const geo::Rect& universe,
+                           const std::vector<Leg>& legs) {
+  push::PushConfig config;
+  config.enabled = true;
+  config.virtual_clock = true;
+  config.push_lead = kPushLead;
+  net::NetServer serving(server, net::NetOptions{});
+  push::PushScheduler scheduler(server, config, serving.mutable_stats());
+  scheduler.set_wake([&serving] { serving.Wake(); });
+  serving.set_subscriptions(&scheduler);
+  if (const Status listening = serving.Listen(); !listening.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", listening.ToString().c_str());
+    std::exit(1);
+  }
+  std::thread loop([&serving] { serving.Run(); });
+
+  PushPassResult result;
+  WalkResult& walk = result.walk;
+  net::NetClient client;
+  if (!client.Connect("127.0.0.1", serving.port()).ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    std::exit(1);
+  }
+  double mirror = 0.0;  // exact mirror of the scheduler's virtual clock
+  for (const Leg& leg : legs) {
+    std::map<std::pair<double, double>, std::vector<uint8_t>> pending;
+    const net::SubscribeRequest req{net::SubscribeKind::kNn, leg.start,
+                                    leg.vel, kNeighbors, 0.0, 0.0, 0.0};
+    const auto subscribed = client.Subscribe(req);
+    if (!subscribed.ok()) {
+      ++walk.errors;
+      break;
+    }
+    ++walk.round_trips;
+    std::vector<uint8_t> held = *subscribed;
+    geo::Point pos = leg.start;
+    double base = mirror;  // server stamped crossing_time from this base
+    for (size_t crossing = 0; crossing < kMaxCrossingsPerLeg; ++crossing) {
+      const push::AnswerAnalysis analysis =
+          push::AnalyzeAnswer(req, universe, held, pos, leg.vel);
+      if (!analysis.ok) {
+        ++walk.errors;
+        break;
+      }
+      if (!analysis.prediction.has_crossing) break;
+      const double t_cross = base + analysis.prediction.exit_time;
+      const geo::Point at = analysis.prediction.next_query;
+      walk.distance += kSpeed * analysis.prediction.exit_time;
+
+      // A breath before the crossing: the push must already be here.
+      const double pre = t_cross - 1e-6;
+      if (pre > mirror) {
+        scheduler.AdvanceVirtualTime(pre - mirror);
+        mirror += pre - mirror;
+      }
+      if (!client.Ping().ok()) {
+        ++walk.errors;
+        break;
+      }
+      DrainInbox(&client, &pending, &walk.errors);
+      const std::pair<double, double> key{at.x, at.y};
+      const bool anticipated = pending.count(key) != 0;
+
+      // Cross: the server adopts its last push and re-arms the chain.
+      scheduler.AdvanceVirtualTime(t_cross + 1e-9 - mirror);
+      mirror += t_cross + 1e-9 - mirror;
+      if (!client.Ping().ok()) {
+        ++walk.errors;
+        break;
+      }
+      if (!anticipated) {
+        ++walk.gap_crossings;
+        DrainInbox(&client, &pending, &walk.errors);
+      }
+      const auto late = pending.find(key);
+      if (late != pending.end()) {
+        held = std::move(late->second);
+        pending.erase(late);
+      } else {
+        // Never pushed at all: fall back to a pull, one round trip.
+        auto pulled = client.NnQueryWire(at, kNeighbors);
+        if (!pulled.ok()) {
+          ++walk.errors;
+          break;
+        }
+        held = std::move(*pulled);
+        ++walk.round_trips;
+      }
+      ++walk.crossings;
+      if (!HeldAnswerValidAt(held, at)) ++walk.validity_failures;
+      pos = at;
+      base = t_cross;
+    }
+  }
+  client.Close();
+  serving.RequestDrain();
+  loop.join();
+
+  // Quiescent now — the loop thread is joined.
+  result.hit_rate =
+      scheduler.push_queries() == 0
+          ? 0.0
+          : static_cast<double>(scheduler.push_cache_hits()) /
+                static_cast<double>(scheduler.push_queries());
+  const net::NetStats& stats = serving.stats();
+  result.pushes_sent = stats.pushes_sent;
+  result.clean =
+      walk.errors == 0 && walk.validity_failures == 0 &&
+      stats.accepts == 1 && stats.drops == 0 && stats.protocol_errors == 0 &&
+      stats.bad_requests == 0 && stats.query_errors == 0 &&
+      stats.subscribes_accepted == kLegs &&
+      stats.subscribes_accepted ==
+          stats.subscriptions_active + stats.subscriptions_replaced +
+              stats.subscriptions_revoked + stats.subscriptions_closed;
+  return result;
+}
+
+double TripsPerKm(const WalkResult& walk) {
+  const double km = walk.distance * kKmPerUnit;
+  return km > 0.0 ? static_cast<double>(walk.round_trips) / km : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = bench::Scaled(kPoints);
+  bench::Workbench wb = bench::MakeUniformBench(n, /*buffer_fraction=*/0.0);
+  const geo::Rect universe = wb.dataset.universe;
+  const std::vector<Leg> legs = MakeLegs(wb.dataset, kLegs, 4243);
+
+  bench::PrintTitle("Predictive push vs pull-only trajectories (" +
+                    bench::FormatCount(n) + " points, " +
+                    std::to_string(kLegs) + " legs, k=" +
+                    std::to_string(kNeighbors) + ")");
+  std::printf("%-12s %12s %10s %8s %10s %6s %9s\n", "client", "round-trips",
+              "crossings", "km", "trips/km", "gaps", "hit rate");
+
+  const WalkResult pull = RunPullPhase(wb.tree.get(), universe, legs);
+  std::printf("%-12s %12zu %10zu %8.2f %10.3f %6s %9s\n", "pull-only",
+              pull.round_trips, pull.crossings, pull.distance * kKmPerUnit,
+              TripsPerKm(pull), "-", "-");
+
+  // Cold pass, then the same legs against the retained semantic cache.
+  auto server = std::make_unique<core::Server>(wb.tree.get(), universe);
+  cache::CacheConfig cache_config;
+  cache_config.enabled = true;
+  server->EnableCache(cache_config);
+  const PushPassResult cold = RunPushPass(server.get(), universe, legs);
+  std::printf("%-12s %12zu %10zu %8.2f %10.3f %6zu %8.1f%%\n", "push-cold",
+              cold.walk.round_trips, cold.walk.crossings,
+              cold.walk.distance * kKmPerUnit, TripsPerKm(cold.walk),
+              cold.walk.gap_crossings, cold.hit_rate * 100.0);
+  const PushPassResult warm = RunPushPass(server.get(), universe, legs);
+  std::printf("%-12s %12zu %10zu %8.2f %10.3f %6zu %8.1f%%\n", "push-warm",
+              warm.walk.round_trips, warm.walk.crossings,
+              warm.walk.distance * kKmPerUnit, TripsPerKm(warm.walk),
+              warm.walk.gap_crossings, warm.hit_rate * 100.0);
+
+  const double pull_per_km = TripsPerKm(pull);
+  const double push_per_km = TripsPerKm(cold.walk);
+  const double reduction =
+      push_per_km > 0.0 ? pull_per_km / push_per_km : 0.0;
+  const size_t gaps = cold.walk.gap_crossings + warm.walk.gap_crossings;
+  std::printf("\npull pays %.3f round-trips/km, push pays %.3f: %.1fx fewer; "
+              "%zu answer gaps across %zu crossings\n",
+              pull_per_km, push_per_km, reduction,
+              gaps, cold.walk.crossings + warm.walk.crossings);
+
+  bool ok = true;
+  if (pull.errors != 0 || pull.validity_failures != 0) {
+    std::printf("FAIL pull-only: %zu errors, %zu validity failures\n",
+                pull.errors, pull.validity_failures);
+    ok = false;
+  }
+  for (const auto* pass : {&cold, &warm}) {
+    if (!pass->clean) {
+      std::printf("FAIL %s: %zu errors, %zu validity failures, unclean "
+                  "server counters\n",
+                  pass == &cold ? "push-cold" : "push-warm",
+                  pass->walk.errors, pass->walk.validity_failures);
+      ok = false;
+    }
+  }
+  if (gaps != 0) {
+    std::printf("FAIL: %zu crossings crossed without the pushed answer in "
+                "hand\n",
+                gaps);
+    ok = false;
+  }
+  // The ratio floor only binds at full scale: a smoke-scaled dataset has
+  // regions so large a leg exits the universe after a crossing or two.
+  if (bench::Scale() >= 1.0) {
+    if (cold.walk.crossings < 3 * kLegs) {
+      std::printf("FAIL: only %zu crossings across %zu legs — trajectory too "
+                  "short to measure\n",
+                  cold.walk.crossings, kLegs);
+      ok = false;
+    }
+    if (reduction < 5.0) {
+      std::printf("FAIL: push reduces round-trips-per-km by %.1fx, below the "
+                  "5x acceptance floor\n",
+                  reduction);
+      ok = false;
+    }
+  }
+
+  char json[1536];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"name\":\"push_loadgen\",\"points\":%zu,\"legs\":%zu,"
+      "\"crossings_pull\":%zu,\"crossings_push\":%zu,"
+      "\"round_trips_pull\":%zu,\"round_trips_push\":%zu,"
+      "\"km_pull\":%.3f,\"km_push\":%.3f,"
+      "\"round_trips_per_km_pull\":%.3f,\"round_trips_per_km_push\":%.3f,"
+      "\"round_trip_reduction\":%.2f,\"answer_gap_crossings\":%zu,"
+      "\"push_hit_rate_cold\":%.3f,\"push_hit_rate_warm\":%.3f,"
+      "\"pushes_sent\":%llu,\"verified\":%s}",
+      n, kLegs, pull.crossings, cold.walk.crossings, pull.round_trips,
+      cold.walk.round_trips, pull.distance * kKmPerUnit,
+      cold.walk.distance * kKmPerUnit, pull_per_km, push_per_km, reduction,
+      gaps, cold.hit_rate, warm.hit_rate,
+      static_cast<unsigned long long>(cold.pushes_sent), ok ? "true" : "false");
+  std::printf("\nBENCH %s\n", json);
+  bench::WriteBenchArtifact("push", json);
+  return ok ? 0 : 1;
+}

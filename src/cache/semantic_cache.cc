@@ -154,8 +154,11 @@ bool SemanticCache::AffectedByUpdate(const Entry& entry, const geo::Point& p,
 }
 
 geo::Rect SemanticCache::NnKillFootprint(
-    const geo::Rect& bounds, const std::vector<geo::Point>& answers,
+    size_t k, const geo::Rect& universe, const geo::Rect& bounds,
+    const std::vector<geo::Point>& answers,
     const std::vector<BisectorConstraint>& constraints) {
+  // Under-filled answers die on any insert: the footprint is everything.
+  if (answers.size() < k) return universe;
   // Insert-kill points lie within max corner-to-answer distance of
   // a bounds corner; delete-kill points are the stored answer /
   // keep / rival positions themselves, all within the same reach
@@ -191,10 +194,8 @@ geo::Rect SemanticCache::RangeKillFootprint(const geo::Rect& bounds,
 geo::Rect SemanticCache::KillFootprint(const Entry& entry) const {
   switch (entry.kind) {
     case Kind::kNn:
-      // Under-filled answers die on any insert — register everywhere.
-      if (entry.nn_answers.size() < static_cast<size_t>(entry.param_a))
-        return universe_;
-      return NnKillFootprint(entry.bounds, entry.nn_answers,
+      return NnKillFootprint(static_cast<size_t>(entry.param_a), universe_,
+                             entry.bounds, entry.nn_answers,
                              entry.constraints);
     case Kind::kWindow:
       return WindowKillFootprint(entry.window_region.base(), entry.param_a,

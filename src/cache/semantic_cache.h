@@ -190,13 +190,17 @@ class SemanticCache {
   // The kill footprint of an entry is the closed set of update positions
   // that can possibly invalidate it (the rectangle InvalidateAt registers
   // the entry under). Exposed as pure functions of the entry geometry so
-  // a sharded serving layer can decide, before inserting, whether an
-  // entry's blast radius stays inside one fragment's territory. The NN
-  // helper assumes a full answer set (answers.size() == k); an
-  // under-filled answer dies on any insert, so its footprint is the
-  // whole universe and the caller must special-case it.
+  // other layers reasoning about an answer's blast radius — the sharded
+  // serving layer deciding whether an entry stays inside one fragment's
+  // territory, the push registry deciding whether an update forces a
+  // corrective push — share one definition with the cache's own
+  // registration (semantic_cache_test pins them together). The NN helper
+  // takes the full query context so the under-filled rule lives here too:
+  // with fewer than k answers (dataset smaller than k) any insert joins
+  // the answer set everywhere, so the footprint is the whole universe.
   static geo::Rect NnKillFootprint(
-      const geo::Rect& bounds, const std::vector<geo::Point>& answers,
+      size_t k, const geo::Rect& universe, const geo::Rect& bounds,
+      const std::vector<geo::Point>& answers,
       const std::vector<BisectorConstraint>& constraints);
   static geo::Rect WindowKillFootprint(const geo::Rect& base, double hx,
                                        double hy);

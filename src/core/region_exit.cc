@@ -1,0 +1,168 @@
+#include "core/region_exit.h"
+
+#include <cmath>
+#include <limits>
+
+#include "geometry/disk_region.h"
+#include "geometry/region.h"
+
+namespace lbsq::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Earliest t >= 0 at which p(t) leaves the closed rect (per-axis slab).
+double RectExitTime(const geo::Rect& rect, const geo::Point& pos,
+                    const geo::Vec2& vel) {
+  double exit = kInf;
+  if (vel.dx > 0.0) {
+    exit = std::min(exit, (rect.max_x - pos.x) / vel.dx);
+  } else if (vel.dx < 0.0) {
+    exit = std::min(exit, (rect.min_x - pos.x) / vel.dx);
+  }
+  if (vel.dy > 0.0) {
+    exit = std::min(exit, (rect.max_y - pos.y) / vel.dy);
+  } else if (vel.dy < 0.0) {
+    exit = std::min(exit, (rect.min_y - pos.y) / vel.dy);
+  }
+  return exit;
+}
+
+// Earliest t >= 0 at which p(t) enters the open interior of the rect,
+// or +inf if it never does. Grazing an edge does not count as entering.
+double RectEntryTime(const geo::Rect& rect, const geo::Point& pos,
+                     const geo::Vec2& vel) {
+  double enter = 0.0;
+  double leave = kInf;
+  if (vel.dx == 0.0) {
+    if (pos.x <= rect.min_x || pos.x >= rect.max_x) return kInf;
+  } else {
+    double t0 = (rect.min_x - pos.x) / vel.dx;
+    double t1 = (rect.max_x - pos.x) / vel.dx;
+    if (t0 > t1) std::swap(t0, t1);
+    enter = std::max(enter, t0);
+    leave = std::min(leave, t1);
+  }
+  if (vel.dy == 0.0) {
+    if (pos.y <= rect.min_y || pos.y >= rect.max_y) return kInf;
+  } else {
+    double t0 = (rect.min_y - pos.y) / vel.dy;
+    double t1 = (rect.max_y - pos.y) / vel.dy;
+    if (t0 > t1) std::swap(t0, t1);
+    enter = std::max(enter, t0);
+    leave = std::min(leave, t1);
+  }
+  return enter < leave ? enter : kInf;
+}
+
+// Earliest t >= 0 at which |p(t) - center|^2 crosses radius^2 going
+// outward (exit from the closed disk), or +inf.
+double DiskExitTime(const geo::Point& center, double radius,
+                    const geo::Point& pos, const geo::Vec2& vel) {
+  const double a = vel.SquaredNorm();
+  if (a == 0.0) return kInf;
+  const geo::Vec2 d = pos - center;
+  const double b = 2.0 * vel.Dot(d);
+  const double c = d.SquaredNorm() - radius * radius;
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return kInf;  // never on the circle: already outside
+  const double t = (-b + std::sqrt(disc)) / (2.0 * a);
+  return t >= 0.0 ? t : kInf;
+}
+
+// Earliest t >= 0 at which p(t) enters the open interior of the disk,
+// or +inf. A tangent trajectory never enters the open interior.
+double DiskEntryTime(const geo::Point& center, double radius,
+                     const geo::Point& pos, const geo::Vec2& vel) {
+  const double a = vel.SquaredNorm();
+  if (a == 0.0) return kInf;
+  const geo::Vec2 d = pos - center;
+  const double b = 2.0 * vel.Dot(d);
+  const double c = d.SquaredNorm() - radius * radius;
+  const double disc = b * b - 4.0 * a * c;
+  if (disc <= 0.0) return kInf;
+  const double t_in = (-b - std::sqrt(disc)) / (2.0 * a);
+  const double t_out = (-b + std::sqrt(disc)) / (2.0 * a);
+  if (t_out <= 0.0) return kInf;  // interior crossing entirely in the past
+  return t_in >= 0.0 ? t_in : 0.0;
+}
+
+// Deterministic nudge past the boundary: double the step from a scale-
+// relative floor until the old result rejects the point, then require the
+// point to still be in the universe. Identical arithmetic on client and
+// server, so both land on the same next query point bit-for-bit.
+template <typename ValidAtFn>
+TrajectoryPrediction Nudge(double exit_time, const geo::Point& pos,
+                           const geo::Vec2& vel, const geo::Rect& universe,
+                           ValidAtFn&& valid_at) {
+  TrajectoryPrediction out;
+  if (!std::isfinite(exit_time) || exit_time < 0.0) return out;
+  double step = std::max(exit_time, 1.0) * 0x1p-40;
+  for (int i = 0; i < 80; ++i) {
+    const double t = exit_time + step;
+    const geo::Point p{pos.x + vel.dx * t, pos.y + vel.dy * t};
+    if (!valid_at(p)) {
+      if (!universe.Contains(p)) return out;  // exits the world: no push
+      out.has_crossing = true;
+      out.exit_time = exit_time;
+      out.next_query = p;
+      return out;
+    }
+    step *= 2.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+TrajectoryPrediction PredictExit(const NnValidityResult& result,
+                                 const geo::Point& pos, const geo::Vec2& vel) {
+  // Each influence pair <incoming i, displaced d> contributes the linear
+  // constraint |p(t)-d|^2 - |p(t)-i|^2 <= 0, i.e. a + b*t <= 0 with
+  //   a = |pos-d|^2 - |pos-i|^2   (<= 0 while valid)
+  //   b = 2 * vel . (i - d)
+  // The constraint is first violated at t = -a/b when b > 0.
+  double exit = kInf;
+  for (const InfluencePair& pair : result.influence_pairs()) {
+    const geo::Vec2 to_d = pos - pair.displaced.point;
+    const geo::Vec2 to_i = pos - pair.incoming.point;
+    const double a = to_d.SquaredNorm() - to_i.SquaredNorm();
+    const double b =
+        2.0 * vel.Dot(pair.incoming.point - pair.displaced.point);
+    if (b <= 0.0) continue;  // moving away from (or along) this bisector
+    const double t = -a / b;
+    if (t >= 0.0) exit = std::min(exit, t);
+  }
+  return Nudge(exit, pos, vel, result.universe(),
+               [&](const geo::Point& p) { return result.IsValidAt(p); });
+}
+
+TrajectoryPrediction PredictExit(const WindowValidityResult& result,
+                                 const geo::Rect& universe,
+                                 const geo::Point& pos, const geo::Vec2& vel) {
+  const geo::RectMinusBoxes& region = result.region();
+  double exit = RectExitTime(region.base(), pos, vel);
+  for (const geo::Rect& hole : region.holes()) {
+    exit = std::min(exit, RectEntryTime(hole, pos, vel));
+  }
+  return Nudge(exit, pos, vel, universe,
+               [&](const geo::Point& p) { return result.IsValidAt(p); });
+}
+
+TrajectoryPrediction PredictExit(const RangeValidityResult& result,
+                                 const geo::Rect& universe,
+                                 const geo::Point& pos, const geo::Vec2& vel) {
+  const geo::DiskRegion& region = result.region();
+  double exit = RectExitTime(region.bounds(), pos, vel);
+  for (const geo::DiskRegion::Disk& disk : region.inner()) {
+    exit = std::min(exit, DiskExitTime(disk.center, disk.radius, pos, vel));
+  }
+  for (const geo::DiskRegion::Disk& disk : region.outer()) {
+    exit = std::min(exit, DiskEntryTime(disk.center, disk.radius, pos, vel));
+  }
+  return Nudge(exit, pos, vel, universe,
+               [&](const geo::Point& p) { return result.IsValidAt(p); });
+}
+
+}  // namespace lbsq::core

@@ -1,0 +1,62 @@
+#ifndef LBSQ_CORE_REGION_EXIT_H_
+#define LBSQ_CORE_REGION_EXIT_H_
+
+#include "core/range_validity.h"
+#include "core/validity_region.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+// Trajectory exit prediction: given a validity result and a straight-line
+// trajectory p(t) = pos + vel * t, compute when and where the trajectory
+// leaves the region, and a deterministic query point just inside the
+// *next* region.
+//
+// This is the geometric half of predictive push serving (DESIGN.md
+// section 13): the server predicts where a subscriber will cross out of
+// its current region and precomputes the answer at `next_query`; a pull
+// client using the same helper re-queries at the identical point. Both
+// sides MUST feed this the result decoded from the wire bytes (the
+// server decodes its own encoding) — the decoded representation is the
+// canonical one, so every double here is bit-identical on both ends and
+// the predicted crossing point, hence the next answer's bytes, replay
+// exactly.
+//
+// Exit times are computed against the region's *data* constraints
+// (bisector half-planes for k-NN, base-rect edges + Minkowski holes for
+// windows, inner/outer disks + bounds for ranges); the universe boundary
+// is handled by rejecting predictions whose nudged next point leaves the
+// universe (a client driving off the map gets no push, by design).
+
+namespace lbsq::core {
+
+struct TrajectoryPrediction {
+  // False when the trajectory never leaves the region (zero velocity,
+  // unbounded direction) or leaves through the universe boundary.
+  bool has_crossing = false;
+  // Time of the earliest data-constraint crossing, in trajectory units.
+  double exit_time = 0.0;
+  // Deterministic point just past the crossing: the first nudged sample
+  // where the old result's IsValidAt fails. Querying here yields the
+  // adjacent region's answer.
+  geo::Point next_query{0.0, 0.0};
+};
+
+// k-NN: exit through the earliest bisector (influence-pair) crossing.
+// The universe check uses result.universe(), matching IsValidAt.
+TrajectoryPrediction PredictExit(const NnValidityResult& result,
+                                 const geo::Point& pos, const geo::Vec2& vel);
+
+// Window: exit through a base-rect edge or into a Minkowski hole.
+TrajectoryPrediction PredictExit(const WindowValidityResult& result,
+                                 const geo::Rect& universe,
+                                 const geo::Point& pos, const geo::Vec2& vel);
+
+// Range: exit through an inner-disk arc, into an outer disk, or through
+// the region bounds.
+TrajectoryPrediction PredictExit(const RangeValidityResult& result,
+                                 const geo::Rect& universe,
+                                 const geo::Point& pos, const geo::Vec2& vel);
+
+}  // namespace lbsq::core
+
+#endif  // LBSQ_CORE_REGION_EXIT_H_

@@ -133,7 +133,7 @@ class Server : public WireService {
   }
   // True iff the last successful *QueryWire call was served from the
   // cache (no engine or page-store work).
-  bool last_wire_from_cache() const { return last_wire_from_cache_; }
+  bool last_wire_from_cache() const override { return last_wire_from_cache_; }
 
   // Immutable, reference-counted wire answer. The *QueryWireShared
   // methods return the same payload object the cache stores, so the

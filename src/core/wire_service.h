@@ -54,6 +54,12 @@ class WireService {
   [[nodiscard]] virtual StatusOr<WireBytes> RangeQueryWireShared(
       const geo::Point& focus, double radius) = 0;
 
+  // Whether the most recent *QueryWireShared answer came from the
+  // semantic cache (serving-layer telemetry: the push scheduler's hit
+  // rate and the load generators read it). Meaningful only between a
+  // query and the next one on the same (single) serving thread.
+  virtual bool last_wire_from_cache() const { return false; }
+
   virtual ServiceInfo info() const = 0;
 };
 

@@ -135,6 +135,13 @@ void EventLoop::RequestDrain() {
   }
 }
 
+void EventLoop::Wake() {
+  const uint8_t byte = 1;
+  if (wake_pipe_[1] >= 0) {
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
 void EventLoop::DrainWakePipe() {
   uint8_t scratch[64];
   while (::read(wake_pipe_[0], scratch, sizeof(scratch)) > 0) {
@@ -150,6 +157,10 @@ void EventLoop::CloseConnection(Connection* conn, bool clean) {
   } else {
     ++stats_.drops;
   }
+  // Every close path funnels through here, so the handler can release
+  // per-connection state (push subscriptions) exactly once, before the
+  // Connection object — and its ReplySink — goes away.
+  handler_->OnClose(conn->id);
 }
 
 void EventLoop::AcceptPending(Clock::time_point now) {
@@ -304,10 +315,18 @@ int EventLoop::NextTimeoutMs(Clock::time_point now) const {
       }
     }
   }
-  if (earliest == Clock::time_point::max()) return -1;
-  if (earliest <= now) return 0;
-  const auto remaining = ceil<milliseconds>(earliest - now).count();
-  return static_cast<int>(std::min<long long>(remaining, 60'000));
+  int timeout = -1;
+  if (earliest != Clock::time_point::max()) {
+    if (earliest <= now) return 0;
+    const auto remaining = ceil<milliseconds>(earliest - now).count();
+    timeout = static_cast<int>(std::min<long long>(remaining, 60'000));
+  }
+  // The handler's next scheduled work (the next due push) caps the
+  // sleep too; pure event-driven serving keeps timeout = -1.
+  if (tick_hint_ms_ >= 0 && (timeout < 0 || tick_hint_ms_ < timeout)) {
+    timeout = tick_hint_ms_;
+  }
+  return timeout;
 }
 
 uint64_t EventLoop::Run() {
@@ -342,6 +361,11 @@ uint64_t EventLoop::Run() {
       if (connections_.empty()) break;
     }
 
+    // Scheduled handler work runs before the poll set is built, so the
+    // hint sees subscriptions registered during the previous read phase
+    // and the poll timeout is bounded by the next due push.
+    tick_hint_ms_ = draining_ ? -1 : handler_->OnTick();
+
     pollfds.clear();
     pollfds.push_back({wake_pipe_[0], POLLIN, 0});
     const bool accepting = !draining_ && listen_fd_ >= 0;
@@ -366,7 +390,16 @@ uint64_t EventLoop::Run() {
       break;  // poll itself failing is unrecoverable for this loop
     }
     const Clock::time_point now = Clock::now();
-    if (pollfds[0].revents & POLLIN) DrainWakePipe();
+    if (pollfds[0].revents & POLLIN) {
+      DrainWakePipe();
+      if (stop_requested_.load(std::memory_order_acquire)) break;
+      // A wake means off-thread work arrived (a posted update, a virtual
+      // clock advance) — run it before any socket read. Work posted
+      // before a peer's bytes were sent is therefore handled before
+      // those bytes are read: a sync ping sent after an update always
+      // trails the update's corrective pushes in the reply stream.
+      if (!draining_) (void)handler_->OnTick();
+    }
     if (stop_requested_.load(std::memory_order_acquire)) break;
     if (accepting && (pollfds[1].revents & POLLIN)) AcceptPending(now);
 

@@ -92,6 +92,23 @@ class FrameHandler {
   virtual ~FrameHandler() = default;
   virtual void OnFrame(uint64_t connection_id, const Frame& frame,
                        ReplySink* reply) = 0;
+
+  // Called on the loop thread when a connection closes (any path: clean
+  // close, drop, deadline, drain, shutdown), before its ReplySink is
+  // destroyed. A handler holding per-connection state — the push
+  // subscription registry — releases it here; after this returns, the
+  // connection's sink must never be used again.
+  virtual void OnClose(uint64_t connection_id) { (void)connection_id; }
+
+  // Called at least once per loop iteration: before the poll set is
+  // built (so the returned hint caps the poll timeout — this is how the
+  // next due push bounds the sleep), and again right after a Wake()
+  // interrupted the poll, before any socket is read (so off-thread work
+  // posted before a peer's next bytes is handled before those bytes).
+  // Frames emitted here flush in the same iteration. Returns how many
+  // milliseconds until the handler next needs a tick, or -1 for "no
+  // scheduled work". Must not block: this runs on the serving thread.
+  virtual int OnTick() { return -1; }
 };
 
 class EventLoop {
@@ -117,6 +134,12 @@ class EventLoop {
   void RequestStop();
   void RequestDrain();
 
+  // Thread-safe: interrupts the current poll so the loop runs another
+  // iteration (and hence the handler's OnTick) now. Used by off-thread
+  // producers of scheduled work, e.g. posted dataset updates that must
+  // trigger corrective pushes.
+  void Wake();
+
   // Loop-thread-only while running; safe from other threads only after
   // Run() has returned.
   const NetStats& stats() const { return stats_; }
@@ -138,7 +161,8 @@ class EventLoop {
   void CloseConnection(Connection* conn, bool clean);
   // Enforces idle/partial-frame deadlines; returns false when dropped.
   bool EnforceDeadlines(Connection* conn, Clock::time_point now);
-  // Poll timeout until the next deadline of any connection (or -1).
+  // Poll timeout until the next deadline of any connection or the
+  // handler's next scheduled tick (or -1 when neither is pending).
   int NextTimeoutMs(Clock::time_point now) const;
   void DrainWakePipe();
 
@@ -156,6 +180,8 @@ class EventLoop {
 
   std::vector<std::unique_ptr<Connection>> connections_;
   uint64_t next_connection_id_ = 1;
+  // Last OnTick() answer: ms until the handler's next scheduled work.
+  int tick_hint_ms_ = -1;
   NetStats stats_;
 };
 

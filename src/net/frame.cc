@@ -29,9 +29,12 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kRangeRequest: return "RANGE_REQUEST";
     case FrameType::kPing: return "PING";
     case FrameType::kInfoRequest: return "INFO_REQUEST";
+    case FrameType::kSubscribe: return "SUBSCRIBE";
     case FrameType::kAnswer: return "ANSWER";
     case FrameType::kPong: return "PONG";
     case FrameType::kInfo: return "INFO";
+    case FrameType::kPush: return "PUSH";
+    case FrameType::kRevoke: return "REVOKE";
     case FrameType::kError: return "ERROR";
   }
   return "UNKNOWN";
@@ -235,6 +238,124 @@ StatusOr<ServerInfo> DecodeServerInfo(const std::vector<uint8_t>& payload) {
   if (info.universe.IsEmpty()) return Malformed("empty server universe");
   info.cache_enabled = cache_flag != 0;
   return info;
+}
+
+// -- Subscription payloads ---------------------------------------------------
+
+std::vector<uint8_t> EncodeSubscribeRequest(const SubscribeRequest& req) {
+  ByteWriter writer;
+  writer.Append(static_cast<uint8_t>(req.kind));
+  writer.Append(req.position.x);
+  writer.Append(req.position.y);
+  writer.Append(req.velocity.dx);
+  writer.Append(req.velocity.dy);
+  switch (req.kind) {
+    case SubscribeKind::kNn:
+      writer.AppendVarCount(req.k);
+      break;
+    case SubscribeKind::kWindow:
+      writer.Append(req.hx);
+      writer.Append(req.hy);
+      break;
+    case SubscribeKind::kRange:
+      writer.Append(req.radius);
+      break;
+  }
+  return writer.Take();
+}
+
+std::vector<uint8_t> EncodePushEnvelope(const geo::Point& at,
+                                        const uint8_t* answer,
+                                        size_t answer_len) {
+  ByteWriter writer;
+  writer.Append(at.x);
+  writer.Append(at.y);
+  std::vector<uint8_t> out = writer.Take();
+  out.insert(out.end(), answer, answer + answer_len);
+  return out;
+}
+
+std::vector<uint8_t> EncodeRevokeNotice(const RevokeNotice& notice) {
+  ByteWriter writer;
+  writer.Append(static_cast<uint8_t>(notice.reason));
+  return writer.Take();
+}
+
+StatusOr<SubscribeRequest> DecodeSubscribeRequest(
+    const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  SubscribeRequest req;
+  uint8_t kind = 0;
+  if (!reader.TryRead(&kind)) return Malformed("malformed subscribe request");
+  if (!ReadFinite(&reader, &req.position.x) ||
+      !ReadFinite(&reader, &req.position.y) ||
+      !ReadFinite(&reader, &req.velocity.dx) ||
+      !ReadFinite(&reader, &req.velocity.dy)) {
+    return Malformed("malformed subscribe request");
+  }
+  switch (static_cast<SubscribeKind>(kind)) {
+    case SubscribeKind::kNn:
+      req.kind = SubscribeKind::kNn;
+      if (!reader.TryReadVarCount(&req.k)) {
+        return Malformed("malformed subscribe request");
+      }
+      if (req.k == 0 || req.k > kMaxRequestK) {
+        return Malformed("subscribe request k out of range");
+      }
+      break;
+    case SubscribeKind::kWindow:
+      req.kind = SubscribeKind::kWindow;
+      if (!ReadFinite(&reader, &req.hx) || !ReadFinite(&reader, &req.hy)) {
+        return Malformed("malformed subscribe request");
+      }
+      if (req.hx <= 0.0 || req.hy <= 0.0) {
+        return Malformed("non-positive subscribe window extents");
+      }
+      break;
+    case SubscribeKind::kRange:
+      req.kind = SubscribeKind::kRange;
+      if (!ReadFinite(&reader, &req.radius)) {
+        return Malformed("malformed subscribe request");
+      }
+      if (req.radius <= 0.0) {
+        return Malformed("non-positive subscribe radius");
+      }
+      break;
+    default:
+      return Malformed("unknown subscribe kind");
+  }
+  if (!reader.AtEnd()) return Malformed("trailing bytes in subscribe request");
+  return req;
+}
+
+StatusOr<PushEnvelope> DecodePushEnvelope(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  PushEnvelope env;
+  if (!ReadFinite(&reader, &env.at.x) || !ReadFinite(&reader, &env.at.y)) {
+    return Malformed("malformed push envelope");
+  }
+  // Everything after the crossing point is the wire answer, verbatim. An
+  // empty answer is malformed — the server never pushes nothing.
+  if (reader.remaining() == 0) return Malformed("empty push answer");
+  env.answer.assign(payload.end() - static_cast<ptrdiff_t>(reader.remaining()),
+                    payload.end());
+  return env;
+}
+
+StatusOr<RevokeNotice> DecodeRevokeNotice(
+    const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  RevokeNotice notice;
+  uint8_t reason = 0;
+  if (!reader.TryRead(&reason)) return Malformed("malformed revoke notice");
+  if (!reader.AtEnd()) return Malformed("trailing bytes in revoke notice");
+  switch (static_cast<RevokeReason>(reason)) {
+    case RevokeReason::kRegionKilled:
+    case RevokeReason::kCapacity:
+      notice.reason = static_cast<RevokeReason>(reason);
+      return notice;
+  }
+  return Malformed("unknown revoke reason");
 }
 
 // -- Error payloads ----------------------------------------------------------

@@ -64,14 +64,25 @@ enum class FrameType : uint8_t {
   kRangeRequest = 0x03,   // payload: RangeRequest
   kPing = 0x04,           // payload: opaque bytes, echoed back
   kInfoRequest = 0x05,    // payload: empty
+  kSubscribe = 0x06,      // payload: SubscribeRequest
   // Replies (server -> client).
   kAnswer = 0x81,  // payload: core::wire::Encode* bytes of the answer
   kPong = 0x84,    // payload: the ping payload, verbatim
   kInfo = 0x85,    // payload: ServerInfo
+  // Unsolicited (server -> client, request_id = subscription id).
+  kPush = 0x86,    // payload: PushEnvelope
+  kRevoke = 0x87,  // payload: RevokeNotice
   kError = 0xff,   // payload: status code byte + UTF-8 message
 };
 
 const char* FrameTypeName(FrameType type);
+
+// Frames the server emits without a request to answer (the push half of
+// a subscription); clients route them to the push inbox instead of the
+// reply stream.
+inline bool IsUnsolicitedFrame(FrameType type) {
+  return type == FrameType::kPush || type == FrameType::kRevoke;
+}
 
 struct Frame {
   FrameType type = FrameType::kError;
@@ -169,10 +180,61 @@ struct ServerInfo {
   std::vector<FragmentInfo> fragments;
 };
 
+// -- Subscription payloads ---------------------------------------------------
+
+// A kSubscribe frame registers a trajectory subscription: the client's
+// position + straight-line velocity plus the query it wants kept fresh.
+// The server replies with the current answer as an ordinary kAnswer (the
+// same bytes a pull at `position` would produce), then pushes the answer
+// for the *next* validity region ahead of the predicted crossing via
+// unsolicited kPush frames carrying the subscribe frame's request id as
+// the subscription id.
+enum class SubscribeKind : uint8_t {
+  kNn = 1,
+  kWindow = 2,
+  kRange = 3,
+};
+
+struct SubscribeRequest {
+  SubscribeKind kind = SubscribeKind::kNn;
+  geo::Point position{0.0, 0.0};
+  geo::Vec2 velocity{0.0, 0.0};  // universe units per second; zero is legal
+                                 // (no crossing predicted, churn pushes only)
+  uint32_t k = 1;       // kNn only, [1, kMaxRequestK]
+  double hx = 0.0;      // kWindow only, > 0
+  double hy = 0.0;      // kWindow only, > 0
+  double radius = 0.0;  // kRange only, > 0
+};
+
+// A kPush payload: the exact point the subscriber is predicted to cross
+// into the next region (the query point the pushed answer was computed
+// at — a pull client querying at the same point gets byte-identical
+// answer bytes), followed by those answer bytes verbatim.
+struct PushEnvelope {
+  geo::Point at{0.0, 0.0};
+  std::vector<uint8_t> answer;
+};
+
+// A kRevoke payload: the server can no longer stand behind the answers it
+// sent for this subscription id; the client must fall back to a pull.
+enum class RevokeReason : uint8_t {
+  kRegionKilled = 1,  // an update invalidated the current region
+  kCapacity = 2,      // server shed the subscription (caps/drain)
+};
+
+struct RevokeNotice {
+  RevokeReason reason = RevokeReason::kRegionKilled;
+};
+
 std::vector<uint8_t> EncodeNnRequest(const NnRequest& req);
 std::vector<uint8_t> EncodeWindowRequest(const WindowRequest& req);
 std::vector<uint8_t> EncodeRangeRequest(const RangeRequest& req);
 std::vector<uint8_t> EncodeServerInfo(const ServerInfo& info);
+std::vector<uint8_t> EncodeSubscribeRequest(const SubscribeRequest& req);
+std::vector<uint8_t> EncodePushEnvelope(const geo::Point& at,
+                                        const uint8_t* answer,
+                                        size_t answer_len);
+std::vector<uint8_t> EncodeRevokeNotice(const RevokeNotice& notice);
 
 // Decoders reject truncation, trailing bytes, non-finite values, and
 // out-of-domain parameters (k outside [1, kMaxRequestK], non-positive
@@ -185,6 +247,16 @@ std::vector<uint8_t> EncodeServerInfo(const ServerInfo& info);
 [[nodiscard]] StatusOr<RangeRequest> DecodeRangeRequest(
     const std::vector<uint8_t>& payload);
 [[nodiscard]] StatusOr<ServerInfo> DecodeServerInfo(
+    const std::vector<uint8_t>& payload);
+// Subscription decoders additionally reject unknown kinds/reasons and
+// non-finite velocities. The answer bytes inside a PushEnvelope are passed
+// through opaquely — the client feeds them to core::wire::Decode*, which
+// is its own registered hostile-input surface.
+[[nodiscard]] StatusOr<SubscribeRequest> DecodeSubscribeRequest(
+    const std::vector<uint8_t>& payload);
+[[nodiscard]] StatusOr<PushEnvelope> DecodePushEnvelope(
+    const std::vector<uint8_t>& payload);
+[[nodiscard]] StatusOr<RevokeNotice> DecodeRevokeNotice(
     const std::vector<uint8_t>& payload);
 
 // -- Error payloads ----------------------------------------------------------

@@ -3,11 +3,14 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <utility>
 
 namespace lbsq::net {
 
@@ -42,6 +45,7 @@ Status NetClient::Connect(const std::string& host, uint16_t port) {
   next_request_id_ = 1;
   decoder_ = FrameDecoder();
   out_.clear();
+  push_inbox_.clear();
   return Status::Ok();
 }
 
@@ -51,6 +55,7 @@ void NetClient::Close() {
     fd_ = -1;
   }
   out_.clear();
+  push_inbox_.clear();
 }
 
 Status NetClient::Flush() {
@@ -107,7 +112,11 @@ StatusOr<uint32_t> NetClient::SendInfoRequest() {
   return SendRequest(FrameType::kInfoRequest, {});
 }
 
-StatusOr<NetClient::Reply> NetClient::Receive() {
+StatusOr<uint32_t> NetClient::SendSubscribe(const SubscribeRequest& req) {
+  return SendRequest(FrameType::kSubscribe, EncodeSubscribeRequest(req));
+}
+
+StatusOr<NetClient::Reply> NetClient::ReceiveAny() {
   if (fd_ < 0) return Status::Unavailable("not connected");
   Frame frame;
   for (;;) {
@@ -142,6 +151,82 @@ StatusOr<NetClient::Reply> NetClient::Receive() {
     reply.error = DecodeErrorPayload(reply.payload);
   }
   return reply;
+}
+
+StatusOr<NetClient::Reply> NetClient::Receive() {
+  for (;;) {
+    StatusOr<Reply> reply = ReceiveAny();
+    if (!reply.ok()) return reply;
+    if (!IsUnsolicitedFrame(reply->type)) return reply;
+    push_inbox_.push_back(std::move(reply).value());
+  }
+}
+
+bool NetClient::TakePush(Reply* out) {
+  if (push_inbox_.empty()) return false;
+  *out = std::move(push_inbox_.front());
+  push_inbox_.pop_front();
+  return true;
+}
+
+StatusOr<NetClient::Reply> NetClient::WaitPush(int timeout_ms) {
+  Reply stashed;
+  if (TakePush(&stashed)) return stashed;
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  LBSQ_RETURN_IF_ERROR(Flush());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    // Drain whatever the decoder already holds before touching poll.
+    Frame frame;
+    const FrameDecoder::Result result = decoder_.Next(&frame);
+    if (result == FrameDecoder::Result::kError) {
+      const Status status = decoder_.error();
+      Close();
+      return status;
+    }
+    if (result == FrameDecoder::Result::kFrame) {
+      if (!IsUnsolicitedFrame(frame.type)) {
+        // WaitPush contract: no outstanding requests, so a solicited
+        // frame here means the caller lost track of the pipeline.
+        return Status::InvalidArgument(
+            "solicited frame while waiting for a push");
+      }
+      Reply reply;
+      reply.request_id = frame.request_id;
+      reply.type = frame.type;
+      reply.payload = std::move(frame.payload);
+      return reply;
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return Status::Unavailable("push wait timed out");
+    }
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Errno("poll");
+      Close();
+      return status;
+    }
+    if (ready == 0) return Status::Unavailable("push wait timed out");
+    uint8_t chunk[16 << 10];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      decoder_.Feed(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const Status status = n == 0
+                              ? Status::Unavailable("server closed connection")
+                              : Errno("recv");
+    Close();
+    return status;
+  }
 }
 
 StatusOr<std::vector<uint8_t>> NetClient::ReceiveAnswer() {
@@ -186,6 +271,15 @@ Status NetClient::Ping() {
     return Status::InvalidArgument("malformed pong");
   }
   return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> NetClient::Subscribe(
+    const SubscribeRequest& req, uint32_t* subscription_id) {
+  StatusOr<uint32_t> id = SendSubscribe(req);
+  if (!id.ok()) return id.status();
+  StatusOr<std::vector<uint8_t>> answer = ReceiveAnswer();
+  if (answer.ok() && subscription_id != nullptr) *subscription_id = *id;
+  return answer;
 }
 
 StatusOr<ServerInfo> NetClient::Info() {

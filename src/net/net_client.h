@@ -2,6 +2,7 @@
 #define LBSQ_NET_NET_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,7 @@ class NetClient {
   [[nodiscard]] StatusOr<uint32_t> SendPing(
       const std::vector<uint8_t>& payload);
   [[nodiscard]] StatusOr<uint32_t> SendInfoRequest();
+  [[nodiscard]] StatusOr<uint32_t> SendSubscribe(const SubscribeRequest& req);
 
   struct Reply {
     uint32_t request_id = 0;
@@ -71,12 +73,27 @@ class NetClient {
     std::vector<uint8_t> payload;
   };
 
-  // Blocks for the next reply frame (flushing corked requests first —
-  // see above). A per-request failure is an OK StatusOr whose Reply has
-  // type kError and a non-OK `error` field; a transport or framing
-  // failure is a non-OK StatusOr (and the connection is no longer
-  // usable).
+  // Blocks for the next *solicited* reply frame (flushing corked
+  // requests first — see above). A per-request failure is an OK StatusOr
+  // whose Reply has type kError and a non-OK `error` field; a transport
+  // or framing failure is a non-OK StatusOr (and the connection is no
+  // longer usable). Unsolicited frames (kPush/kRevoke) encountered on
+  // the way are stashed into the push inbox, preserving arrival order —
+  // so after a sync ping's pong, every push the server emitted before
+  // the pong is sitting in the inbox.
   [[nodiscard]] StatusOr<Reply> Receive();
+
+  // -- Push inbox ------------------------------------------------------------
+
+  // Pops the oldest stashed unsolicited frame; false when the inbox is
+  // empty. Never touches the socket.
+  bool TakePush(Reply* out);
+
+  // Blocks until an unsolicited frame arrives (or pops a stashed one),
+  // waiting at most timeout_ms on the socket; kUnavailable "push wait
+  // timed out" on expiry. Call only with no outstanding requests: a
+  // solicited frame arriving here is a protocol error.
+  [[nodiscard]] StatusOr<Reply> WaitPush(int timeout_ms);
 
   // Writes all corked request bytes to the socket. No-op when nothing
   // is buffered.
@@ -95,16 +112,27 @@ class NetClient {
   [[nodiscard]] Status Ping();
   [[nodiscard]] StatusOr<ServerInfo> Info();
 
+  // Registers a trajectory subscription and blocks for the initial
+  // answer bytes (the region at req.position). On success
+  // *subscription_id (optional) is the id carried by this
+  // subscription's kPush/kRevoke frames.
+  [[nodiscard]] StatusOr<std::vector<uint8_t>> Subscribe(
+      const SubscribeRequest& req, uint32_t* subscription_id = nullptr);
+
  private:
   [[nodiscard]] StatusOr<uint32_t> SendRequest(
       FrameType type, const std::vector<uint8_t>& payload);
   // Waits for a reply and unwraps kAnswer payload bytes.
   [[nodiscard]] StatusOr<std::vector<uint8_t>> ReceiveAnswer();
 
+  // Blocks for the next frame of any type (no inbox routing).
+  [[nodiscard]] StatusOr<Reply> ReceiveAny();
+
   int fd_ = -1;
   uint32_t next_request_id_ = 1;
   FrameDecoder decoder_;
   std::vector<uint8_t> out_;  // corked request frames, not yet sent
+  std::deque<Reply> push_inbox_;  // unsolicited frames, arrival order
 };
 
 }  // namespace lbsq::net

@@ -35,7 +35,6 @@ void NetServer::SendAnswer(ReplySink* reply, uint32_t request_id,
 
 void NetServer::OnFrame(uint64_t connection_id, const Frame& frame,
                         ReplySink* reply) {
-  (void)connection_id;
   const geo::Rect& universe = service_->universe();
   switch (frame.type) {
     case FrameType::kPing:
@@ -108,15 +107,54 @@ void NetServer::OnFrame(uint64_t connection_id, const Frame& frame,
       return;
     }
 
+    case FrameType::kSubscribe: {
+      StatusOr<SubscribeRequest> req = DecodeSubscribeRequest(frame.payload);
+      if (!req.ok()) {
+        SendError(reply, frame.request_id, req.status(), /*bad_request=*/true);
+        return;
+      }
+      if (!universe.Contains(req->position)) {
+        SendError(reply, frame.request_id,
+                  Status::InvalidArgument("subscriber outside universe"),
+                  /*bad_request=*/true);
+        return;
+      }
+      if (subscriptions_ == nullptr) {
+        SendError(reply, frame.request_id,
+                  Status::InvalidArgument("subscriptions not enabled"),
+                  /*bad_request=*/true);
+        return;
+      }
+      // The subscribe's synchronous half is an ordinary answer; the
+      // asymmetric half (kPush/kRevoke under this request id) comes
+      // later from the handler's OnTick.
+      SendAnswer(reply, frame.request_id,
+                 subscriptions_->Subscribe(connection_id, frame.request_id,
+                                           *req, reply));
+      return;
+    }
+
     case FrameType::kAnswer:
     case FrameType::kPong:
     case FrameType::kInfo:
     case FrameType::kError:
-      break;  // reply types are not valid requests
+    case FrameType::kPush:
+    case FrameType::kRevoke:
+      break;  // reply/unsolicited types are not valid requests
   }
   SendError(reply, frame.request_id,
             Status::InvalidArgument("unknown or non-request frame type"),
             /*bad_request=*/true);
+}
+
+void NetServer::OnClose(uint64_t connection_id) {
+  if (subscriptions_ != nullptr) {
+    subscriptions_->OnConnectionClose(connection_id);
+  }
+}
+
+int NetServer::OnTick() {
+  return subscriptions_ == nullptr ? -1 : subscriptions_->OnTick();
 }
 
 }  // namespace lbsq::net

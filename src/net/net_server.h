@@ -26,6 +26,32 @@
 
 namespace lbsq::net {
 
+// The subscription subsystem plugged in behind the server (implemented
+// by push::PushScheduler; the dependency points from src/push to
+// src/net, so the server only sees this interface). All methods run on
+// the loop thread.
+class SubscriptionHandler {
+ public:
+  virtual ~SubscriptionHandler() = default;
+
+  // Registers (or refreshes) a subscription from a decoded, in-universe
+  // kSubscribe and returns the current answer's wire bytes for the
+  // kAnswer reply; a non-OK status (caps, engine failure) becomes a
+  // per-request Error frame. `reply` stays valid until
+  // OnConnectionClose(connection_id).
+  [[nodiscard]] virtual StatusOr<core::WireService::WireBytes> Subscribe(
+      uint64_t connection_id, uint32_t request_id,
+      const SubscribeRequest& request, ReplySink* reply) = 0;
+
+  // The connection closed: release its subscriptions; its ReplySink is
+  // dead.
+  virtual void OnConnectionClose(uint64_t connection_id) = 0;
+
+  // Scheduled work (due pushes, posted updates). Returns the ms until
+  // the next due push, or -1 (see FrameHandler::OnTick).
+  virtual int OnTick() = 0;
+};
+
 class NetServer : private FrameHandler {
  public:
   // Info replies (universe, cardinality, per-fragment stats) come from
@@ -40,12 +66,29 @@ class NetServer : private FrameHandler {
   void RequestStop() { loop_.RequestStop(); }
   void RequestDrain() { loop_.RequestDrain(); }
 
+  // Attaches the push subsystem. Call before Run(); without one, every
+  // kSubscribe is answered with a per-request error. The handler's
+  // wake/stats wiring uses Wake() and mutable_stats() below.
+  void set_subscriptions(SubscriptionHandler* subscriptions) {
+    subscriptions_ = subscriptions;
+  }
+
+  // Thread-safe poll interrupt (EventLoop::Wake): lets off-thread work
+  // producers (posted updates, virtual-time advances) get the loop to
+  // run the subscription handler's OnTick now.
+  void Wake() { loop_.Wake(); }
+
   // Valid only after Run() has returned (see event_loop.h).
   const NetStats& stats() const { return loop_.stats(); }
+  // For the subscription handler's counters: loop-thread-only while
+  // running, like everything behind it.
+  NetStats* mutable_stats() { return loop_.mutable_stats(); }
 
  private:
   void OnFrame(uint64_t connection_id, const Frame& frame,
                ReplySink* reply) override;
+  void OnClose(uint64_t connection_id) override;
+  int OnTick() override;
 
   void SendError(ReplySink* reply, uint32_t request_id, const Status& status,
                  bool bad_request);
@@ -56,6 +99,7 @@ class NetServer : private FrameHandler {
                   StatusOr<core::WireService::WireBytes> answer);
 
   core::WireService* service_;
+  SubscriptionHandler* subscriptions_ = nullptr;
   EventLoop loop_;
 };
 

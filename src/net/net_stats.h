@@ -34,6 +34,22 @@ struct NetStats {
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
 
+  // Predictive push serving (src/push behind NetServer). Invariants,
+  // checked in net_test: subscribes_accepted == subscriptions_active +
+  // subscriptions_replaced + subscriptions_revoked + subscriptions_closed
+  // at any quiescent point (every accepted subscription is live, was
+  // replaced by a refresh, was revoked, or died with its connection);
+  // pushes_revoked == subscriptions_revoked (one kRevoke frame per
+  // revoked subscription).
+  uint64_t subscribes_accepted = 0;     // kSubscribe frames admitted
+  uint64_t subscriptions_active = 0;    // currently registered (gauge)
+  uint64_t subscriptions_replaced = 0;  // refreshed by a matching subscribe
+  uint64_t subscriptions_revoked = 0;   // ended by a kRevoke
+  uint64_t subscriptions_closed = 0;    // ended by connection close
+  uint64_t pushes_sent = 0;             // kPush frames emitted (incl. corrective)
+  uint64_t pushes_corrective = 0;       // kPush re-sends after a killing update
+  uint64_t pushes_revoked = 0;          // kRevoke frames emitted
+
   // Write-path batching (net/write_queue.h). Invariants, checked in
   // net_test: after a clean drain bytes_out == bytes_copied +
   // bytes_zero_copy; writev_iovecs >= writev_calls; frames_out /

@@ -133,6 +133,8 @@ std::vector<rtree::Neighbor> FragmentRouter::Knn(const geo::Point& q,
     if (merged.size() > k) merged.resize(k);
     std::swap(best, merged);
   }
+  ++fanout_queries_;
+  fanout_fragments_ += last_knn_fragments_visited_;
   return best;
 }
 
@@ -140,8 +142,10 @@ void FragmentRouter::WindowQuery(const geo::Rect& w,
                                  std::vector<rtree::DataEntry>* out) {
   const std::vector<RouteEntry> table = SnapshotTable();
   out->clear();
+  ++fanout_queries_;
   for (size_t f = 0; f < table.size(); ++f) {
     if (table[f].points == 0 || !w.Intersects(table[f].extent)) continue;
+    ++fanout_fragments_;
     // Streaming overload: appends into the shared output across
     // fragments (the materializing overload clears its argument).
     trees_[f]->WindowQuery(
@@ -155,8 +159,10 @@ tp::TpnnResult FragmentRouter::Tpnn(const geo::Point& q, const geo::Vec2& l,
                                     rtree::ObjectId o_id) {
   const std::vector<RouteEntry> table = SnapshotTable();
   tp::TpnnResult best;
+  ++fanout_queries_;
   for (size_t f = 0; f < table.size(); ++f) {
     if (table[f].points == 0) continue;
+    ++fanout_fragments_;
     const tp::TpnnResult r = tp::Tpnn(*trees_[f], q, l, o, o_id);
     if (r.found && InfluenceImproves(r.time, r.object.id, best.time,
                                      best.object.id, best.found)) {
@@ -171,8 +177,10 @@ tp::TpknnResult FragmentRouter::Tpknn(
     const std::vector<rtree::Neighbor>& answers) {
   const std::vector<RouteEntry> table = SnapshotTable();
   tp::TpknnResult best;
+  ++fanout_queries_;
   for (size_t f = 0; f < table.size(); ++f) {
     if (table[f].points == 0) continue;
+    ++fanout_fragments_;
     const tp::TpknnResult r = tp::Tpknn(*trees_[f], q, l, answers);
     if (r.found && InfluenceImproves(r.time, r.incoming.id, best.time,
                                      best.incoming.id, best.found)) {

@@ -87,6 +87,14 @@ class FragmentRouter final : public core::SpatialBackend {
     return last_knn_fragments_visited_;
   }
 
+  // Cumulative fan-out telemetry: backend primitives routed and the
+  // fragments they actually visited (frontier stops and extent pruning
+  // keep visited below K x primitives). fanout_fragments / fanout_queries
+  // is the average fan-out a thread-per-fragment split would pay per
+  // routed primitive.
+  uint64_t fanout_queries() const { return fanout_queries_; }
+  uint64_t fanout_fragments() const { return fanout_fragments_; }
+
  private:
   struct RouteEntry {
     geo::Rect extent;  // conservative bounding box of the fragment
@@ -103,6 +111,8 @@ class FragmentRouter final : public core::SpatialBackend {
   // Telemetry written by the (single-threaded) query path, like the
   // trees themselves — not part of the shared routing table.
   size_t last_knn_fragments_visited_ LBSQ_EXCLUDED(mu_) = 0;
+  uint64_t fanout_queries_ LBSQ_EXCLUDED(mu_) = 0;
+  uint64_t fanout_fragments_ LBSQ_EXCLUDED(mu_) = 0;
 };
 
 }  // namespace lbsq::partition

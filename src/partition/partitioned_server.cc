@@ -162,17 +162,13 @@ StatusOr<core::WireService::WireBytes> PartitionedServer::NnQueryWireShared(
     for (const core::InfluencePair& pair : result->influence_pairs()) {
       constraints.push_back({pair.displaced.point, pair.incoming.point});
     }
-    // Under-filled answers die on any insert (footprint = universe →
-    // boundary cache unless K == 1); full answers use the corner-reach
-    // footprint over the clipped bounds, exactly as the cache registers
-    // it.
+    // One shared footprint definition with the cache's own registration
+    // (under-filled rule included): an under-filled answer's footprint is
+    // the universe → boundary cache unless K == 1.
     const geo::Rect bounds =
         result->region().BoundingBox().Intersection(universe_);
-    const geo::Rect footprint =
-        answers.size() < k
-            ? universe_
-            : cache::SemanticCache::NnKillFootprint(bounds, answers,
-                                                    constraints);
+    const geo::Rect footprint = cache::SemanticCache::NnKillFootprint(
+        k, universe_, bounds, answers, constraints);
     PlaceEntry(q, footprint, [&](cache::SemanticCache& c) {
       c.InsertNn(k, result->universe(), result->region().BoundingBox(),
                  std::move(answers), std::move(constraints), shared);

@@ -93,7 +93,7 @@ class PartitionedServer final : public core::WireService {
   bool cache_enabled() const { return boundary_cache_.has_value(); }
   // Aggregate over the K fragment caches plus the boundary cache.
   cache::CacheStats cache_stats() const;
-  bool last_wire_from_cache() const { return last_wire_from_cache_; }
+  bool last_wire_from_cache() const override { return last_wire_from_cache_; }
 
   // -- Introspection --------------------------------------------------------
 

@@ -1,0 +1,64 @@
+#include "push/predictor.h"
+
+#include "cache/semantic_cache.h"
+#include "core/wire_format.h"
+
+namespace lbsq::push {
+
+AnswerAnalysis AnalyzeAnswer(const net::SubscribeRequest& query,
+                             const geo::Rect& universe,
+                             const std::vector<uint8_t>& answer,
+                             const geo::Point& pos, const geo::Vec2& vel) {
+  AnswerAnalysis out;
+  switch (query.kind) {
+    case net::SubscribeKind::kNn: {
+      StatusOr<core::NnValidityResult> result =
+          core::wire::DecodeNnResult(answer);
+      if (!result.ok()) return out;
+      std::vector<geo::Point> answers;
+      answers.reserve(result->answers().size());
+      for (const rtree::Neighbor& n : result->answers()) {
+        answers.push_back(n.entry.point);
+      }
+      std::vector<cache::BisectorConstraint> constraints;
+      constraints.reserve(result->influence_pairs().size());
+      for (const core::InfluencePair& pair : result->influence_pairs()) {
+        constraints.push_back({pair.displaced.point, pair.incoming.point});
+      }
+      const geo::Rect bounds =
+          result->region().BoundingBox().Intersection(universe);
+      out.footprint =
+          cache::SemanticCache::NnKillFootprint(query.k, universe, bounds,
+                                                answers, constraints)
+              .Intersection(universe);
+      out.prediction = core::PredictExit(*result, pos, vel);
+      out.ok = true;
+      return out;
+    }
+    case net::SubscribeKind::kWindow: {
+      StatusOr<core::WindowValidityResult> result =
+          core::wire::DecodeWindowResult(answer);
+      if (!result.ok()) return out;
+      out.footprint = cache::SemanticCache::WindowKillFootprint(
+                          result->region().base(), query.hx, query.hy)
+                          .Intersection(universe);
+      out.prediction = core::PredictExit(*result, universe, pos, vel);
+      out.ok = true;
+      return out;
+    }
+    case net::SubscribeKind::kRange: {
+      StatusOr<core::RangeValidityResult> result =
+          core::wire::DecodeRangeResult(answer);
+      if (!result.ok()) return out;
+      out.footprint = cache::SemanticCache::RangeKillFootprint(
+                          result->region().bounds(), query.radius)
+                          .Intersection(universe);
+      out.prediction = core::PredictExit(*result, universe, pos, vel);
+      out.ok = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace lbsq::push

@@ -1,0 +1,46 @@
+#ifndef LBSQ_PUSH_PREDICTOR_H_
+#define LBSQ_PUSH_PREDICTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/region_exit.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "net/frame.h"
+
+// The predictor half of push serving: everything the scheduler needs to
+// know about one wire answer, derived from the answer's *bytes*. The
+// decode-then-predict discipline is what makes pushes replay
+// byte-identically (DESIGN.md section 13): the server analyzes exactly
+// the representation the client decodes, so the predicted crossing point
+// — and therefore the next answer computed there — is bit-for-bit the
+// same on both ends. core/region_exit.h does the geometry; the kill
+// footprint reuses the semantic cache's shared definition, so "update
+// can change these bytes" means the same thing to the cache, the
+// partition router, and the push scheduler.
+
+namespace lbsq::push {
+
+struct AnswerAnalysis {
+  // False when the bytes do not decode as the subscribed query kind
+  // (an internal error for server-produced answers).
+  bool ok = false;
+  // Kill footprint of the answer's validity region, clipped to the
+  // universe: every update point that could change the answer's bytes
+  // lies inside it.
+  geo::Rect footprint = geo::Rect::Empty();
+  // Trajectory crossing out of the region from (pos, vel).
+  core::TrajectoryPrediction prediction;
+};
+
+// Decodes `answer` as the kind subscribed in `query` and analyzes it for
+// a subscriber at `pos` moving with `vel`.
+AnswerAnalysis AnalyzeAnswer(const net::SubscribeRequest& query,
+                             const geo::Rect& universe,
+                             const std::vector<uint8_t>& answer,
+                             const geo::Point& pos, const geo::Vec2& vel);
+
+}  // namespace lbsq::push
+
+#endif  // LBSQ_PUSH_PREDICTOR_H_

@@ -1,0 +1,281 @@
+#include "push/push_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "net/frame.h"
+#include "push/predictor.h"
+
+namespace lbsq::push {
+
+PushScheduler::PushScheduler(core::WireService* service,
+                             const PushConfig& config, net::NetStats* stats)
+    : service_(service),
+      config_(config),
+      stats_(stats),
+      registry_(config),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+double PushScheduler::Now() const {
+  if (config_.virtual_clock) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return virtual_now_;
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void PushScheduler::Schedule(Subscription* sub, double due) {
+  sub->due_time = due;
+  ++sub->generation;
+  due_.push(DueEvent{due, sub->handle, sub->generation});
+}
+
+StatusOr<core::WireService::WireBytes> PushScheduler::QueryAt(
+    const net::SubscribeRequest& query, const geo::Point& q) {
+  ++push_queries_;
+  StatusOr<core::WireService::WireBytes> answer =
+      Status::Internal("uninitialized");
+  switch (query.kind) {
+    case net::SubscribeKind::kNn:
+      answer = service_->NnQueryWireShared(q, query.k);
+      break;
+    case net::SubscribeKind::kWindow:
+      answer = service_->WindowQueryWireShared(q, query.hx, query.hy);
+      break;
+    case net::SubscribeKind::kRange:
+      answer = service_->RangeQueryWireShared(q, query.radius);
+      break;
+  }
+  if (answer.ok() && service_->last_wire_from_cache()) ++push_cache_hits_;
+  return answer;
+}
+
+StatusOr<core::WireService::WireBytes> PushScheduler::Subscribe(
+    uint64_t connection_id, uint32_t request_id,
+    const net::SubscribeRequest& request, net::ReplySink* reply) {
+  if (!config_.enabled) {
+    return Status::InvalidArgument("subscriptions disabled");
+  }
+  StatusOr<core::WireService::WireBytes> answer =
+      QueryAt(request, request.position);
+  LBSQ_RETURN_IF_ERROR(answer.status());
+  // Analyze the bytes the client will decode (push/predictor.h): the
+  // footprint and crossing below describe exactly the answer shipped.
+  AnswerAnalysis analysis =
+      AnalyzeAnswer(request, service_->universe(), **answer, request.position,
+                    request.velocity);
+  if (!analysis.ok) {
+    return Status::Internal("subscribe answer failed to decode");
+  }
+  bool replaced = false;
+  Subscription* sub =
+      registry_.Add(connection_id, request_id, request, reply, &replaced);
+  if (sub == nullptr) {
+    return Status::Unavailable("subscription cap reached");
+  }
+  ++stats_->subscribes_accepted;
+  if (replaced) ++stats_->subscriptions_replaced;
+  sub->current_footprint = analysis.footprint;
+  if (analysis.prediction.has_crossing) {
+    sub->state = Subscription::State::kArmed;
+    sub->crossing_time = Now() + analysis.prediction.exit_time;
+    sub->next_query = analysis.prediction.next_query;
+    Schedule(sub, sub->crossing_time - config_.push_lead);
+  } else {
+    // Zero velocity or driving off the universe: churn liability only.
+    sub->state = Subscription::State::kIdle;
+    sub->due_time = std::numeric_limits<double>::infinity();
+    ++sub->generation;
+  }
+  stats_->subscriptions_active = registry_.size();
+  return answer;
+}
+
+void PushScheduler::OnConnectionClose(uint64_t connection_id) {
+  const size_t dropped = registry_.DropConnection(connection_id);
+  stats_->subscriptions_closed += dropped;
+  stats_->subscriptions_active = registry_.size();
+}
+
+void PushScheduler::Revoke(Subscription* sub, net::RevokeReason reason) {
+  const std::vector<uint8_t> payload =
+      net::EncodeRevokeNotice(net::RevokeNotice{reason});
+  sub->sink->Send(net::FrameType::kRevoke, sub->id, payload);
+  ++stats_->pushes_revoked;
+  ++stats_->subscriptions_revoked;
+  registry_.Remove(sub);
+  stats_->subscriptions_active = registry_.size();
+}
+
+void PushScheduler::Emit(Subscription* sub, bool corrective) {
+  StatusOr<core::WireService::WireBytes> answer =
+      QueryAt(sub->query, sub->next_query);
+  if (!answer.ok()) {
+    Revoke(sub, net::RevokeReason::kCapacity);
+    return;
+  }
+  AnswerAnalysis analysis =
+      AnalyzeAnswer(sub->query, service_->universe(), **answer,
+                    sub->next_query, sub->velocity);
+  if (!analysis.ok) {
+    Revoke(sub, net::RevokeReason::kCapacity);
+    return;
+  }
+  const std::vector<uint8_t> envelope = net::EncodePushEnvelope(
+      sub->next_query, (*answer)->data(), (*answer)->size());
+  if (envelope.size() > net::kMaxPayloadBytes) {
+    Revoke(sub, net::RevokeReason::kCapacity);
+    return;
+  }
+  sub->sink->Send(net::FrameType::kPush, sub->id, envelope);
+  ++stats_->pushes_sent;
+  if (corrective) ++stats_->pushes_corrective;
+  sub->state = Subscription::State::kPushed;
+  sub->pushed_bytes = *answer;
+  sub->pushed_footprint = analysis.footprint;
+  // Adopt fires at the crossing itself; a corrective re-push keeps the
+  // original crossing (the trajectory did not change, the dataset did).
+  Schedule(sub, sub->crossing_time);
+}
+
+void PushScheduler::Adopt(Subscription* sub) {
+  if (!sub->pushed_bytes) {
+    Revoke(sub, net::RevokeReason::kCapacity);
+    return;
+  }
+  // Chain from the *stored* crossing time, not Now(): the ideal
+  // trajectory's region sequence has exact crossing times, and basing
+  // the next one on the previous keeps predictions on that sequence
+  // instead of accumulating timer jitter.
+  const double base = sub->crossing_time;
+  sub->position = sub->next_query;
+  AnswerAnalysis analysis =
+      AnalyzeAnswer(sub->query, service_->universe(), *sub->pushed_bytes,
+                    sub->position, sub->velocity);
+  sub->pushed_bytes.reset();
+  sub->pushed_footprint = geo::Rect::Empty();
+  if (!analysis.ok) {
+    Revoke(sub, net::RevokeReason::kCapacity);
+    return;
+  }
+  sub->current_footprint = analysis.footprint;
+  if (analysis.prediction.has_crossing) {
+    sub->state = Subscription::State::kArmed;
+    sub->crossing_time = base + analysis.prediction.exit_time;
+    sub->next_query = analysis.prediction.next_query;
+    Schedule(sub, sub->crossing_time - config_.push_lead);
+  } else {
+    sub->state = Subscription::State::kIdle;
+    sub->due_time = std::numeric_limits<double>::infinity();
+    ++sub->generation;
+  }
+}
+
+void PushScheduler::PostUpdate(const geo::Point& point, cache::UpdateKind kind,
+                               std::function<void()> apply) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    posted_.push_back(PostedUpdate{point, kind, std::move(apply)});
+  }
+  if (wake_) wake_();
+}
+
+void PushScheduler::AdvanceVirtualTime(double seconds) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    virtual_now_ += seconds;
+  }
+  if (wake_) wake_();
+}
+
+void PushScheduler::ApplyPostedUpdates() {
+  std::vector<PostedUpdate> updates;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    updates.swap(posted_);
+  }
+  for (PostedUpdate& update : updates) {
+    // Single-writer discipline: the serving thread applies the mutation,
+    // so no query ever races a tree rebuild.
+    if (update.apply) update.apply();
+    ScanUpdate(update);
+  }
+}
+
+void PushScheduler::ScanUpdate(const PostedUpdate& update) {
+  // The footprint test is conservative: a point outside an answer's kill
+  // footprint cannot change that answer's bytes (the semantic cache and
+  // the partition router rely on the same definition), so skipping those
+  // subscriptions is sound.
+  std::vector<uint64_t> corrective;
+  std::vector<uint64_t> revoked;
+  registry_.ForEach([&](Subscription* sub) {
+    switch (sub->state) {
+      case Subscription::State::kPushed:
+        // The in-flight answer may now be stale; the client must not
+        // adopt it. Re-push the region recomputed against the mutated
+        // dataset — what a pull at the crossing would return.
+        if (sub->pushed_footprint.Contains(update.point)) {
+          corrective.push_back(sub->handle);
+        }
+        break;
+      case Subscription::State::kIdle:
+        // No upcoming crossing will ever refresh this answer: tell the
+        // client to fall back to a pull.
+        if (sub->current_footprint.Contains(update.point)) {
+          revoked.push_back(sub->handle);
+        }
+        break;
+      case Subscription::State::kArmed:
+        // The emission at crossing_time - push_lead queries the engine
+        // then, so it sees this update; nothing has been shipped that
+        // could go stale.
+        break;
+    }
+  });
+  for (uint64_t handle : corrective) {
+    Subscription* sub = registry_.Find(handle);
+    if (sub != nullptr) Emit(sub, /*corrective=*/true);
+  }
+  for (uint64_t handle : revoked) {
+    Subscription* sub = registry_.Find(handle);
+    if (sub != nullptr) Revoke(sub, net::RevokeReason::kRegionKilled);
+  }
+}
+
+int PushScheduler::OnTick() {
+  ApplyPostedUpdates();
+  const double now = Now();
+  // Bounded pops per tick: a pathological chain of near-zero-width
+  // regions must not starve the sockets. Leftover due work returns a
+  // zero hint, so poll yields immediately and the next iteration
+  // continues.
+  size_t budget = 64 + 2 * registry_.size();
+  while (!due_.empty() && due_.top().due <= now && budget-- > 0) {
+    const DueEvent event = due_.top();
+    due_.pop();
+    Subscription* sub = registry_.Find(event.handle);
+    if (sub == nullptr || sub->generation != event.generation) continue;
+    if (sub->state == Subscription::State::kArmed) {
+      Emit(sub, /*corrective=*/false);
+    } else if (sub->state == Subscription::State::kPushed) {
+      Adopt(sub);
+    }
+  }
+  if (due_.empty()) return -1;
+  const double next = due_.top().due;
+  if (config_.virtual_clock) {
+    // Virtual time only moves via AdvanceVirtualTime, which wakes the
+    // loop itself; sleeping on a wall-clock timeout would be wrong.
+    return next <= Now() ? 0 : -1;
+  }
+  const double delta_ms = (next - now) * 1000.0;
+  if (delta_ms <= 0.0) return 0;
+  return static_cast<int>(std::min(60000.0, std::ceil(delta_ms)));
+}
+
+}  // namespace lbsq::push

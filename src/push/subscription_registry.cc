@@ -1,0 +1,86 @@
+#include "push/subscription_registry.h"
+
+namespace lbsq::push {
+
+bool SubscriptionRegistry::SameQuery(const net::SubscribeRequest& a,
+                                     const net::SubscribeRequest& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case net::SubscribeKind::kNn:
+      return a.k == b.k;
+    case net::SubscribeKind::kWindow:
+      return a.hx == b.hx && a.hy == b.hy;
+    case net::SubscribeKind::kRange:
+      return a.radius == b.radius;
+  }
+  return false;
+}
+
+Subscription* SubscriptionRegistry::Add(uint64_t connection_id, uint32_t id,
+                                        const net::SubscribeRequest& query,
+                                        net::ReplySink* sink, bool* replaced) {
+  *replaced = false;
+  // A matching subscription on the same connection is refreshed in place:
+  // the client reporting a new position/velocity for the same query is a
+  // turn, not a second subscription.
+  for (auto& [handle, sub] : subscriptions_) {
+    if (sub.connection_id == connection_id && SameQuery(sub.query, query)) {
+      *replaced = true;
+      sub.id = id;
+      sub.sink = sink;
+      sub.query = query;
+      sub.state = Subscription::State::kIdle;
+      sub.position = query.position;
+      sub.velocity = query.velocity;
+      sub.current_footprint = geo::Rect::Empty();
+      sub.pushed_bytes.reset();
+      sub.pushed_footprint = geo::Rect::Empty();
+      sub.due_time = std::numeric_limits<double>::infinity();
+      ++sub.generation;
+      return &sub;
+    }
+  }
+  if (subscriptions_.size() >= config_.max_subscriptions) return nullptr;
+  size_t& count = per_connection_[connection_id];
+  if (count >= config_.max_per_connection) return nullptr;
+  ++count;
+  const uint64_t handle = next_handle_++;
+  Subscription& sub = subscriptions_[handle];
+  sub.handle = handle;
+  sub.connection_id = connection_id;
+  sub.id = id;
+  sub.sink = sink;
+  sub.query = query;
+  sub.position = query.position;
+  sub.velocity = query.velocity;
+  return &sub;
+}
+
+void SubscriptionRegistry::Remove(Subscription* sub) {
+  auto count_it = per_connection_.find(sub->connection_id);
+  if (count_it != per_connection_.end() && --count_it->second == 0) {
+    per_connection_.erase(count_it);
+  }
+  subscriptions_.erase(sub->handle);
+}
+
+size_t SubscriptionRegistry::DropConnection(uint64_t connection_id) {
+  size_t dropped = 0;
+  for (auto it = subscriptions_.begin(); it != subscriptions_.end();) {
+    if (it->second.connection_id == connection_id) {
+      it = subscriptions_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  per_connection_.erase(connection_id);
+  return dropped;
+}
+
+Subscription* SubscriptionRegistry::Find(uint64_t handle) {
+  auto it = subscriptions_.find(handle);
+  return it == subscriptions_.end() ? nullptr : &it->second;
+}
+
+}  // namespace lbsq::push

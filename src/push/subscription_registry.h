@@ -1,0 +1,135 @@
+#ifndef LBSQ_PUSH_SUBSCRIPTION_REGISTRY_H_
+#define LBSQ_PUSH_SUBSCRIPTION_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "cache/semantic_cache.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+
+// The subscription registry of predictive push serving (DESIGN.md
+// section 13): one record per trajectory subscription, tracking where the
+// subscriber is on its straight-line path, which validity region it
+// currently holds, and what has been pushed ahead of it. Owned and
+// mutated exclusively by the serving loop thread (the push scheduler runs
+// inside EventLoop callbacks), so there is no locking here.
+
+namespace lbsq::push {
+
+struct PushConfig {
+  // Master switch: a disabled scheduler rejects kSubscribe frames.
+  bool enabled = true;
+  // Global and per-connection subscription caps. A kSubscribe beyond a
+  // cap is a per-request error; refreshing an existing subscription
+  // (same connection, same query) never counts against the caps.
+  size_t max_subscriptions = 1024;
+  size_t max_per_connection = 4;
+  // How far ahead of the predicted crossing the next region's answer is
+  // pushed, in trajectory-time seconds (the units of the subscriber's
+  // velocity). Larger leads hide more latency but widen the window in
+  // which a dataset update forces a corrective push.
+  double push_lead = 0.25;
+  // Test hook: when true the scheduler's clock only advances via
+  // AdvanceVirtualTime, making push timing fully deterministic.
+  bool virtual_clock = false;
+};
+
+// Subscriber state machine (transitions run in the push scheduler):
+//
+//   kArmed:  the client holds the answer for its current region; the
+//            crossing out of it (crossing_time, next_query) is computed;
+//            the push of the adjacent answer is scheduled at
+//            crossing_time - push_lead.
+//   kPushed: the adjacent answer went out. Until crossing_time the
+//            server remains liable for it — an update landing in
+//            pushed_footprint triggers a corrective re-push, so the
+//            answer the client adopts at the crossing is never staler
+//            than a pull at that point would be.
+//   kIdle:   no crossing predicted (zero velocity, or the trajectory
+//            leaves the universe). An update killing the held region
+//            gets a kRevoke: the client must fall back to a pull.
+struct Subscription {
+  uint64_t handle = 0;         // registry key (stable, never reused)
+  uint64_t connection_id = 0;  // owning connection (EventLoop id)
+  uint32_t id = 0;             // wire subscription id (subscribe request id)
+  net::ReplySink* sink = nullptr;  // valid until FrameHandler::OnClose
+  net::SubscribeRequest query;     // kind + parameters as subscribed
+
+  enum class State : uint8_t { kIdle, kArmed, kPushed };
+  State state = State::kIdle;
+
+  geo::Point position{0.0, 0.0};  // entry point into the current region
+  geo::Vec2 velocity{0.0, 0.0};
+  // Kill footprint of the currently held region (kRevoke liability
+  // while kIdle; see the state machine above).
+  geo::Rect current_footprint = geo::Rect::Empty();
+
+  // Prediction (kArmed / kPushed): absolute scheduler-clock time and
+  // exact point of the next crossing.
+  double crossing_time = 0.0;
+  geo::Point next_query{0.0, 0.0};
+
+  // kPushed: the answer in flight and its kill footprint (corrective
+  // re-push liability until crossing_time).
+  cache::CachedBytes pushed_bytes;
+  geo::Rect pushed_footprint = geo::Rect::Empty();
+
+  // Next scheduled event: the push emission while kArmed, the crossing
+  // adoption while kPushed. +inf while kIdle.
+  double due_time = std::numeric_limits<double>::infinity();
+  // Bumped whenever due_time changes; stale heap entries are discarded.
+  uint64_t generation = 0;
+};
+
+class SubscriptionRegistry {
+ public:
+  explicit SubscriptionRegistry(const PushConfig& config) : config_(config) {}
+
+  SubscriptionRegistry(const SubscriptionRegistry&) = delete;
+  SubscriptionRegistry& operator=(const SubscriptionRegistry&) = delete;
+
+  // Registers a subscription, enforcing the caps. A subscribe matching
+  // an existing subscription's connection and query parameters refreshes
+  // it in place (new id/position/velocity — the client turned), reported
+  // via *replaced; refreshes bypass the caps. Returns nullptr when a cap
+  // would be exceeded. The returned pointer is stable until Remove /
+  // DropConnection.
+  Subscription* Add(uint64_t connection_id, uint32_t id,
+                    const net::SubscribeRequest& query, net::ReplySink* sink,
+                    bool* replaced);
+
+  void Remove(Subscription* sub);
+
+  // Removes every subscription of a closing connection; returns how many
+  // (the sink is dead: callers must not emit anything for them).
+  size_t DropConnection(uint64_t connection_id);
+
+  Subscription* Find(uint64_t handle);
+
+  size_t size() const { return subscriptions_.size(); }
+
+  // Loop-thread iteration; `fn` may not add or remove subscriptions.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (auto& [handle, sub] : subscriptions_) fn(&sub);
+  }
+
+ private:
+  static bool SameQuery(const net::SubscribeRequest& a,
+                        const net::SubscribeRequest& b);
+
+  PushConfig config_;
+  uint64_t next_handle_ = 1;
+  // Node-based map: Subscription addresses are stable across rehash.
+  std::unordered_map<uint64_t, Subscription> subscriptions_;
+  std::unordered_map<uint64_t, size_t> per_connection_;
+};
+
+}  // namespace lbsq::push
+
+#endif  // LBSQ_PUSH_SUBSCRIPTION_REGISTRY_H_

@@ -36,6 +36,7 @@
 #include "net/frame.h"
 #include "net/net_client.h"
 #include "net/net_server.h"
+#include "push/push_scheduler.h"
 #include "tests/test_util.h"
 #include "workload/datasets.h"
 #include "workload/queries.h"
@@ -229,6 +230,61 @@ TEST(NetFaultTest, LoopSurvivesMisbehavingClientsAndAccountsEveryDrop) {
   EXPECT_EQ(stats.bad_requests, 0u);
   EXPECT_EQ(stats.query_errors, 0u);
   EXPECT_GT(served->cache_stats().hits, 0u);
+}
+
+// A subscriber that vanishes mid-push: subscribe with a crossing armed,
+// disconnect, then drive the virtual clock far past every crossing the
+// subscription could ever schedule. Depending on which the loop sees
+// first — the wake or the EOF — the emission either finds the
+// subscription already dropped, or queues into a connection that is
+// about to close; both must end with the registry empty, every
+// emission-side write going to a still-tracked connection (never a dead
+// fd), and the close accounted in NetStats. A leaked subscription would
+// keep scheduling forever and show up as subscriptions_active != 0.
+TEST(NetFaultTest, SubscriberDisconnectMidPushLeaksNoSubscription) {
+  const auto dataset = workload::MakeUnitUniform(900, 1301);
+  TreeFixture fx(dataset.entries, 64, SmallNodeOptions());
+  core::Server served(fx.tree.get(), kUnit);
+
+  push::PushConfig config;
+  config.enabled = true;
+  config.virtual_clock = true;
+  config.push_lead = 0.05;
+  NetOptions options;
+  options.drain_timeout_ms = 500;
+  NetServer net(&served, options);
+  push::PushScheduler scheduler(&served, config, net.mutable_stats());
+  scheduler.set_wake([&net] { net.Wake(); });
+  net.set_subscriptions(&scheduler);
+  ASSERT_TRUE(net.Listen().ok());
+  std::thread serving([&net] { net.Run(); });
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net.port()).ok());
+  const SubscribeRequest req{
+      SubscribeKind::kNn, {0.4, 0.5}, {0.3, 0.1}, 4, 0.0, 0.0, 0.0};
+  uint32_t sub_id = 0;
+  const auto answer = client.Subscribe(req, &sub_id);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  ASSERT_GT(sub_id, 0u);
+
+  client.Close();
+  for (int i = 0; i < 50; ++i) {
+    scheduler.AdvanceVirtualTime(1.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  net.RequestDrain();
+  serving.join();
+  const NetStats& stats = net.stats();
+  EXPECT_EQ(stats.accepts, 1u);
+  EXPECT_EQ(stats.subscribes_accepted, 1u);
+  EXPECT_EQ(stats.subscriptions_active, 0u) << "subscription leaked";
+  EXPECT_EQ(stats.subscriptions_closed, 1u);
+  EXPECT_EQ(stats.pushes_revoked, stats.subscriptions_revoked);
+  EXPECT_EQ(stats.subscribes_accepted,
+            stats.subscriptions_active + stats.subscriptions_replaced +
+                stats.subscriptions_revoked + stats.subscriptions_closed);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "cache/semantic_cache.h"
 
 #include <cstdint>
+#include <functional>
 #include <thread>
 #include <vector>
 
@@ -398,6 +399,91 @@ TEST(SemanticCacheTest, AccountingInvariantHolds) {
   EXPECT_EQ(stats.inserts,
             stats.evictions + stats.stale_drops +
                 stats.entries_invalidated_by_update + stats.entries);
+}
+
+// Anti-drift pin for the shared kill-footprint definitions. The static
+// NnKillFootprint / WindowKillFootprint / RangeKillFootprint helpers are
+// the one definition of "which update points can kill this answer" —
+// the cache registers entries under it, the partition router places
+// boundary entries with it, and the push predictor derives corrective
+// liability from it. If the cache's internal kill predicate ever grows
+// beyond the shared definition, a subscription would miss a corrective
+// push for an update the cache considers fatal. The property: every
+// update point that actually kills an entry lies inside the shared
+// footprint computed from the same inputs.
+TEST(SemanticCacheTest, KillFootprintDefinitionsCoverEveryActualKill) {
+  struct Probe {
+    const char* name;
+    geo::Rect footprint;
+    std::function<void(SemanticCache*)> insert;
+    std::function<bool(SemanticCache*)> present;
+  };
+
+  const std::vector<geo::Point> nn_answers{{0.45, 0.5}};
+  const std::vector<BisectorConstraint> nn_constraints{
+      {{0.45, 0.5}, {0.62, 0.5}}};
+  const geo::Rect nn_bounds(0.3, 0.35, 0.6, 0.7);
+  const geo::Rect window_base(0.2, 0.2, 0.5, 0.6);
+  const geo::Rect range_bounds(0.3, 0.3, 0.7, 0.7);
+  geo::DiskRegion range_region(range_bounds, {{{0.5, 0.5}, 0.2}}, {});
+
+  std::vector<Probe> probes;
+  probes.push_back(
+      {"nn",
+       SemanticCache::NnKillFootprint(1, kUnit, nn_bounds, nn_answers,
+                                      nn_constraints),
+       [&](SemanticCache* c) {
+         c->InsertNn(1, kUnit, nn_bounds, nn_answers, nn_constraints,
+                     MakeBytes(8, 1));
+       },
+       [&](SemanticCache* c) {
+         std::vector<uint8_t> out;
+         return c->LookupNn({0.45, 0.5}, 1, &out);
+       }});
+  probes.push_back(
+      {"window", SemanticCache::WindowKillFootprint(window_base, 0.05, 0.07),
+       [&](SemanticCache* c) {
+         c->InsertWindow(0.05, 0.07, geo::RectMinusBoxes(window_base, {}),
+                         MakeBytes(8, 2));
+       },
+       [&](SemanticCache* c) {
+         std::vector<uint8_t> out;
+         return c->LookupWindow({0.3, 0.4}, 0.05, 0.07, &out);
+       }});
+  probes.push_back(
+      {"range", SemanticCache::RangeKillFootprint(range_bounds, 0.25),
+       [&](SemanticCache* c) {
+         c->InsertRange(0.25, range_region, MakeBytes(8, 3));
+       },
+       [&](SemanticCache* c) {
+         std::vector<uint8_t> out;
+         return c->LookupRange({0.5, 0.5}, 0.25, &out);
+       }});
+
+  for (const Probe& probe : probes) {
+    SemanticCache cache(kUnit, CacheConfig{});
+    probe.insert(&cache);
+    ASSERT_TRUE(probe.present(&cache)) << probe.name;
+    size_t kills = 0;
+    for (int xi = 0; xi < 40; ++xi) {
+      for (int yi = 0; yi < 40; ++yi) {
+        const geo::Point p{(xi + 0.5) / 40.0, (yi + 0.5) / 40.0};
+        for (const UpdateKind kind :
+             {UpdateKind::kInsert, UpdateKind::kDelete}) {
+          if (cache.InvalidateAt(p, kind) > 0) {
+            EXPECT_TRUE(probe.footprint.Contains(p))
+                << probe.name << " entry killed by an update at (" << p.x
+                << ", " << p.y << ") outside its shared kill footprint";
+            ++kills;
+            probe.insert(&cache);
+          }
+        }
+      }
+    }
+    // The sweep must actually exercise the kill path, or the pin is
+    // vacuous.
+    EXPECT_GT(kills, 0u) << probe.name;
+  }
 }
 
 TEST(SemanticCacheTest, SharedWrapperIsUsableConcurrently) {

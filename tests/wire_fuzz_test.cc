@@ -259,6 +259,22 @@ void DecodeExtractedPayloads(const std::vector<Frame>& frames) {
       case FrameType::kInfo:
         (void)DecodeServerInfo(frame.payload).ok();
         break;
+      case FrameType::kSubscribe:
+        (void)DecodeSubscribeRequest(frame.payload).ok();
+        break;
+      case FrameType::kPush: {
+        // The envelope's answer bytes are opaque to the framing tier;
+        // the client hands them to the core wire decoder — chain that
+        // hostile-input surface here too.
+        const auto envelope = DecodePushEnvelope(frame.payload);
+        if (envelope.ok()) {
+          (void)core::wire::DecodeNnResult(envelope->answer).ok();
+        }
+        break;
+      }
+      case FrameType::kRevoke:
+        (void)DecodeRevokeNotice(frame.payload).ok();
+        break;
       case FrameType::kError:
         (void)DecodeErrorPayload(frame.payload).ok();
         break;
@@ -285,6 +301,27 @@ std::vector<uint8_t> SeedStream() {
   append(FrameType::kInfo,
          EncodeServerInfo({geo::Rect(0.0, 0.0, 1.0, 1.0), 1234, true, {}}));
   append(FrameType::kAnswer, std::vector<uint8_t>(70, 0x5a));
+  append(FrameType::kSubscribe,
+         EncodeSubscribeRequest(
+             {SubscribeKind::kNn, {0.3, 0.7}, {0.2, -0.1}, 6, 0.0, 0.0, 0.0}));
+  append(FrameType::kSubscribe,
+         EncodeSubscribeRequest({SubscribeKind::kWindow,
+                                 {0.5, 0.5},
+                                 {-0.3, 0.4},
+                                 1,
+                                 0.02,
+                                 0.03,
+                                 0.0}));
+  append(FrameType::kSubscribe,
+         EncodeSubscribeRequest(
+             {SubscribeKind::kRange, {0.6, 0.4}, {0.0, 0.0}, 1, 0.0, 0.0,
+              0.05}));
+  const std::vector<uint8_t> pushed_answer(48, 0xa5);
+  append(FrameType::kPush,
+         EncodePushEnvelope({0.42, 0.58}, pushed_answer.data(),
+                            pushed_answer.size()));
+  append(FrameType::kRevoke,
+         EncodeRevokeNotice({RevokeReason::kRegionKilled}));
   append(FrameType::kError,
          EncodeErrorPayload(Status::InvalidArgument("seed error")));
   return stream;
@@ -385,6 +422,175 @@ TEST(FrameFuzzTest, DecoderSurvivesMutatedSplitStreams) {
   }
 
   EXPECT_GE(buffers, 10000u);
+}
+
+// -- Push protocol payload fuzzing -------------------------------------------
+//
+// The three subscription-era payload codecs face the same hostile bytes
+// as the request codecs. Same contract, same families: truncation,
+// random flips, pure noise — >= 10k mutated buffers per format.
+
+using PayloadDecoder = bool (*)(const std::vector<uint8_t>&);
+
+bool DecodeSubscribePayload(const std::vector<uint8_t>& bytes) {
+  return DecodeSubscribeRequest(bytes).ok();
+}
+bool DecodePushPayload(const std::vector<uint8_t>& bytes) {
+  const auto envelope = DecodePushEnvelope(bytes);
+  if (!envelope.ok()) return false;
+  // Client path: the opaque answer bytes go straight into the core wire
+  // decoder; it must survive whatever the mutation produced.
+  (void)core::wire::DecodeNnResult(envelope->answer).ok();
+  return true;
+}
+bool DecodeRevokePayload(const std::vector<uint8_t>& bytes) {
+  return DecodeRevokeNotice(bytes).ok();
+}
+
+std::vector<std::vector<uint8_t>> SubscribePayloadSeeds() {
+  std::vector<std::vector<uint8_t>> seeds;
+  seeds.push_back(EncodeSubscribeRequest(
+      {SubscribeKind::kNn, {0.25, 0.75}, {0.1, 0.2}, 1, 0.0, 0.0, 0.0}));
+  seeds.push_back(EncodeSubscribeRequest(
+      {SubscribeKind::kNn, {0.9, 0.1}, {-2.5, 0.0}, 64, 0.0, 0.0, 0.0}));
+  seeds.push_back(EncodeSubscribeRequest(
+      {SubscribeKind::kWindow, {0.5, 0.5}, {0.0, 0.0}, 1, 0.015, 0.025, 0.0}));
+  seeds.push_back(EncodeSubscribeRequest({SubscribeKind::kWindow,
+                                          {0.33, 0.66},
+                                          {1.0, -1.0},
+                                          1,
+                                          0.2,
+                                          0.001,
+                                          0.0}));
+  seeds.push_back(EncodeSubscribeRequest(
+      {SubscribeKind::kRange, {0.1, 0.9}, {0.05, 0.05}, 1, 0.0, 0.0, 0.07}));
+  return seeds;
+}
+
+std::vector<std::vector<uint8_t>> PushPayloadSeeds() {
+  // Genuine NN answer bytes inside one envelope, patterned opaque bytes
+  // in the others: the envelope codec must not care either way.
+  const auto dataset = workload::MakeUnitUniform(600, 741);
+  test::TreeFixture fx(dataset.entries, 64, test::SmallNodeOptions());
+  core::NnValidityEngine engine(fx.tree.get(), geo::Rect(0.0, 0.0, 1.0, 1.0));
+  const auto genuine =
+      core::wire::EncodeNnResult(engine.Query({0.4, 0.6}, 4)).value();
+  std::vector<std::vector<uint8_t>> seeds;
+  seeds.push_back(
+      EncodePushEnvelope({0.41, 0.62}, genuine.data(), genuine.size()));
+  const std::vector<uint8_t> tiny{0x7f};
+  seeds.push_back(EncodePushEnvelope({0.0, 1.0}, tiny.data(), tiny.size()));
+  const std::vector<uint8_t> patterned(333, 0x3c);
+  seeds.push_back(
+      EncodePushEnvelope({0.99, 0.01}, patterned.data(), patterned.size()));
+  return seeds;
+}
+
+std::vector<std::vector<uint8_t>> RevokePayloadSeeds() {
+  return {EncodeRevokeNotice({RevokeReason::kRegionKilled}),
+          EncodeRevokeNotice({RevokeReason::kCapacity})};
+}
+
+// Truncation: prefixes shorter than min_valid_prefix must be rejected.
+// (The push envelope's answer is a verbatim suffix, so any prefix that
+// still holds the crossing point plus one answer byte stays decodable —
+// its floor is 17 bytes; the fixed-layout codecs reject all prefixes.)
+size_t FuzzPayloadTruncations(const std::vector<std::vector<uint8_t>>& seeds,
+                              PayloadDecoder decode,
+                              size_t min_valid_prefix) {
+  size_t buffers = 0;
+  for (const auto& seed : seeds) {
+    for (size_t len = 0; len < seed.size(); ++len) {
+      const std::vector<uint8_t> prefix(seed.begin(), seed.begin() + len);
+      if (len < min_valid_prefix) {
+        EXPECT_FALSE(decode(prefix)) << "prefix of length " << len;
+      } else {
+        decode(prefix);  // legal shorter message; must not crash
+      }
+      ++buffers;
+    }
+  }
+  return buffers;
+}
+
+size_t FuzzPayloadFlips(const std::vector<std::vector<uint8_t>>& seeds,
+                        PayloadDecoder decode, uint64_t seed,
+                        size_t iterations) {
+  Rng rng(seed);
+  size_t buffers = 0;
+  for (size_t i = 0; i < iterations; ++i) {
+    std::vector<uint8_t> mutated = seeds[i % seeds.size()];
+    const size_t flips = 1 + rng.NextBounded(8);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.NextBounded(mutated.size())] ^=
+          static_cast<uint8_t>(1 + rng.NextBounded(255));
+    }
+    decode(mutated);
+    ++buffers;
+  }
+  return buffers;
+}
+
+size_t FuzzPayloadNoise(PayloadDecoder decode, uint64_t seed,
+                        size_t iterations) {
+  Rng rng(seed);
+  size_t buffers = 0;
+  for (size_t i = 0; i < iterations; ++i) {
+    std::vector<uint8_t> noise(rng.NextBounded(200));
+    for (auto& b : noise) b = static_cast<uint8_t>(rng.NextU64());
+    decode(noise);
+    ++buffers;
+  }
+  return buffers;
+}
+
+TEST(PushProtocolFuzzTest, SubscribeRequestDecoderSurvivesMutations) {
+  const auto seeds = SubscribePayloadSeeds();
+  size_t buffers = FuzzPayloadTruncations(seeds, DecodeSubscribePayload,
+                                          /*min_valid_prefix=*/SIZE_MAX);
+  buffers += FuzzPayloadFlips(seeds, DecodeSubscribePayload, 911, 8000);
+  buffers += FuzzPayloadNoise(DecodeSubscribePayload, 913, 2000);
+  EXPECT_GE(buffers, 10000u);
+}
+
+TEST(PushProtocolFuzzTest, PushEnvelopeDecoderSurvivesMutations) {
+  const auto seeds = PushPayloadSeeds();
+  size_t buffers = FuzzPayloadTruncations(seeds, DecodePushPayload,
+                                          /*min_valid_prefix=*/17);
+  buffers += FuzzPayloadFlips(seeds, DecodePushPayload, 921, 8000);
+  buffers += FuzzPayloadNoise(DecodePushPayload, 923, 2000);
+  EXPECT_GE(buffers, 10000u);
+}
+
+TEST(PushProtocolFuzzTest, RevokeNoticeDecoderSurvivesMutations) {
+  const auto seeds = RevokePayloadSeeds();
+  size_t buffers = FuzzPayloadTruncations(seeds, DecodeRevokePayload,
+                                          /*min_valid_prefix=*/SIZE_MAX);
+  buffers += FuzzPayloadFlips(seeds, DecodeRevokePayload, 931, 8000);
+  buffers += FuzzPayloadNoise(DecodeRevokePayload, 933, 2500);
+  EXPECT_GE(buffers, 10000u);
+}
+
+// Round-trip fixed point for the new codecs, mirroring the core-format
+// property above: decode of a genuine encoding re-encodes byte-equal.
+TEST(PushProtocolFuzzTest, EncodeDecodeEncodeIsFixedPoint) {
+  for (const auto& seed : SubscribePayloadSeeds()) {
+    const auto decoded = DecodeSubscribeRequest(seed);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(EncodeSubscribeRequest(*decoded), seed);
+  }
+  for (const auto& seed : PushPayloadSeeds()) {
+    const auto decoded = DecodePushEnvelope(seed);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(EncodePushEnvelope(decoded->at, decoded->answer.data(),
+                                 decoded->answer.size()),
+              seed);
+  }
+  for (const auto& seed : RevokePayloadSeeds()) {
+    const auto decoded = DecodeRevokeNotice(seed);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(EncodeRevokeNotice(*decoded), seed);
+  }
 }
 
 // The latch property under fuzz: once a framing error is reported, no

@@ -16,12 +16,14 @@
 #   asan    ASan+UBSan build + full ctest suite
 #   tsan    TSan build + the threaded suites (BatchServer incl. the
 #           cache-enabled wire batches, the shared semantic cache, fault
-#           injection, the net suites whose event loop runs on its own
-#           thread, and the partition suite's concurrent routing-table
-#           readers) — the rest are single-threaded and add nothing
-#   bench-smoke  micro + net_loadgen + the partition K-sweep at tiny
-#           sizes; fails on crash, a failed reply verification, or a
-#           missing/malformed BENCH_*.json artifact (the numbers
+#           injection, the net and push suites whose event loop runs on
+#           its own thread, and the partition suite's concurrent
+#           routing-table readers) — the rest are single-threaded and
+#           add nothing
+#   bench-smoke  micro + net_loadgen + the partition K-sweep +
+#           push_loadgen at tiny sizes; fails on crash, a failed reply
+#           verification (incl. push_loadgen's zero-answer-gap check),
+#           or a missing/malformed BENCH_*.json artifact (the numbers
 #           themselves are not gated here — a smoke box is too noisy
 #           for thresholds)
 #   bench-gate   micro BM_KnnBestFirst/100 + the window/range validity
@@ -106,25 +108,27 @@ stage_tsan() {
   cmake -S "$ROOT" -B "$ROOT/build-tsan" -DLBSQ_SANITIZE=thread >/dev/null &&
     cmake --build "$ROOT/build-tsan" --target batch_server_test \
       fault_injection_test semantic_cache_test net_test net_fault_test \
-      partition_test -j "$JOBS" &&
+      push_test partition_test -j "$JOBS" &&
     "$ROOT/build-tsan/tests/batch_server_test" &&
     "$ROOT/build-tsan/tests/fault_injection_test" &&
     "$ROOT/build-tsan/tests/semantic_cache_test" &&
     "$ROOT/build-tsan/tests/net_test" &&
     "$ROOT/build-tsan/tests/net_fault_test" &&
+    "$ROOT/build-tsan/tests/push_test" &&
     "$ROOT/build-tsan/tests/partition_test"
 }
 
 stage_bench_smoke() {
   cmake -S "$ROOT" -B "$ROOT/build" >/dev/null &&
     cmake --build "$ROOT/build" --target micro net_loadgen partition \
-      -j "$JOBS" || return 1
+      push_loadgen -j "$JOBS" || return 1
   local dir
   dir="$(mktemp -d)" || return 1
   local ok=0
-  # One fast micro benchmark (min-of-rounds still applies), the loadgen
-  # and the K-fragment sweep at small datasets — the loadgen's reply
-  # verification and the partition differential tests are the
+  # One fast micro benchmark (min-of-rounds still applies), the loadgen,
+  # the K-fragment sweep and the push-vs-pull trajectory walk at small
+  # datasets — the loadgen's reply verification, the partition
+  # differential tests and the push walk's zero-answer-gap check are the
   # correctness gates; artifacts must exist and parse.
   LBSQ_BENCH_DIR="$dir" "$ROOT/build/bench/micro" \
     '--benchmark_filter=BM_KnnBestFirst/10/' >/dev/null &&
@@ -132,9 +136,12 @@ stage_bench_smoke() {
       >/dev/null &&
     LBSQ_BENCH_DIR="$dir" LBSQ_SCALE=0.05 LBSQ_ROUNDS=1 \
       "$ROOT/build/bench/partition" >/dev/null &&
+    LBSQ_BENCH_DIR="$dir" LBSQ_SCALE=0.05 "$ROOT/build/bench/push_loadgen" \
+      >/dev/null &&
     python3 -m json.tool "$dir/BENCH_micro.json" >/dev/null &&
     python3 -m json.tool "$dir/BENCH_net_loadgen.json" >/dev/null &&
-    python3 -m json.tool "$dir/BENCH_partition.json" >/dev/null ||
+    python3 -m json.tool "$dir/BENCH_partition.json" >/dev/null &&
+    python3 -m json.tool "$dir/BENCH_push.json" >/dev/null ||
     ok=1
   rm -rf "$dir"
   return "$ok"

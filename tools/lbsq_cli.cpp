@@ -9,6 +9,7 @@
 //   lbsq_cli window   --index idx.db --x 0.31 --y 0.74 --hx 0.02 --hy 0.02
 //   lbsq_cli range    --index idx.db --x 0.31 --y 0.74 --r 0.05
 //   lbsq_cli serve    --index idx.db --port 19537 --cache on [--fragments 4]
+//                     [--push on|off] [--push-subs 1024]
 //   lbsq_cli ping     --port 19537 [--host 127.0.0.1] [--count 5]
 //   lbsq_cli info     --port 19537 [--host 127.0.0.1]
 //
@@ -17,7 +18,10 @@
 // bench/net_loadgen, or library code — can then query it. With
 // --fragments K > 1 the points are re-sharded into K spatial fragments
 // served through the FragmentRouter (src/partition); `info` then shows
-// per-fragment point counts, MBRs and cache hit rates.
+// per-fragment point counts, MBRs and cache hit rates. With --push on
+// (the default) clients may register trajectory subscriptions
+// (kSubscribe) and receive the next validity region's answer as an
+// unsolicited kPush before they cross into it (src/push).
 //
 // The index file is self-contained: logical page 0 stores the tree meta
 // and the data universe, so every later invocation can re-attach. Builds
@@ -45,6 +49,7 @@
 #include "net/net_client.h"
 #include "net/net_server.h"
 #include "partition/partitioned_server.h"
+#include "push/push_scheduler.h"
 #include "rtree/rtree.h"
 #include "rtree/tree_stats.h"
 #include "storage/checksummed_page_store.h"
@@ -390,10 +395,26 @@ int CmdServe(const ArgMap& args) {
     service = server.get();
   }
 
+  const std::string push_flag = GetOr(args, "push", "on");
+  if (push_flag != "on" && push_flag != "off") {
+    std::fprintf(stderr, "unknown --push '%s' (on|off)\n", push_flag.c_str());
+    return 2;
+  }
+
   net::NetOptions options;
   options.port = static_cast<uint16_t>(
       std::strtoul(GetOr(args, "port", "19537").c_str(), nullptr, 10));
   net::NetServer serving(service, options);
+  std::unique_ptr<push::PushScheduler> pusher;
+  if (push_flag == "on") {
+    push::PushConfig push_config;
+    push_config.max_subscriptions = std::strtoul(
+        GetOr(args, "push-subs", "1024").c_str(), nullptr, 10);
+    pusher = std::make_unique<push::PushScheduler>(service, push_config,
+                                                   serving.mutable_stats());
+    pusher->set_wake([&serving] { serving.Wake(); });
+    serving.set_subscriptions(pusher.get());
+  }
   if (const Status listening = serving.Listen(); !listening.ok()) {
     std::fprintf(stderr, "cannot listen: %s\n", listening.ToString().c_str());
     return 1;
@@ -402,10 +423,10 @@ int CmdServe(const ArgMap& args) {
   std::signal(SIGINT, HandleSigint);
   std::signal(SIGTERM, HandleSigint);
 
-  std::printf("serving %zu points on 127.0.0.1:%u (cache %s, %zu "
+  std::printf("serving %zu points on 127.0.0.1:%u (cache %s, push %s, %zu "
               "fragment%s) — Ctrl-C to drain\n",
-              idx.tree->size(), serving.port(), cache_flag.c_str(), fragments,
-              fragments == 1 ? "" : "s");
+              idx.tree->size(), serving.port(), cache_flag.c_str(),
+              push_flag.c_str(), fragments, fragments == 1 ? "" : "s");
   std::fflush(stdout);
   serving.Run();
   g_serving = nullptr;
@@ -421,6 +442,15 @@ int CmdServe(const ArgMap& args) {
               static_cast<unsigned long long>(stats.frames_out),
               static_cast<unsigned long long>(stats.bad_requests),
               static_cast<unsigned long long>(stats.protocol_errors));
+  if (pusher) {
+    std::printf("push: %llu subscribes, %llu pushes (%llu corrective), "
+                "%llu revokes, %llu closed with connection\n",
+                static_cast<unsigned long long>(stats.subscribes_accepted),
+                static_cast<unsigned long long>(stats.pushes_sent),
+                static_cast<unsigned long long>(stats.pushes_corrective),
+                static_cast<unsigned long long>(stats.pushes_revoked),
+                static_cast<unsigned long long>(stats.subscriptions_closed));
+  }
   if (sharded ? sharded->cache_enabled() : server->cache_enabled()) {
     const cache::CacheStats cache_stats =
         sharded ? sharded->cache_stats() : server->cache_stats();

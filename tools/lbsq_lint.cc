@@ -98,10 +98,11 @@ const RuleInfo kRules[] = {
      ".ok() check or LBSQ_RETURN_IF_ERROR on that same local; "
      "re-assignment invalidates earlier checks"},
     {"event-loop-blocking",
-     "src/net/event_loop.cc and net_server.cc run on the single poll "
-     "thread: sleeping (sleep/usleep/nanosleep/sleep_for/sleep_until), "
-     "blocking accept(2) (use accept4 + SOCK_NONBLOCK) and MSG_WAITALL "
-     "recv/send are banned there"},
+     "src/net/event_loop.cc, net_server.cc and push/push_scheduler.cc "
+     "run on the single poll thread: sleeping "
+     "(sleep/usleep/nanosleep/sleep_for/sleep_until), blocking accept(2) "
+     "(use accept4 + SOCK_NONBLOCK) and MSG_WAITALL recv/send are banned "
+     "there"},
     {"determinism",
      "std::random_device, rand, srand, time()-seeding and now()-as-seed are "
      "banned outside src/common/rng.h; experiments must replay from the seed "
@@ -133,8 +134,11 @@ const SurfaceRule kSurfaces[] = {
 };
 
 // Single-threaded poll-loop surfaces, hardwired by path suffix: rule
-// event-loop-blocking applies to every function in these files.
-const char* kLoopSurfaceSuffixes[] = {"net/event_loop.cc", "net/net_server.cc"};
+// event-loop-blocking applies to every function in these files. The
+// push scheduler runs entirely inside EventLoop callbacks, so it is a
+// loop surface like the loop itself.
+const char* kLoopSurfaceSuffixes[] = {"net/event_loop.cc", "net/net_server.cc",
+                                      "push/push_scheduler.cc"};
 
 // Calls that park the poll-loop thread. `accept` is listed because the
 // loop must go through accept4(SOCK_NONBLOCK); MSG_WAITALL is caught
